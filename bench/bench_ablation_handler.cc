@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §4.3): the internal data transfer handler. Sweeps the
+ * naive vs. optimized handler across device counts and FPGA DRAM budgets
+ * (smaller DRAM => more, smaller subgroups => more overlap opportunity),
+ * isolating where the paper's §IV-B optimization pays off.
+ */
+#include "bench_util.h"
+
+using namespace smartinf;
+using namespace smartinf::bench;
+
+int
+main()
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    train::TrainConfig tc;
+
+    Table table("Ablation: transfer handler (GPT-2 4.0B)");
+    table.setHeader({"#CSDs", "DRAM usable", "naive upd (s)", "opt upd (s)",
+                     "handler gain"});
+    for (int n : {2, 6, 10}) {
+        for (double usable : {0.8, 0.4, 0.2}) {
+            train::SystemConfig naive_cfg;
+            naive_cfg.strategy = train::Strategy::SmartUpdate;
+            naive_cfg.num_devices = n;
+            naive_cfg.calib.fpga_dram_usable = usable;
+            const auto naive =
+                train::makeEngine(model, tc, naive_cfg)->runIteration();
+
+            train::SystemConfig opt_cfg = naive_cfg;
+            opt_cfg.strategy = train::Strategy::SmartUpdateOpt;
+            const auto opt =
+                train::makeEngine(model, tc, opt_cfg)->runIteration();
+
+            table.addRow({std::to_string(n), Table::percent(usable, 0),
+                          Table::num(naive.phases.update),
+                          Table::num(opt.phases.update),
+                          Table::factor(naive.phases.update /
+                                        opt.phases.update)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "Reading: the optimized handler's gain comes from keeping "
+                 "the DMA queue busy through kernels; it grows as subgroups "
+                 "shrink (smaller DRAM) because the naive handler stalls "
+                 "once per tasklet.\n";
+    return 0;
+}

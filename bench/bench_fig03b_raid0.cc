@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fig 3(b): baseline speedup from RAID0 over 1-10 SSDs. The shared system
+ * interconnect saturates the array after ~4 members (paper: ~2.4x ceiling
+ * vs. the ideal linear scaling).
+ */
+#include "bench_util.h"
+
+using namespace smartinf;
+using namespace smartinf::bench;
+
+int
+main()
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const double t1 =
+        runIteration(model, train::Strategy::Baseline, 1).iteration_time;
+
+    Table table("Fig 3(b): RAID0 scaling of the baseline (GPT-2 4.0B)");
+    table.setHeader({"#SSDs", "time/iter (s)", "speedup vs 1 SSD",
+                     "ideal"});
+    for (int n : {1, 2, 4, 6, 8, 10}) {
+        const auto r = runIteration(model, train::Strategy::Baseline, n);
+        table.addRow({std::to_string(n), Table::num(r.iteration_time),
+                      Table::factor(t1 / r.iteration_time),
+                      Table::factor(static_cast<double>(n))});
+    }
+    table.print(std::cout);
+    std::cout << "paper anchor: speedup saturates (~2.4x) after ~4 SSDs; "
+                 "the PCIe system interconnect is the bottleneck.\n";
+    return 0;
+}

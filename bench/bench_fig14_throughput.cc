@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fig 14: computational throughput of the updater and decompressor modules
+ * compared to NVMe SSD read/write bandwidth. The modeled device rates come
+ * from the module perf analyzers; the google-benchmark section additionally
+ * measures the *behavioral emulation* throughput of the same kernels on the
+ * host (real element processing, used by the sanity checkers).
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "accel/decompressor.h"
+#include "accel/hls_module.h"
+#include "accel/updater.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "storage/block_device.h"
+
+using namespace smartinf;
+
+namespace {
+
+void
+printModeledTable()
+{
+    Table table("Fig 14: modeled module throughput vs SSD (GB/s)");
+    table.setHeader({"size", "updater", "decomp+update path", "SSD read",
+                     "SSD write"});
+    const auto ssd = storage::SsdSpec::smartSsdNvme();
+    auto updater =
+        accel::makeUpdater(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    auto decomp = accel::makeTopKDecompressor();
+    for (double billions : {0.34, 1.7, 4.0, 8.4}) {
+        table.addRow({Table::num(billions, 2) + "B",
+                      Table::num(updater->modelThroughput() / 1e9, 2),
+                      Table::num(decomp->modelThroughput() / 1e9, 2),
+                      Table::num(ssd.read_bandwidth / 1e9, 2),
+                      Table::num(ssd.write_bandwidth / 1e9, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "paper anchors (Fig 14): updater > 7 GB/s; decompressor "
+                 "slightly above SSD read (~3.2 GB/s); write well below "
+                 "read.\n\n";
+}
+
+void
+BM_UpdaterEmulation(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto updater =
+        accel::makeUpdater(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    Rng rng(1);
+    std::vector<float> master(n), grad(n), mmt(n, 0.0f), var(n, 0.0f);
+    for (auto &g : grad)
+        g = static_cast<float>(rng.normal(0.0, 0.01));
+    float *states[] = {mmt.data(), var.data()};
+    uint64_t t = 0;
+    for (auto _ : state) {
+        updater->processSubgroup(master.data(), grad.data(), states, n, ++t);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n *
+                            16); // state-stream bytes
+}
+BENCHMARK(BM_UpdaterEmulation)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_DecompressorEmulation(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto decomp = accel::makeTopKDecompressor();
+    Rng rng(2);
+    std::vector<float> dense(n), out(n);
+    for (auto &g : dense)
+        g = static_cast<float>(rng.normal());
+    compress::TopKCompressor comp(0.01);
+    const auto sparse = comp.compress(dense.data(), n);
+    for (auto _ : state) {
+        decomp->decompressSubgroup(sparse, 0, out.data(), n);
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n *
+                            4); // dense output bytes
+}
+BENCHMARK(BM_DecompressorEmulation)->Arg(1 << 14)->Arg(1 << 18);
+
+void
+BM_TopKCompressionGpuSide(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    std::vector<float> dense(n);
+    for (auto &g : dense)
+        g = static_cast<float>(rng.normal());
+    compress::TopKCompressor comp(0.01);
+    for (auto _ : state) {
+        auto sparse = comp.compress(dense.data(), n);
+        benchmark::DoNotOptimize(sparse.wireBytes());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 4);
+}
+BENCHMARK(BM_TopKCompressionGpuSide)->Arg(1 << 14)->Arg(1 << 18);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printModeledTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 16: training-time sensitivity to the Top-K compression ratio
+ * (10% / 5% / 2% / 1% wire volume) for BERT-0.34B and GPT 4.0B at 6 and 10
+ * SSDs, with SU+O as the uncompressed reference.
+ */
+#include "bench_util.h"
+
+using namespace smartinf;
+using namespace smartinf::bench;
+
+namespace {
+
+void
+runModel(const train::ModelSpec &model)
+{
+    for (int n : {6, 10}) {
+        Table table("Fig 16: " + model.name + ", #SSDs = " +
+                    std::to_string(n));
+        breakdownHeader(table);
+        const auto base = runIteration(model, train::Strategy::Baseline, n);
+        const auto suo =
+            runIteration(model, train::Strategy::SmartUpdateOpt, n);
+        addBreakdownRow(table, "SU+O (dense)", suo,
+                        base.iteration_time / suo.iteration_time);
+        for (double ratio : {0.10, 0.05, 0.02, 0.01}) {
+            const auto r = runIteration(
+                model, train::Strategy::SmartUpdateOptComp, n,
+                train::GpuGrade::A5000, optim::OptimizerKind::Adam, ratio);
+            addBreakdownRow(table,
+                            "SU+O+C " + Table::percent(ratio, 0), r,
+                            base.iteration_time / r.iteration_time);
+        }
+        table.print(std::cout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    runModel(train::ModelSpec::bert(0.34));
+    runModel(train::ModelSpec::gpt2(4.0));
+    std::cout << "paper anchor (Fig 16): stronger compression keeps "
+                 "shrinking the BW+Grad offload time; speedup gradually "
+                 "increases as the ratio drops to 1%.\n";
+    return 0;
+}

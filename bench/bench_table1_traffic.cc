@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table I: system-interconnect traffic per strategy, in units of M (the
+ * FP16 model size), for Adam mixed-precision training.
+ */
+#include "bench_util.h"
+
+using namespace smartinf;
+using namespace smartinf::bench;
+
+namespace {
+
+std::string
+inM(double bytes, double m)
+{
+    const double units = bytes / m;
+    if (units == 0.0)
+        return "-";
+    return Table::num(units, 2) + "M";
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const double m = model.modelBytes();
+
+    Table table("Table I: shared-interconnect traffic (Adam, per iteration)");
+    table.setHeader({"strategy", "opt read", "opt write", "grad read",
+                     "grad write", "param upstream", "internal r/w"});
+    struct Row {
+        const char *label;
+        train::Strategy strategy;
+        double comp;
+    };
+    const Row rows[] = {
+        {"ZeRO-Inf", train::Strategy::Baseline, 0.02},
+        {"SmartUpdate", train::Strategy::SmartUpdateOpt, 0.02},
+        {"SmartComp (2%)", train::Strategy::SmartUpdateOptComp, 0.02},
+        {"SmartComp (10%)", train::Strategy::SmartUpdateOptComp, 0.10},
+    };
+    for (const auto &row : rows) {
+        const auto r = runIteration(model, row.strategy, 6,
+                                    train::GpuGrade::A5000,
+                                    optim::OptimizerKind::Adam, row.comp);
+        const auto &t = r.traffic;
+        table.addRow({row.label, inM(t.shared_opt_read, m),
+                      inM(t.shared_opt_write, m), inM(t.shared_grad_read, m),
+                      inM(t.shared_grad_write, m),
+                      inM(t.shared_param_up, m),
+                      inM(t.internal_read, m) + " / " +
+                          inM(t.internal_write, m)});
+    }
+    table.print(std::cout);
+    std::cout << "paper anchor (Table I): ZeRO-Inf 6M/6M opt + 2M/2M grad; "
+                 "SmartUpdate 2M read (params) + 2M write (grads); "
+                 "SmartComp c% x 2M gradient write.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses that regenerate the paper's
+ * tables and figures. Each bench prints the same rows/series the paper
+ * reports; EXPERIMENTS.md records paper-vs-measured values.
+ */
+#ifndef SMARTINF_BENCH_BENCH_UTIL_H
+#define SMARTINF_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "train/engine.h"
+
+namespace smartinf::bench {
+
+/** Run one iteration for a (model, strategy, devices, gpu) combination. */
+inline train::IterationResult
+runIteration(const train::ModelSpec &model, train::Strategy strategy,
+             int devices, train::GpuGrade gpu = train::GpuGrade::A5000,
+             optim::OptimizerKind optimizer = optim::OptimizerKind::Adam,
+             double comp_fraction = 0.02)
+{
+    train::TrainConfig tc;
+    train::SystemConfig sc;
+    sc.strategy = strategy;
+    sc.num_devices = devices;
+    sc.gpu = gpu;
+    sc.optimizer = optimizer;
+    sc.compression_wire_fraction = comp_fraction;
+    return train::makeEngine(model, tc, sc)->runIteration();
+}
+
+/** Append the standard breakdown columns for a result. */
+inline void
+addBreakdownRow(Table &table, const std::string &label,
+                const train::IterationResult &r, double speedup)
+{
+    table.addRow({label, Table::num(r.phases.forward),
+                  Table::num(r.phases.backward), Table::num(r.phases.update),
+                  Table::num(r.iteration_time), Table::factor(speedup)});
+}
+
+inline void
+breakdownHeader(Table &table)
+{
+    table.setHeader({"config", "FW (s)", "BW+Grad (s)", "Update+Opt (s)",
+                     "total (s)", "speedup"});
+}
+
+} // namespace smartinf::bench
+
+#endif // SMARTINF_BENCH_BENCH_UTIL_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fine-tuning case study (paper §VII-J): the paper fine-tunes *pretrained*
+ * LLMs (BERT-345M from Megatron-LM, GPT-2 from the HuggingFace hub). We
+ * mirror that: each task's model is first pretrained densely, then
+ * fine-tuned three ways from the same checkpoint — host CPU updates (the
+ * baseline), exact near-storage updates (SU+O), and SmartComp-compressed
+ * updates at 2% wire volume. SmartUpdate must match the baseline exactly;
+ * SmartComp should land within about a point.
+ */
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/smart_infinity.h"
+
+using namespace smartinf;
+
+namespace {
+
+std::vector<std::size_t>
+archFor(const nn::Dataset &ds)
+{
+    return {ds.input_dim, 48, 24, static_cast<std::size_t>(ds.num_classes)};
+}
+
+/** Dense pretraining: returns the checkpointed flat parameters. */
+std::vector<float>
+pretrain(const nn::Dataset &ds)
+{
+    nn::Mlp model(archFor(ds), nn::Activation::GELU, 5);
+    nn::HostBackend host(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    nn::Trainer::Config config;
+    config.epochs = 10;
+    nn::Trainer(model, host, config).fit(ds);
+    return {model.params(), model.params() + model.paramCount()};
+}
+
+/** Fine-tune from the checkpoint with the given backend. */
+double
+finetune(const nn::Dataset &ds, const std::vector<float> &checkpoint,
+         nn::UpdateBackend &backend)
+{
+    nn::Mlp model(archFor(ds), nn::Activation::GELU, 5);
+    model.setParams(checkpoint.data(), checkpoint.size());
+    nn::Trainer::Config config;
+    config.epochs = 4;
+    config.shuffle_seed = 99;
+    return nn::Trainer(model, backend, config).fit(ds).dev_accuracy;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << std::fixed << std::setprecision(2);
+    std::cout << "task          baseline   SU+O       SU+O+C(2%)\n";
+    std::cout << "---------------------------------------------\n";
+    bool exact_everywhere = true;
+    for (auto task : nn::allTasks()) {
+        const auto ds = nn::makeTask(task, 2048, 512, 16, 2024);
+        const auto checkpoint = pretrain(ds);
+
+        nn::HostBackend host(optim::OptimizerKind::Adam,
+                             optim::Hyperparams{});
+        const double base_acc = finetune(ds, checkpoint, host);
+
+        ClusterConfig exact_cfg;
+        exact_cfg.num_csds = 2;
+        SmartInfinityCluster exact(exact_cfg);
+        const double exact_acc = finetune(ds, checkpoint, exact);
+
+        ClusterConfig comp_cfg = exact_cfg;
+        comp_cfg.compression = true;
+        comp_cfg.keep_fraction = 0.01; // 2% wire volume.
+        SmartInfinityCluster comp(comp_cfg);
+        const double comp_acc = finetune(ds, checkpoint, comp);
+
+        std::cout << std::left << std::setw(14) << nn::taskName(task)
+                  << std::setw(11) << base_acc * 100.0 << std::setw(11)
+                  << exact_acc * 100.0 << comp_acc * 100.0 << "\n";
+        exact_everywhere &= (exact_acc == base_acc);
+    }
+    std::cout << "\nSU+O " << (exact_everywhere ? "matched" : "DID NOT match")
+              << " the baseline exactly (the paper's 'algorithmically "
+                 "identical' property); SmartComp trades a small accuracy "
+                 "delta for a 50x smaller gradient offload.\n";
+    return exact_everywhere ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+#include "accel/fpga_resources.h"
+
+#include "common/logging.h"
+
+namespace smartinf::accel {
+
+ModuleFootprint &
+ModuleFootprint::operator+=(const ModuleFootprint &other)
+{
+    luts += other.luts;
+    brams += other.brams;
+    urams += other.urams;
+    dsps += other.dsps;
+    return *this;
+}
+
+FpgaBudget
+FpgaBudget::ku15p()
+{
+    return FpgaBudget{522720, 984, 128, 1968};
+}
+
+void
+FpgaResourceModel::place(const ModuleFootprint &module)
+{
+    ModuleFootprint after = total();
+    after += module;
+    if (after.luts > budget_.luts || after.brams > budget_.brams ||
+        after.urams > budget_.urams || after.dsps > budget_.dsps) {
+        fatal("module ", module.name, " does not fit the FPGA: needs ",
+              after.luts, " LUTs / ", after.brams, " BRAMs / ", after.urams,
+              " URAMs / ", after.dsps, " DSPs against budget ", budget_.luts,
+              "/", budget_.brams, "/", budget_.urams, "/", budget_.dsps);
+    }
+    placed_.push_back(module);
+}
+
+void
+FpgaResourceModel::clear()
+{
+    placed_.clear();
+}
+
+ModuleFootprint
+FpgaResourceModel::total() const
+{
+    ModuleFootprint sum{"total", 0, 0, 0, 0};
+    for (const auto &module : placed_)
+        sum += module;
+    return sum;
+}
+
+double
+FpgaResourceModel::lutUtilization() const
+{
+    return static_cast<double>(total().luts) / budget_.luts;
+}
+
+double
+FpgaResourceModel::bramUtilization() const
+{
+    return static_cast<double>(total().brams) / budget_.brams;
+}
+
+double
+FpgaResourceModel::uramUtilization() const
+{
+    return static_cast<double>(total().urams) / budget_.urams;
+}
+
+double
+FpgaResourceModel::dspUtilization() const
+{
+    return static_cast<double>(total().dsps) / budget_.dsps;
+}
+
+} // namespace smartinf::accel

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FPGA resource budget accounting for the SmartSSD's Kintex UltraScale+
+ * KU15P. Modules report a footprint (LUT/BRAM/URAM/DSP); the model checks
+ * fit and renders the utilization table (paper Table III).
+ */
+#ifndef SMARTINF_ACCEL_FPGA_RESOURCES_H
+#define SMARTINF_ACCEL_FPGA_RESOURCES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smartinf::accel {
+
+/** Resource consumption of one synthesized module. */
+struct ModuleFootprint {
+    std::string name;
+    uint64_t luts = 0;
+    uint64_t brams = 0;
+    uint64_t urams = 0;
+    uint64_t dsps = 0;
+
+    ModuleFootprint &operator+=(const ModuleFootprint &other);
+};
+
+/** Device budget. */
+struct FpgaBudget {
+    uint64_t luts;
+    uint64_t brams;
+    uint64_t urams;
+    uint64_t dsps;
+
+    /** The SmartSSD's KU15P: ~522K LUTs, 984 BRAMs, 128 URAMs, 1968 DSPs. */
+    static FpgaBudget ku15p();
+};
+
+/** Tracks placed modules against a budget. */
+class FpgaResourceModel
+{
+  public:
+    explicit FpgaResourceModel(FpgaBudget budget = FpgaBudget::ku15p())
+        : budget_(budget)
+    {
+    }
+
+    /** Place a module; fatal() when the device no longer fits. */
+    void place(const ModuleFootprint &module);
+
+    /** Remove all placed modules. */
+    void clear();
+
+    /** Aggregate footprint of everything placed. */
+    ModuleFootprint total() const;
+
+    /** Fractional utilization in [0,1] per resource class. */
+    double lutUtilization() const;
+    double bramUtilization() const;
+    double uramUtilization() const;
+    double dspUtilization() const;
+
+    const FpgaBudget &budget() const { return budget_; }
+    const std::vector<ModuleFootprint> &placed() const { return placed_; }
+
+  private:
+    FpgaBudget budget_;
+    std::vector<ModuleFootprint> placed_;
+};
+
+} // namespace smartinf::accel
+
+#endif // SMARTINF_ACCEL_FPGA_RESOURCES_H

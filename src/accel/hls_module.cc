@@ -1,0 +1,230 @@
+#include "accel/hls_module.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "storage/block_device.h"
+
+namespace smartinf::accel {
+
+namespace {
+
+/** Fill @p v with small-magnitude gradients (training-like distribution). */
+void
+fillGradients(std::vector<float> &v, Rng &rng)
+{
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, 1e-2));
+}
+
+} // namespace
+
+SanityReport
+sanityCheckUpdater(const UpdaterModule &module, std::size_t n, unsigned steps,
+                   uint64_t seed)
+{
+    SanityReport report;
+    report.elements_checked = n * steps;
+
+    Rng rng(seed);
+    // Compare against the host reference under the module's own
+    // hyperparameters to isolate the *logic*.
+    const auto reference =
+        optim::makeOptimizer(module.kind(), module.hyperparams());
+
+    const int aux = optim::auxStateCount(module.kind());
+    std::vector<float> master_ref(n), master_dev(n), grad(n);
+    std::vector<std::vector<float>> states_ref(aux), states_dev(aux);
+    for (int s = 0; s < aux; ++s) {
+        states_ref[s].assign(n, 0.0f);
+        states_dev[s].assign(n, 0.0f);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        master_ref[i] = master_dev[i] = static_cast<float>(rng.normal());
+
+    std::vector<float *> ref_ptrs, dev_ptrs;
+    for (int s = 0; s < aux; ++s) {
+        ref_ptrs.push_back(states_ref[s].data());
+        dev_ptrs.push_back(states_dev[s].data());
+    }
+
+    for (unsigned t = 1; t <= steps; ++t) {
+        fillGradients(grad, rng);
+        reference->step(master_ref.data(), grad.data(), ref_ptrs.data(), n, t);
+        module.processSubgroup(master_dev.data(), grad.data(),
+                               dev_ptrs.data(), n, t);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double diff =
+            std::fabs(static_cast<double>(master_ref[i]) - master_dev[i]);
+        report.max_abs_diff = std::max(report.max_abs_diff, diff);
+    }
+    report.passed = (report.max_abs_diff == 0.0);
+    report.detail = report.passed
+                        ? "bit-identical to host reference"
+                        : "diverges from host reference";
+    return report;
+}
+
+SanityReport
+sanityCheckDecompressor(const DecompressorModule &module, double keep_fraction,
+                        std::size_t n, uint64_t seed)
+{
+    SanityReport report;
+    report.elements_checked = n;
+
+    Rng rng(seed);
+    std::vector<float> dense(n);
+    fillGradients(dense, rng);
+
+    compress::TopKCompressor compressor(keep_fraction);
+    const auto sparse = compressor.compress(dense.data(), n);
+
+    std::vector<float> reference(n), device(n, 42.0f);
+    compress::TopKCompressor::decompress(sparse, reference.data(), n);
+    module.decompressSubgroup(sparse, 0, device.data(), n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double diff =
+            std::fabs(static_cast<double>(reference[i]) - device[i]);
+        report.max_abs_diff = std::max(report.max_abs_diff, diff);
+    }
+    report.passed = (report.max_abs_diff == 0.0);
+    report.detail = report.passed ? "scatter matches reference"
+                                  : "scatter mismatch";
+    return report;
+}
+
+PerfReport
+analyzeUpdater(const UpdaterModule &module, std::size_t n)
+{
+    PerfReport report;
+    report.modeled_throughput = module.modelThroughput();
+    report.keeps_up_with_ssd =
+        report.modeled_throughput >=
+        storage::SsdSpec::smartSsdNvme().read_bandwidth;
+
+    Rng rng(99);
+    const int aux = optim::auxStateCount(module.kind());
+    std::vector<float> master(n), grad(n);
+    std::vector<std::vector<float>> states(aux);
+    std::vector<float *> ptrs;
+    for (int s = 0; s < aux; ++s) {
+        states[s].assign(n, 0.0f);
+        ptrs.push_back(states[s].data());
+    }
+    fillGradients(grad, rng);
+
+    const auto begin = std::chrono::steady_clock::now();
+    module.processSubgroup(master.data(), grad.data(), ptrs.data(), n, 1);
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - begin).count();
+    report.emulation_elems_per_sec = secs > 0.0 ? n / secs : 0.0;
+    return report;
+}
+
+PerfReport
+analyzeDecompressor(const DecompressorModule &module, double keep_fraction,
+                    std::size_t n)
+{
+    PerfReport report;
+    report.modeled_throughput = module.modelThroughput();
+    report.keeps_up_with_ssd =
+        report.modeled_throughput >=
+        storage::SsdSpec::smartSsdNvme().read_bandwidth;
+
+    Rng rng(99);
+    std::vector<float> dense(n), out(n);
+    fillGradients(dense, rng);
+    compress::TopKCompressor compressor(keep_fraction);
+    const auto sparse = compressor.compress(dense.data(), n);
+
+    const auto begin = std::chrono::steady_clock::now();
+    module.decompressSubgroup(sparse, 0, out.data(), n);
+    const auto end = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(end - begin).count();
+    report.emulation_elems_per_sec = secs > 0.0 ? n / secs : 0.0;
+    return report;
+}
+
+ModuleRegistry &
+ModuleRegistry::instance()
+{
+    static ModuleRegistry registry;
+    return registry;
+}
+
+ModuleRegistry::ModuleRegistry()
+{
+    registerUpdater("adam", [](const optim::Hyperparams &hp) {
+        return accel::makeUpdater(optim::OptimizerKind::Adam, hp);
+    });
+    registerUpdater("adamw", [](const optim::Hyperparams &hp) {
+        return accel::makeUpdater(optim::OptimizerKind::AdamW, hp);
+    });
+    registerUpdater("sgd", [](const optim::Hyperparams &hp) {
+        return accel::makeUpdater(optim::OptimizerKind::SgdMomentum, hp);
+    });
+    registerUpdater("adagrad", [](const optim::Hyperparams &hp) {
+        return accel::makeUpdater(optim::OptimizerKind::AdaGrad, hp);
+    });
+    registerDecompressor("topk",
+                         []() { return makeTopKDecompressor(); });
+}
+
+void
+ModuleRegistry::registerUpdater(const std::string &name,
+                                UpdaterFactory factory)
+{
+    updaters_[name] = std::move(factory);
+}
+
+void
+ModuleRegistry::registerDecompressor(const std::string &name,
+                                     DecompressorFactory factory)
+{
+    decompressors_[name] = std::move(factory);
+}
+
+std::unique_ptr<UpdaterModule>
+ModuleRegistry::makeUpdater(const std::string &name,
+                            const optim::Hyperparams &hp) const
+{
+    auto it = updaters_.find(name);
+    if (it == updaters_.end())
+        fatal("unknown updater module: ", name);
+    return it->second(hp);
+}
+
+std::unique_ptr<DecompressorModule>
+ModuleRegistry::makeDecompressor(const std::string &name) const
+{
+    auto it = decompressors_.find(name);
+    if (it == decompressors_.end())
+        fatal("unknown decompressor module: ", name);
+    return it->second();
+}
+
+std::vector<std::string>
+ModuleRegistry::updaterNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : updaters_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+ModuleRegistry::decompressorNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : decompressors_)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace smartinf::accel

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The user-facing customization surface of the accelerator (paper §VI,
+ * Fig 8 "User Level"): Smart-Infinity ships HLS templates for custom
+ * updaters/decompressors, each with a sanity checker (logic vs. the host
+ * reference) and a performance analyzer. This module reproduces that flow:
+ * a registry of named module factories plus verification and throughput
+ * analysis utilities.
+ */
+#ifndef SMARTINF_ACCEL_HLS_MODULE_H
+#define SMARTINF_ACCEL_HLS_MODULE_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/decompressor.h"
+#include "accel/updater.h"
+
+namespace smartinf::accel {
+
+/** Result of checking a module's logic against the host reference. */
+struct SanityReport {
+    bool passed = false;
+    std::size_t elements_checked = 0;
+    /** Maximum absolute divergence observed (0 for bit-identical). */
+    double max_abs_diff = 0.0;
+    std::string detail;
+};
+
+/** Result of the performance analyzer. */
+struct PerfReport {
+    /** Modeled device throughput (bytes of stream per second). */
+    BytesPerSec modeled_throughput = 0.0;
+    /** Host emulation rate while checking (elements per second). */
+    double emulation_elems_per_sec = 0.0;
+    /** Whether the modeled throughput keeps up with SSD read bandwidth. */
+    bool keeps_up_with_ssd = false;
+};
+
+/**
+ * Verify an updater module against the host reference optimizer over
+ * @p steps random update steps of @p n elements. Passes only on
+ * bit-identical results (the design guarantees shared arithmetic).
+ */
+SanityReport sanityCheckUpdater(const UpdaterModule &module,
+                                std::size_t n = 1 << 14,
+                                unsigned steps = 4, uint64_t seed = 1234);
+
+/** Verify a decompressor against the reference scatter. */
+SanityReport sanityCheckDecompressor(const DecompressorModule &module,
+                                     double keep_fraction = 0.01,
+                                     std::size_t n = 1 << 14,
+                                     uint64_t seed = 1234);
+
+/** Run the performance analyzer for an updater. */
+PerfReport analyzeUpdater(const UpdaterModule &module,
+                          std::size_t n = 1 << 16);
+
+/** Run the performance analyzer for a decompressor. */
+PerfReport analyzeDecompressor(const DecompressorModule &module,
+                               double keep_fraction = 0.01,
+                               std::size_t n = 1 << 16);
+
+/**
+ * Registry of named module factories, so user-defined kernels plug into the
+ * framework exactly like the built-ins ("adam", "adamw", "sgd", "adagrad";
+ * decompressor "topk").
+ */
+class ModuleRegistry
+{
+  public:
+    using UpdaterFactory = std::function<std::unique_ptr<UpdaterModule>(
+        const optim::Hyperparams &)>;
+    using DecompressorFactory =
+        std::function<std::unique_ptr<DecompressorModule>()>;
+
+    /** Process-wide registry preloaded with the built-in modules. */
+    static ModuleRegistry &instance();
+
+    void registerUpdater(const std::string &name, UpdaterFactory factory);
+    void registerDecompressor(const std::string &name,
+                              DecompressorFactory factory);
+
+    /** Instantiate by name; fatal() on unknown names. */
+    std::unique_ptr<UpdaterModule> makeUpdater(const std::string &name,
+                                               const optim::Hyperparams &hp) const;
+    std::unique_ptr<DecompressorModule>
+    makeDecompressor(const std::string &name) const;
+
+    std::vector<std::string> updaterNames() const;
+    std::vector<std::string> decompressorNames() const;
+
+  private:
+    ModuleRegistry();
+
+    std::map<std::string, UpdaterFactory> updaters_;
+    std::map<std::string, DecompressorFactory> decompressors_;
+};
+
+} // namespace smartinf::accel
+
+#endif // SMARTINF_ACCEL_HLS_MODULE_H

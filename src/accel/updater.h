@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Behavioral model of the Smart-Infinity general updater (paper Fig 7,
+ * §V-A): parallel updater PEs built from SIMD AXPBY units stream subgroups
+ * of (gradient, optimizer states, target parameters) through BRAM-sized
+ * chunks. The arithmetic is exactly optim/update_math.h, so results are
+ * bit-identical to the host reference regardless of chunking — a property
+ * the test suite asserts.
+ */
+#ifndef SMARTINF_ACCEL_UPDATER_H
+#define SMARTINF_ACCEL_UPDATER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "accel/fpga_resources.h"
+#include "common/units.h"
+#include "optim/optimizer.h"
+
+namespace smartinf::accel {
+
+/** Microarchitectural shape of the updater (Fig 7). */
+struct UpdaterGeometry {
+    /** Processing elements working in parallel. */
+    unsigned num_pes = 4;
+    /** AXPBY lanes per PE. */
+    unsigned lanes_per_pe = 16;
+    /** Elements per BRAM chunk (the paper's S). */
+    std::size_t chunk_elems = 4096;
+};
+
+/**
+ * A synthesized updater kernel for one optimizer family. The behavioral
+ * path (processSubgroup) computes real values; footprint() and
+ * modelThroughput() feed the resource table and the timing model.
+ */
+class UpdaterModule
+{
+  public:
+    virtual ~UpdaterModule() = default;
+
+    virtual optim::OptimizerKind kind() const = 0;
+
+    /** Hyperparameters the kernel was synthesized with. */
+    virtual const optim::Hyperparams &hyperparams() const = 0;
+
+    /**
+     * Update a subgroup in accelerator memory. Semantics identical to
+     * Optimizer::step but processed chunk-by-chunk like the hardware
+     * pipeline. @p step is the 1-based global step (bias correction).
+     */
+    virtual void processSubgroup(float *master, const float *grad,
+                                 float *const *states, std::size_t n,
+                                 uint64_t step) const = 0;
+
+    /** Synthesis footprint on the KU15P (Table III calibration). */
+    virtual ModuleFootprint footprint() const = 0;
+
+    /**
+     * Modeled sustained throughput in bytes of optimizer-state stream per
+     * second. The paper measures > 7 GB/s for the Adam updater (Fig 14).
+     */
+    virtual BytesPerSec modelThroughput() const = 0;
+
+    const UpdaterGeometry &geometry() const { return geometry_; }
+
+  protected:
+    explicit UpdaterModule(const UpdaterGeometry &geometry)
+        : geometry_(geometry)
+    {
+    }
+    UpdaterGeometry geometry_;
+};
+
+/** Build the updater kernel for @p kind with hyperparameters @p hp. */
+std::unique_ptr<UpdaterModule> makeUpdater(optim::OptimizerKind kind,
+                                           const optim::Hyperparams &hp,
+                                           const UpdaterGeometry &geometry = {});
+
+} // namespace smartinf::accel
+
+#endif // SMARTINF_ACCEL_UPDATER_H

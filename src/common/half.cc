@@ -1,0 +1,116 @@
+#include "common/half.h"
+
+#include <cstring>
+
+namespace smartinf {
+
+namespace {
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+float
+bitsFloat(uint32_t u)
+{
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+}
+
+} // namespace
+
+half_t
+floatToHalf(float value)
+{
+    const uint32_t bits = floatBits(value);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+    uint32_t mantissa = bits & 0x007fffffu;
+
+    if (exponent >= 0x1f) {
+        // Overflow to infinity; preserve NaN payload bit.
+        const bool is_nan = ((bits & 0x7fffffffu) > 0x7f800000u);
+        return static_cast<half_t>(sign | 0x7c00u | (is_nan ? 0x0200u : 0u));
+    }
+    if (exponent <= 0) {
+        if (exponent < -10)
+            return static_cast<half_t>(sign); // Rounds to +-0.
+        // Subnormal: shift mantissa (with implicit leading 1) into place.
+        mantissa |= 0x00800000u;
+        const int shift = 14 - exponent;
+        uint32_t half_mant = mantissa >> shift;
+        // Round to nearest even.
+        const uint32_t remainder = mantissa & ((1u << shift) - 1u);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (remainder > halfway || (remainder == halfway && (half_mant & 1u)))
+            ++half_mant;
+        return static_cast<half_t>(sign | half_mant);
+    }
+
+    // Normal case, round-to-nearest-even on the dropped 13 bits.
+    uint32_t half_mant = mantissa >> 13;
+    const uint32_t remainder = mantissa & 0x1fffu;
+    if (remainder > 0x1000u || (remainder == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+        if (half_mant == 0x400u) { // Mantissa overflow bumps the exponent.
+            half_mant = 0;
+            ++exponent;
+            if (exponent >= 0x1f)
+                return static_cast<half_t>(sign | 0x7c00u);
+        }
+    }
+    return static_cast<half_t>(sign | (static_cast<uint32_t>(exponent) << 10) |
+                               half_mant);
+}
+
+float
+halfToFloat(half_t value)
+{
+    const uint32_t sign = (static_cast<uint32_t>(value) & 0x8000u) << 16;
+    const uint32_t exponent = (value >> 10) & 0x1fu;
+    uint32_t mantissa = value & 0x3ffu;
+
+    if (exponent == 0) {
+        if (mantissa == 0)
+            return bitsFloat(sign); // +-0.
+        // Subnormal: normalize.
+        int e = -1;
+        do {
+            ++e;
+            mantissa <<= 1;
+        } while ((mantissa & 0x400u) == 0);
+        mantissa &= 0x3ffu;
+        return bitsFloat(sign | ((127 - 15 - e) << 23) | (mantissa << 13));
+    }
+    if (exponent == 0x1f) { // Inf / NaN.
+        return bitsFloat(sign | 0x7f800000u | (mantissa << 13));
+    }
+    return bitsFloat(sign | ((exponent - 15 + 127) << 23) | (mantissa << 13));
+}
+
+void
+floatToHalf(const float *src, half_t *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = floatToHalf(src[i]);
+}
+
+void
+halfToFloat(const half_t *src, float *dst, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = halfToFloat(src[i]);
+}
+
+bool
+halfIsNanOrInf(half_t value)
+{
+    return ((value >> 10) & 0x1fu) == 0x1fu;
+}
+
+} // namespace smartinf

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * IEEE 754 binary16 (half precision) conversion. Mixed-precision training
+ * keeps FP16 model parameters in "host memory" / "SSD" while the optimizer
+ * maintains FP32 master copies — exactly the layout ZeRO-Infinity and the
+ * paper assume (model size M counts FP16 bytes).
+ */
+#ifndef SMARTINF_COMMON_HALF_H
+#define SMARTINF_COMMON_HALF_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smartinf {
+
+/** Opaque storage type for an IEEE binary16 value. */
+using half_t = uint16_t;
+
+/** Convert a single float to binary16 with round-to-nearest-even. */
+half_t floatToHalf(float value);
+
+/** Convert a single binary16 value to float (exact). */
+float halfToFloat(half_t value);
+
+/** Bulk conversions. Destination and source must not overlap. */
+void floatToHalf(const float *src, half_t *dst, std::size_t n);
+void halfToFloat(const half_t *src, float *dst, std::size_t n);
+
+/** True when the binary16 value is NaN or +-Inf (loss-scaling overflow scan). */
+bool halfIsNanOrInf(half_t value);
+
+/** Largest finite binary16 magnitude (65504). */
+constexpr float kHalfMax = 65504.0f;
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_HALF_H

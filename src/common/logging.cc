@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace smartinf {
+
+namespace {
+
+std::atomic<bool> g_verbose{true};
+
+const char *
+prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Fatal: return "fatal: ";
+      case LogLevel::Panic: return "panic: ";
+    }
+    return "?: ";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !verbose())
+        return;
+    std::ostream &os = (level == LogLevel::Inform) ? std::cout : std::cerr;
+    os << prefix(level) << msg << '\n';
+}
+
+void
+emitFatal(LogLevel level, const std::string &msg)
+{
+    std::cerr << prefix(level) << msg << std::endl;
+    // Throw instead of aborting so unit tests can assert on failure paths;
+    // uncaught, the exception still terminates the process with the message.
+    if (level == LogLevel::Panic)
+        throw std::logic_error("panic: " + msg);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace detail
+
+} // namespace smartinf

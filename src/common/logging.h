@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status-message and error-handling primitives, modelled after gem5's
+ * logging conventions: inform()/warn() report status, fatal() terminates on
+ * user error, panic() aborts on internal invariant violations.
+ */
+#ifndef SMARTINF_COMMON_LOGGING_H
+#define SMARTINF_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace smartinf {
+
+/** Severity classes used by the logging sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Concatenate any streamable arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit a message to the logging sink. Fatal exits, Panic aborts. */
+[[noreturn]] void emitFatal(LogLevel level, const std::string &msg);
+void emit(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Global verbosity control: when false, inform() messages are suppressed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+/** Informative status message; no connotation of incorrect behaviour. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Inform, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something may not behave exactly as expected but execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable *user* error (bad configuration, invalid argument). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(LogLevel::Fatal, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Internal invariant violation — a bug in this library, never user error. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitFatal(LogLevel::Panic, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace smartinf
+
+/** Check an invariant; panics (library bug) when violated. */
+#define SI_ASSERT(cond, ...)                                                       \
+    do {                                                                           \
+        if (!(cond)) {                                                             \
+            ::smartinf::panic("assertion failed: ", #cond, " @ ", __FILE__, ":",   \
+                              __LINE__, " ", ##__VA_ARGS__);                       \
+        }                                                                          \
+    } while (0)
+
+/** Check a user-facing precondition; fatal (user error) when violated. */
+#define SI_REQUIRE(cond, ...)                                                      \
+    do {                                                                           \
+        if (!(cond)) {                                                             \
+            ::smartinf::fatal("requirement failed: ", #cond, " ", ##__VA_ARGS__);  \
+        }                                                                          \
+    } while (0)
+
+#endif // SMARTINF_COMMON_LOGGING_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**), so every
+ * test, example, and benchmark is reproducible across platforms without
+ * depending on libstdc++'s distribution implementations.
+ */
+#ifndef SMARTINF_COMMON_RANDOM_H
+#define SMARTINF_COMMON_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace smartinf {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, and small
+ * enough to embed per-component so parallel streams never interleave.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eedu) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n) { return next() % n; }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 == 0.0)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * M_PI * u2);
+        have_spare_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with explicit mean / standard deviation. */
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool have_spare_ = false;
+};
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_RANDOM_H

@@ -1,0 +1,13 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace smartinf {
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace smartinf

@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smartinf {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    SI_REQUIRE(rows_.empty(), "header must be set before rows");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    SI_REQUIRE(row.size() == header_.size(),
+               "row arity ", row.size(), " != header arity ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::factor(double value, int precision)
+{
+    return num(value, precision) + "x";
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+    os << '\n';
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace smartinf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render the
+ * paper's tables and figure series as aligned console output (and CSV).
+ */
+#ifndef SMARTINF_COMMON_TABLE_H
+#define SMARTINF_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smartinf {
+
+/** A titled table with a header row and string cells. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Define the column headers; must be called before addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+    /** Convenience: format as a multiplicative factor, e.g. "1.85x". */
+    static std::string factor(double value, int precision = 2);
+    /** Convenience: format as a percentage, e.g. "75.6%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render with aligned columns to the stream. */
+    void print(std::ostream &os) const;
+    /** Render as CSV (for downstream plotting). */
+    void printCsv(std::ostream &os) const;
+
+    const std::string &title() const { return title_; }
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_TABLE_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit helpers. All bandwidths in this codebase are bytes/second, all sizes
+ * bytes, all times seconds (double). These helpers keep literals readable.
+ */
+#ifndef SMARTINF_COMMON_UNITS_H
+#define SMARTINF_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace smartinf {
+
+/** Simulated time in seconds. */
+using Seconds = double;
+/** Transfer/storage sizes in bytes (double: fluid-flow model splits bytes). */
+using Bytes = double;
+/** Bandwidth in bytes per second. */
+using BytesPerSec = double;
+/** Compute work in floating-point operations. */
+using Flops = double;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+/** Decimal gigabytes (storage-vendor convention, used by the paper). */
+constexpr Bytes GB(double n) { return n * kGiga; }
+constexpr Bytes MB(double n) { return n * kMega; }
+constexpr Bytes KB(double n) { return n * kKilo; }
+/** Binary gibibytes (device memory capacities). */
+constexpr Bytes GiB(double n) { return n * 1024.0 * 1024.0 * 1024.0; }
+constexpr Bytes MiB(double n) { return n * 1024.0 * 1024.0; }
+
+/** Bandwidth literals. */
+constexpr BytesPerSec GBps(double n) { return n * kGiga; }
+constexpr BytesPerSec MBps(double n) { return n * kMega; }
+
+/** Compute literals. */
+constexpr Flops TFLOPS(double n) { return n * kTera; }
+constexpr Flops GFLOPS(double n) { return n * kGiga; }
+
+/** Sizes of the datatypes used in mixed-precision training. */
+constexpr double kBytesFp16 = 2.0;
+constexpr double kBytesFp32 = 4.0;
+/** Index size used by Top-K compression wire format. */
+constexpr double kBytesIndex = 4.0;
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_UNITS_H

@@ -1,0 +1,156 @@
+#include "compress/lowrank.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartinf::compress {
+
+namespace {
+
+/** Gram-Schmidt orthonormalization of the columns of a (rows x rank)
+ *  row-major matrix. */
+void
+orthonormalize(std::vector<float> &m, std::size_t rows, std::size_t rank)
+{
+    for (std::size_t c = 0; c < rank; ++c) {
+        // Remove projections onto previous columns.
+        for (std::size_t prev = 0; prev < c; ++prev) {
+            double dot = 0.0;
+            for (std::size_t r = 0; r < rows; ++r)
+                dot += static_cast<double>(m[r * rank + c]) *
+                       m[r * rank + prev];
+            for (std::size_t r = 0; r < rows; ++r)
+                m[r * rank + c] -=
+                    static_cast<float>(dot) * m[r * rank + prev];
+        }
+        double norm2 = 0.0;
+        for (std::size_t r = 0; r < rows; ++r)
+            norm2 += static_cast<double>(m[r * rank + c]) * m[r * rank + c];
+        const double norm = std::sqrt(norm2);
+        if (norm < 1e-12) {
+            // Degenerate column: reset to a unit basis vector.
+            for (std::size_t r = 0; r < rows; ++r)
+                m[r * rank + c] = (r == c % rows) ? 1.0f : 0.0f;
+            continue;
+        }
+        const float inv = static_cast<float>(1.0 / norm);
+        for (std::size_t r = 0; r < rows; ++r)
+            m[r * rank + c] *= inv;
+    }
+}
+
+} // namespace
+
+LowRankCompressor::LowRankCompressor(std::size_t rank, bool error_feedback)
+    : rank_(rank), error_feedback_(error_feedback)
+{
+    SI_REQUIRE(rank >= 1, "rank must be at least 1");
+}
+
+void
+LowRankCompressor::shapeFor(std::size_t n, std::size_t &rows,
+                            std::size_t &cols)
+{
+    SI_REQUIRE(n > 0, "empty gradient");
+    // Most-square divisor pair: rows = largest divisor <= sqrt(n).
+    rows = 1;
+    for (std::size_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0)
+            rows = d;
+    }
+    cols = n / rows;
+}
+
+LowRankGradient
+LowRankCompressor::compress(const float *grad, std::size_t n)
+{
+    if (n_ == 0) {
+        n_ = n;
+        std::size_t rows, cols;
+        shapeFor(n, rows, cols);
+        SI_REQUIRE(rank_ <= rows && rank_ <= cols,
+                   "rank ", rank_, " too large for gradient shape ", rows,
+                   "x", cols);
+        // Deterministic random init of Q (cols x rank).
+        Rng rng(0xC0FFEE ^ n);
+        q_.resize(cols * rank_);
+        for (auto &v : q_)
+            v = static_cast<float>(rng.normal());
+        orthonormalize(q_, cols, rank_);
+        if (error_feedback_)
+            residual_.assign(n, 0.0f);
+    }
+    SI_REQUIRE(n == n_, "gradient size changed: ", n_, " -> ", n);
+
+    std::size_t rows, cols;
+    shapeFor(n, rows, cols);
+
+    // Work matrix = grad (+ residual).
+    std::vector<float> work(grad, grad + n);
+    if (error_feedback_) {
+        for (std::size_t i = 0; i < n; ++i)
+            work[i] += residual_[i];
+    }
+
+    LowRankGradient out;
+    out.rows = rows;
+    out.cols = cols;
+    out.rank = rank_;
+
+    // P = M Q  (rows x rank).
+    out.p.assign(rows * rank_, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float m_rc = work[r * cols + c];
+            if (m_rc == 0.0f)
+                continue;
+            for (std::size_t k = 0; k < rank_; ++k)
+                out.p[r * rank_ + k] += m_rc * q_[c * rank_ + k];
+        }
+    }
+    // Orthonormalize P, then Q = Mᵀ P (cols x rank) — one power iteration.
+    orthonormalize(out.p, rows, rank_);
+    std::vector<float> new_q(cols * rank_, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float m_rc = work[r * cols + c];
+            if (m_rc == 0.0f)
+                continue;
+            for (std::size_t k = 0; k < rank_; ++k)
+                new_q[c * rank_ + k] += m_rc * out.p[r * rank_ + k];
+        }
+    }
+    q_ = new_q; // Warm start for the next step.
+    out.q = std::move(new_q);
+
+    if (error_feedback_) {
+        // residual = work - P Qᵀ.
+        std::vector<float> approx(n);
+        decompress(out, approx.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            residual_[i] = work[i] - approx[i];
+    }
+    return out;
+}
+
+void
+LowRankCompressor::decompress(const LowRankGradient &lr, float *out,
+                              std::size_t n)
+{
+    SI_REQUIRE(lr.rows * lr.cols == n, "decompress size mismatch");
+    std::memset(out, 0, n * sizeof(float));
+    for (std::size_t r = 0; r < lr.rows; ++r) {
+        for (std::size_t k = 0; k < lr.rank; ++k) {
+            const float p_rk = lr.p[r * lr.rank + k];
+            if (p_rk == 0.0f)
+                continue;
+            for (std::size_t c = 0; c < lr.cols; ++c)
+                out[r * lr.cols + c] += p_rk * lr.q[c * lr.rank + k];
+        }
+    }
+}
+
+} // namespace smartinf::compress

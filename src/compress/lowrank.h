@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Low-rank gradient compression (PowerSGD-style, Vogels et al.) — the
+ * alternative SmartComp algorithm the paper weighs against Top-K (§IV-C):
+ * the gradient is viewed as an m x n matrix and factored as P·Qᵀ with rank
+ * r via one subspace (power) iteration. The paper chose Top-K because
+ * floating-point matrix multiplication is expensive to tune on the
+ * lightweight FPGA; we implement low-rank anyway so the trade-off is
+ * reproducible (see bench_ablation_compression).
+ */
+#ifndef SMARTINF_COMPRESS_LOWRANK_H
+#define SMARTINF_COMPRESS_LOWRANK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartinf::compress {
+
+/** A rank-r factorization of an m x n gradient matrix. */
+struct LowRankGradient {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t rank = 0;
+    /** P: rows x rank, row-major. */
+    std::vector<float> p;
+    /** Q: cols x rank, row-major. */
+    std::vector<float> q;
+
+    /** Bytes on the wire (both factors). */
+    std::size_t
+    wireBytes() const
+    {
+        return (p.size() + q.size()) * sizeof(float);
+    }
+
+    /** Wire volume as a fraction of the dense FP32 matrix. */
+    double
+    wireRatio() const
+    {
+        const double dense = static_cast<double>(rows) * cols;
+        return dense == 0.0 ? 0.0 : (p.size() + q.size()) / dense;
+    }
+};
+
+/**
+ * PowerSGD-style compressor with a persistent Q (warm-started power
+ * iteration) and optional error feedback. The flat gradient of length n is
+ * reshaped to the most-square matrix whose row count divides n.
+ */
+class LowRankCompressor
+{
+  public:
+    /**
+     * @param rank factorization rank r (>= 1)
+     * @param error_feedback accumulate the approximation residual
+     */
+    explicit LowRankCompressor(std::size_t rank, bool error_feedback = true);
+
+    /** Compress a flat gradient of @p n elements. @p n must stay constant
+     *  across calls (the warm-started Q persists). */
+    LowRankGradient compress(const float *grad, std::size_t n);
+
+    /** Reconstruct the dense flat gradient: out = P Qᵀ flattened. */
+    static void decompress(const LowRankGradient &lr, float *out,
+                           std::size_t n);
+
+    std::size_t rank() const { return rank_; }
+    bool errorFeedback() const { return error_feedback_; }
+
+    /** Shape used for a flat length (most-square factor pair). */
+    static void shapeFor(std::size_t n, std::size_t &rows, std::size_t &cols);
+
+  private:
+    std::size_t rank_;
+    bool error_feedback_;
+    std::vector<float> q_;        ///< warm-started right factor
+    std::vector<float> residual_; ///< error-feedback memory
+    std::size_t n_ = 0;
+};
+
+} // namespace smartinf::compress
+
+#endif // SMARTINF_COMPRESS_LOWRANK_H

@@ -1,0 +1,61 @@
+#include "compress/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace smartinf::compress {
+
+GroupQuantizer::GroupQuantizer(std::size_t group_size)
+    : group_size_(group_size)
+{
+    SI_REQUIRE(group_size >= 1, "group size must be positive");
+}
+
+QuantizedTensor
+GroupQuantizer::quantize(const float *values, std::size_t n) const
+{
+    QuantizedTensor out;
+    out.count = n;
+    out.group_size = group_size_;
+    out.values.resize(n);
+    const std::size_t groups = (n + group_size_ - 1) / group_size_;
+    out.scales.resize(groups);
+
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t begin = g * group_size_;
+        const std::size_t end = std::min(begin + group_size_, n);
+        float max_abs = 0.0f;
+        for (std::size_t i = begin; i < end; ++i)
+            max_abs = std::max(max_abs, std::fabs(values[i]));
+        const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        out.scales[g] = scale;
+        for (std::size_t i = begin; i < end; ++i) {
+            const float q = std::nearbyint(values[i] / scale);
+            out.values[i] = static_cast<int8_t>(
+                std::clamp(q, -127.0f, 127.0f));
+        }
+    }
+    return out;
+}
+
+void
+GroupQuantizer::dequantize(const QuantizedTensor &q, float *out,
+                           std::size_t n)
+{
+    SI_REQUIRE(q.count == n, "dequantize size mismatch: ", q.count, " vs ",
+               n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(q.values[i]) * q.scales[i / q.group_size];
+}
+
+void
+GroupQuantizer::steRoundTrip(const float *in, float *out,
+                             std::size_t n) const
+{
+    const QuantizedTensor q = quantize(in, n);
+    dequantize(q, out, n);
+}
+
+} // namespace smartinf::compress

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Symmetric per-group integer quantization — the primitive behind the
+ * paper's model-compression extension (§VIII-B): after a near-storage
+ * update, the CSD can derive per-group scales, convert the updated model to
+ * int8, and ship the *quantized* parameters upstream, shrinking the 2M
+ * upstream transfer further. The paper leaves the full flow as future work;
+ * this module implements the quantize/dequantize kernels and their
+ * straight-through-estimator round trip so the flow is buildable and
+ * testable here.
+ */
+#ifndef SMARTINF_COMPRESS_QUANTIZE_H
+#define SMARTINF_COMPRESS_QUANTIZE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartinf::compress {
+
+/** An int8-quantized tensor with per-group FP32 scales. */
+struct QuantizedTensor {
+    std::vector<int8_t> values;
+    std::vector<float> scales; ///< one per group
+    std::size_t group_size = 0;
+    std::size_t count = 0;
+
+    /** Bytes on the wire: int8 payload + per-group scales. */
+    std::size_t
+    wireBytes() const
+    {
+        return values.size() * sizeof(int8_t) +
+               scales.size() * sizeof(float);
+    }
+
+    /** Wire volume as a fraction of the FP32 dense tensor. */
+    double
+    wireRatio() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(wireBytes()) /
+                                (static_cast<double>(count) * sizeof(float));
+    }
+};
+
+/** Symmetric per-group int8 quantizer. */
+class GroupQuantizer
+{
+  public:
+    /** @param group_size parameters sharing one scale (e.g. 128). */
+    explicit GroupQuantizer(std::size_t group_size = 128);
+
+    /** Quantize @p n floats: scale_g = max|x| / 127 within each group. */
+    QuantizedTensor quantize(const float *values, std::size_t n) const;
+
+    /** Dequantize into @p out (exactly value * scale). */
+    static void dequantize(const QuantizedTensor &q, float *out,
+                           std::size_t n);
+
+    /**
+     * Straight-through-estimator round trip: out = dequant(quant(in)).
+     * This is what the GPU trains against in quantization-aware
+     * fine-tuning (paper §VIII-B's STE discussion).
+     */
+    void steRoundTrip(const float *in, float *out, std::size_t n) const;
+
+    std::size_t groupSize() const { return group_size_; }
+
+  private:
+    std::size_t group_size_;
+};
+
+} // namespace smartinf::compress
+
+#endif // SMARTINF_COMPRESS_QUANTIZE_H

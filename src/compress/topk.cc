@@ -1,0 +1,100 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace smartinf::compress {
+
+TopKCompressor::TopKCompressor(double keep_fraction, bool error_feedback)
+    : keep_fraction_(keep_fraction), error_feedback_(error_feedback)
+{
+    SI_REQUIRE(keep_fraction > 0.0 && keep_fraction <= 1.0,
+               "keep fraction must be in (0, 1], got ", keep_fraction);
+}
+
+std::size_t
+TopKCompressor::keepCount(std::size_t n) const
+{
+    if (n == 0)
+        return 0;
+    const auto k = static_cast<std::size_t>(
+        std::ceil(keep_fraction_ * static_cast<double>(n)));
+    return std::clamp<std::size_t>(k, 1, n);
+}
+
+SparseGradient
+TopKCompressor::compress(const float *grad, std::size_t n)
+{
+    SparseGradient out;
+    out.dense_size = n;
+    if (n == 0)
+        return out;
+
+    // With error feedback the working vector is grad + residual; otherwise
+    // it is the raw gradient.
+    std::vector<float> work(grad, grad + n);
+    if (error_feedback_) {
+        if (residual_.empty())
+            residual_.assign(n, 0.0f);
+        SI_REQUIRE(residual_.size() == n,
+                   "error-feedback gradient size changed: ", residual_.size(),
+                   " -> ", n);
+        for (std::size_t i = 0; i < n; ++i)
+            work[i] += residual_[i];
+    }
+
+    const std::size_t k = keepCount(n);
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return std::fabs(work[a]) > std::fabs(work[b]);
+                     });
+    order.resize(k);
+    // Deterministic wire layout: ascending index order (this is also what a
+    // streaming FPGA decompressor prefers — monotone scatter addresses).
+    std::sort(order.begin(), order.end());
+
+    out.indices = std::move(order);
+    out.values.reserve(k);
+    for (uint32_t idx : out.indices)
+        out.values.push_back(work[idx]);
+
+    if (error_feedback_) {
+        // Residual = work - selected.
+        residual_.assign(work.begin(), work.end());
+        for (uint32_t idx : out.indices)
+            residual_[idx] = 0.0f;
+    }
+    return out;
+}
+
+void
+TopKCompressor::decompress(const SparseGradient &sparse, float *out,
+                           std::size_t n)
+{
+    SI_REQUIRE(sparse.dense_size == n, "decompress size mismatch: ",
+               sparse.dense_size, " vs ", n);
+    SI_ASSERT(sparse.indices.size() == sparse.values.size(),
+              "ragged sparse gradient");
+    std::fill(out, out + n, 0.0f);
+    for (std::size_t j = 0; j < sparse.indices.size(); ++j) {
+        const uint32_t idx = sparse.indices[j];
+        SI_ASSERT(idx < n, "sparse index ", idx, " out of range ", n);
+        out[idx] = sparse.values[j];
+    }
+}
+
+double
+TopKCompressor::residualEnergy() const
+{
+    double acc = 0.0;
+    for (float r : residual_)
+        acc += static_cast<double>(r) * r;
+    return acc;
+}
+
+} // namespace smartinf::compress

@@ -1,0 +1,188 @@
+#include "core/smart_infinity.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "compress/topk.h"
+
+namespace smartinf {
+
+namespace {
+
+const char *
+updaterNameFor(optim::OptimizerKind kind)
+{
+    switch (kind) {
+      case optim::OptimizerKind::Adam: return "adam";
+      case optim::OptimizerKind::AdamW: return "adamw";
+      case optim::OptimizerKind::SgdMomentum: return "sgd";
+      case optim::OptimizerKind::AdaGrad: return "adagrad";
+    }
+    panic("unknown optimizer kind");
+}
+
+} // namespace
+
+SmartInfinityCluster::SmartInfinityCluster(const ClusterConfig &config)
+    : config_(config)
+{
+    SI_REQUIRE(config.num_csds >= 1, "need at least one CSD");
+    SI_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
+               "keep_fraction must be in (0, 1]");
+}
+
+SmartInfinityCluster::~SmartInfinityCluster() = default;
+
+std::size_t
+SmartInfinityCluster::shardOffset(int idx) const
+{
+    std::size_t offset = 0;
+    for (int d = 0; d < idx; ++d)
+        offset += layouts_[d].elems;
+    return offset;
+}
+
+std::size_t
+SmartInfinityCluster::shardLength(int idx) const
+{
+    return layouts_[idx].elems;
+}
+
+void
+SmartInfinityCluster::initialize(const float *params, std::size_t n)
+{
+    SI_REQUIRE(n > 0, "cannot initialize with zero parameters");
+    csds_.clear();
+    layouts_.clear();
+    handlers_.clear();
+    master_cache_.assign(params, params + n);
+
+    const int aux = optim::auxStateCount(config_.optimizer);
+    const std::size_t per_csd =
+        (n + config_.num_csds - 1) / config_.num_csds;
+    auto &registry = accel::ModuleRegistry::instance();
+
+    std::size_t offset = 0;
+    for (int d = 0; d < config_.num_csds; ++d) {
+        const std::size_t len = std::min(per_csd, n - offset);
+        SI_REQUIRE(len > 0, "more CSDs than parameter shards; reduce "
+                            "num_csds for this model");
+        train::ShardLayout layout{len, aux};
+
+        auto device = std::make_unique<csd::Csd>(
+            "csd" + std::to_string(d), config_.csd_spec, layout.totalBytes());
+        // Install the "device binary" (Fig 8): updater + decompressor.
+        device->installUpdater(registry.makeUpdater(
+            updaterNameFor(config_.optimizer), config_.hyperparams));
+        if (config_.compression)
+            device->installDecompressor(registry.makeDecompressor("topk"));
+
+        // Optimizer states are initially stored in the storage (Fig 1):
+        // master parameters at offset 0, aux states zeroed behind them.
+        device->ssd().writeFloats(params + offset, len,
+                                  layout.masterOffset());
+        const std::vector<float> zeros(len, 0.0f);
+        for (int a = 0; a < aux; ++a)
+            device->ssd().writeFloats(zeros.data(), len, layout.auxOffset(a));
+
+        train::TransferHandler::Config handler_config;
+        handler_config.subgroup_elems =
+            std::min(config_.subgroup_elems, len);
+        handler_config.optimized = config_.optimized_handler;
+        handlers_.push_back(std::make_unique<train::TransferHandler>(
+            *device, layout, handler_config));
+        layouts_.push_back(layout);
+        csds_.push_back(std::move(device));
+        offset += len;
+    }
+    SI_ASSERT(offset == n, "shard partition does not cover all parameters");
+    initialized_ = true;
+}
+
+void
+SmartInfinityCluster::requireInitialized() const
+{
+    SI_REQUIRE(initialized_, "cluster not initialized; call initialize()");
+}
+
+void
+SmartInfinityCluster::step(const float *grads, std::size_t n, uint64_t t)
+{
+    requireInitialized();
+    SI_REQUIRE(n == master_cache_.size(), "gradient size mismatch: ", n,
+               " vs ", master_cache_.size());
+    last_wire_bytes_ = 0.0;
+
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < csds_.size(); ++d) {
+        const std::size_t len = layouts_[d].elems;
+        if (config_.compression) {
+            // SmartComp: the GPU compresses each owner shard's gradients;
+            // only the index+value pairs cross the interconnect, and the
+            // FPGA decompressor rebuilds the dense vector (Fig 6).
+            compress::TopKCompressor compressor(config_.keep_fraction);
+            const auto sparse = compressor.compress(grads + offset, len);
+            last_wire_bytes_ += static_cast<double>(sparse.wireBytes());
+            handlers_[d]->runUpdateCompressed(sparse, t,
+                                              master_cache_.data() + offset);
+        } else {
+            // Dense gradients are offloaded to the owner CSD's SSD during
+            // the backward pass (Fig 1(b) step 4).
+            csds_[d]->ssd().writeFloats(grads + offset, len,
+                                        layouts_[d].gradOffset());
+            last_wire_bytes_ += static_cast<double>(len) * sizeof(float);
+            handlers_[d]->runUpdate(t, master_cache_.data() + offset);
+        }
+        offset += len;
+    }
+}
+
+const float *
+SmartInfinityCluster::masterParams() const
+{
+    requireInitialized();
+    return master_cache_.data();
+}
+
+std::size_t
+SmartInfinityCluster::paramCount() const
+{
+    return master_cache_.size();
+}
+
+const char *
+SmartInfinityCluster::backendName() const
+{
+    if (config_.compression)
+        return "smart-infinity (SU+O+C)";
+    return config_.optimized_handler ? "smart-infinity (SU+O)"
+                                     : "smart-infinity (SU)";
+}
+
+bool
+SmartInfinityCluster::sanityCheckModules() const
+{
+    requireInitialized();
+    for (const auto &device : csds_) {
+        const auto updater_report =
+            accel::sanityCheckUpdater(*device->updater());
+        if (!updater_report.passed) {
+            warn("updater sanity check failed on ", device->name(), ": ",
+                 updater_report.detail);
+            return false;
+        }
+        if (device->decompressor() != nullptr) {
+            const auto decomp_report = accel::sanityCheckDecompressor(
+                *device->decompressor(), config_.keep_fraction);
+            if (!decomp_report.passed) {
+                warn("decompressor sanity check failed on ", device->name(),
+                     ": ", decomp_report.detail);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace smartinf

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Public API of the Smart-Infinity reproduction.
+ *
+ * Two coupled layers (see DESIGN.md):
+ *  - SmartInfinityCluster — the *functional* system: N emulated SmartSSDs
+ *    holding flattened parameter shards and optimizer states, FPGA-side
+ *    updater/decompressor kernels, the two-thread internal transfer
+ *    handler, and optional SmartComp Top-K compression. It implements
+ *    nn::UpdateBackend, so any model training loop can run its optimizer
+ *    steps "near storage" exactly as the paper's DeepSpeed integration
+ *    does.
+ *  - The *performance* layer (train::makeEngine / runWithSpeedup) — the
+ *    calibrated discrete-event model reproducing the paper's timing
+ *    results. Re-exported here for one-stop consumption.
+ */
+#ifndef SMARTINF_CORE_SMART_INFINITY_H
+#define SMARTINF_CORE_SMART_INFINITY_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/hls_module.h"
+#include "csd/csd.h"
+#include "nn/trainer.h"
+#include "train/engine.h"
+#include "train/transfer_handler.h"
+
+namespace smartinf {
+
+/** Configuration of a functional Smart-Infinity cluster. */
+struct ClusterConfig {
+    /** Number of CSDs; parameters are distributed equally (§IV-D). */
+    int num_csds = 2;
+    optim::OptimizerKind optimizer = optim::OptimizerKind::Adam;
+    optim::Hyperparams hyperparams;
+    /** Use the optimized internal transfer handler (§IV-B). */
+    bool optimized_handler = true;
+    /** Enable SmartComp gradient compression (§IV-C). */
+    bool compression = false;
+    /** Fraction of gradient elements kept by Top-K (wire = 2x this). */
+    double keep_fraction = 0.01;
+    /** Elements per subgroup/tasklet streamed through the FPGA. */
+    std::size_t subgroup_elems = 1 << 14;
+    /** Device characteristics (defaults to a Samsung SmartSSD). */
+    csd::CsdSpec csd_spec = csd::CsdSpec::smartSsd();
+};
+
+/**
+ * A functional multi-CSD Smart-Infinity deployment. Thread-compatible (one
+ * step at a time); internally uses the two-thread transfer handler.
+ */
+class SmartInfinityCluster final : public nn::UpdateBackend
+{
+  public:
+    explicit SmartInfinityCluster(const ClusterConfig &config);
+    ~SmartInfinityCluster() override;
+
+    /** @name nn::UpdateBackend @{ */
+    void initialize(const float *params, std::size_t n) override;
+    void step(const float *grads, std::size_t n, uint64_t t) override;
+    const float *masterParams() const override;
+    std::size_t paramCount() const override;
+    const char *backendName() const override;
+    /** @} */
+
+    int numCsds() const { return static_cast<int>(csds_.size()); }
+    const csd::Csd &csd(int idx) const { return *csds_[idx]; }
+    csd::Csd &csd(int idx) { return *csds_[idx]; }
+
+    /** Shard boundaries: element range [offset, offset+len) of CSD idx. */
+    std::size_t shardOffset(int idx) const;
+    std::size_t shardLength(int idx) const;
+
+    /**
+     * Gradient bytes that crossed the host->storage interconnect on the
+     * last step() (wire format: dense, or index+value pairs — the paper's
+     * Table I "Gradients / Write" column).
+     */
+    double lastGradWireBytes() const { return last_wire_bytes_; }
+
+    /** Run the HLS-template sanity checkers on every installed kernel. */
+    bool sanityCheckModules() const;
+
+    const ClusterConfig &config() const { return config_; }
+
+  private:
+    void requireInitialized() const;
+
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<csd::Csd>> csds_;
+    std::vector<train::ShardLayout> layouts_;
+    std::vector<std::unique_ptr<train::TransferHandler>> handlers_;
+    std::vector<float> master_cache_;
+    double last_wire_bytes_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace smartinf
+
+#endif // SMARTINF_CORE_SMART_INFINITY_H

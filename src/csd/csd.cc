@@ -1,0 +1,53 @@
+#include "csd/csd.h"
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace smartinf::csd {
+
+CsdSpec
+CsdSpec::smartSsd()
+{
+    // Internal path is PCIe Gen3 x4 (~3.94 GB/s raw, ~3.3 GB/s effective);
+    // reads out of the SSD are further capped by the NVMe itself.
+    return CsdSpec{storage::SsdSpec::smartSsdNvme(), GBps(3.3), GiB(4.0),
+                   30e-6};
+}
+
+Csd::Csd(std::string name, const CsdSpec &spec,
+         std::size_t functional_capacity)
+    : name_(std::move(name)), spec_(spec),
+      ssd_(name_ + ".ssd", functional_capacity),
+      fpga_memory_(static_cast<std::size_t>(spec.fpga_dram))
+{
+}
+
+void
+Csd::installUpdater(std::unique_ptr<accel::UpdaterModule> updater)
+{
+    SI_REQUIRE(updater != nullptr, "null updater module");
+    updater_ = std::move(updater);
+    replaceModules();
+}
+
+void
+Csd::installDecompressor(std::unique_ptr<accel::DecompressorModule> decomp)
+{
+    SI_REQUIRE(decomp != nullptr, "null decompressor module");
+    decompressor_ = std::move(decomp);
+    replaceModules();
+}
+
+void
+Csd::replaceModules()
+{
+    // Re-synthesize: clear and place the active kernels so utilization
+    // always reflects the installed device binary.
+    resources_.clear();
+    if (updater_)
+        resources_.place(updater_->footprint());
+    if (decompressor_)
+        resources_.place(decompressor_->footprint());
+}
+
+} // namespace smartinf::csd

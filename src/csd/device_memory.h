@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FPGA device (DDR4) memory allocator with a hard capacity budget. The
+ * paper's transfer-handler optimization exists precisely because naive
+ * double-buffering of subgroups overflows the SmartSSD's 4 GB device DRAM
+ * (§IV-B, "out-of-memory (OOM) errors in device memory"); this allocator
+ * makes that failure mode observable and testable.
+ */
+#ifndef SMARTINF_CSD_DEVICE_MEMORY_H
+#define SMARTINF_CSD_DEVICE_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace smartinf::csd {
+
+class DeviceMemory;
+
+/** RAII handle to a device-memory allocation (move-only). */
+class DeviceBuffer
+{
+  public:
+    DeviceBuffer() = default;
+    DeviceBuffer(DeviceBuffer &&other) noexcept;
+    DeviceBuffer &operator=(DeviceBuffer &&other) noexcept;
+    DeviceBuffer(const DeviceBuffer &) = delete;
+    DeviceBuffer &operator=(const DeviceBuffer &) = delete;
+    ~DeviceBuffer();
+
+    uint8_t *data() { return data_.get(); }
+    const uint8_t *data() const { return data_.get(); }
+    float *floats() { return reinterpret_cast<float *>(data_.get()); }
+    const float *floats() const
+    {
+        return reinterpret_cast<const float *>(data_.get());
+    }
+    std::size_t size() const { return size_; }
+    bool valid() const { return data_ != nullptr; }
+
+    /** Release the allocation back to the pool early. */
+    void release();
+
+  private:
+    friend class DeviceMemory;
+    DeviceBuffer(DeviceMemory *pool, std::size_t size, std::string tag);
+
+    DeviceMemory *pool_ = nullptr;
+    std::unique_ptr<uint8_t[]> data_;
+    std::size_t size_ = 0;
+    std::string tag_;
+};
+
+/** Accounting allocator for one FPGA's DRAM. */
+class DeviceMemory
+{
+  public:
+    explicit DeviceMemory(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Allocate @p bytes (16-byte aligned internally); fatal() with an OOM
+     * diagnostic naming @p tag when the budget is exceeded.
+     */
+    DeviceBuffer allocate(std::size_t bytes, const std::string &tag);
+
+    /** Non-fatal probe: would an allocation of @p bytes fit right now? */
+    bool wouldFit(std::size_t bytes) const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t allocated() const { return allocated_; }
+    /** High-water mark of concurrent allocation. */
+    std::size_t peakAllocated() const { return peak_; }
+
+  private:
+    friend class DeviceBuffer;
+    void free(std::size_t bytes);
+
+    std::size_t capacity_;
+    std::size_t allocated_ = 0;
+    std::size_t peak_ = 0;
+};
+
+} // namespace smartinf::csd
+
+#endif // SMARTINF_CSD_DEVICE_MEMORY_H

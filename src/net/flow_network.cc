@@ -1,0 +1,180 @@
+#include "net/flow_network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace smartinf::net {
+
+namespace {
+
+/** A flow is retired once fewer than this many bytes remain. */
+constexpr Bytes kCompletionEpsilon = 1.0;
+
+} // namespace
+
+FlowId
+FlowNetwork::startFlow(Route route, Bytes bytes, std::function<void()> done,
+                       Seconds latency)
+{
+    SI_REQUIRE(bytes >= 0.0, "negative transfer size");
+    if (latency > 0.0) {
+        // Model propagation/setup latency as a delay before bandwidth
+        // consumption begins; contention only applies to the bulk phase.
+        const FlowId id = next_id_++;
+        sim_.after(latency, [this, route = std::move(route), bytes,
+                             done = std::move(done)]() mutable {
+            startFlow(std::move(route), bytes, std::move(done), 0.0);
+        });
+        return id;
+    }
+
+    const FlowId id = next_id_++;
+    if (bytes < kCompletionEpsilon || route.empty()) {
+        // Degenerate flows complete on the next event boundary so callers
+        // never observe re-entrant completion.
+        sim_.after(0.0, std::move(done));
+        total_delivered_ += bytes;
+        return id;
+    }
+
+    settleProgress();
+    flows_.emplace(id, Flow{std::move(route), bytes, 0.0, 0.0,
+                            std::move(done)});
+    assignRates();
+    scheduleNextCompletion();
+    return id;
+}
+
+BytesPerSec
+FlowNetwork::currentRate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void
+FlowNetwork::settleProgress()
+{
+    const Seconds now = sim_.now();
+    const Seconds elapsed = now - last_settle_;
+    last_settle_ = now;
+    if (elapsed <= 0.0)
+        return;
+    for (auto &[id, flow] : flows_) {
+        const Bytes moved = std::min(flow.remaining, flow.rate * elapsed);
+        flow.remaining -= moved;
+        total_delivered_ += moved;
+        for (Link *link : flow.route)
+            link->account(moved, flow.rate / link->capacity(), elapsed);
+    }
+}
+
+void
+FlowNetwork::assignRates()
+{
+    // Progressive water-filling. Repeatedly find the most-constrained link
+    // (smallest residual capacity per unfixed flow), freeze its flows at
+    // that fair share, and release their capacity claims elsewhere.
+    std::unordered_map<Link *, double> residual;
+    std::unordered_map<Link *, int> unfixed_count;
+    std::vector<FlowId> unfixed;
+    unfixed.reserve(flows_.size());
+
+    for (auto &[id, flow] : flows_) {
+        unfixed.push_back(id);
+        for (Link *link : flow.route) {
+            residual.emplace(link, link->capacity());
+            ++unfixed_count[link];
+        }
+    }
+
+    while (!unfixed.empty()) {
+        Link *bottleneck = nullptr;
+        double best_share = std::numeric_limits<double>::infinity();
+        for (auto &[link, count] : unfixed_count) {
+            if (count <= 0)
+                continue;
+            const double share = residual[link] / count;
+            if (share < best_share) {
+                best_share = share;
+                bottleneck = link;
+            }
+        }
+        SI_ASSERT(bottleneck != nullptr, "no bottleneck among active flows");
+
+        // Freeze every unfixed flow crossing the bottleneck at best_share.
+        std::vector<FlowId> still_unfixed;
+        still_unfixed.reserve(unfixed.size());
+        for (FlowId id : unfixed) {
+            Flow &flow = flows_.at(id);
+            const bool crosses =
+                std::find(flow.route.begin(), flow.route.end(), bottleneck) !=
+                flow.route.end();
+            if (!crosses) {
+                still_unfixed.push_back(id);
+                continue;
+            }
+            flow.rate = best_share;
+            for (Link *link : flow.route) {
+                residual[link] -= best_share;
+                if (residual[link] < 0.0)
+                    residual[link] = 0.0; // Guard FP round-off.
+                --unfixed_count[link];
+            }
+        }
+        SI_ASSERT(still_unfixed.size() < unfixed.size(),
+                  "water-filling failed to make progress");
+        unfixed.swap(still_unfixed);
+    }
+}
+
+void
+FlowNetwork::scheduleNextCompletion()
+{
+    if (event_scheduled_) {
+        sim_.cancel(pending_event_);
+        event_scheduled_ = false;
+    }
+    if (flows_.empty())
+        return;
+
+    Seconds soonest = std::numeric_limits<Seconds>::infinity();
+    for (const auto &[id, flow] : flows_) {
+        SI_ASSERT(flow.rate > 0.0, "active flow with zero rate");
+        soonest = std::min(soonest, flow.remaining / flow.rate);
+    }
+    pending_event_ = sim_.after(soonest, [this]() { onCompletionEvent(); });
+    event_scheduled_ = true;
+}
+
+void
+FlowNetwork::onCompletionEvent()
+{
+    event_scheduled_ = false;
+    settleProgress();
+
+    std::vector<std::function<void()>> callbacks;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= kCompletionEpsilon) {
+            total_delivered_ += it->second.remaining;
+            it->second.remaining = 0.0;
+            callbacks.push_back(std::move(it->second.done));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    assignRates();
+    scheduleNextCompletion();
+
+    // Callbacks run last: they may start new flows, which re-enter
+    // startFlow() and recompute rates consistently.
+    for (auto &callback : callbacks) {
+        if (callback)
+            callback();
+    }
+}
+
+} // namespace smartinf::net

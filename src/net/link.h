@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A unidirectional bandwidth link. PCIe is full duplex, so topologies model
+ * each physical connection as two Links (one per direction); contention is
+ * therefore per-direction, which matches how the paper's read and write
+ * streams interact (SSD reads do not throttle writes on the interconnect).
+ */
+#ifndef SMARTINF_NET_LINK_H
+#define SMARTINF_NET_LINK_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace smartinf::net {
+
+/** A unidirectional link with fixed capacity and utilization accounting. */
+class Link
+{
+  public:
+    Link(std::string name, BytesPerSec capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    BytesPerSec capacity() const { return capacity_; }
+
+    /** Total bytes carried so far. */
+    Bytes bytesCarried() const { return bytes_carried_; }
+    /** Integral of instantaneous utilization over time (busy-seconds). */
+    Seconds busyIntegral() const { return busy_integral_; }
+
+    /** Average utilization in [0,1] over @p elapsed seconds of simulation. */
+    double
+    utilization(Seconds elapsed) const
+    {
+        return elapsed > 0.0 ? busy_integral_ / elapsed : 0.0;
+    }
+
+    /** @name Accounting hooks used by FlowNetwork. @{ */
+    void
+    account(Bytes bytes, double rate_fraction, Seconds elapsed)
+    {
+        bytes_carried_ += bytes;
+        busy_integral_ += rate_fraction * elapsed;
+    }
+    void
+    resetStats()
+    {
+        bytes_carried_ = 0.0;
+        busy_integral_ = 0.0;
+    }
+    /** @} */
+
+  private:
+    std::string name_;
+    BytesPerSec capacity_;
+    Bytes bytes_carried_ = 0.0;
+    Seconds busy_integral_ = 0.0;
+};
+
+} // namespace smartinf::net
+
+#endif // SMARTINF_NET_LINK_H

@@ -1,0 +1,231 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartinf::nn {
+
+TinyAttention::TinyAttention(std::size_t seq_len, std::size_t token_dim,
+                             std::size_t num_classes, uint64_t seed)
+    : seq_len_(seq_len), d_(token_dim), classes_(num_classes)
+{
+    SI_REQUIRE(seq_len >= 1 && token_dim >= 1 && num_classes >= 2,
+               "invalid attention shape");
+    params_.assign(3 * d_ * d_ + d_ * classes_ + classes_, 0.0f);
+    Rng rng(seed);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(d_));
+    for (std::size_t i = 0; i < 3 * d_ * d_ + d_ * classes_; ++i)
+        params_[i] = static_cast<float>(rng.normal(0.0, scale));
+    // Bias stays zero.
+}
+
+void
+TinyAttention::setParams(const float *values, std::size_t n)
+{
+    SI_REQUIRE(n == params_.size(), "parameter count mismatch");
+    std::memcpy(params_.data(), values, n * sizeof(float));
+}
+
+namespace {
+
+/** proj = x (L x d) * w (d x m), with w taken from a flat pointer. */
+void
+project(const Matrix &x, const float *w, std::size_t m, Matrix &proj)
+{
+    const std::size_t rows = x.rows(), d = x.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < m; ++c) {
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < d; ++i)
+                acc += x.at(r, i) * w[i * m + c];
+            proj.at(r, c) = acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+TinyAttention::forwardSample(const float *flat_input, Cache &cache,
+                             float *logits) const
+{
+    const std::size_t L = seq_len_, d = d_;
+    cache.x = Matrix(L, d);
+    std::memcpy(cache.x.data(), flat_input, L * d * sizeof(float));
+
+    cache.q = Matrix(L, d);
+    cache.k = Matrix(L, d);
+    cache.v = Matrix(L, d);
+    project(cache.x, params_.data() + wq(), d, cache.q);
+    project(cache.x, params_.data() + wk(), d, cache.k);
+    project(cache.x, params_.data() + wv(), d, cache.v);
+
+    // Scaled dot-product attention with row-wise softmax.
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+    cache.attn = Matrix(L, L);
+    for (std::size_t i = 0; i < L; ++i) {
+        float max_s = -1e30f;
+        std::vector<float> scores(L);
+        for (std::size_t j = 0; j < L; ++j) {
+            float s = 0.0f;
+            for (std::size_t c = 0; c < d; ++c)
+                s += cache.q.at(i, c) * cache.k.at(j, c);
+            scores[j] = s * inv_sqrt_d;
+            max_s = std::max(max_s, scores[j]);
+        }
+        float denom = 0.0f;
+        for (std::size_t j = 0; j < L; ++j) {
+            scores[j] = std::exp(scores[j] - max_s);
+            denom += scores[j];
+        }
+        for (std::size_t j = 0; j < L; ++j)
+            cache.attn.at(i, j) = scores[j] / denom;
+    }
+
+    // H = A V; CLS-style readout: the first token's attention output
+    // (mean pooling cancels per-channel signals on periodic features).
+    cache.h = Matrix(L, d);
+    matmul(cache.attn, cache.v, cache.h);
+    cache.pooled.assign(d, 0.0f);
+    for (std::size_t c = 0; c < d; ++c)
+        cache.pooled[c] = cache.h.at(0, c);
+
+    // logits = pooled Wc + b.
+    const float *w = params_.data() + wc();
+    const float *b = params_.data() + bias();
+    for (std::size_t c = 0; c < classes_; ++c) {
+        float acc = b[c];
+        for (std::size_t i = 0; i < d; ++i)
+            acc += cache.pooled[i] * w[i * classes_ + c];
+        logits[c] = acc;
+    }
+}
+
+float
+TinyAttention::lossAndGradient(const Matrix &inputs,
+                               const std::vector<int> &labels,
+                               float *grad_out)
+{
+    const std::size_t batch = inputs.rows();
+    SI_REQUIRE(inputs.cols() == seq_len_ * d_, "input size mismatch");
+    SI_REQUIRE(labels.size() == batch, "label count mismatch");
+    std::memset(grad_out, 0, params_.size() * sizeof(float));
+
+    const std::size_t L = seq_len_, d = d_;
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+    double total_loss = 0.0;
+    Cache cache;
+    std::vector<float> logits(classes_), dlogits(classes_);
+
+    for (std::size_t s = 0; s < batch; ++s) {
+        forwardSample(inputs.data() + s * inputs.cols(), cache,
+                      logits.data());
+
+        // Softmax cross-entropy on the logits.
+        float max_logit = logits[0];
+        for (std::size_t c = 1; c < classes_; ++c)
+            max_logit = std::max(max_logit, logits[c]);
+        double denom = 0.0;
+        for (std::size_t c = 0; c < classes_; ++c)
+            denom += std::exp(static_cast<double>(logits[c] - max_logit));
+        const int label = labels[s];
+        for (std::size_t c = 0; c < classes_; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits[c] - max_logit)) / denom;
+            dlogits[c] = static_cast<float>(
+                (p - (static_cast<std::size_t>(label) == c ? 1.0 : 0.0)) /
+                batch);
+            if (static_cast<std::size_t>(label) == c)
+                total_loss += -std::log(std::max(p, 1e-12)) / batch;
+        }
+
+        // Classifier grads: dWc = pooled^T dlogits, db = dlogits.
+        float *g_wc = grad_out + wc();
+        float *g_b = grad_out + bias();
+        std::vector<float> d_pooled(d, 0.0f);
+        const float *w_c = params_.data() + wc();
+        for (std::size_t i = 0; i < d; ++i) {
+            for (std::size_t c = 0; c < classes_; ++c) {
+                g_wc[i * classes_ + c] += cache.pooled[i] * dlogits[c];
+                d_pooled[i] += w_c[i * classes_ + c] * dlogits[c];
+            }
+        }
+        for (std::size_t c = 0; c < classes_; ++c)
+            g_b[c] += dlogits[c];
+
+        // Through the CLS readout: only row 0 of H receives gradient.
+        Matrix dh(L, d);
+        for (std::size_t c = 0; c < d; ++c)
+            dh.at(0, c) = d_pooled[c];
+
+        // dA = dH V^T, dV = A^T dH.
+        Matrix da(L, L), dv(L, d);
+        matmulTransB(dh, cache.v, da);
+        matmulTransA(cache.attn, dh, dv);
+
+        // Softmax backward (per attention row) and the 1/sqrt(d) scale.
+        Matrix ds(L, L);
+        for (std::size_t i = 0; i < L; ++i) {
+            float dot = 0.0f;
+            for (std::size_t j = 0; j < L; ++j)
+                dot += da.at(i, j) * cache.attn.at(i, j);
+            for (std::size_t j = 0; j < L; ++j)
+                ds.at(i, j) = cache.attn.at(i, j) * (da.at(i, j) - dot) *
+                              inv_sqrt_d;
+        }
+
+        // dQ = dS K; dK = dS^T Q.
+        Matrix dq(L, d), dk(L, d);
+        matmul(ds, cache.k, dq);
+        matmulTransA(ds, cache.q, dk);
+
+        // Projection weight grads: dW* = X^T d*.
+        auto accumulate = [&](const Matrix &dproj, float *g_w) {
+            for (std::size_t i = 0; i < d; ++i)
+                for (std::size_t c = 0; c < d; ++c) {
+                    float acc = 0.0f;
+                    for (std::size_t r = 0; r < L; ++r)
+                        acc += cache.x.at(r, i) * dproj.at(r, c);
+                    g_w[i * d + c] += acc;
+                }
+        };
+        accumulate(dq, grad_out + wq());
+        accumulate(dk, grad_out + wk());
+        accumulate(dv, grad_out + wv());
+    }
+    return static_cast<float>(total_loss);
+}
+
+std::vector<int>
+TinyAttention::predict(const Matrix &inputs)
+{
+    std::vector<int> out(inputs.rows());
+    Cache cache;
+    std::vector<float> logits(classes_);
+    for (std::size_t s = 0; s < inputs.rows(); ++s) {
+        forwardSample(inputs.data() + s * inputs.cols(), cache,
+                      logits.data());
+        int best = 0;
+        for (std::size_t c = 1; c < classes_; ++c)
+            if (logits[c] > logits[best])
+                best = static_cast<int>(c);
+        out[s] = best;
+    }
+    return out;
+}
+
+double
+TinyAttention::accuracy(const Matrix &inputs, const std::vector<int> &labels)
+{
+    const auto preds = predict(inputs);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        correct += (preds[i] == labels[i]) ? 1 : 0;
+    return preds.empty() ? 0.0
+                         : static_cast<double>(correct) / preds.size();
+}
+
+} // namespace smartinf::nn

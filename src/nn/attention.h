@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A single-head self-attention sequence classifier with flat parameters and
+ * manual backprop — the transformer-shaped counterpart of nn::Mlp, bringing
+ * the accuracy experiments closer to the paper's BERT/GPT fine-tuning
+ * workloads. Inputs are flat vectors reinterpreted as (seq_len x token_dim)
+ * matrices; the head is attention -> mean pooling -> linear classifier.
+ */
+#ifndef SMARTINF_NN_ATTENTION_H
+#define SMARTINF_NN_ATTENTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace smartinf::nn {
+
+/** Single-head attention classifier over flattened sequence inputs. */
+class TinyAttention
+{
+  public:
+    /**
+     * @param seq_len tokens per sample (input vectors are seq_len*token_dim)
+     * @param token_dim per-token feature width
+     * @param num_classes output classes
+     * @param seed deterministic initialization
+     */
+    TinyAttention(std::size_t seq_len, std::size_t token_dim,
+                  std::size_t num_classes, uint64_t seed);
+
+    std::size_t paramCount() const { return params_.size(); }
+    float *params() { return params_.data(); }
+    const float *params() const { return params_.data(); }
+    void setParams(const float *values, std::size_t n);
+
+    /** Forward + backward; grad_out is overwritten (flat layout). */
+    float lossAndGradient(const Matrix &inputs, const std::vector<int> &labels,
+                          float *grad_out);
+
+    std::vector<int> predict(const Matrix &inputs);
+    double accuracy(const Matrix &inputs, const std::vector<int> &labels);
+
+    std::size_t seqLen() const { return seq_len_; }
+    std::size_t tokenDim() const { return d_; }
+
+  private:
+    /** Flat-parameter offsets: Wq, Wk, Wv (d x d), Wc (d x C), b (C). */
+    std::size_t wq() const { return 0; }
+    std::size_t wk() const { return d_ * d_; }
+    std::size_t wv() const { return 2 * d_ * d_; }
+    std::size_t wc() const { return 3 * d_ * d_; }
+    std::size_t bias() const { return 3 * d_ * d_ + d_ * classes_; }
+
+    /** Per-sample forward; caches intermediates for backward. */
+    struct Cache {
+        Matrix x, q, k, v, attn, h;
+        std::vector<float> pooled;
+    };
+    void forwardSample(const float *flat_input, Cache &cache,
+                       float *logits) const;
+
+    std::size_t seq_len_, d_, classes_;
+    std::vector<float> params_;
+};
+
+} // namespace smartinf::nn
+
+#endif // SMARTINF_NN_ATTENTION_H

@@ -1,0 +1,152 @@
+#include "nn/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartinf::nn {
+
+const char *
+taskName(TaskId task)
+{
+    switch (task) {
+      case TaskId::MnliLike: return "MNLI-like";
+      case TaskId::QqpLike: return "QQP-like";
+      case TaskId::Sst2Like: return "SST-2-like";
+      case TaskId::QnliLike: return "QNLI-like";
+    }
+    return "?";
+}
+
+std::vector<TaskId>
+allTasks()
+{
+    return {TaskId::MnliLike, TaskId::QqpLike, TaskId::Sst2Like,
+            TaskId::QnliLike};
+}
+
+namespace {
+
+/** 3-class Gaussian mixture with per-class rotation. */
+void
+genMnli(Rng &rng, std::size_t dim, Matrix &x, std::vector<int> &y,
+        std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const int label = static_cast<int>(rng.uniformInt(3));
+        y[i] = label;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double center =
+                2.2 * std::sin(1.7 * label + 0.37 * static_cast<double>(d));
+            x.at(i, d) = static_cast<float>(rng.normal(center, 1.0));
+        }
+    }
+}
+
+/** Pair-similarity: halves either share a prototype or not. */
+void
+genQqp(Rng &rng, std::size_t dim, Matrix &x, std::vector<int> &y,
+       std::size_t count)
+{
+    const std::size_t half = dim / 2;
+    const int prototypes = 6;
+    for (std::size_t i = 0; i < count; ++i) {
+        const int match = static_cast<int>(rng.uniformInt(2));
+        y[i] = match;
+        const int p1 = static_cast<int>(rng.uniformInt(prototypes));
+        const int p2 =
+            match ? p1
+                  : static_cast<int>((p1 + 1 + rng.uniformInt(prototypes - 1)) %
+                                     prototypes);
+        for (std::size_t d = 0; d < half; ++d) {
+            const double c1 = 1.8 * std::cos(0.9 * p1 + 0.53 * d);
+            const double c2 = 1.8 * std::cos(0.9 * p2 + 0.53 * d);
+            x.at(i, d) = static_cast<float>(rng.normal(c1, 0.8));
+            x.at(i, half + d) = static_cast<float>(rng.normal(c2, 0.8));
+        }
+    }
+}
+
+/** XOR of two subspace sign-products: a genuinely nonlinear boundary. */
+void
+genSst2(Rng &rng, std::size_t dim, Matrix &x, std::vector<int> &y,
+        std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        double s1 = 0.0, s2 = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double v = rng.normal(0.0, 1.0);
+            x.at(i, d) = static_cast<float>(v);
+            if (d < dim / 2)
+                s1 += v;
+            else
+                s2 += v;
+        }
+        y[i] = ((s1 > 0.0) != (s2 > 0.0)) ? 1 : 0;
+    }
+}
+
+/** Class-dependent ring radii (annulus vs. core). */
+void
+genQnli(Rng &rng, std::size_t dim, Matrix &x, std::vector<int> &y,
+        std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const int label = static_cast<int>(rng.uniformInt(2));
+        y[i] = label;
+        double norm2 = 0.0;
+        std::vector<double> raw(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+            raw[d] = rng.normal(0.0, 1.0);
+            norm2 += raw[d] * raw[d];
+        }
+        const double norm = std::sqrt(norm2) + 1e-9;
+        const double radius = (label == 0 ? 1.0 : 2.4) + rng.normal(0.0, 0.25);
+        for (std::size_t d = 0; d < dim; ++d)
+            x.at(i, d) = static_cast<float>(raw[d] / norm * radius);
+    }
+}
+
+Split
+genSplit(TaskId task, Rng &rng, std::size_t dim, std::size_t count)
+{
+    Split split;
+    split.inputs = Matrix(count, dim);
+    split.labels.assign(count, 0);
+    switch (task) {
+      case TaskId::MnliLike:
+        genMnli(rng, dim, split.inputs, split.labels, count);
+        break;
+      case TaskId::QqpLike:
+        genQqp(rng, dim, split.inputs, split.labels, count);
+        break;
+      case TaskId::Sst2Like:
+        genSst2(rng, dim, split.inputs, split.labels, count);
+        break;
+      case TaskId::QnliLike:
+        genQnli(rng, dim, split.inputs, split.labels, count);
+        break;
+    }
+    return split;
+}
+
+} // namespace
+
+Dataset
+makeTask(TaskId task, std::size_t train_size, std::size_t dev_size,
+         std::size_t input_dim, uint64_t seed)
+{
+    SI_REQUIRE(input_dim >= 4 && input_dim % 2 == 0,
+               "input_dim must be even and >= 4");
+    Dataset ds;
+    ds.name = taskName(task);
+    ds.num_classes = (task == TaskId::MnliLike) ? 3 : 2;
+    ds.input_dim = input_dim;
+    Rng rng(seed ^ (static_cast<uint64_t>(task) << 32));
+    ds.train = genSplit(task, rng, input_dim, train_size);
+    ds.dev = genSplit(task, rng, input_dim, dev_size);
+    return ds;
+}
+
+} // namespace smartinf::nn

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic classification tasks standing in for the paper's GLUE
+ * fine-tuning datasets (Table IV: MNLI, QQP, SST-2, QNLI). Each task is a
+ * deterministic generator with a train/dev split and a nonlinear decision
+ * structure, so optimizer/compression differences show up as real accuracy
+ * differences.
+ */
+#ifndef SMARTINF_NN_DATASET_H
+#define SMARTINF_NN_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace smartinf::nn {
+
+/** A labelled split. */
+struct Split {
+    Matrix inputs;
+    std::vector<int> labels;
+};
+
+/** A complete task: train + dev data. */
+struct Dataset {
+    std::string name;
+    int num_classes = 2;
+    std::size_t input_dim = 0;
+    Split train;
+    Split dev;
+};
+
+/** Identifier of the GLUE-analog tasks. */
+enum class TaskId { MnliLike, QqpLike, Sst2Like, QnliLike };
+
+const char *taskName(TaskId task);
+
+/**
+ * Build a task. Generators:
+ *  - MnliLike: 3-class Gaussian mixtures with rotated covariance (entailment
+ *    / neutral / contradiction analog).
+ *  - QqpLike: pair similarity — inputs are concatenated vector pairs,
+ *    label = whether they come from the same latent prototype.
+ *  - Sst2Like: 2-class with a nonlinear (XOR-of-subspaces) boundary.
+ *  - QnliLike: 2-class with class-dependent ring radii.
+ */
+Dataset makeTask(TaskId task, std::size_t train_size = 2048,
+                 std::size_t dev_size = 512, std::size_t input_dim = 32,
+                 uint64_t seed = 7);
+
+/** All four tasks (Table IV's column set). */
+std::vector<TaskId> allTasks();
+
+} // namespace smartinf::nn
+
+#endif // SMARTINF_NN_DATASET_H

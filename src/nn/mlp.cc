@@ -1,0 +1,149 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace smartinf::nn {
+
+Mlp::Mlp(std::vector<std::size_t> layer_dims, Activation activation,
+         uint64_t seed)
+    : dims_(std::move(layer_dims)), activation_(activation)
+{
+    SI_REQUIRE(dims_.size() >= 2, "MLP needs at least input and output dims");
+    std::size_t total = 0;
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+        w_offsets_.push_back(total);
+        total += dims_[l] * dims_[l + 1];
+        b_offsets_.push_back(total);
+        total += dims_[l + 1];
+    }
+    params_.assign(total, 0.0f);
+
+    Rng rng(seed);
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+        const double scale = std::sqrt(2.0 / static_cast<double>(dims_[l]));
+        float *w = params_.data() + w_offsets_[l];
+        for (std::size_t i = 0; i < dims_[l] * dims_[l + 1]; ++i)
+            w[i] = static_cast<float>(rng.normal(0.0, scale));
+        // Biases start at zero.
+    }
+}
+
+void
+Mlp::setParams(const float *values, std::size_t n)
+{
+    SI_REQUIRE(n == params_.size(), "parameter count mismatch: ", n, " vs ",
+               params_.size());
+    std::memcpy(params_.data(), values, n * sizeof(float));
+}
+
+void
+Mlp::forward(const Matrix &inputs, std::vector<Matrix> &pre,
+             std::vector<Matrix> &post)
+{
+    const std::size_t layers = dims_.size() - 1;
+    const std::size_t batch = inputs.rows();
+    SI_REQUIRE(inputs.cols() == dims_[0], "input dim mismatch");
+
+    pre.clear();
+    post.clear();
+    post.reserve(layers + 1);
+    post.push_back(inputs); // post[0] = network input.
+
+    for (std::size_t l = 0; l < layers; ++l) {
+        Matrix weight_view(dims_[l], dims_[l + 1]);
+        std::memcpy(weight_view.data(), params_.data() + w_offsets_[l],
+                    weight_view.size() * sizeof(float));
+        Matrix z(batch, dims_[l + 1]);
+        matmul(post.back(), weight_view, z);
+        addBias(z, params_.data() + b_offsets_[l]);
+        pre.push_back(z);
+
+        if (l + 1 == layers) {
+            post.push_back(z); // Logits: no activation.
+        } else if (activation_ == Activation::ReLU) {
+            Matrix mask(batch, dims_[l + 1]);
+            Matrix activated = z;
+            reluForward(activated, mask);
+            post.push_back(std::move(activated));
+        } else {
+            Matrix activated(batch, dims_[l + 1]);
+            geluForward(z, activated);
+            post.push_back(std::move(activated));
+        }
+    }
+}
+
+float
+Mlp::lossAndGradient(const Matrix &inputs, const std::vector<int> &labels,
+                     float *grad_out)
+{
+    const std::size_t layers = dims_.size() - 1;
+    const std::size_t batch = inputs.rows();
+
+    std::vector<Matrix> pre, post;
+    forward(inputs, pre, post);
+
+    Matrix delta(batch, dims_.back());
+    const float loss = softmaxCrossEntropy(post.back(), labels, delta);
+
+    std::memset(grad_out, 0, params_.size() * sizeof(float));
+    for (std::size_t l = layers; l-- > 0;) {
+        // dW = post[l]^T * delta; db = column sums of delta.
+        Matrix dw(dims_[l], dims_[l + 1]);
+        matmulTransA(post[l], delta, dw);
+        std::memcpy(grad_out + w_offsets_[l], dw.data(),
+                    dw.size() * sizeof(float));
+        float *db = grad_out + b_offsets_[l];
+        for (std::size_t i = 0; i < batch; ++i)
+            for (std::size_t j = 0; j < dims_[l + 1]; ++j)
+                db[j] += delta.at(i, j);
+
+        if (l == 0)
+            break;
+
+        // delta_prev = delta * W^T, through the activation derivative.
+        Matrix weight_view(dims_[l], dims_[l + 1]);
+        std::memcpy(weight_view.data(), params_.data() + w_offsets_[l],
+                    weight_view.size() * sizeof(float));
+        Matrix delta_prev(batch, dims_[l]);
+        matmulTransB(delta, weight_view, delta_prev);
+
+        if (activation_ == Activation::ReLU) {
+            Matrix mask(batch, dims_[l]);
+            Matrix activated = pre[l - 1];
+            reluForward(activated, mask); // Recompute the mask.
+            reluBackward(delta_prev, mask);
+            delta = std::move(delta_prev);
+        } else {
+            Matrix delta_in(batch, dims_[l]);
+            geluBackward(pre[l - 1], delta_prev, delta_in);
+            delta = std::move(delta_in);
+        }
+    }
+    return loss;
+}
+
+std::vector<int>
+Mlp::predict(const Matrix &inputs)
+{
+    std::vector<Matrix> pre, post;
+    forward(inputs, pre, post);
+    return argmaxRows(post.back());
+}
+
+double
+Mlp::accuracy(const Matrix &inputs, const std::vector<int> &labels)
+{
+    const auto preds = predict(inputs);
+    SI_ASSERT(preds.size() == labels.size(), "label count mismatch");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i)
+        correct += (preds[i] == labels[i]) ? 1 : 0;
+    return preds.empty() ? 0.0
+                         : static_cast<double>(correct) / preds.size();
+}
+
+} // namespace smartinf::nn

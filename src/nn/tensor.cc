@@ -1,0 +1,181 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace smartinf::nn {
+
+void
+matmul(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    SI_ASSERT(a.cols() == b.rows() && out.rows() == a.rows() &&
+                  out.cols() == b.cols(),
+              "matmul shape mismatch");
+    out.fill(0.0f);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a.at(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                out.at(i, j) += aik * b.at(k, j);
+        }
+    }
+}
+
+void
+matmulTransA(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    SI_ASSERT(a.rows() == b.rows() && out.rows() == a.cols() &&
+                  out.cols() == b.cols(),
+              "matmulTransA shape mismatch");
+    out.fill(0.0f);
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const float aki = a.at(k, i);
+            if (aki == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                out.at(i, j) += aki * b.at(k, j);
+        }
+    }
+}
+
+void
+matmulTransB(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    SI_ASSERT(a.cols() == b.cols() && out.rows() == a.rows() &&
+                  out.cols() == b.rows(),
+              "matmulTransB shape mismatch");
+    out.fill(0.0f);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(j, k);
+            out.at(i, j) = acc;
+        }
+    }
+}
+
+void
+addBias(Matrix &m, const float *bias)
+{
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            m.at(i, j) += bias[j];
+}
+
+void
+reluForward(Matrix &m, Matrix &mask)
+{
+    SI_ASSERT(mask.rows() == m.rows() && mask.cols() == m.cols(),
+              "relu mask shape mismatch");
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        const bool active = m.data()[i] > 0.0f;
+        mask.data()[i] = active ? 1.0f : 0.0f;
+        if (!active)
+            m.data()[i] = 0.0f;
+    }
+}
+
+void
+reluBackward(Matrix &grad, const Matrix &mask)
+{
+    SI_ASSERT(grad.size() == mask.size(), "relu backward shape mismatch");
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        grad.data()[i] *= mask.data()[i];
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
+
+float
+geluScalar(float x)
+{
+    return 0.5f * x *
+           (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+}
+
+float
+geluGradScalar(float x)
+{
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x * x * x));
+    const float dt =
+        (1.0f - t * t) * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * dt;
+}
+
+} // namespace
+
+void
+geluForward(const Matrix &pre, Matrix &out)
+{
+    SI_ASSERT(pre.size() == out.size(), "gelu shape mismatch");
+    for (std::size_t i = 0; i < pre.size(); ++i)
+        out.data()[i] = geluScalar(pre.data()[i]);
+}
+
+void
+geluBackward(const Matrix &pre, const Matrix &grad_out, Matrix &grad_in)
+{
+    SI_ASSERT(pre.size() == grad_out.size() && pre.size() == grad_in.size(),
+              "gelu backward shape mismatch");
+    for (std::size_t i = 0; i < pre.size(); ++i)
+        grad_in.data()[i] = grad_out.data()[i] * geluGradScalar(pre.data()[i]);
+}
+
+float
+softmaxCrossEntropy(const Matrix &logits, const std::vector<int> &labels,
+                    Matrix &grad)
+{
+    SI_ASSERT(labels.size() == logits.rows(), "label count mismatch");
+    SI_ASSERT(grad.rows() == logits.rows() && grad.cols() == logits.cols(),
+              "grad shape mismatch");
+    const std::size_t batch = logits.rows();
+    const std::size_t classes = logits.cols();
+    double total_loss = 0.0;
+
+    for (std::size_t i = 0; i < batch; ++i) {
+        float max_logit = logits.at(i, 0);
+        for (std::size_t c = 1; c < classes; ++c)
+            max_logit = std::max(max_logit, logits.at(i, c));
+        double denom = 0.0;
+        for (std::size_t c = 0; c < classes; ++c)
+            denom += std::exp(static_cast<double>(logits.at(i, c) - max_logit));
+        const int label = labels[i];
+        SI_ASSERT(label >= 0 && static_cast<std::size_t>(label) < classes,
+                  "label out of range");
+        for (std::size_t c = 0; c < classes; ++c) {
+            const double p =
+                std::exp(static_cast<double>(logits.at(i, c) - max_logit)) /
+                denom;
+            grad.at(i, c) = static_cast<float>(
+                (p - (static_cast<std::size_t>(label) == c ? 1.0 : 0.0)) /
+                batch);
+            if (static_cast<std::size_t>(label) == c)
+                total_loss += -std::log(std::max(p, 1e-12));
+        }
+    }
+    return static_cast<float>(total_loss / batch);
+}
+
+std::vector<int>
+argmaxRows(const Matrix &logits)
+{
+    std::vector<int> out(logits.rows());
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        int best = 0;
+        for (std::size_t c = 1; c < logits.cols(); ++c) {
+            if (logits.at(i, c) > logits.at(i, best))
+                best = static_cast<int>(c);
+        }
+        out[i] = best;
+    }
+    return out;
+}
+
+} // namespace smartinf::nn

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal dense-math substrate for the functional training experiments:
+ * row-major matrices with the handful of kernels an MLP classifier needs
+ * (GEMM, bias, activations, softmax cross-entropy). Deliberately simple —
+ * the accuracy experiments need *real* training, not fast training.
+ */
+#ifndef SMARTINF_NN_TENSOR_H
+#define SMARTINF_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+namespace smartinf::nn {
+
+/** A row-major matrix of floats. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** out = a (m x k) * b (k x n). out must be m x n. */
+void matmul(const Matrix &a, const Matrix &b, Matrix &out);
+/** out = a^T (k x m)^T... i.e. out(m x n) = a(k x m)^T * b(k x n). */
+void matmulTransA(const Matrix &a, const Matrix &b, Matrix &out);
+/** out(m x k) = a(m x n) * b(k x n)^T. */
+void matmulTransB(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Add row-vector bias to every row in place. */
+void addBias(Matrix &m, const float *bias);
+
+/** ReLU forward in place; mask receives 1/0 activation pattern. */
+void reluForward(Matrix &m, Matrix &mask);
+/** ReLU backward: grad *= mask, in place. */
+void reluBackward(Matrix &grad, const Matrix &mask);
+
+/** tanh-approximated GELU forward in place (stores pre-activation). */
+void geluForward(const Matrix &pre, Matrix &out);
+/** GELU backward: grad_in = grad_out * gelu'(pre). */
+void geluBackward(const Matrix &pre, const Matrix &grad_out, Matrix &grad_in);
+
+/**
+ * Softmax + cross-entropy. logits: batch x classes; labels: batch ints.
+ * Writes d(loss)/d(logits) into grad (averaged over the batch) and returns
+ * the mean loss.
+ */
+float softmaxCrossEntropy(const Matrix &logits,
+                          const std::vector<int> &labels, Matrix &grad);
+
+/** Argmax per row (predictions). */
+std::vector<int> argmaxRows(const Matrix &logits);
+
+} // namespace smartinf::nn
+
+#endif // SMARTINF_NN_TENSOR_H

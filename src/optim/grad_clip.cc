@@ -1,0 +1,34 @@
+#include "optim/grad_clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartinf::optim {
+
+double
+sumOfSquares(const float *grad, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(grad[i]) * static_cast<double>(grad[i]);
+    return acc;
+}
+
+float
+clipCoefficient(double global_norm, double max_norm)
+{
+    if (global_norm <= 0.0 || global_norm <= max_norm)
+        return 1.0f;
+    return static_cast<float>(max_norm / global_norm);
+}
+
+void
+scaleInPlace(float *grad, std::size_t n, float coeff)
+{
+    if (coeff == 1.0f)
+        return;
+    for (std::size_t i = 0; i < n; ++i)
+        grad[i] *= coeff;
+}
+
+} // namespace smartinf::optim

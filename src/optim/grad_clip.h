@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Global-norm gradient clipping. The paper notes (§IV-C) that the norm of
+ * the *total* gradient is required before the update phase can start —
+ * another reason gradient offload and update cannot overlap.
+ */
+#ifndef SMARTINF_OPTIM_GRAD_CLIP_H
+#define SMARTINF_OPTIM_GRAD_CLIP_H
+
+#include <cstddef>
+
+namespace smartinf::optim {
+
+/** Sum of squares of one gradient shard (combine shards, then sqrt). */
+double sumOfSquares(const float *grad, std::size_t n);
+
+/**
+ * Clip coefficient for a given global norm: min(1, max_norm/global_norm).
+ * Returns 1.0 when the norm is zero.
+ */
+float clipCoefficient(double global_norm, double max_norm);
+
+/** Scale @p n gradients in place by @p coeff (no-op when coeff == 1). */
+void scaleInPlace(float *grad, std::size_t n, float coeff);
+
+} // namespace smartinf::optim
+
+#endif // SMARTINF_OPTIM_GRAD_CLIP_H

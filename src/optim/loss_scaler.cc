@@ -1,0 +1,45 @@
+#include "optim/loss_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartinf::optim {
+
+bool
+LossScaler::update(bool overflowed)
+{
+    if (overflowed) {
+        scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+        steps_since_backoff_ = 0;
+        ++skipped_;
+        return true;
+    }
+    ++good_steps_;
+    if (++steps_since_backoff_ >= config_.growth_interval) {
+        scale_ = std::min(config_.max_scale, scale_ * config_.growth_factor);
+        steps_since_backoff_ = 0;
+    }
+    return false;
+}
+
+bool
+LossScaler::hasOverflow(const float *grad, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(grad[i]))
+            return true;
+    }
+    return false;
+}
+
+bool
+LossScaler::hasOverflow(const half_t *grad, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (halfIsNanOrInf(grad[i]))
+            return true;
+    }
+    return false;
+}
+
+} // namespace smartinf::optim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dynamic loss scaling for mixed-precision training (Micikevicius et al.),
+ * including the NaN/Inf overflow scan the paper cites as the reason gradient
+ * offload cannot overlap with the update step (§IV-C): the *global* overflow
+ * verdict must be known before any parameter is updated.
+ */
+#ifndef SMARTINF_OPTIM_LOSS_SCALER_H
+#define SMARTINF_OPTIM_LOSS_SCALER_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/half.h"
+
+namespace smartinf::optim {
+
+/** Dynamic loss-scale manager with the standard grow/backoff policy. */
+class LossScaler
+{
+  public:
+    struct Config {
+        float initial_scale = 65536.0f;
+        float growth_factor = 2.0f;
+        float backoff_factor = 0.5f;
+        /** Consecutive overflow-free steps before the scale grows. */
+        uint64_t growth_interval = 2000;
+        float min_scale = 1.0f;
+        float max_scale = 16777216.0f;
+    };
+
+    LossScaler() : LossScaler(Config{}) {}
+    explicit LossScaler(const Config &config) : config_(config),
+        scale_(config.initial_scale) {}
+
+    float scale() const { return scale_; }
+    /** Multiplier to apply when unscaling gradients (1/scale). */
+    float invScale() const { return 1.0f / scale_; }
+
+    /**
+     * Record the overflow verdict for one iteration and adjust the scale.
+     * @return true when the step must be *skipped* (overflow detected).
+     */
+    bool update(bool overflowed);
+
+    uint64_t skippedSteps() const { return skipped_; }
+    uint64_t goodSteps() const { return good_steps_; }
+
+    /** Scan FP32 gradients for NaN/Inf. */
+    static bool hasOverflow(const float *grad, std::size_t n);
+    /** Scan FP16 gradients for NaN/Inf. */
+    static bool hasOverflow(const half_t *grad, std::size_t n);
+
+  private:
+    Config config_;
+    float scale_;
+    uint64_t steps_since_backoff_ = 0;
+    uint64_t skipped_ = 0;
+    uint64_t good_steps_ = 0;
+};
+
+} // namespace smartinf::optim
+
+#endif // SMARTINF_OPTIM_LOSS_SCALER_H

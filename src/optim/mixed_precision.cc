@@ -1,0 +1,48 @@
+#include "optim/mixed_precision.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace smartinf::optim {
+
+MixedPrecisionGroup::MixedPrecisionGroup(std::size_t count, OptimizerKind kind)
+    : count_(count), kind_(kind), master_(count, 0.0f), model_(count, 0)
+{
+    states_.resize(auxStateCount(kind));
+    for (auto &state : states_)
+        state.assign(count, 0.0f);
+}
+
+void
+MixedPrecisionGroup::setMaster(const float *values, std::size_t n,
+                               std::size_t offset)
+{
+    SI_REQUIRE(offset + n <= count_, "setMaster out of range");
+    std::memcpy(master_.data() + offset, values, n * sizeof(float));
+    floatToHalf(master_.data() + offset, model_.data() + offset, n);
+}
+
+void
+MixedPrecisionGroup::syncModelFromMaster()
+{
+    floatToHalf(master_.data(), model_.data(), count_);
+}
+
+std::vector<float *>
+MixedPrecisionGroup::statePointers()
+{
+    std::vector<float *> pointers;
+    pointers.reserve(states_.size());
+    for (auto &state : states_)
+        pointers.push_back(state.data());
+    return pointers;
+}
+
+std::size_t
+MixedPrecisionGroup::optimizerStateBytes() const
+{
+    return (1 + states_.size()) * count_ * sizeof(float);
+}
+
+} // namespace smartinf::optim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The mixed-precision parameter group: FP16 model parameters (what the GPU
+ * computes with; resident in "host memory") paired with FP32 master
+ * parameters and optimizer states (resident in "SSD"). This is the memory
+ * layout ZeRO-Infinity and the paper assume: model size M counts FP16 bytes,
+ * optimizer states occupy 6M for Adam.
+ */
+#ifndef SMARTINF_OPTIM_MIXED_PRECISION_H
+#define SMARTINF_OPTIM_MIXED_PRECISION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/half.h"
+#include "optim/optimizer.h"
+
+namespace smartinf::optim {
+
+/** A flattened parameter group with FP16 model copy + FP32 states. */
+class MixedPrecisionGroup
+{
+  public:
+    /**
+     * @param count number of parameters
+     * @param kind optimizer family (determines aux state arrays)
+     */
+    MixedPrecisionGroup(std::size_t count, OptimizerKind kind);
+
+    /** Initialize master params (e.g., from an init distribution). */
+    void setMaster(const float *values, std::size_t n, std::size_t offset = 0);
+
+    /** Refresh the FP16 model copy from the FP32 master (post-update). */
+    void syncModelFromMaster();
+
+    std::size_t count() const { return count_; }
+    OptimizerKind optimizerKind() const { return kind_; }
+
+    float *master() { return master_.data(); }
+    const float *master() const { return master_.data(); }
+    half_t *model() { return model_.data(); }
+    const half_t *model() const { return model_.data(); }
+
+    /** Aux state array @p idx (0..auxStateCount-1). */
+    float *state(int idx) { return states_[idx].data(); }
+    const float *state(int idx) const { return states_[idx].data(); }
+    int stateCount() const { return static_cast<int>(states_.size()); }
+
+    /** Pointers to all aux states (shape expected by Optimizer::step). */
+    std::vector<float *> statePointers();
+
+    /** Total FP32 optimizer-state bytes (master + aux) — the "6M". */
+    std::size_t optimizerStateBytes() const;
+    /** FP16 model bytes — the "M". */
+    std::size_t modelBytes() const { return count_ * sizeof(half_t); }
+
+  private:
+    std::size_t count_;
+    OptimizerKind kind_;
+    std::vector<float> master_;
+    std::vector<half_t> model_;
+    std::vector<std::vector<float>> states_;
+};
+
+} // namespace smartinf::optim
+
+#endif // SMARTINF_OPTIM_MIXED_PRECISION_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Host reference optimizers over flat FP32 arrays. These are the CPU-side
+ * updaters of the ZeRO-Infinity baseline (DeepSpeed's AVX CPU-Adam analog);
+ * the accel/ module implements the same algorithms as behavioral FPGA
+ * pipelines using the shared update_math.h rules.
+ */
+#ifndef SMARTINF_OPTIM_OPTIMIZER_H
+#define SMARTINF_OPTIM_OPTIMIZER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "optim/update_math.h"
+
+namespace smartinf::optim {
+
+/** Optimizer family. The paper evaluates Adam (default), SGD, AdaGrad. */
+enum class OptimizerKind { Adam, AdamW, SgdMomentum, AdaGrad };
+
+/** Human-readable name (bench/report output). */
+const char *optimizerName(OptimizerKind kind);
+
+/**
+ * Number of FP32 auxiliary state arrays *excluding* the FP32 master copy of
+ * the parameters (Adam: momentum + variance = 2; SGD/AdaGrad: 1).
+ */
+int auxStateCount(OptimizerKind kind);
+
+/**
+ * Bytes of optimizer state per parameter in units of M (the FP16 model
+ * size). Adam: master+mmt+var in FP32 = 12 B/elem = 6M; SGD/AdaGrad:
+ * master+one state = 8 B/elem = 4M. Used by the traffic model (Table I,
+ * Fig 12 discussion: SGD/AdaGrad move 3/4 of Adam's volume).
+ */
+double optimizerStateVolumeInM(OptimizerKind kind);
+
+/** Flat-array optimizer: updates params in place from grads and states. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    virtual OptimizerKind kind() const = 0;
+    /** Number of entries expected in the @c states array of step(). */
+    int stateCount() const { return auxStateCount(kind()); }
+
+    /**
+     * Apply one update step over @p n contiguous elements.
+     * @param master FP32 master parameters, updated in place
+     * @param grad gradients (already unscaled and clipped)
+     * @param states aux state arrays (stateCount() pointers), updated in place
+     * @param n element count
+     * @param step 1-based global step number (bias correction)
+     */
+    virtual void step(float *master, const float *grad, float *const *states,
+                      std::size_t n, uint64_t step) const = 0;
+
+    const Hyperparams &hyperparams() const { return hp_; }
+
+  protected:
+    explicit Optimizer(const Hyperparams &hp) : hp_(hp) {}
+    Hyperparams hp_;
+};
+
+/** Factory covering the paper's optimizer set (§VII-F). */
+std::unique_ptr<Optimizer> makeOptimizer(OptimizerKind kind,
+                                         const Hyperparams &hp);
+
+} // namespace smartinf::optim
+
+#endif // SMARTINF_OPTIM_OPTIMIZER_H

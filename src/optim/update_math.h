@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-element update rules shared by the host reference optimizers and the
+ * behavioral FPGA updater modules. Both paths call exactly these functions,
+ * so "SmartUpdate is algorithmically identical to the baseline" (paper
+ * §VII-J) is enforced structurally and asserted bit-for-bit in tests.
+ *
+ * Every rule is phrased in terms of AXPBY-style moving averages
+ * (out = alpha*a + beta*b), mirroring the SIMD AXPBY units of the paper's
+ * updater microarchitecture (Fig 7).
+ */
+#ifndef SMARTINF_OPTIM_UPDATE_MATH_H
+#define SMARTINF_OPTIM_UPDATE_MATH_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace smartinf::optim {
+
+/** The general averaging primitive of the updater PEs: alpha*a + beta*b. */
+inline float
+axpby(float alpha, float a, float beta, float b)
+{
+    return alpha * a + beta * b;
+}
+
+/** Hyperparameters shared across the optimizer family. */
+struct Hyperparams {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+    float momentum = 0.9f;
+    bool bias_correction = true;
+};
+
+/** Adam (Kingma & Ba): two moving averages + bias-corrected step. */
+inline void
+adamElement(float &param, float grad, float &mmt, float &var,
+            const Hyperparams &hp, uint64_t step)
+{
+    mmt = axpby(hp.beta1, mmt, 1.0f - hp.beta1, grad);
+    var = axpby(hp.beta2, var, 1.0f - hp.beta2, grad * grad);
+    float m_hat = mmt;
+    float v_hat = var;
+    if (hp.bias_correction) {
+        const float bc1 = 1.0f - std::pow(hp.beta1, static_cast<float>(step));
+        const float bc2 = 1.0f - std::pow(hp.beta2, static_cast<float>(step));
+        m_hat /= bc1;
+        v_hat /= bc2;
+    }
+    param -= hp.lr * m_hat / (std::sqrt(v_hat) + hp.epsilon);
+}
+
+/** AdamW (Loshchilov & Hutter): decoupled weight decay before Adam. */
+inline void
+adamwElement(float &param, float grad, float &mmt, float &var,
+             const Hyperparams &hp, uint64_t step)
+{
+    param -= hp.lr * hp.weight_decay * param;
+    adamElement(param, grad, mmt, var, hp, step);
+}
+
+/** SGD with (heavy-ball) momentum: one moving average. */
+inline void
+sgdMomentumElement(float &param, float grad, float &mmt,
+                   const Hyperparams &hp)
+{
+    mmt = axpby(hp.momentum, mmt, 1.0f, grad);
+    param -= hp.lr * mmt;
+}
+
+/** AdaGrad (Duchi et al.): accumulated squared gradients. */
+inline void
+adagradElement(float &param, float grad, float &accum,
+               const Hyperparams &hp)
+{
+    accum = axpby(1.0f, accum, 1.0f, grad * grad);
+    param -= hp.lr * grad / (std::sqrt(accum) + hp.epsilon);
+}
+
+} // namespace smartinf::optim
+
+#endif // SMARTINF_OPTIM_UPDATE_MATH_H

@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace smartinf::sim {
+
+EventId
+EventQueue::schedule(Seconds when, std::function<void()> fn)
+{
+    SI_ASSERT(when >= 0.0, "event scheduled at negative time ", when);
+    const EventId id = next_id_++;
+    cancelled_.push_back(false);
+    heap_.push(Entry{when, id, std::move(fn)});
+    ++live_;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id < cancelled_.size() && !cancelled_[id]) {
+        cancelled_[id] = true;
+        --live_;
+    }
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty() && cancelled_[heap_.top().id])
+        heap_.pop();
+}
+
+Seconds
+EventQueue::nextTime() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    SI_ASSERT(!heap_.empty(), "nextTime() on empty queue");
+    return heap_.top().when;
+}
+
+bool
+EventQueue::runNext(Seconds &now)
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    Entry entry = heap_.top();
+    heap_.pop();
+    cancelled_[entry.id] = true; // Mark consumed so double-cancel is benign.
+    --live_;
+    SI_ASSERT(entry.when + 1e-12 >= now,
+              "event time ", entry.when, " precedes now ", now);
+    now = entry.when;
+    entry.fn();
+    return true;
+}
+
+} // namespace smartinf::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The discrete-event core: a time-ordered queue of callbacks. Ties are broken
+ * by insertion order so simulations are fully deterministic.
+ */
+#ifndef SMARTINF_SIM_EVENT_QUEUE_H
+#define SMARTINF_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartinf::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = uint64_t;
+
+/**
+ * A priority queue of (time, sequence, callback) events. Cancellation is
+ * lazy: cancelled events stay queued but are skipped on pop.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute time @p when. @return id for cancel(). */
+    EventId schedule(Seconds when, std::function<void()> fn);
+
+    /** Cancel a previously scheduled event. Idempotent. */
+    void cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event. @pre !empty(). */
+    Seconds nextTime() const;
+
+    /**
+     * Pop and run the earliest live event, advancing @p now to its time.
+     * @return false when the queue was empty.
+     */
+    bool runNext(Seconds &now);
+
+  private:
+    struct Entry {
+        Seconds when;
+        EventId id;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among simultaneous events.
+        }
+    };
+
+    /** Drop cancelled entries from the front of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<bool> cancelled_;
+    EventId next_id_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace smartinf::sim
+
+#endif // SMARTINF_SIM_EVENT_QUEUE_H

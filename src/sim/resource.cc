@@ -1,0 +1,49 @@
+#include "sim/resource.h"
+
+#include "common/logging.h"
+
+namespace smartinf::sim {
+
+Resource::Resource(Simulator &sim, std::string name, double rate,
+                   Seconds job_latency)
+    : sim_(sim), name_(std::move(name)), rate_(rate),
+      job_latency_(job_latency)
+{
+    SI_REQUIRE(rate > 0.0, "resource ", name_, " needs positive rate");
+    SI_REQUIRE(job_latency >= 0.0, "negative job latency");
+}
+
+void
+Resource::submit(double work, std::function<void()> done)
+{
+    SI_ASSERT(work >= 0.0, "negative work submitted to ", name_);
+    queue_.push_back(Job{work, std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+Resource::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    const Seconds duration = job_latency_ + job.work / rate_;
+    sim_.after(duration, [this, job = std::move(job), duration]() mutable {
+        work_done_.add(job.work);
+        busy_time_.add(duration);
+        ++jobs_done_;
+        // Complete before starting the next job so dependents observing
+        // idle() see a consistent state.
+        auto done = std::move(job.done);
+        startNext();
+        if (done)
+            done();
+    });
+}
+
+} // namespace smartinf::sim

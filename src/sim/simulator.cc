@@ -1,0 +1,21 @@
+#include "sim/simulator.h"
+
+namespace smartinf::sim {
+
+Seconds
+Simulator::run()
+{
+    while (queue_.runNext(now_))
+        ++events_executed_;
+    return now_;
+}
+
+Seconds
+Simulator::runUntil(const std::function<bool()> &predicate)
+{
+    while (!predicate() && queue_.runNext(now_))
+        ++events_executed_;
+    return now_;
+}
+
+} // namespace smartinf::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Simulator owns the event queue and the simulated clock, and provides
+ * the run loop every timing experiment drives.
+ */
+#ifndef SMARTINF_SIM_SIMULATOR_H
+#define SMARTINF_SIM_SIMULATOR_H
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace smartinf::sim {
+
+/** Central simulation context: clock + event queue. */
+class Simulator
+{
+  public:
+    /** Current simulated time in seconds. */
+    Seconds now() const { return now_; }
+
+    /** Schedule a callback @p delay seconds from now. */
+    EventId
+    after(Seconds delay, std::function<void()> fn)
+    {
+        return queue_.schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Schedule a callback at absolute time @p when (>= now). */
+    EventId
+    at(Seconds when, std::function<void()> fn)
+    {
+        return queue_.schedule(when, std::move(fn));
+    }
+
+    /** Cancel a scheduled event. */
+    void cancel(EventId id) { queue_.cancel(id); }
+
+    /** Run until no events remain. @return final simulated time. */
+    Seconds run();
+
+    /** Run until @p predicate returns true or the queue drains. */
+    Seconds runUntil(const std::function<bool()> &predicate);
+
+    /** Number of events executed so far (determinism/regression checks). */
+    uint64_t eventsExecuted() const { return events_executed_; }
+
+    EventQueue &queue() { return queue_; }
+
+  private:
+    EventQueue queue_;
+    Seconds now_ = 0.0;
+    uint64_t events_executed_ = 0;
+};
+
+} // namespace smartinf::sim
+
+#endif // SMARTINF_SIM_SIMULATOR_H

@@ -1,0 +1,129 @@
+#include "sim/task_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smartinf::sim {
+
+TaskGraph::TaskId
+TaskGraph::add(Action action, std::string label)
+{
+    SI_REQUIRE(!started_, "cannot add tasks after start()");
+    tasks_.push_back(Task{std::move(action), std::move(label), {}, 0,
+                          false, false, -1.0, -1.0});
+    return tasks_.size() - 1;
+}
+
+TaskGraph::TaskId
+TaskGraph::barrier(std::string label)
+{
+    return add(nullptr, std::move(label));
+}
+
+TaskGraph::TaskId
+TaskGraph::compute(Resource &resource, double work, std::string label)
+{
+    return add(
+        [&resource, work](std::function<void()> done) {
+            resource.submit(work, std::move(done));
+        },
+        std::move(label));
+}
+
+TaskGraph::TaskId
+TaskGraph::delay(Seconds duration, std::string label)
+{
+    SI_REQUIRE(duration >= 0.0, "negative delay");
+    return add(
+        [this, duration](std::function<void()> done) {
+            sim_.after(duration, std::move(done));
+        },
+        std::move(label));
+}
+
+void
+TaskGraph::dependsOn(TaskId task, TaskId dep)
+{
+    SI_REQUIRE(!started_, "cannot add dependencies after start()");
+    SI_ASSERT(task < tasks_.size() && dep < tasks_.size(), "bad task id");
+    SI_ASSERT(task != dep, "task cannot depend on itself");
+    tasks_[dep].dependents.push_back(task);
+    ++tasks_[task].pending_deps;
+}
+
+void
+TaskGraph::dependsOn(TaskId task, const std::vector<TaskId> &deps)
+{
+    for (TaskId dep : deps)
+        dependsOn(task, dep);
+}
+
+void
+TaskGraph::start()
+{
+    SI_REQUIRE(!started_, "start() called twice");
+    started_ = true;
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        if (tasks_[id].pending_deps == 0)
+            launch(id);
+    }
+}
+
+void
+TaskGraph::launch(TaskId id)
+{
+    Task &task = tasks_[id];
+    SI_ASSERT(!task.launched, "task ", id, " launched twice");
+    task.launched = true;
+    task.start_time = sim_.now();
+    if (!task.action) {
+        complete(id);
+        return;
+    }
+    task.action([this, id]() { complete(id); });
+}
+
+void
+TaskGraph::complete(TaskId id)
+{
+    Task &task = tasks_[id];
+    SI_ASSERT(!task.completed, "task ", id, " completed twice");
+    task.completed = true;
+    task.finish_time = sim_.now();
+    ++completed_;
+    for (TaskId dep_id : task.dependents) {
+        Task &dependent = tasks_[dep_id];
+        SI_ASSERT(dependent.pending_deps > 0, "dependency underflow");
+        if (--dependent.pending_deps == 0)
+            launch(dep_id);
+    }
+}
+
+Seconds
+TaskGraph::finishTime(TaskId id) const
+{
+    SI_ASSERT(id < tasks_.size() && tasks_[id].completed,
+              "finishTime() on incomplete task");
+    return tasks_[id].finish_time;
+}
+
+Seconds
+TaskGraph::startTime(TaskId id) const
+{
+    SI_ASSERT(id < tasks_.size() && tasks_[id].launched,
+              "startTime() on unlaunched task");
+    return tasks_[id].start_time;
+}
+
+Seconds
+TaskGraph::makespan() const
+{
+    SI_ASSERT(done(), "makespan() before completion");
+    Seconds latest = 0.0;
+    for (const auto &task : tasks_)
+        latest = std::max(latest, task.finish_time);
+    return latest;
+}
+
+} // namespace smartinf::sim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A dependency graph of asynchronous tasks executed on the simulator. The
+ * training engines express one iteration (block loads, GPU compute, gradient
+ * offloads, CSD-internal swaps, FPGA updates, ...) as a TaskGraph; overlap
+ * falls out of the dependency structure instead of hand-written schedules.
+ */
+#ifndef SMARTINF_SIM_TASK_GRAPH_H
+#define SMARTINF_SIM_TASK_GRAPH_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace smartinf::sim {
+
+/**
+ * Executes tasks respecting dependencies. A task is any asynchronous action:
+ * it receives a completion callback and must invoke it exactly once (possibly
+ * immediately). Barriers are tasks with no action.
+ */
+class TaskGraph
+{
+  public:
+    using TaskId = std::size_t;
+    /** An asynchronous action: call the argument when the task finishes. */
+    using Action = std::function<void(std::function<void()> done)>;
+
+    explicit TaskGraph(Simulator &sim) : sim_(sim) {}
+
+    /** Add a task with an arbitrary asynchronous action. */
+    TaskId add(Action action, std::string label = {});
+
+    /** Add a no-op barrier task (completes as soon as its deps do). */
+    TaskId barrier(std::string label = {});
+
+    /** Add a compute task running @p work units on @p resource. */
+    TaskId compute(Resource &resource, double work, std::string label = {});
+
+    /** Add a fixed-delay task (models constant latencies). */
+    TaskId delay(Seconds duration, std::string label = {});
+
+    /** Declare that @p task starts only after @p dep completes. */
+    void dependsOn(TaskId task, TaskId dep);
+
+    /** Convenience: @p task depends on every id in @p deps. */
+    void dependsOn(TaskId task, const std::vector<TaskId> &deps);
+
+    /**
+     * Release all dependency-free tasks. Must be called exactly once, before
+     * (or while) the simulator runs. Completion of the whole graph can be
+     * observed via done() or by draining the simulator.
+     */
+    void start();
+
+    /** True once every task has completed. */
+    bool done() const { return completed_ == tasks_.size() && started_; }
+
+    /** Completion time of a task. @pre the task has completed. */
+    Seconds finishTime(TaskId id) const;
+    /** Start time of a task (when its dependencies were satisfied). */
+    Seconds startTime(TaskId id) const;
+
+    /** Completion time of the latest-finishing task. @pre done(). */
+    Seconds makespan() const;
+
+    std::size_t taskCount() const { return tasks_.size(); }
+
+  private:
+    struct Task {
+        Action action;
+        std::string label;
+        std::vector<TaskId> dependents;
+        std::size_t pending_deps = 0;
+        bool launched = false;
+        bool completed = false;
+        Seconds start_time = -1.0;
+        Seconds finish_time = -1.0;
+    };
+
+    void launch(TaskId id);
+    void complete(TaskId id);
+
+    Simulator &sim_;
+    std::vector<Task> tasks_;
+    std::size_t completed_ = 0;
+    bool started_ = false;
+};
+
+} // namespace smartinf::sim
+
+#endif // SMARTINF_SIM_TASK_GRAPH_H

@@ -1,0 +1,73 @@
+#include "storage/block_device.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace smartinf::storage {
+
+BlockDevice::BlockDevice(std::string name, std::size_t capacity)
+    : name_(std::move(name)), data_(capacity, 0)
+{
+}
+
+void
+BlockDevice::checkRange(std::size_t n, std::size_t offset, const char *op) const
+{
+    if (offset + n > data_.size() || offset + n < offset) {
+        fatal("block device ", name_, ": ", op, " of ", n, " bytes at offset ",
+              offset, " exceeds capacity ", data_.size());
+    }
+}
+
+void
+BlockDevice::pread(void *dst, std::size_t n, std::size_t offset) const
+{
+    checkRange(n, offset, "pread");
+    std::memcpy(dst, data_.data() + offset, n);
+    bytes_read_.add(static_cast<double>(n));
+    ++read_ops_;
+}
+
+void
+BlockDevice::pwrite(const void *src, std::size_t n, std::size_t offset)
+{
+    checkRange(n, offset, "pwrite");
+    std::memcpy(data_.data() + offset, src, n);
+    bytes_written_.add(static_cast<double>(n));
+    ++write_ops_;
+}
+
+void
+BlockDevice::readFloats(float *dst, std::size_t count,
+                        std::size_t byte_offset) const
+{
+    pread(dst, count * sizeof(float), byte_offset);
+}
+
+void
+BlockDevice::writeFloats(const float *src, std::size_t count,
+                         std::size_t byte_offset)
+{
+    pwrite(src, count * sizeof(float), byte_offset);
+}
+
+void
+BlockDevice::resetStats()
+{
+    bytes_read_.reset();
+    bytes_written_.reset();
+    read_ops_ = 0;
+    write_ops_ = 0;
+}
+
+SsdSpec
+SsdSpec::smartSsdNvme()
+{
+    // Calibrated against Fig 14: read ~3.2 GB/s sustained, write ~1.35 GB/s;
+    // PCIe Gen3 x4 caps both at ~3.9 GB/s. 4 TB namespace.
+    return SsdSpec{GBps(3.2), GBps(1.35), 80e-6, GB(4000.0)};
+}
+
+} // namespace smartinf::storage

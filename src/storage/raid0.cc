@@ -1,0 +1,83 @@
+#include "storage/raid0.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smartinf::storage {
+
+Raid0::Raid0(std::vector<BlockDevice *> members, std::size_t chunk_size)
+    : members_(std::move(members)), chunk_size_(chunk_size)
+{
+    SI_REQUIRE(!members_.empty(), "RAID0 needs at least one member");
+    SI_REQUIRE(chunk_size_ > 0, "RAID0 chunk size must be positive");
+    for (auto *member : members_)
+        SI_REQUIRE(member != nullptr, "null RAID0 member");
+}
+
+std::size_t
+Raid0::capacity() const
+{
+    std::size_t smallest = members_[0]->capacity();
+    for (const auto *member : members_)
+        smallest = std::min(smallest, member->capacity());
+    return smallest * members_.size();
+}
+
+void
+Raid0::map(std::size_t logical, std::size_t &device,
+           std::size_t &dev_offset) const
+{
+    const std::size_t stripe = logical / chunk_size_;
+    const std::size_t within = logical % chunk_size_;
+    device = stripe % members_.size();
+    dev_offset = (stripe / members_.size()) * chunk_size_ + within;
+}
+
+void
+Raid0::pread(void *dst, std::size_t n, std::size_t offset) const
+{
+    auto *out = static_cast<uint8_t *>(dst);
+    std::size_t done = 0;
+    while (done < n) {
+        std::size_t device, dev_offset;
+        map(offset + done, device, dev_offset);
+        const std::size_t in_chunk = chunk_size_ - ((offset + done) % chunk_size_);
+        const std::size_t span = std::min(in_chunk, n - done);
+        members_[device]->pread(out + done, span, dev_offset);
+        done += span;
+    }
+}
+
+void
+Raid0::pwrite(const void *src, std::size_t n, std::size_t offset)
+{
+    const auto *in = static_cast<const uint8_t *>(src);
+    std::size_t done = 0;
+    while (done < n) {
+        std::size_t device, dev_offset;
+        map(offset + done, device, dev_offset);
+        const std::size_t in_chunk = chunk_size_ - ((offset + done) % chunk_size_);
+        const std::size_t span = std::min(in_chunk, n - done);
+        members_[device]->pwrite(in + done, span, dev_offset);
+        done += span;
+    }
+}
+
+std::vector<std::size_t>
+Raid0::splitExtent(std::size_t n, std::size_t offset) const
+{
+    std::vector<std::size_t> per_device(members_.size(), 0);
+    std::size_t done = 0;
+    while (done < n) {
+        std::size_t device, dev_offset;
+        map(offset + done, device, dev_offset);
+        const std::size_t in_chunk = chunk_size_ - ((offset + done) % chunk_size_);
+        const std::size_t span = std::min(in_chunk, n - done);
+        per_device[device] += span;
+        done += span;
+    }
+    return per_device;
+}
+
+} // namespace smartinf::storage

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Software RAID0 (striping) over a set of BlockDevices — the functional
+ * analogue of the mdadm arrays the paper uses for the ZeRO-Infinity
+ * baseline. Addresses are striped round-robin in fixed-size chunks; a single
+ * pread/pwrite fans out into per-device segment operations.
+ */
+#ifndef SMARTINF_STORAGE_RAID0_H
+#define SMARTINF_STORAGE_RAID0_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace smartinf::storage {
+
+/** A striped volume over N member devices. */
+class Raid0
+{
+  public:
+    /**
+     * @param members devices forming the array; not owned
+     * @param chunk_size stripe chunk in bytes (mdadm default is 512 KiB)
+     */
+    Raid0(std::vector<BlockDevice *> members, std::size_t chunk_size = 512 * 1024);
+
+    /** Volume capacity: members * min member capacity (mdadm semantics). */
+    std::size_t capacity() const;
+
+    void pread(void *dst, std::size_t n, std::size_t offset) const;
+    void pwrite(const void *src, std::size_t n, std::size_t offset);
+
+    std::size_t memberCount() const { return members_.size(); }
+    std::size_t chunkSize() const { return chunk_size_; }
+
+    /**
+     * Decompose a logical extent into per-device byte counts. The timing
+     * layer uses this to size per-device flows so stripe imbalance (small
+     * I/O touching few members) is modelled faithfully.
+     */
+    std::vector<std::size_t> splitExtent(std::size_t n, std::size_t offset) const;
+
+  private:
+    /** Map a logical offset to (device index, device offset). */
+    void map(std::size_t logical, std::size_t &device, std::size_t &dev_offset) const;
+
+    std::vector<BlockDevice *> members_;
+    std::size_t chunk_size_;
+};
+
+} // namespace smartinf::storage
+
+#endif // SMARTINF_STORAGE_RAID0_H

@@ -1,0 +1,12 @@
+#include "train/calibration.h"
+
+namespace smartinf::train {
+
+const Calibration &
+Calibration::defaults()
+{
+    static const Calibration defaults{};
+    return defaults;
+}
+
+} // namespace smartinf::train

@@ -1,0 +1,32 @@
+#include "train/cost_model.h"
+
+namespace smartinf::train {
+
+double
+systemCost(const SystemConfig &system, const CostTable &costs)
+{
+    const double storage_unit = strategyUsesCsd(system.strategy)
+                                    ? costs.smart_ssd
+                                    : costs.plain_ssd;
+    return costs.server + system.num_devices * storage_unit +
+           system.num_gpus * GpuModel::get(system.gpu).cost_usd;
+}
+
+double
+achievedGflops(const ModelSpec &model, const TrainConfig &train,
+               const IterationResult &result)
+{
+    const Flops per_iter =
+        model.flopsPerToken() * train.tokensPerIteration();
+    return per_iter / result.iteration_time / kGiga;
+}
+
+double
+gflopsPerDollar(const ModelSpec &model, const TrainConfig &train,
+                const SystemConfig &system, const IterationResult &result,
+                const CostTable &costs)
+{
+    return achievedGflops(model, train, result) / systemCost(system, costs);
+}
+
+} // namespace smartinf::train

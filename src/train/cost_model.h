@@ -1,0 +1,40 @@
+/**
+ * @file
+ * System cost-efficiency model (paper §VII-I, Fig 15): GFLOPS/$ for the
+ * baseline (plain SSDs) and Smart-Infinity (SmartSSDs), using the paper's
+ * quoted component prices.
+ */
+#ifndef SMARTINF_TRAIN_COST_MODEL_H
+#define SMARTINF_TRAIN_COST_MODEL_H
+
+#include "train/engine.h"
+
+namespace smartinf::train {
+
+/** Component prices (USD), quoted in §VII-I. */
+struct CostTable {
+    double server = 45000.0;    ///< CPU, RAM, PCIe expansion, chassis
+    double plain_ssd = 400.0;   ///< 4 TB NVMe
+    double smart_ssd = 2400.0;  ///< SmartSSD (~6x the plain SSD)
+    // GPU prices come from GpuModel::cost_usd.
+};
+
+/** Total system cost for a configuration. */
+double systemCost(const SystemConfig &system, const CostTable &costs = {});
+
+/**
+ * Achieved training GFLOPS for one iteration result (model FLOPs per
+ * iteration divided by iteration time).
+ */
+double achievedGflops(const ModelSpec &model, const TrainConfig &train,
+                      const IterationResult &result);
+
+/** The Fig 15 metric. */
+double gflopsPerDollar(const ModelSpec &model, const TrainConfig &train,
+                       const SystemConfig &system,
+                       const IterationResult &result,
+                       const CostTable &costs = {});
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_COST_MODEL_H

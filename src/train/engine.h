@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The storage-offloaded training engines. BaselineEngine reproduces the
+ * ZeRO-Infinity dataflow (Fig 1): block-wise FW/BW with gradient offload to
+ * a software RAID0, then a CPU update phase streaming optimizer states over
+ * the shared interconnect. SmartEngine implements Smart-Infinity (Fig 4/6):
+ * per-CSD near-storage updates over internal P2P links, with the naive or
+ * optimized transfer handler (Fig 5) and optional SmartComp compression.
+ *
+ * One iteration is expressed as a task graph of compute jobs (GPU, CPU,
+ * FPGA) and fluid flows (PCIe links); overlap and contention fall out of
+ * the dependency structure and the max-min flow model.
+ */
+#ifndef SMARTINF_TRAIN_ENGINE_H
+#define SMARTINF_TRAIN_ENGINE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/model_spec.h"
+#include "train/system_config.h"
+#include "train/traffic_ledger.h"
+
+namespace smartinf::train {
+
+/** Wall-clock split of one iteration into the paper's three phases. */
+struct PhaseBreakdown {
+    Seconds forward = 0.0;
+    /** Backward compute + gradient offload (paper "BW+Grad. Offload"). */
+    Seconds backward = 0.0;
+    /** Update + optimizer-state upload/offload. */
+    Seconds update = 0.0;
+
+    Seconds total() const { return forward + backward + update; }
+};
+
+/** Result of simulating one training iteration. */
+struct IterationResult {
+    PhaseBreakdown phases;
+    TrafficLedger traffic;
+    /** Iteration wall-clock (== phases.total()). */
+    Seconds iteration_time = 0.0;
+};
+
+/** Common interface of both engines. */
+class Engine
+{
+  public:
+    Engine(const ModelSpec &model, const TrainConfig &train,
+           const SystemConfig &system);
+    virtual ~Engine() = default;
+
+    /** Simulate one steady-state training iteration. Deterministic. */
+    virtual IterationResult runIteration() = 0;
+
+    virtual std::string name() const = 0;
+
+    const ModelSpec &model() const { return model_; }
+    const SystemConfig &system() const { return system_; }
+    const TrainConfig &train() const { return train_; }
+
+  protected:
+    ModelSpec model_;
+    TrainConfig train_;
+    SystemConfig system_;
+};
+
+/** Instantiate the engine matching @c system.strategy. */
+std::unique_ptr<Engine> makeEngine(const ModelSpec &model,
+                                   const TrainConfig &train,
+                                   const SystemConfig &system);
+
+/**
+ * Convenience for benches: run one iteration of @p system and of a baseline
+ * with the same model/devices, returning (result, speedup-over-baseline).
+ */
+struct SpeedupResult {
+    IterationResult result;
+    IterationResult baseline;
+    double speedup = 1.0;
+};
+SpeedupResult runWithSpeedup(const ModelSpec &model, const TrainConfig &train,
+                             const SystemConfig &system);
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_ENGINE_H

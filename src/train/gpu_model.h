@@ -1,0 +1,37 @@
+/**
+ * @file
+ * GPU grades used in the paper's evaluation (§VII-A): A5000 (default),
+ * A100 40GB (high end, Fig 11), A4000 (congested-topology study, Fig 17).
+ * Effective FLOPS are *achieved* mixed-precision training throughput, not
+ * peak — calibrated so the FW/BW share of the baseline iteration matches
+ * Fig 3(a)/Fig 9.
+ */
+#ifndef SMARTINF_TRAIN_GPU_MODEL_H
+#define SMARTINF_TRAIN_GPU_MODEL_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace smartinf::train {
+
+enum class GpuGrade { A5000, A100_40GB, A4000 };
+
+const char *gpuName(GpuGrade grade);
+
+/** Compute/transfer characteristics of one GPU. */
+struct GpuModel {
+    std::string name;
+    /** Achieved mixed-precision training FLOPs per second. */
+    Flops effective_flops;
+    /** Device memory (limits batch size; informational here). */
+    Bytes memory;
+    /** Street price used by the cost-efficiency study (Fig 15). */
+    double cost_usd;
+
+    static GpuModel get(GpuGrade grade);
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_GPU_MODEL_H

@@ -1,0 +1,92 @@
+#include "train/model_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace smartinf::train {
+
+const char *
+familyName(ModelFamily family)
+{
+    switch (family) {
+      case ModelFamily::Gpt2: return "GPT-2";
+      case ModelFamily::Bert: return "BERT";
+      case ModelFamily::Bloom: return "BLOOM";
+      case ModelFamily::ViT: return "ViT";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Depth heuristic spanning the published configurations (GPT-2 0.34B: 24
+ * layers ... Megatron-scale 33B: ~96 layers): logarithmic growth in size.
+ */
+int
+layersFor(double billions)
+{
+    const int layers =
+        static_cast<int>(std::lround(40.0 + 16.0 * std::log(billions)));
+    return std::clamp(layers, 12, 128);
+}
+
+/** Hidden dim from params ~= 12 * L * h^2 (transformer block cost). */
+int
+hiddenFor(double params, int layers)
+{
+    const double h = std::sqrt(params / (12.0 * layers));
+    // Round to a multiple of 64 like real configurations.
+    return std::max(256, static_cast<int>(std::lround(h / 64.0)) * 64);
+}
+
+ModelSpec
+make(ModelFamily family, double billions)
+{
+    SI_REQUIRE(billions > 0.0, "model size must be positive");
+    ModelSpec spec;
+    spec.family = family;
+    spec.num_params = billions * 1e9;
+    spec.num_layers = layersFor(billions);
+    spec.hidden_dim = hiddenFor(spec.num_params, spec.num_layers);
+    std::ostringstream name;
+    name << familyName(family) << " " << billions << "B";
+    spec.name = name.str();
+    return spec;
+}
+
+} // namespace
+
+ModelSpec
+ModelSpec::gpt2(double billions)
+{
+    return make(ModelFamily::Gpt2, billions);
+}
+
+ModelSpec
+ModelSpec::bert(double billions)
+{
+    return make(ModelFamily::Bert, billions);
+}
+
+ModelSpec
+ModelSpec::bloom(double billions)
+{
+    return make(ModelFamily::Bloom, billions);
+}
+
+ModelSpec
+ModelSpec::vit(double billions)
+{
+    // Vision transformers are shallower/wider at equal size; the paper's
+    // ViT runs (0.30B/0.63B) behave identically traffic-wise.
+    ModelSpec spec = make(ModelFamily::ViT, billions);
+    spec.num_layers = std::clamp(spec.num_layers * 2 / 3, 12, 64);
+    spec.hidden_dim = hiddenFor(spec.num_params, spec.num_layers);
+    return spec;
+}
+
+} // namespace smartinf::train

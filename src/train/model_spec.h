@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Model presets: parameter counts and block (layer) structure for every
+ * model size the paper evaluates. Because storage-offloaded training
+ * flattens parameters and is bottlenecked by traffic proportional to the
+ * parameter count, the spec needs only coarse architecture data — exactly
+ * the property the paper exploits ("the distribution procedure is agnostic
+ * to the model architecture", §IV-D).
+ */
+#ifndef SMARTINF_TRAIN_MODEL_SPEC_H
+#define SMARTINF_TRAIN_MODEL_SPEC_H
+
+#include <string>
+
+#include "common/units.h"
+
+namespace smartinf::train {
+
+/** Transformer family label (affects nothing but reporting — see Fig 13). */
+enum class ModelFamily { Gpt2, Bert, Bloom, ViT };
+
+const char *familyName(ModelFamily family);
+
+/** A model to train. */
+struct ModelSpec {
+    std::string name;
+    ModelFamily family = ModelFamily::Gpt2;
+    /** Total trainable parameters. */
+    double num_params = 0.0;
+    /** Transformer blocks == offloading granularity. */
+    int num_layers = 0;
+    /** Hidden dimension (activation-size estimate; tensor parallelism). */
+    int hidden_dim = 0;
+
+    /** FP16 model bytes — the paper's M. */
+    Bytes modelBytes() const { return num_params * kBytesFp16; }
+    /** FP32 gradient bytes — the paper's 2M. */
+    Bytes gradientBytes() const { return num_params * kBytesFp32; }
+
+    /** FW+BW FLOPs per token (the standard 6 * params estimate). */
+    Flops flopsPerToken() const { return 6.0 * num_params; }
+
+    /** Presets parameterized by billions of parameters. */
+    static ModelSpec gpt2(double billions);
+    static ModelSpec bert(double billions);
+    static ModelSpec bloom(double billions);
+    static ModelSpec vit(double billions);
+};
+
+/** Per-iteration workload. */
+struct TrainConfig {
+    int batch_size = 4;    ///< paper default (§VII-A)
+    int seq_len = 1024;    ///< tokens per sample
+
+    double tokensPerIteration() const
+    {
+        return static_cast<double>(batch_size) * seq_len;
+    }
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_MODEL_SPEC_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Experiment configuration: strategy (the paper's BASE / SU / SU+O /
+ * SU+O+C), device counts, GPU grade, topology shape, optimizer, and
+ * compression ratio.
+ */
+#ifndef SMARTINF_TRAIN_SYSTEM_CONFIG_H
+#define SMARTINF_TRAIN_SYSTEM_CONFIG_H
+
+#include "optim/optimizer.h"
+#include "train/calibration.h"
+#include "train/gpu_model.h"
+
+namespace smartinf::train {
+
+/** Training strategy under evaluation (paper §VII-A notation). */
+enum class Strategy {
+    Baseline,          ///< ZeRO-Infinity-like, software RAID0, CPU update
+    SmartUpdate,       ///< SU: near-storage update, naive transfer handling
+    SmartUpdateOpt,    ///< SU+O: + internal data transfer handler (§IV-B)
+    SmartUpdateOptComp ///< SU+O+C: + SmartComp gradient compression (§IV-C)
+};
+
+const char *strategyName(Strategy strategy);
+
+/** True for the strategies that run updates on CSDs. */
+inline bool
+strategyUsesCsd(Strategy strategy)
+{
+    return strategy != Strategy::Baseline;
+}
+
+/** Full system configuration for one experiment. */
+struct SystemConfig {
+    Strategy strategy = Strategy::Baseline;
+    /** SSD count for the baseline RAID0, CSD count for Smart-Infinity. */
+    int num_devices = 6;
+    GpuGrade gpu = GpuGrade::A5000;
+    int num_gpus = 1;
+    /**
+     * Fig 17 topology: GPUs live in the same PCIe expansion as the CSDs, so
+     * model/activation traffic contends with storage traffic on the shared
+     * interconnect. Multi-GPU runs use tensor parallelism.
+     */
+    bool congested_topology = false;
+    optim::OptimizerKind optimizer = optim::OptimizerKind::Adam;
+    /**
+     * SmartComp wire volume as a fraction of the dense FP32 gradients (the
+     * paper's c%; default 2% = top-1% selection with index+value pairs).
+     */
+    double compression_wire_fraction = 0.02;
+    Calibration calib = Calibration::defaults();
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_SYSTEM_CONFIG_H

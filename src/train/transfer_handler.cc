@@ -1,0 +1,178 @@
+#include "train/transfer_handler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <semaphore>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace smartinf::train {
+
+namespace {
+
+/** Number of buffer slots: double buffering when optimized. */
+int
+slotCount(bool optimized)
+{
+    return optimized ? 2 : 1;
+}
+
+} // namespace
+
+/** One slot's device buffers: gradients + master + aux states. */
+struct TransferHandler::Buffers {
+    csd::DeviceBuffer grad;
+    csd::DeviceBuffer master;
+    std::vector<csd::DeviceBuffer> aux;
+};
+
+TransferHandler::TransferHandler(csd::Csd &csd, const ShardLayout &layout,
+                                 const Config &config)
+    : csd_(csd), layout_(layout), config_(config)
+{
+    SI_REQUIRE(layout.elems > 0, "empty shard");
+    SI_REQUIRE(config.subgroup_elems > 0, "subgroup size must be positive");
+    SI_REQUIRE(csd.ssd().capacity() >= layout.totalBytes(),
+               "CSD functional capacity too small for shard");
+}
+
+std::size_t
+TransferHandler::subgroupCount() const
+{
+    return (layout_.elems + config_.subgroup_elems - 1) /
+           config_.subgroup_elems;
+}
+
+void
+TransferHandler::runUpdate(uint64_t step, float *host_params_out)
+{
+    process(nullptr, step, host_params_out);
+}
+
+void
+TransferHandler::runUpdateCompressed(const compress::SparseGradient &sparse,
+                                     uint64_t step, float *host_params_out)
+{
+    SI_REQUIRE(csd_.decompressor() != nullptr,
+               "no decompressor installed on ", csd_.name());
+    SI_REQUIRE(sparse.dense_size == layout_.elems,
+               "sparse gradient sized for a different shard");
+    process(&sparse, step, host_params_out);
+}
+
+void
+TransferHandler::process(const compress::SparseGradient *sparse,
+                         uint64_t step, float *host_params_out)
+{
+    auto *updater = csd_.updater();
+    SI_REQUIRE(updater != nullptr, "no updater installed on ", csd_.name());
+    const int aux = layout_.aux_states;
+    SI_REQUIRE(optim::auxStateCount(updater->kind()) == aux,
+               "updater state count does not match shard layout");
+
+    const std::size_t chunk = config_.subgroup_elems;
+    const std::size_t groups = subgroupCount();
+    const int slots = slotCount(config_.optimized);
+
+    // Pre-allocate device buffers once (the paper's buffer pre-allocation:
+    // avoids per-tasklet allocation and bounds device-memory use).
+    std::vector<Buffers> buffers(slots);
+    for (int k = 0; k < slots; ++k) {
+        const std::string tag = "slot" + std::to_string(k);
+        buffers[k].grad =
+            csd_.fpgaMemory().allocate(chunk * sizeof(float), tag + ".grad");
+        buffers[k].master = csd_.fpgaMemory().allocate(chunk * sizeof(float),
+                                                       tag + ".master");
+        for (int a = 0; a < aux; ++a) {
+            buffers[k].aux.push_back(csd_.fpgaMemory().allocate(
+                chunk * sizeof(float), tag + ".aux" + std::to_string(a)));
+        }
+    }
+
+    auto elems_of = [&](std::size_t s) {
+        return std::min(chunk, layout_.elems - s * chunk);
+    };
+
+    // Loader-side work: SSD -> device buffers (P2P pread).
+    auto load_subgroup = [&](std::size_t s, Buffers &buf) {
+        const std::size_t n = elems_of(s);
+        const std::size_t elem_off = s * chunk;
+        csd_.ssd().readFloats(buf.master.floats(), n,
+                              layout_.masterOffset() +
+                                  elem_off * sizeof(float));
+        for (int a = 0; a < aux; ++a) {
+            csd_.ssd().readFloats(buf.aux[a].floats(), n,
+                                  layout_.auxOffset(a) +
+                                      elem_off * sizeof(float));
+        }
+        if (sparse == nullptr) {
+            csd_.ssd().readFloats(buf.grad.floats(), n,
+                                  layout_.gradOffset() +
+                                      elem_off * sizeof(float));
+        }
+    };
+
+    // Compute-side work: decompress (if needed), update, write back with
+    // urgent-params-first ordering, surface the upstream copy.
+    auto compute_subgroup = [&](std::size_t s, Buffers &buf) {
+        const std::size_t n = elems_of(s);
+        const std::size_t elem_off = s * chunk;
+        if (sparse != nullptr) {
+            csd_.decompressor()->decompressSubgroup(*sparse, elem_off,
+                                                    buf.grad.floats(), n);
+        }
+        std::vector<float *> states;
+        for (int a = 0; a < aux; ++a)
+            states.push_back(buf.aux[a].floats());
+        updater->processSubgroup(buf.master.floats(), buf.grad.floats(),
+                                 states.data(), n, step);
+
+        // Urgent: master parameters back to SSD and up to the host.
+        csd_.ssd().writeFloats(buf.master.floats(), n,
+                               layout_.masterOffset() +
+                                   elem_off * sizeof(float));
+        if (host_params_out != nullptr) {
+            std::memcpy(host_params_out + elem_off, buf.master.floats(),
+                        n * sizeof(float));
+        }
+        // Deferred: momentum/variance (only needed next iteration).
+        for (int a = 0; a < aux; ++a) {
+            csd_.ssd().writeFloats(buf.aux[a].floats(), n,
+                                   layout_.auxOffset(a) +
+                                       elem_off * sizeof(float));
+        }
+    };
+
+    if (!config_.optimized) {
+        // Naive handler (Fig 5a): strictly sequential tasklets.
+        for (std::size_t s = 0; s < groups; ++s) {
+            load_subgroup(s, buffers[0]);
+            compute_subgroup(s, buffers[0]);
+        }
+        return;
+    }
+
+    // Optimized handler (Fig 5b): thread 1 loads subgroup s+1 while
+    // thread 0 computes/writes subgroup s, alternating over two slots.
+    std::counting_semaphore<2> free_slots(slots);
+    std::counting_semaphore<2> ready_slots(0);
+
+    std::thread loader([&]() {
+        for (std::size_t s = 0; s < groups; ++s) {
+            free_slots.acquire();
+            load_subgroup(s, buffers[s % slots]);
+            ready_slots.release();
+        }
+    });
+
+    for (std::size_t s = 0; s < groups; ++s) {
+        ready_slots.acquire();
+        compute_subgroup(s, buffers[s % slots]);
+        free_slots.release();
+    }
+    loader.join();
+}
+
+} // namespace smartinf::train

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The internal data transfer handler (paper §IV-B), functional version: two
+ * host threads manage pre-allocated FPGA device buffers, streaming
+ * subgroups SSD -> FPGA -> SSD. The urgent FP32 master parameters are
+ * written back (and surfaced to the host) first; momentum/variance
+ * writeback is deferred so the loader thread can begin the next subgroup.
+ * A naive mode reproduces Fig 5(a): one buffer set, strict serialization.
+ */
+#ifndef SMARTINF_TRAIN_TRANSFER_HANDLER_H
+#define SMARTINF_TRAIN_TRANSFER_HANDLER_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "compress/topk.h"
+#include "csd/csd.h"
+
+namespace smartinf::train {
+
+/** Byte layout of one CSD's parameter shard on its SSD. */
+struct ShardLayout {
+    std::size_t elems = 0; ///< parameters owned by this CSD
+    int aux_states = 2;    ///< optimizer aux arrays (Adam: mmt + var)
+
+    std::size_t masterOffset() const { return 0; }
+    std::size_t
+    auxOffset(int idx) const
+    {
+        return (1 + static_cast<std::size_t>(idx)) * elems * sizeof(float);
+    }
+    std::size_t
+    gradOffset() const
+    {
+        return (1 + static_cast<std::size_t>(aux_states)) * elems *
+               sizeof(float);
+    }
+    /** Bytes of SSD this shard occupies (states + dense gradients). */
+    std::size_t
+    totalBytes() const
+    {
+        return (2 + static_cast<std::size_t>(aux_states)) * elems *
+               sizeof(float);
+    }
+};
+
+/** Streams a shard through the CSD's FPGA and applies the update. */
+class TransferHandler
+{
+  public:
+    struct Config {
+        /** Elements per subgroup/tasklet (the paper's D). */
+        std::size_t subgroup_elems = 1 << 16;
+        /** false reproduces the naive single-buffer handler (Fig 5a). */
+        bool optimized = true;
+    };
+
+    /**
+     * @param csd target device; must have an updater installed (and a
+     *        decompressor when compressed gradients are used)
+     * @param layout shard layout on the CSD's SSD
+     */
+    TransferHandler(csd::Csd &csd, const ShardLayout &layout,
+                    const Config &config);
+
+    /**
+     * Run the update for the whole shard. Dense FP32 gradients must already
+     * reside at layout.gradOffset() on the SSD.
+     * @param step 1-based global step (bias correction)
+     * @param host_params_out optional FP32 buffer of layout.elems receiving
+     *        the updated master parameters (the "upstream" transfer)
+     */
+    void runUpdate(uint64_t step, float *host_params_out);
+
+    /**
+     * SmartComp variant: the gradients arrive compressed. The FPGA's
+     * decompressor reconstructs each subgroup's dense slice before the
+     * updater runs. @p sparse indices are global within the shard.
+     */
+    void runUpdateCompressed(const compress::SparseGradient &sparse,
+                             uint64_t step, float *host_params_out);
+
+    /** Number of subgroups (tasklets) per runUpdate call. */
+    std::size_t subgroupCount() const;
+
+    /** Peak FPGA device-memory use observed (bytes). */
+    std::size_t peakDeviceMemory() const
+    {
+        return csd_.fpgaMemory().peakAllocated();
+    }
+
+  private:
+    struct Buffers;
+
+    void process(const compress::SparseGradient *sparse, uint64_t step,
+                 float *host_params_out);
+
+    csd::Csd &csd_;
+    ShardLayout layout_;
+    Config config_;
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_TRANSFER_HANDLER_H

@@ -1,0 +1,198 @@
+/** @file Tests for the SmartInfinityCluster functional backend. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/smart_infinity.h"
+
+namespace smartinf {
+namespace {
+
+std::vector<float>
+randomVector(std::size_t n, uint64_t seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+TEST(Cluster, ShardsCoverAllParameters)
+{
+    ClusterConfig config;
+    config.num_csds = 3;
+    SmartInfinityCluster cluster(config);
+    const auto params = randomVector(1000, 1);
+    cluster.initialize(params.data(), params.size());
+    EXPECT_EQ(cluster.numCsds(), 3);
+    std::size_t total = 0;
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_EQ(cluster.shardOffset(d), total);
+        total += cluster.shardLength(d);
+    }
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST(Cluster, SmartUpdateIsAlgorithmicallyIdenticalToHost)
+{
+    // The paper SVII-J: "SmartUpdate is algorithmically identical to the
+    // baseline training, so the accuracy is exactly the same."
+    const std::size_t n = 5000;
+    const auto params = randomVector(n, 2);
+
+    ClusterConfig config;
+    config.num_csds = 4;
+    config.subgroup_elems = 333;
+    SmartInfinityCluster cluster(config);
+    cluster.initialize(params.data(), n);
+
+    nn::HostBackend host(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    host.initialize(params.data(), n);
+
+    for (uint64_t t = 1; t <= 4; ++t) {
+        const auto grads = randomVector(n, 100 + t, 0.01);
+        cluster.step(grads.data(), n, t);
+        host.step(grads.data(), n, t);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(cluster.masterParams()[i], host.masterParams()[i]) << i;
+}
+
+TEST(Cluster, NaiveHandlerGivesSameResults)
+{
+    const std::size_t n = 2000;
+    const auto params = randomVector(n, 3);
+    const auto grads = randomVector(n, 4, 0.01);
+
+    ClusterConfig opt_cfg;
+    opt_cfg.num_csds = 2;
+    ClusterConfig naive_cfg = opt_cfg;
+    naive_cfg.optimized_handler = false;
+
+    SmartInfinityCluster a(opt_cfg), b(naive_cfg);
+    a.initialize(params.data(), n);
+    b.initialize(params.data(), n);
+    a.step(grads.data(), n, 1);
+    b.step(grads.data(), n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(a.masterParams()[i], b.masterParams()[i]);
+}
+
+TEST(Cluster, CompressionReducesWireBytes)
+{
+    const std::size_t n = 10000;
+    const auto params = randomVector(n, 5);
+    const auto grads = randomVector(n, 6, 0.01);
+
+    ClusterConfig dense_cfg;
+    dense_cfg.num_csds = 2;
+    SmartInfinityCluster dense(dense_cfg);
+    dense.initialize(params.data(), n);
+    dense.step(grads.data(), n, 1);
+    EXPECT_DOUBLE_EQ(dense.lastGradWireBytes(), n * 4.0);
+
+    ClusterConfig comp_cfg = dense_cfg;
+    comp_cfg.compression = true;
+    comp_cfg.keep_fraction = 0.01;
+    SmartInfinityCluster comp(comp_cfg);
+    comp.initialize(params.data(), n);
+    comp.step(grads.data(), n, 1);
+    // Top 1% -> 2% wire volume (paper's convention).
+    EXPECT_NEAR(comp.lastGradWireBytes() / dense.lastGradWireBytes(), 0.02,
+                0.002);
+}
+
+TEST(Cluster, CompressionApproximatesDenseUpdate)
+{
+    const std::size_t n = 4000;
+    const auto params = randomVector(n, 7);
+    const auto grads = randomVector(n, 8, 0.01);
+
+    ClusterConfig comp_cfg;
+    comp_cfg.num_csds = 2;
+    comp_cfg.compression = true;
+    comp_cfg.keep_fraction = 0.25;
+    SmartInfinityCluster comp(comp_cfg);
+    comp.initialize(params.data(), n);
+    comp.step(grads.data(), n, 1);
+
+    nn::HostBackend host(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    host.initialize(params.data(), n);
+    host.step(grads.data(), n, 1);
+
+    // Parameters whose gradient was kept move identically; dropped ones
+    // stay put. Either way the drift vs. dense is bounded by one lr step.
+    const float lr = optim::Hyperparams{}.lr;
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(comp.masterParams()[i], host.masterParams()[i],
+                    1.05 * lr);
+    }
+}
+
+TEST(Cluster, InstallsDecompressorOnlyWhenCompressing)
+{
+    const auto params = randomVector(100, 9);
+    ClusterConfig plain;
+    plain.num_csds = 1;
+    SmartInfinityCluster a(plain);
+    a.initialize(params.data(), params.size());
+    EXPECT_EQ(a.csd(0).decompressor(), nullptr);
+
+    ClusterConfig comp = plain;
+    comp.compression = true;
+    SmartInfinityCluster b(comp);
+    b.initialize(params.data(), params.size());
+    EXPECT_NE(b.csd(0).decompressor(), nullptr);
+}
+
+TEST(Cluster, SanityChecksPass)
+{
+    const auto params = randomVector(500, 10);
+    ClusterConfig config;
+    config.num_csds = 2;
+    config.compression = true;
+    SmartInfinityCluster cluster(config);
+    cluster.initialize(params.data(), params.size());
+    EXPECT_TRUE(cluster.sanityCheckModules());
+}
+
+TEST(Cluster, OtherOptimizersSupported)
+{
+    const std::size_t n = 1500;
+    const auto params = randomVector(n, 11);
+    const auto grads = randomVector(n, 12, 0.01);
+    for (auto kind :
+         {optim::OptimizerKind::SgdMomentum, optim::OptimizerKind::AdaGrad,
+          optim::OptimizerKind::AdamW}) {
+        ClusterConfig config;
+        config.num_csds = 2;
+        config.optimizer = kind;
+        SmartInfinityCluster cluster(config);
+        cluster.initialize(params.data(), n);
+        cluster.step(grads.data(), n, 1);
+
+        nn::HostBackend host(kind, optim::Hyperparams{});
+        host.initialize(params.data(), n);
+        host.step(grads.data(), n, 1);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(cluster.masterParams()[i], host.masterParams()[i])
+                << optim::optimizerName(kind) << " " << i;
+    }
+}
+
+TEST(Cluster, UsageErrorsAreFatal)
+{
+    ClusterConfig config;
+    SmartInfinityCluster cluster(config);
+    const auto grads = randomVector(10, 13);
+    EXPECT_THROW(cluster.step(grads.data(), 10, 1), std::runtime_error);
+    EXPECT_THROW(cluster.masterParams(), std::runtime_error);
+
+    ClusterConfig bad;
+    bad.num_csds = 0;
+    EXPECT_THROW(SmartInfinityCluster{bad}, std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf

@@ -1,0 +1,77 @@
+/** @file Tests for the cost-efficiency model (paper Fig 15). */
+#include <gtest/gtest.h>
+
+#include "train/cost_model.h"
+
+namespace smartinf::train {
+namespace {
+
+TEST(CostModel, SystemCostComposition)
+{
+    SystemConfig base;
+    base.num_devices = 4;
+    base.gpu = GpuGrade::A5000;
+    // Server 45000 + 4 x 400 (plain SSD) + 2000 (A5000).
+    EXPECT_DOUBLE_EQ(systemCost(base), 45000.0 + 1600.0 + 2000.0);
+
+    SystemConfig smart = base;
+    smart.strategy = Strategy::SmartUpdateOpt;
+    // SmartSSDs cost 2400 each (6x the plain SSD).
+    EXPECT_DOUBLE_EQ(systemCost(smart), 45000.0 + 9600.0 + 2000.0);
+}
+
+TEST(CostModel, AchievedGflops)
+{
+    ModelSpec m = ModelSpec::gpt2(1.0);
+    TrainConfig tc;
+    tc.batch_size = 4;
+    tc.seq_len = 1024;
+    IterationResult r;
+    r.iteration_time = 2.0;
+    // 6 * 1e9 * 4096 flops / 2 s / 1e9 = 12288 GFLOPS.
+    EXPECT_NEAR(achievedGflops(m, tc, r), 12288.0, 1.0);
+}
+
+TEST(CostModel, SmartInfinityWinsBeyondFourDevices)
+{
+    // Fig 15: with 1-3 CSDs the 6x device price dominates; from ~4 devices
+    // the speedup makes Smart-Infinity more cost-efficient.
+    const auto m = ModelSpec::gpt2(4.0);
+    TrainConfig tc;
+
+    auto metric = [&](Strategy strategy, int n) {
+        SystemConfig sc;
+        sc.strategy = strategy;
+        sc.num_devices = n;
+        const auto r = makeEngine(m, tc, sc)->runIteration();
+        return gflopsPerDollar(m, tc, sc, r);
+    };
+
+    EXPECT_LT(metric(Strategy::SmartUpdateOptComp, 1),
+              metric(Strategy::Baseline, 1));
+    EXPECT_GT(metric(Strategy::SmartUpdateOptComp, 6),
+              metric(Strategy::Baseline, 6));
+    EXPECT_GT(metric(Strategy::SmartUpdateOptComp, 10),
+              metric(Strategy::Baseline, 10));
+}
+
+TEST(CostModel, SmartEfficiencyKeepsGrowingWithDevices)
+{
+    // Fig 15: GFLOPS/$ keeps increasing when scaling SmartSSDs while the
+    // baseline's flattens after RAID saturation.
+    const auto m = ModelSpec::gpt2(4.0);
+    TrainConfig tc;
+    double prev = 0.0;
+    for (int n : {4, 6, 8, 10}) {
+        SystemConfig sc;
+        sc.strategy = Strategy::SmartUpdateOptComp;
+        sc.num_devices = n;
+        const auto r = makeEngine(m, tc, sc)->runIteration();
+        const double g = gflopsPerDollar(m, tc, sc, r);
+        EXPECT_GT(g, prev) << n;
+        prev = g;
+    }
+}
+
+} // namespace
+} // namespace smartinf::train

@@ -1,0 +1,112 @@
+/** @file Tests for the behavioral FPGA Top-K decompressor. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/decompressor.h"
+#include "accel/hls_module.h"
+#include "common/random.h"
+#include "compress/topk.h"
+
+namespace smartinf::accel {
+namespace {
+
+TEST(Decompressor, MatchesReferenceScatter)
+{
+    auto module = makeTopKDecompressor();
+    const auto report = sanityCheckDecompressor(*module, 0.01, 1 << 14, 9);
+    EXPECT_TRUE(report.passed) << report.detail;
+    EXPECT_EQ(report.max_abs_diff, 0.0);
+}
+
+TEST(Decompressor, IgnoresIndicesOutsideSubgroup)
+{
+    compress::SparseGradient sparse;
+    sparse.dense_size = 100; // Indices are global within a larger shard.
+    sparse.indices = {5, 50, 95};
+    sparse.values = {1.0f, 2.0f, 3.0f};
+
+    auto module = makeTopKDecompressor();
+    // Subgroup covering [40, 60): only index 50 lands here.
+    std::vector<float> out(20, -1.0f);
+    module->decompressSubgroup(sparse, 40, out.data(), out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i == 10)
+            EXPECT_FLOAT_EQ(out[i], 2.0f);
+        else
+            EXPECT_FLOAT_EQ(out[i], 0.0f) << i;
+    }
+}
+
+TEST(Decompressor, PartitionsReassembleTheDenseVector)
+{
+    // Decompressing per-subgroup must tile back into the full gradient —
+    // the property the multi-CSD distribution (SIV-D) relies on.
+    const std::size_t n = 1000;
+    Rng rng(21);
+    std::vector<float> dense(n);
+    for (auto &v : dense)
+        v = static_cast<float>(rng.normal());
+    compress::TopKCompressor comp(0.05);
+    const auto sparse = comp.compress(dense.data(), n);
+
+    std::vector<float> reference(n);
+    compress::TopKCompressor::decompress(sparse, reference.data(), n);
+
+    auto module = makeTopKDecompressor();
+    std::vector<float> tiled(n, -7.0f);
+    const std::size_t subgroup = 128;
+    for (std::size_t base = 0; base < n; base += subgroup) {
+        const std::size_t len = std::min(subgroup, n - base);
+        module->decompressSubgroup(sparse, base, tiled.data() + base, len);
+    }
+    EXPECT_EQ(tiled, reference);
+}
+
+/** Batch size S must not affect results. */
+class DecompressorBatch : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DecompressorBatch, BatchSizeInvariant)
+{
+    DecompressorGeometry geom;
+    geom.batch_pairs = GetParam();
+    auto module = makeTopKDecompressor(geom);
+    const auto report = sanityCheckDecompressor(*module, 0.02, 4096, 31);
+    EXPECT_TRUE(report.passed) << "batch=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, DecompressorBatch,
+                         ::testing::Values(1, 3, 64, 1024, 100000));
+
+TEST(Decompressor, FootprintIsTinyRouting)
+{
+    auto module = makeTopKDecompressor();
+    const auto fp = module->footprint();
+    // Table III: no arithmetic — zero DSPs/BRAMs, small LUT count.
+    EXPECT_EQ(fp.dsps, 0u);
+    EXPECT_EQ(fp.brams, 0u);
+    EXPECT_LT(fp.luts, 10000u);
+}
+
+TEST(Decompressor, ThroughputClearsSsdRead)
+{
+    auto module = makeTopKDecompressor();
+    const auto perf = analyzeDecompressor(*module);
+    // Fig 14: decompressor slightly surpasses SSD read throughput.
+    EXPECT_TRUE(perf.keeps_up_with_ssd);
+    EXPECT_GT(perf.modeled_throughput, 3.2e9);
+    EXPECT_LT(perf.modeled_throughput, 7e9); // But below the updater.
+}
+
+TEST(Decompressor, RegistryServesTopK)
+{
+    auto &registry = ModuleRegistry::instance();
+    auto module = registry.makeDecompressor("topk");
+    EXPECT_NE(module, nullptr);
+    EXPECT_THROW(registry.makeDecompressor("lowrank"), std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::accel

@@ -1,0 +1,127 @@
+/** @file Tests for the discrete-event queue and simulator clock. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace smartinf::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&]() { order.push_back(3); });
+    q.schedule(1.0, [&]() { order.push_back(1); });
+    q.schedule(2.0, [&]() { order.push_back(2); });
+    Seconds now = 0.0;
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(now, 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i]() { order.push_back(i); });
+    Seconds now = 0.0;
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    const EventId id = q.schedule(1.0, [&]() { ++fired; });
+    q.schedule(2.0, [&]() { ++fired; });
+    q.cancel(id);
+    EXPECT_EQ(q.size(), 1u);
+    Seconds now = 0.0;
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue q;
+    const EventId id = q.schedule(1.0, []() {});
+    q.cancel(id);
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId early = q.schedule(1.0, []() {});
+    q.schedule(5.0, []() {});
+    q.cancel(early);
+    EXPECT_DOUBLE_EQ(q.nextTime(), 5.0);
+}
+
+TEST(EventQueue, EventsScheduledDuringRun)
+{
+    EventQueue q;
+    std::vector<double> times;
+    Seconds now = 0.0;
+    q.schedule(1.0, [&]() {
+        times.push_back(now);
+        q.schedule(2.0, [&]() { times.push_back(2.0); });
+    });
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(now, 2.0);
+}
+
+TEST(Simulator, AfterSchedulesRelative)
+{
+    Simulator sim;
+    double fired_at = -1.0;
+    sim.after(2.5, [&]() { fired_at = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 2.5);
+    EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulator, NestedAfterAccumulates)
+{
+    Simulator sim;
+    double final_time = 0.0;
+    sim.after(1.0, [&]() {
+        sim.after(1.5, [&]() { final_time = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(final_time, 2.5);
+}
+
+TEST(Simulator, RunUntilPredicate)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.after(i, [&]() { ++count; });
+    sim.runUntil([&]() { return count >= 3; });
+    EXPECT_EQ(count, 3);
+    EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.after(1.0, []() {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+}
+
+} // namespace
+} // namespace smartinf::sim

@@ -1,0 +1,189 @@
+/** @file Tests for the max-min fair fluid-flow network. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flow_network.h"
+#include "net/topology.h"
+
+namespace smartinf::net {
+namespace {
+
+TEST(FlowNetwork, SingleFlowUsesFullCapacity)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    double done_at = -1.0;
+    net.startFlow({&link}, 500.0, [&]() { done_at = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(done_at, 5.0, 1e-6);
+    EXPECT_NEAR(link.bytesCarried(), 500.0, 1.0);
+}
+
+TEST(FlowNetwork, TwoFlowsShareFairly)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    std::vector<double> done;
+    net.startFlow({&link}, 500.0, [&]() { done.push_back(sim.now()); });
+    net.startFlow({&link}, 500.0, [&]() { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    // Equal shares: both complete at t=10 (500/(100/2)).
+    EXPECT_NEAR(done[0], 10.0, 1e-6);
+    EXPECT_NEAR(done[1], 10.0, 1e-6);
+}
+
+TEST(FlowNetwork, ShortFlowFinishesThenLongSpeedsUp)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    double short_done = -1.0, long_done = -1.0;
+    net.startFlow({&link}, 100.0, [&]() { short_done = sim.now(); });
+    net.startFlow({&link}, 500.0, [&]() { long_done = sim.now(); });
+    sim.run();
+    // Short: 100 bytes at 50 B/s -> t=2. Long: 100 bytes by t=2, then
+    // 400 bytes at full 100 B/s -> t=6.
+    EXPECT_NEAR(short_done, 2.0, 1e-6);
+    EXPECT_NEAR(long_done, 6.0, 1e-6);
+}
+
+TEST(FlowNetwork, MaxMinRespectsPerFlowBottleneck)
+{
+    // Flow A crosses narrow+wide, flow B only wide. A is limited to 10 by
+    // its narrow link; B gets the leftover 90 of the wide link.
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &narrow = topo.addLink("narrow", 10.0);
+    Link &wide = topo.addLink("wide", 100.0);
+    double a_done = -1.0, b_done = -1.0;
+    net.startFlow({&narrow, &wide}, 100.0, [&]() { a_done = sim.now(); });
+    net.startFlow({&wide}, 900.0, [&]() { b_done = sim.now(); });
+    sim.run();
+    EXPECT_NEAR(a_done, 10.0, 1e-6); // 100 / 10.
+    EXPECT_NEAR(b_done, 10.0, 1e-6); // 900 / 90.
+}
+
+TEST(FlowNetwork, RoutesWithMultipleSharedLinks)
+{
+    // Three flows through one 60 B/s link: each gets 20 B/s.
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 60.0);
+    int completed = 0;
+    for (int i = 0; i < 3; ++i)
+        net.startFlow({&link}, 200.0, [&]() { ++completed; });
+    sim.run();
+    EXPECT_EQ(completed, 3);
+    EXPECT_NEAR(sim.now(), 10.0, 1e-6);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletes)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 10.0);
+    bool done = false;
+    net.startFlow({&link}, 0.0, [&]() { done = true; });
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(sim.now(), 0.0, 1e-9);
+}
+
+TEST(FlowNetwork, LatencyDelaysBulkPhase)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    double done_at = -1.0;
+    net.startFlow({&link}, 100.0, [&]() { done_at = sim.now(); }, 2.0);
+    sim.run();
+    EXPECT_NEAR(done_at, 3.0, 1e-6);
+}
+
+TEST(FlowNetwork, CallbackCanStartNewFlow)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    double second_done = -1.0;
+    net.startFlow({&link}, 100.0, [&]() {
+        net.startFlow({&link}, 200.0, [&]() { second_done = sim.now(); });
+    });
+    sim.run();
+    EXPECT_NEAR(second_done, 3.0, 1e-6);
+}
+
+TEST(FlowNetwork, DeliveredBytesAccumulate)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    net.startFlow({&link}, 123.0, nullptr);
+    net.startFlow({&link}, 77.0, nullptr);
+    sim.run();
+    EXPECT_NEAR(net.totalBytesDelivered(), 200.0, 2.0);
+}
+
+TEST(FlowNetwork, UtilizationIntegralIsSane)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    net.startFlow({&link}, 1000.0, nullptr); // Saturates for 10 s.
+    sim.run();
+    EXPECT_NEAR(link.busyIntegral(), 10.0, 1e-6);
+    EXPECT_NEAR(link.utilization(10.0), 1.0, 1e-6);
+}
+
+/** Property: total delivered equals requested across random flow sets. */
+class FlowConservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlowConservation, BytesConserved)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &a = topo.addLink("a", 50.0);
+    Link &b = topo.addLink("b", 70.0);
+    Link &c = topo.addLink("c", 30.0);
+    const int flows = GetParam();
+    double requested = 0.0;
+    int completed = 0;
+    for (int i = 0; i < flows; ++i) {
+        const double bytes = 10.0 + 13.0 * i;
+        requested += bytes;
+        Route route;
+        if (i % 3 == 0)
+            route = {&a, &b};
+        else if (i % 3 == 1)
+            route = {&b, &c};
+        else
+            route = {&a, &c};
+        net.startFlow(std::move(route), bytes, [&]() { ++completed; });
+    }
+    sim.run();
+    EXPECT_EQ(completed, flows);
+    EXPECT_NEAR(net.totalBytesDelivered(), requested, flows * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FlowConservation,
+                         ::testing::Values(1, 3, 8, 20, 50));
+
+} // namespace
+} // namespace smartinf::net

@@ -1,0 +1,83 @@
+/** @file Tests for FPGA resource accounting (paper Table III). */
+#include <gtest/gtest.h>
+
+#include "accel/decompressor.h"
+#include "accel/fpga_resources.h"
+#include "accel/updater.h"
+
+namespace smartinf::accel {
+namespace {
+
+TEST(FpgaResources, Ku15pBudget)
+{
+    const auto budget = FpgaBudget::ku15p();
+    EXPECT_NEAR(budget.luts, 522000, 2000);
+    EXPECT_EQ(budget.brams, 984u);
+    EXPECT_EQ(budget.urams, 128u);
+    EXPECT_EQ(budget.dsps, 1968u);
+}
+
+TEST(FpgaResources, AdamUtilizationMatchesTableIII)
+{
+    FpgaResourceModel fpga;
+    auto updater = makeUpdater(optim::OptimizerKind::Adam,
+                               optim::Hyperparams{});
+    fpga.place(updater->footprint());
+    EXPECT_NEAR(fpga.lutUtilization(), 0.3366, 0.005);
+    EXPECT_NEAR(fpga.bramUtilization(), 0.2713, 0.005);
+    EXPECT_NEAR(fpga.uramUtilization(), 0.3438, 0.005);
+    EXPECT_NEAR(fpga.dspUtilization(), 0.1103, 0.005);
+}
+
+TEST(FpgaResources, AdamWithTopKMatchesTableIII)
+{
+    FpgaResourceModel fpga;
+    auto updater = makeUpdater(optim::OptimizerKind::Adam,
+                               optim::Hyperparams{});
+    auto decomp = makeTopKDecompressor();
+    fpga.place(updater->footprint());
+    fpga.place(decomp->footprint());
+    EXPECT_NEAR(fpga.lutUtilization(), 0.3412, 0.005);
+    EXPECT_NEAR(fpga.bramUtilization(), 0.2713, 0.005); // Unchanged.
+    EXPECT_NEAR(fpga.uramUtilization(), 0.3594, 0.005);
+    EXPECT_NEAR(fpga.dspUtilization(), 0.1103, 0.005); // Unchanged.
+}
+
+TEST(FpgaResources, RoomLeftForExtensions)
+{
+    // The paper notes "much room left for extra logic" (SVII-B).
+    FpgaResourceModel fpga;
+    auto updater = makeUpdater(optim::OptimizerKind::Adam,
+                               optim::Hyperparams{});
+    auto decomp = makeTopKDecompressor();
+    fpga.place(updater->footprint());
+    fpga.place(decomp->footprint());
+    EXPECT_LT(fpga.lutUtilization(), 0.5);
+    EXPECT_LT(fpga.dspUtilization(), 0.2);
+}
+
+TEST(FpgaResources, OverflowIsFatal)
+{
+    FpgaResourceModel fpga(FpgaBudget{1000, 10, 4, 20});
+    ModuleFootprint big{"huge", 2000, 0, 0, 0};
+    EXPECT_THROW(fpga.place(big), std::runtime_error);
+    // A failed placement leaves the model unchanged.
+    EXPECT_EQ(fpga.placed().size(), 0u);
+}
+
+TEST(FpgaResources, TotalsAggregate)
+{
+    FpgaResourceModel fpga;
+    fpga.place(ModuleFootprint{"a", 100, 2, 1, 5});
+    fpga.place(ModuleFootprint{"b", 50, 1, 0, 3});
+    const auto total = fpga.total();
+    EXPECT_EQ(total.luts, 150u);
+    EXPECT_EQ(total.brams, 3u);
+    EXPECT_EQ(total.urams, 1u);
+    EXPECT_EQ(total.dsps, 8u);
+    fpga.clear();
+    EXPECT_EQ(fpga.total().luts, 0u);
+}
+
+} // namespace
+} // namespace smartinf::accel

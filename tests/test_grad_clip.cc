@@ -1,0 +1,65 @@
+/** @file Tests for global-norm gradient clipping. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "optim/grad_clip.h"
+
+namespace smartinf::optim {
+namespace {
+
+TEST(GradClip, SumOfSquares)
+{
+    std::vector<float> g{3.0f, 4.0f};
+    EXPECT_DOUBLE_EQ(sumOfSquares(g.data(), g.size()), 25.0);
+}
+
+TEST(GradClip, ShardsCombineToGlobalNorm)
+{
+    std::vector<float> a{1.0f, 2.0f}, b{2.0f};
+    const double total = sumOfSquares(a.data(), 2) + sumOfSquares(b.data(), 1);
+    EXPECT_DOUBLE_EQ(std::sqrt(total), 3.0);
+}
+
+TEST(GradClip, NoClipWhenUnderThreshold)
+{
+    EXPECT_FLOAT_EQ(clipCoefficient(0.5, 1.0), 1.0f);
+    EXPECT_FLOAT_EQ(clipCoefficient(1.0, 1.0), 1.0f);
+    EXPECT_FLOAT_EQ(clipCoefficient(0.0, 1.0), 1.0f);
+}
+
+TEST(GradClip, ClipsProportionally)
+{
+    EXPECT_FLOAT_EQ(clipCoefficient(10.0, 1.0), 0.1f);
+    EXPECT_FLOAT_EQ(clipCoefficient(4.0, 2.0), 0.5f);
+}
+
+TEST(GradClip, ScaleInPlace)
+{
+    std::vector<float> g{2.0f, -4.0f};
+    scaleInPlace(g.data(), g.size(), 0.5f);
+    EXPECT_FLOAT_EQ(g[0], 1.0f);
+    EXPECT_FLOAT_EQ(g[1], -2.0f);
+}
+
+TEST(GradClip, UnitCoefficientIsNoOp)
+{
+    std::vector<float> g{1.25f, -7.5f};
+    const auto copy = g;
+    scaleInPlace(g.data(), g.size(), 1.0f);
+    EXPECT_EQ(g, copy);
+}
+
+TEST(GradClip, EndToEndClipBoundsNorm)
+{
+    std::vector<float> g(100, 1.0f); // Norm = 10.
+    const double norm = std::sqrt(sumOfSquares(g.data(), g.size()));
+    const float coeff = clipCoefficient(norm, 2.0);
+    scaleInPlace(g.data(), g.size(), coeff);
+    const double clipped = std::sqrt(sumOfSquares(g.data(), g.size()));
+    EXPECT_NEAR(clipped, 2.0, 1e-5);
+}
+
+} // namespace
+} // namespace smartinf::optim

@@ -1,0 +1,131 @@
+/** @file Tests for IEEE binary16 conversion. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/half.h"
+#include "common/random.h"
+
+namespace smartinf {
+namespace {
+
+TEST(Half, ZeroAndSignedZero)
+{
+    EXPECT_EQ(floatToHalf(0.0f), 0x0000u);
+    EXPECT_EQ(floatToHalf(-0.0f), 0x8000u);
+    EXPECT_EQ(halfToFloat(0x0000u), 0.0f);
+    EXPECT_TRUE(std::signbit(halfToFloat(0x8000u)));
+}
+
+TEST(Half, ExactSmallValues)
+{
+    // Powers of two and small integers are exact in binary16.
+    for (float v : {1.0f, 2.0f, 0.5f, 0.25f, 3.0f, 1024.0f, -7.0f, 0.125f})
+        EXPECT_EQ(halfToFloat(floatToHalf(v)), v) << v;
+}
+
+TEST(Half, MaxFiniteValue)
+{
+    EXPECT_EQ(halfToFloat(floatToHalf(kHalfMax)), kHalfMax);
+    // Just above max rounds to infinity.
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(70000.0f))));
+}
+
+TEST(Half, InfinityAndNan)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(inf))));
+    EXPECT_TRUE(std::isinf(halfToFloat(floatToHalf(-inf))));
+    EXPECT_TRUE(std::isnan(
+        halfToFloat(floatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Half, NanInfDetection)
+{
+    EXPECT_TRUE(halfIsNanOrInf(floatToHalf(
+        std::numeric_limits<float>::infinity())));
+    EXPECT_TRUE(halfIsNanOrInf(
+        floatToHalf(std::numeric_limits<float>::quiet_NaN())));
+    EXPECT_FALSE(halfIsNanOrInf(floatToHalf(1.5f)));
+    EXPECT_FALSE(halfIsNanOrInf(floatToHalf(0.0f)));
+    EXPECT_FALSE(halfIsNanOrInf(floatToHalf(kHalfMax)));
+}
+
+TEST(Half, SubnormalsRoundTrip)
+{
+    // Smallest positive binary16 subnormal is 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(halfToFloat(floatToHalf(tiny)), tiny);
+    // Below half of the smallest subnormal flushes to zero.
+    EXPECT_EQ(halfToFloat(floatToHalf(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and the next half; RNE
+    // rounds to even mantissa (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(halfToFloat(floatToHalf(halfway)), 1.0f);
+    // 1 + 3*2^-11 is halfway between two halves; rounds up to even.
+    const float halfway_up = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(halfToFloat(floatToHalf(halfway_up)),
+              1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, BulkConversionMatchesScalar)
+{
+    Rng rng(4);
+    std::vector<float> src(1000);
+    for (auto &v : src)
+        v = static_cast<float>(rng.normal(0.0, 10.0));
+    std::vector<half_t> packed(src.size());
+    std::vector<float> back(src.size());
+    floatToHalf(src.data(), packed.data(), src.size());
+    halfToFloat(packed.data(), back.data(), src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        EXPECT_EQ(packed[i], floatToHalf(src[i]));
+        EXPECT_EQ(back[i], halfToFloat(packed[i]));
+    }
+}
+
+/** Property: round-tripping any half value through float is exact. */
+TEST(Half, AllHalfValuesRoundTripExactly)
+{
+    for (uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+        const half_t h = static_cast<half_t>(bits);
+        const float f = halfToFloat(h);
+        if (std::isnan(f)) {
+            EXPECT_TRUE(std::isnan(halfToFloat(floatToHalf(f))));
+            continue;
+        }
+        EXPECT_EQ(floatToHalf(f), h) << "bits=" << bits;
+    }
+}
+
+/** Property: conversion error is bounded by half an ulp. */
+class HalfErrorBound : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(HalfErrorBound, RelativeErrorWithinUlp)
+{
+    Rng rng(11);
+    const double scale = GetParam();
+    for (int i = 0; i < 2000; ++i) {
+        const float v = static_cast<float>(rng.normal(0.0, scale));
+        if (std::fabs(v) > kHalfMax || std::fabs(v) < 6.1e-5f)
+            continue; // Outside the normal range.
+        const float back = halfToFloat(floatToHalf(v));
+        // binary16 has 10 mantissa bits: relative error <= 2^-11.
+        EXPECT_LE(std::fabs(back - v), std::fabs(v) * std::ldexp(1.0, -11) +
+                                           1e-12)
+            << v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HalfErrorBound,
+                         ::testing::Values(1e-3, 1.0, 100.0, 3e4));
+
+} // namespace
+} // namespace smartinf

@@ -1,0 +1,60 @@
+/** @file Tests for logging and error-handling primitives. */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace smartinf {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user error: ", 42), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug: ", "detail"), std::logic_error);
+}
+
+TEST(Logging, FatalMessageContainsArguments)
+{
+    try {
+        fatal("value=", 7, " name=", "x");
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7 name=x"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, RequireMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(SI_REQUIRE(1 + 1 == 2, "fine"));
+    EXPECT_THROW(SI_REQUIRE(false, "broken"), std::runtime_error);
+}
+
+TEST(Logging, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(SI_ASSERT(true));
+    EXPECT_THROW(SI_ASSERT(false, "bug"), std::logic_error);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    inform("suppressed message"); // Must not crash.
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    EXPECT_NO_THROW(inform("status ", 1));
+    EXPECT_NO_THROW(warn("warning ", 2.5));
+}
+
+} // namespace
+} // namespace smartinf

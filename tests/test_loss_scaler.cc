@@ -1,0 +1,109 @@
+/** @file Tests for dynamic loss scaling and overflow scans. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/half.h"
+#include "optim/loss_scaler.h"
+
+namespace smartinf::optim {
+namespace {
+
+TEST(LossScaler, StartsAtInitialScale)
+{
+    LossScaler::Config config;
+    config.initial_scale = 1024.0f;
+    LossScaler scaler(config);
+    EXPECT_FLOAT_EQ(scaler.scale(), 1024.0f);
+    EXPECT_FLOAT_EQ(scaler.invScale(), 1.0f / 1024.0f);
+}
+
+TEST(LossScaler, BacksOffOnOverflow)
+{
+    LossScaler::Config config;
+    config.initial_scale = 1024.0f;
+    LossScaler scaler(config);
+    EXPECT_TRUE(scaler.update(true)); // Step must be skipped.
+    EXPECT_FLOAT_EQ(scaler.scale(), 512.0f);
+    EXPECT_EQ(scaler.skippedSteps(), 1u);
+}
+
+TEST(LossScaler, GrowsAfterInterval)
+{
+    LossScaler::Config config;
+    config.initial_scale = 8.0f;
+    config.growth_interval = 3;
+    LossScaler scaler(config);
+    EXPECT_FALSE(scaler.update(false));
+    EXPECT_FALSE(scaler.update(false));
+    EXPECT_FLOAT_EQ(scaler.scale(), 8.0f);
+    EXPECT_FALSE(scaler.update(false));
+    EXPECT_FLOAT_EQ(scaler.scale(), 16.0f);
+}
+
+TEST(LossScaler, OverflowResetsGrowthCounter)
+{
+    LossScaler::Config config;
+    config.initial_scale = 8.0f;
+    config.growth_interval = 2;
+    LossScaler scaler(config);
+    scaler.update(false);
+    scaler.update(true); // Back off to 4, reset counter.
+    EXPECT_FLOAT_EQ(scaler.scale(), 4.0f);
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 4.0f); // Counter restarted.
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 8.0f);
+}
+
+TEST(LossScaler, RespectsMinAndMax)
+{
+    LossScaler::Config config;
+    config.initial_scale = 2.0f;
+    config.min_scale = 1.0f;
+    config.max_scale = 4.0f;
+    config.growth_interval = 1;
+    LossScaler scaler(config);
+    scaler.update(true);
+    scaler.update(true);
+    EXPECT_FLOAT_EQ(scaler.scale(), 1.0f); // Clamped at min.
+    scaler.update(false);
+    scaler.update(false);
+    scaler.update(false);
+    EXPECT_FLOAT_EQ(scaler.scale(), 4.0f); // Clamped at max.
+}
+
+TEST(LossScaler, Fp32OverflowScan)
+{
+    std::vector<float> clean{1.0f, -2.0f, 0.0f};
+    EXPECT_FALSE(LossScaler::hasOverflow(clean.data(), clean.size()));
+    std::vector<float> with_nan{1.0f, std::nanf(""), 0.0f};
+    EXPECT_TRUE(LossScaler::hasOverflow(with_nan.data(), with_nan.size()));
+    std::vector<float> with_inf{1.0f,
+                                std::numeric_limits<float>::infinity()};
+    EXPECT_TRUE(LossScaler::hasOverflow(with_inf.data(), with_inf.size()));
+}
+
+TEST(LossScaler, Fp16OverflowScan)
+{
+    std::vector<half_t> clean{floatToHalf(1.0f), floatToHalf(-0.5f)};
+    EXPECT_FALSE(LossScaler::hasOverflow(clean.data(), clean.size()));
+    std::vector<half_t> overflowed{floatToHalf(1.0f), floatToHalf(1e6f)};
+    EXPECT_TRUE(LossScaler::hasOverflow(overflowed.data(),
+                                        overflowed.size()));
+}
+
+TEST(LossScaler, CountsGoodSteps)
+{
+    LossScaler scaler;
+    scaler.update(false);
+    scaler.update(false);
+    scaler.update(true);
+    EXPECT_EQ(scaler.goodSteps(), 2u);
+    EXPECT_EQ(scaler.skippedSteps(), 1u);
+}
+
+} // namespace
+} // namespace smartinf::optim

@@ -1,0 +1,171 @@
+/** @file Tests for the low-rank (PowerSGD-style) compression alternative. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/lowrank.h"
+
+namespace smartinf::compress {
+namespace {
+
+double
+l2(const std::vector<float> &v)
+{
+    double acc = 0.0;
+    for (float x : v)
+        acc += static_cast<double>(x) * x;
+    return std::sqrt(acc);
+}
+
+TEST(LowRank, ShapeIsMostSquareDivisorPair)
+{
+    std::size_t rows, cols;
+    LowRankCompressor::shapeFor(100, rows, cols);
+    EXPECT_EQ(rows, 10u);
+    EXPECT_EQ(cols, 10u);
+    LowRankCompressor::shapeFor(12, rows, cols);
+    EXPECT_EQ(rows, 3u);
+    EXPECT_EQ(cols, 4u);
+    LowRankCompressor::shapeFor(7, rows, cols); // Prime: 1 x 7.
+    EXPECT_EQ(rows, 1u);
+    EXPECT_EQ(cols, 7u);
+}
+
+TEST(LowRank, ExactForRankOneMatrix)
+{
+    // M = u v^T is exactly rank 1, so rank-1 compression is lossless (up
+    // to float round-off).
+    const std::size_t rows = 16, cols = 16, n = rows * cols;
+    Rng rng(4);
+    std::vector<float> u(rows), v(cols), m(n);
+    for (auto &x : u)
+        x = static_cast<float>(rng.normal());
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal());
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m[r * cols + c] = u[r] * v[c];
+
+    LowRankCompressor comp(1, /*error_feedback=*/false);
+    const auto lr = comp.compress(m.data(), n);
+    std::vector<float> back(n);
+    LowRankCompressor::decompress(lr, back.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(back[i], m[i], 1e-4 * (std::fabs(m[i]) + 1.0));
+}
+
+TEST(LowRank, WireBytesMatchRank)
+{
+    LowRankCompressor comp(2, false);
+    std::vector<float> g(64 * 64, 1.0f);
+    const auto lr = comp.compress(g.data(), g.size());
+    EXPECT_EQ(lr.wireBytes(), (64 + 64) * 2 * sizeof(float));
+    EXPECT_NEAR(lr.wireRatio(), (128.0 * 2) / 4096.0, 1e-12);
+}
+
+TEST(LowRank, ApproximationErrorShrinksWithRank)
+{
+    const std::size_t n = 32 * 32;
+    Rng rng(6);
+    std::vector<float> g(n);
+    for (auto &x : g)
+        x = static_cast<float>(rng.normal());
+    double prev_err = 1e18;
+    for (std::size_t rank : {1u, 2u, 4u, 8u, 16u}) {
+        LowRankCompressor comp(rank, false);
+        const auto lr = comp.compress(g.data(), n);
+        std::vector<float> back(n), diff(n);
+        LowRankCompressor::decompress(lr, back.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            diff[i] = g[i] - back[i];
+        const double err = l2(diff);
+        EXPECT_LT(err, prev_err) << "rank " << rank;
+        prev_err = err;
+    }
+}
+
+TEST(LowRank, ErrorFeedbackReinjectsResidual)
+{
+    // With error feedback, repeatedly compressing the SAME gradient must
+    // converge: the residual is re-added until the factors capture it.
+    const std::size_t n = 16 * 16;
+    Rng rng(7);
+    std::vector<float> g(n);
+    for (auto &x : g)
+        x = static_cast<float>(rng.normal());
+
+    const int steps = 50;
+    auto accumulate = [&](bool error_feedback) {
+        LowRankCompressor comp(2, error_feedback);
+        std::vector<float> accumulated(n, 0.0f);
+        for (int step = 0; step < steps; ++step) {
+            const auto lr = comp.compress(g.data(), n);
+            std::vector<float> back(n);
+            LowRankCompressor::decompress(lr, back.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                accumulated[i] += back[i];
+        }
+        std::vector<float> diff(n);
+        for (std::size_t i = 0; i < n; ++i)
+            diff[i] = accumulated[i] - steps * g[i];
+        return l2(diff) / (steps * l2(g));
+    };
+    // With EF the cumulative error is the *last* residual (bounded), not a
+    // per-step loss accumulated 50 times.
+    const double with_ef = accumulate(true);
+    const double without_ef = accumulate(false);
+    EXPECT_LT(with_ef, 0.5);
+    EXPECT_LT(with_ef, without_ef * 0.5);
+}
+
+TEST(LowRank, WarmStartImprovesNextApproximation)
+{
+    // Power iteration warm start: compressing the same matrix twice gives
+    // a (weakly) better fit the second time.
+    const std::size_t n = 32 * 32;
+    Rng rng(8);
+    std::vector<float> g(n);
+    for (auto &x : g)
+        x = static_cast<float>(rng.normal());
+    LowRankCompressor comp(4, false);
+    auto err_of = [&](const LowRankGradient &lr) {
+        std::vector<float> back(n), diff(n);
+        LowRankCompressor::decompress(lr, back.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            diff[i] = g[i] - back[i];
+        return l2(diff);
+    };
+    const double err1 = err_of(comp.compress(g.data(), n));
+    const double err2 = err_of(comp.compress(g.data(), n));
+    EXPECT_LE(err2, err1 * 1.0001);
+}
+
+TEST(LowRank, SizeChangeIsFatal)
+{
+    LowRankCompressor comp(1, false);
+    std::vector<float> g(100, 1.0f);
+    comp.compress(g.data(), 100);
+    EXPECT_THROW(comp.compress(g.data(), 64), std::runtime_error);
+}
+
+TEST(LowRank, RankTooLargeIsFatal)
+{
+    LowRankCompressor comp(50, false);
+    std::vector<float> g(100, 1.0f); // 10 x 10: rank must be <= 10.
+    EXPECT_THROW(comp.compress(g.data(), 100), std::runtime_error);
+}
+
+TEST(LowRank, DecompressSizeMismatchIsFatal)
+{
+    LowRankGradient lr;
+    lr.rows = 4;
+    lr.cols = 4;
+    std::vector<float> out(10);
+    EXPECT_THROW(LowRankCompressor::decompress(lr, out.data(), 10),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::compress

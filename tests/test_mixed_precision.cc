@@ -1,0 +1,99 @@
+/** @file Tests for the FP16/FP32 mixed-precision parameter group. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "optim/mixed_precision.h"
+
+namespace smartinf::optim {
+namespace {
+
+TEST(MixedPrecision, AllocatesStatesForOptimizer)
+{
+    MixedPrecisionGroup adam(100, OptimizerKind::Adam);
+    EXPECT_EQ(adam.stateCount(), 2);
+    MixedPrecisionGroup sgd(100, OptimizerKind::SgdMomentum);
+    EXPECT_EQ(sgd.stateCount(), 1);
+}
+
+TEST(MixedPrecision, SetMasterSyncsModelCopy)
+{
+    MixedPrecisionGroup group(4, OptimizerKind::Adam);
+    const std::vector<float> vals{1.0f, 2.0f, -0.5f, 0.25f};
+    group.setMaster(vals.data(), vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        EXPECT_EQ(halfToFloat(group.model()[i]), vals[i]);
+        EXPECT_EQ(group.master()[i], vals[i]);
+    }
+}
+
+TEST(MixedPrecision, SyncAfterMasterMutation)
+{
+    MixedPrecisionGroup group(2, OptimizerKind::Adam);
+    group.master()[0] = 3.0f;
+    group.master()[1] = -1.5f;
+    group.syncModelFromMaster();
+    EXPECT_EQ(halfToFloat(group.model()[0]), 3.0f);
+    EXPECT_EQ(halfToFloat(group.model()[1]), -1.5f);
+}
+
+TEST(MixedPrecision, ByteAccountingMatchesPaper)
+{
+    // The paper's M counts FP16 bytes; optimizer states are 6M for Adam
+    // (three FP32 variables per parameter).
+    const std::size_t n = 1000;
+    MixedPrecisionGroup group(n, OptimizerKind::Adam);
+    EXPECT_EQ(group.modelBytes(), n * 2);
+    EXPECT_EQ(group.optimizerStateBytes(), n * 12);
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(group.optimizerStateBytes()) / group.modelBytes(),
+        6.0);
+}
+
+TEST(MixedPrecision, PartialSetMasterRespectsOffset)
+{
+    MixedPrecisionGroup group(4, OptimizerKind::Adam);
+    const float v = 9.0f;
+    group.setMaster(&v, 1, 2);
+    EXPECT_EQ(group.master()[2], 9.0f);
+    EXPECT_EQ(group.master()[0], 0.0f);
+    EXPECT_EQ(halfToFloat(group.model()[2]), 9.0f);
+}
+
+TEST(MixedPrecision, OutOfRangeSetMasterIsFatal)
+{
+    MixedPrecisionGroup group(4, OptimizerKind::Adam);
+    const std::vector<float> vals(3, 1.0f);
+    EXPECT_THROW(group.setMaster(vals.data(), 3, 2), std::runtime_error);
+}
+
+TEST(MixedPrecision, StatePointersMatchArrays)
+{
+    MixedPrecisionGroup group(8, OptimizerKind::Adam);
+    auto ptrs = group.statePointers();
+    ASSERT_EQ(ptrs.size(), 2u);
+    EXPECT_EQ(ptrs[0], group.state(0));
+    EXPECT_EQ(ptrs[1], group.state(1));
+}
+
+TEST(MixedPrecision, StepThroughOptimizerUpdatesModelCopy)
+{
+    const std::size_t n = 16;
+    MixedPrecisionGroup group(n, OptimizerKind::Adam);
+    std::vector<float> init(n, 1.0f), grads(n, 0.1f);
+    group.setMaster(init.data(), n);
+
+    Hyperparams hp;
+    auto opt = makeOptimizer(OptimizerKind::Adam, hp);
+    auto states = group.statePointers();
+    opt->step(group.master(), grads.data(), states.data(), n, 1);
+    group.syncModelFromMaster();
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_LT(group.master()[i], 1.0f);
+        EXPECT_EQ(halfToFloat(group.model()[i]),
+                  halfToFloat(floatToHalf(group.master()[i])));
+    }
+}
+
+} // namespace
+} // namespace smartinf::optim

@@ -1,0 +1,99 @@
+/** @file Tests for model presets, GPU models, and configs. */
+#include <gtest/gtest.h>
+
+#include "train/gpu_model.h"
+#include "train/model_spec.h"
+
+namespace smartinf::train {
+namespace {
+
+TEST(ModelSpec, ParamCountAndBytes)
+{
+    const auto m = ModelSpec::gpt2(4.0);
+    EXPECT_DOUBLE_EQ(m.num_params, 4e9);
+    EXPECT_DOUBLE_EQ(m.modelBytes(), 8e9);     // M (FP16).
+    EXPECT_DOUBLE_EQ(m.gradientBytes(), 16e9); // 2M (FP32).
+    EXPECT_EQ(m.family, ModelFamily::Gpt2);
+    EXPECT_NE(m.name.find("GPT-2"), std::string::npos);
+}
+
+TEST(ModelSpec, DepthGrowsWithSize)
+{
+    EXPECT_LT(ModelSpec::gpt2(0.34).num_layers,
+              ModelSpec::gpt2(4.0).num_layers);
+    EXPECT_LT(ModelSpec::gpt2(4.0).num_layers,
+              ModelSpec::gpt2(33.0).num_layers);
+    // Published anchors, loosely: 0.34B ~ 24 layers, 33B ~ 96 layers.
+    EXPECT_NEAR(ModelSpec::gpt2(0.34).num_layers, 24, 6);
+    EXPECT_NEAR(ModelSpec::gpt2(33.0).num_layers, 96, 12);
+}
+
+TEST(ModelSpec, HiddenDimConsistentWithParams)
+{
+    const auto m = ModelSpec::gpt2(8.3);
+    // params ~ 12 * L * h^2 within a factor of ~1.5 (rounding to 64).
+    const double est = 12.0 * m.num_layers * m.hidden_dim * m.hidden_dim;
+    EXPECT_GT(est / m.num_params, 0.6);
+    EXPECT_LT(est / m.num_params, 1.6);
+}
+
+TEST(ModelSpec, FamiliesCarryLabels)
+{
+    EXPECT_EQ(ModelSpec::bert(0.34).family, ModelFamily::Bert);
+    EXPECT_EQ(ModelSpec::bloom(7.1).family, ModelFamily::Bloom);
+    EXPECT_EQ(ModelSpec::vit(0.63).family, ModelFamily::ViT);
+    EXPECT_STREQ(familyName(ModelFamily::Bloom), "BLOOM");
+}
+
+TEST(ModelSpec, VitIsShallower)
+{
+    EXPECT_LT(ModelSpec::vit(0.63).num_layers,
+              ModelSpec::gpt2(0.63).num_layers);
+}
+
+TEST(ModelSpec, FlopsPerTokenIsSixParams)
+{
+    const auto m = ModelSpec::gpt2(1.0);
+    EXPECT_DOUBLE_EQ(m.flopsPerToken(), 6e9);
+}
+
+TEST(ModelSpec, InvalidSizeIsFatal)
+{
+    EXPECT_THROW(ModelSpec::gpt2(0.0), std::runtime_error);
+    EXPECT_THROW(ModelSpec::gpt2(-1.0), std::runtime_error);
+}
+
+TEST(TrainConfig, TokensPerIteration)
+{
+    TrainConfig tc;
+    tc.batch_size = 4;
+    tc.seq_len = 1024;
+    EXPECT_DOUBLE_EQ(tc.tokensPerIteration(), 4096.0);
+}
+
+TEST(GpuModel, GradesAreOrderedByThroughput)
+{
+    const auto a4000 = GpuModel::get(GpuGrade::A4000);
+    const auto a5000 = GpuModel::get(GpuGrade::A5000);
+    const auto a100 = GpuModel::get(GpuGrade::A100_40GB);
+    EXPECT_LT(a4000.effective_flops, a5000.effective_flops);
+    EXPECT_LT(a5000.effective_flops, a100.effective_flops);
+    // A100 is ~3x the A5000 (Fig 11 discussion).
+    EXPECT_NEAR(a100.effective_flops / a5000.effective_flops, 3.0, 0.5);
+}
+
+TEST(GpuModel, CostsMatchPaperQuotes)
+{
+    EXPECT_DOUBLE_EQ(GpuModel::get(GpuGrade::A5000).cost_usd, 2000.0);
+    EXPECT_DOUBLE_EQ(GpuModel::get(GpuGrade::A100_40GB).cost_usd, 7000.0);
+}
+
+TEST(GpuModel, NamesAreStable)
+{
+    EXPECT_STREQ(gpuName(GpuGrade::A5000), "A5000");
+    EXPECT_STREQ(gpuName(GpuGrade::A100_40GB), "A100");
+    EXPECT_STREQ(gpuName(GpuGrade::A4000), "A4000");
+}
+
+} // namespace
+} // namespace smartinf::train

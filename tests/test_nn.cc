@@ -1,0 +1,181 @@
+/** @file Tests for the NN substrate: dense math, MLP gradients, datasets. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/mlp.h"
+#include "nn/tensor.h"
+
+namespace smartinf::nn {
+namespace {
+
+TEST(Tensor, MatmulSmallKnown)
+{
+    Matrix a(2, 3), b(3, 2), out(2, 2);
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data());
+    std::copy(bv, bv + 6, b.data());
+    matmul(a, b, out);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 154.0f);
+}
+
+TEST(Tensor, TransposedVariantsAgreeWithExplicitTranspose)
+{
+    Matrix a(3, 2), b(3, 4);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] = static_cast<float>(i + 1);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b.data()[i] = static_cast<float>(2 * i - 3);
+    // a^T * b via matmulTransA.
+    Matrix out(2, 4);
+    matmulTransA(a, b, out);
+    Matrix at(2, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            at.at(c, r) = a.at(r, c);
+    Matrix expected(2, 4);
+    matmul(at, b, expected);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_FLOAT_EQ(out.data()[i], expected.data()[i]);
+}
+
+TEST(Tensor, SoftmaxCrossEntropyGradientSumsToZero)
+{
+    Matrix logits(2, 3), grad(2, 3);
+    float lv[] = {1.0f, 2.0f, 0.5f, -1.0f, 0.0f, 1.0f};
+    std::copy(lv, lv + 6, logits.data());
+    const std::vector<int> labels{1, 2};
+    const float loss = softmaxCrossEntropy(logits, labels, grad);
+    EXPECT_GT(loss, 0.0f);
+    for (std::size_t r = 0; r < 2; ++r) {
+        float row_sum = 0.0f;
+        for (std::size_t c = 0; c < 3; ++c)
+            row_sum += grad.at(r, c);
+        EXPECT_NEAR(row_sum, 0.0f, 1e-6); // Softmax grad rows sum to 0.
+    }
+}
+
+TEST(Tensor, ReluMaskAndBackward)
+{
+    Matrix m(1, 4), mask(1, 4);
+    float mv[] = {-1.0f, 2.0f, 0.0f, 3.0f};
+    std::copy(mv, mv + 4, m.data());
+    reluForward(m, mask);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+    Matrix grad(1, 4);
+    grad.fill(1.0f);
+    reluBackward(grad, mask);
+    EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(grad.at(0, 1), 1.0f);
+}
+
+TEST(Tensor, GeluMatchesDerivativeNumerically)
+{
+    Matrix pre(1, 1), out_lo(1, 1), out_hi(1, 1);
+    const float x = 0.7f, h = 1e-3f;
+    pre.at(0, 0) = x - h;
+    geluForward(pre, out_lo);
+    pre.at(0, 0) = x + h;
+    geluForward(pre, out_hi);
+    const float numeric = (out_hi.at(0, 0) - out_lo.at(0, 0)) / (2 * h);
+
+    pre.at(0, 0) = x;
+    Matrix gout(1, 1), gin(1, 1);
+    gout.at(0, 0) = 1.0f;
+    geluBackward(pre, gout, gin);
+    EXPECT_NEAR(gin.at(0, 0), numeric, 1e-3);
+}
+
+/** Finite-difference gradient check on a tiny MLP. */
+TEST(Mlp, GradientMatchesFiniteDifference)
+{
+    Mlp mlp({4, 5, 3}, Activation::ReLU, 12);
+    Matrix x(3, 4);
+    Rng rng(8);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.normal());
+    const std::vector<int> y{0, 2, 1};
+
+    std::vector<float> grad(mlp.paramCount());
+    mlp.lossAndGradient(x, y, grad.data());
+
+    Rng pick(5);
+    std::vector<float> scratch(mlp.paramCount());
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t p = pick.uniformInt(mlp.paramCount());
+        const float eps = 1e-3f;
+        const float orig = mlp.params()[p];
+        mlp.params()[p] = orig + eps;
+        const float lp = mlp.lossAndGradient(x, y, scratch.data());
+        mlp.params()[p] = orig - eps;
+        const float lm = mlp.lossAndGradient(x, y, scratch.data());
+        mlp.params()[p] = orig;
+        const float numeric = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(grad[p], numeric, 2e-2)
+            << "param " << p << " analytic " << grad[p] << " numeric "
+            << numeric;
+    }
+}
+
+TEST(Mlp, ParamCountMatchesLayout)
+{
+    Mlp mlp({10, 20, 3}, Activation::ReLU, 1);
+    EXPECT_EQ(mlp.paramCount(), 10u * 20 + 20 + 20 * 3 + 3);
+}
+
+TEST(Mlp, SetParamsRoundTrip)
+{
+    Mlp mlp({4, 4, 2}, Activation::GELU, 2);
+    std::vector<float> vals(mlp.paramCount());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        vals[i] = static_cast<float>(i) * 0.01f;
+    mlp.setParams(vals.data(), vals.size());
+    EXPECT_EQ(mlp.params()[10], vals[10]);
+    EXPECT_THROW(mlp.setParams(vals.data(), 3), std::runtime_error);
+}
+
+TEST(Dataset, TasksAreDeterministic)
+{
+    const auto a = makeTask(TaskId::Sst2Like, 100, 50, 16, 3);
+    const auto b = makeTask(TaskId::Sst2Like, 100, 50, 16, 3);
+    EXPECT_EQ(a.train.labels, b.train.labels);
+    for (std::size_t i = 0; i < a.train.inputs.size(); ++i)
+        EXPECT_EQ(a.train.inputs.data()[i], b.train.inputs.data()[i]);
+}
+
+TEST(Dataset, ShapesAndClassCounts)
+{
+    for (auto task : allTasks()) {
+        const auto ds = makeTask(task, 200, 80, 16, 1);
+        EXPECT_EQ(ds.train.labels.size(), 200u);
+        EXPECT_EQ(ds.dev.labels.size(), 80u);
+        EXPECT_EQ(ds.train.inputs.rows(), 200u);
+        EXPECT_EQ(ds.train.inputs.cols(), 16u);
+        const int classes = ds.num_classes;
+        EXPECT_GE(classes, 2);
+        for (int label : ds.train.labels) {
+            EXPECT_GE(label, 0);
+            EXPECT_LT(label, classes);
+        }
+    }
+}
+
+TEST(Dataset, LabelsAreBalancedEnough)
+{
+    const auto ds = makeTask(TaskId::QnliLike, 1000, 100, 16, 5);
+    int ones = 0;
+    for (int label : ds.train.labels)
+        ones += label;
+    EXPECT_GT(ones, 300);
+    EXPECT_LT(ones, 700);
+}
+
+} // namespace
+} // namespace smartinf::nn

@@ -1,0 +1,147 @@
+/** @file Tests for the host reference optimizers. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace smartinf::optim {
+namespace {
+
+TEST(Optimizer, AdamSingleElementMatchesClosedForm)
+{
+    Hyperparams hp;
+    hp.lr = 0.1f;
+    auto opt = makeOptimizer(OptimizerKind::Adam, hp);
+
+    float param = 1.0f;
+    const float grad = 0.5f;
+    std::vector<float> mmt{0.0f}, var{0.0f};
+    float *states[] = {mmt.data(), var.data()};
+    opt->step(&param, &grad, states, 1, 1);
+
+    // Step 1: m = 0.1*g, v = 0.001*g^2; bias-corrected m_hat = g,
+    // v_hat = g^2; update = lr * g / (|g| + eps) ~= lr.
+    // Use the same FP32 arithmetic as the implementation ((1 - beta) in
+    // float is not exactly 1e-1/1e-3).
+    const float expected_m = (1.0f - 0.9f) * grad;
+    const float expected_v = (1.0f - 0.999f) * grad * grad;
+    EXPECT_FLOAT_EQ(mmt[0], expected_m);
+    EXPECT_FLOAT_EQ(var[0], expected_v);
+    EXPECT_NEAR(param, 1.0f - 0.1f, 1e-5);
+}
+
+TEST(Optimizer, AdamBiasCorrectionTogglable)
+{
+    Hyperparams with;
+    Hyperparams without;
+    without.bias_correction = false;
+    auto opt_with = makeOptimizer(OptimizerKind::Adam, with);
+    auto opt_without = makeOptimizer(OptimizerKind::Adam, without);
+
+    float p1 = 1.0f, p2 = 1.0f;
+    const float grad = 0.3f;
+    std::vector<float> m1{0}, v1{0}, m2{0}, v2{0};
+    float *s1[] = {m1.data(), v1.data()};
+    float *s2[] = {m2.data(), v2.data()};
+    opt_with->step(&p1, &grad, s1, 1, 1);
+    opt_without->step(&p2, &grad, s2, 1, 1);
+    EXPECT_NE(p1, p2); // Correction changes the first step materially.
+}
+
+TEST(Optimizer, SgdMomentumAccumulates)
+{
+    Hyperparams hp;
+    hp.lr = 1.0f;
+    hp.momentum = 0.5f;
+    auto opt = makeOptimizer(OptimizerKind::SgdMomentum, hp);
+    float param = 0.0f;
+    std::vector<float> mmt{0.0f};
+    float *states[] = {mmt.data()};
+    const float grad = 1.0f;
+    opt->step(&param, &grad, states, 1, 1);
+    EXPECT_FLOAT_EQ(mmt[0], 1.0f);
+    EXPECT_FLOAT_EQ(param, -1.0f);
+    opt->step(&param, &grad, states, 1, 2);
+    EXPECT_FLOAT_EQ(mmt[0], 1.5f); // 0.5*1 + 1.
+    EXPECT_FLOAT_EQ(param, -2.5f);
+}
+
+TEST(Optimizer, AdaGradShrinksEffectiveStep)
+{
+    Hyperparams hp;
+    hp.lr = 1.0f;
+    hp.epsilon = 0.0f;
+    auto opt = makeOptimizer(OptimizerKind::AdaGrad, hp);
+    float param = 0.0f;
+    std::vector<float> accum{0.0f};
+    float *states[] = {accum.data()};
+    const float grad = 2.0f;
+    opt->step(&param, &grad, states, 1, 1);
+    // accum = 4, step = 2/sqrt(4) = 1.
+    EXPECT_FLOAT_EQ(param, -1.0f);
+    opt->step(&param, &grad, states, 1, 2);
+    // accum = 8, step = 2/sqrt(8).
+    EXPECT_NEAR(param, -1.0f - 2.0f / std::sqrt(8.0f), 1e-6);
+}
+
+TEST(Optimizer, AdamWDecaysDecoupled)
+{
+    Hyperparams hp;
+    hp.lr = 0.1f;
+    hp.weight_decay = 0.5f;
+    auto adamw = makeOptimizer(OptimizerKind::AdamW, hp);
+    float param = 2.0f;
+    const float grad = 0.0f;
+    std::vector<float> mmt{0}, var{0};
+    float *states[] = {mmt.data(), var.data()};
+    adamw->step(&param, &grad, states, 1, 1);
+    // Zero gradient: only decay applies: p -= lr*wd*p -> 2 * (1 - 0.05).
+    EXPECT_NEAR(param, 2.0f * 0.95f, 1e-6);
+}
+
+TEST(Optimizer, StateCountsMatchFamily)
+{
+    EXPECT_EQ(auxStateCount(OptimizerKind::Adam), 2);
+    EXPECT_EQ(auxStateCount(OptimizerKind::AdamW), 2);
+    EXPECT_EQ(auxStateCount(OptimizerKind::SgdMomentum), 1);
+    EXPECT_EQ(auxStateCount(OptimizerKind::AdaGrad), 1);
+}
+
+TEST(Optimizer, StateVolumeInM)
+{
+    // Adam: master+mmt+var FP32 = 6M; SGD/AdaGrad: 4M (the paper's 3/4x
+    // offloading-volume discussion, SVII-F).
+    EXPECT_DOUBLE_EQ(optimizerStateVolumeInM(OptimizerKind::Adam), 6.0);
+    EXPECT_DOUBLE_EQ(optimizerStateVolumeInM(OptimizerKind::SgdMomentum), 4.0);
+    EXPECT_DOUBLE_EQ(optimizerStateVolumeInM(OptimizerKind::AdaGrad), 4.0);
+}
+
+TEST(Optimizer, NamesAreStable)
+{
+    EXPECT_STREQ(optimizerName(OptimizerKind::Adam), "Adam");
+    EXPECT_STREQ(optimizerName(OptimizerKind::SgdMomentum), "SGD");
+    EXPECT_STREQ(optimizerName(OptimizerKind::AdaGrad), "AdaGrad");
+    EXPECT_STREQ(optimizerName(OptimizerKind::AdamW), "AdamW");
+}
+
+/** Adam converges on a quadratic bowl — a functional smoke test. */
+TEST(Optimizer, AdamConvergesOnQuadratic)
+{
+    Hyperparams hp;
+    hp.lr = 0.05f;
+    auto opt = makeOptimizer(OptimizerKind::Adam, hp);
+    std::vector<float> param{5.0f, -3.0f};
+    std::vector<float> mmt(2, 0.0f), var(2, 0.0f);
+    float *states[] = {mmt.data(), var.data()};
+    for (uint64_t t = 1; t <= 800; ++t) {
+        std::vector<float> grad{2.0f * param[0], 2.0f * param[1]};
+        opt->step(param.data(), grad.data(), states, 2, t);
+    }
+    EXPECT_NEAR(param[0], 0.0f, 0.05f);
+    EXPECT_NEAR(param[1], 0.0f, 0.05f);
+}
+
+} // namespace
+} // namespace smartinf::optim

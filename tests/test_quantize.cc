@@ -1,0 +1,121 @@
+/** @file Tests for the model-compression quantizer (paper §VIII-B). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/quantize.h"
+
+namespace smartinf::compress {
+namespace {
+
+TEST(Quantize, RoundTripErrorBoundedByHalfStep)
+{
+    Rng rng(3);
+    std::vector<float> vals(1000);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.normal(0.0, 0.5));
+    GroupQuantizer quantizer(128);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    std::vector<float> back(vals.size());
+    GroupQuantizer::dequantize(q, back.data(), back.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        const float step = q.scales[i / q.group_size];
+        EXPECT_LE(std::fabs(back[i] - vals[i]), 0.5f * step + 1e-7) << i;
+    }
+}
+
+TEST(Quantize, ExtremesMapToFullRange)
+{
+    std::vector<float> vals{-2.0f, 0.0f, 2.0f};
+    GroupQuantizer quantizer(3);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    EXPECT_EQ(q.values[0], -127);
+    EXPECT_EQ(q.values[1], 0);
+    EXPECT_EQ(q.values[2], 127);
+    EXPECT_FLOAT_EQ(q.scales[0], 2.0f / 127.0f);
+}
+
+TEST(Quantize, AllZeroGroupIsStable)
+{
+    std::vector<float> vals(10, 0.0f);
+    GroupQuantizer quantizer(4);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    std::vector<float> back(10, 1.0f);
+    GroupQuantizer::dequantize(q, back.data(), 10);
+    for (float v : back)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, PerGroupScalesAreIndependent)
+{
+    // First group is tiny, second group is large: the small group must not
+    // lose resolution to the large one.
+    std::vector<float> vals(8);
+    for (int i = 0; i < 4; ++i)
+        vals[i] = 0.001f * (i + 1);
+    for (int i = 4; i < 8; ++i)
+        vals[i] = 100.0f * (i - 3);
+    GroupQuantizer quantizer(4);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    ASSERT_EQ(q.scales.size(), 2u);
+    EXPECT_LT(q.scales[0], q.scales[1]);
+    std::vector<float> back(8);
+    GroupQuantizer::dequantize(q, back.data(), 8);
+    EXPECT_NEAR(back[0], vals[0], 0.5f * q.scales[0] + 1e-9);
+}
+
+TEST(Quantize, WireRatioNearQuarter)
+{
+    // int8 payload + FP32 scale per 128 elements ~ 25.8% of FP32.
+    Rng rng(4);
+    std::vector<float> vals(4096);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.normal());
+    GroupQuantizer quantizer(128);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    EXPECT_NEAR(q.wireRatio(), 0.25 + 4.0 / (128.0 * 4.0), 1e-3);
+}
+
+TEST(Quantize, SteRoundTripIsIdempotent)
+{
+    Rng rng(5);
+    std::vector<float> vals(512), once(512), twice(512);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.normal());
+    GroupQuantizer quantizer(64);
+    quantizer.steRoundTrip(vals.data(), once.data(), vals.size());
+    quantizer.steRoundTrip(once.data(), twice.data(), vals.size());
+    // Quantizing an already-quantized tensor changes nothing.
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_FLOAT_EQ(once[i], twice[i]);
+}
+
+TEST(Quantize, UpstreamTrafficShrinksVersusFp32Params)
+{
+    // The §VIII-B promise: quantized model upstream beats the paper's 2M
+    // FP32 upstream by ~4x.
+    Rng rng(6);
+    std::vector<float> params(100000);
+    for (auto &v : params)
+        v = static_cast<float>(rng.normal());
+    GroupQuantizer quantizer(128);
+    const auto q = quantizer.quantize(params.data(), params.size());
+    EXPECT_LT(q.wireRatio(), 0.27);
+    EXPECT_GT(q.wireRatio(), 0.24);
+}
+
+TEST(Quantize, TailGroupHandled)
+{
+    std::vector<float> vals(130, 1.0f); // 128 + tail of 2.
+    GroupQuantizer quantizer(128);
+    const auto q = quantizer.quantize(vals.data(), vals.size());
+    EXPECT_EQ(q.scales.size(), 2u);
+    std::vector<float> back(130);
+    GroupQuantizer::dequantize(q, back.data(), 130);
+    EXPECT_NEAR(back[129], 1.0f, 1e-2);
+}
+
+} // namespace
+} // namespace smartinf::compress

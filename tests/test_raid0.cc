@@ -1,0 +1,133 @@
+/** @file Tests for RAID0 striping. */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/raid0.h"
+
+namespace smartinf::storage {
+namespace {
+
+/** Build an array of N devices with the given per-device capacity. */
+struct Array {
+    std::vector<std::unique_ptr<BlockDevice>> devices;
+    std::vector<BlockDevice *> pointers;
+
+    Array(int n, std::size_t capacity)
+    {
+        for (int i = 0; i < n; ++i) {
+            devices.push_back(std::make_unique<BlockDevice>(
+                "m" + std::to_string(i), capacity));
+            pointers.push_back(devices.back().get());
+        }
+    }
+};
+
+TEST(Raid0, RoundTripAcrossChunkBoundaries)
+{
+    Array array(4, 1 << 16);
+    Raid0 raid(array.pointers, 512);
+    std::vector<uint8_t> payload(5000);
+    std::iota(payload.begin(), payload.end(), 0);
+    raid.pwrite(payload.data(), payload.size(), 300);
+    std::vector<uint8_t> back(payload.size(), 0);
+    raid.pread(back.data(), back.size(), 300);
+    EXPECT_EQ(back, payload);
+}
+
+TEST(Raid0, CapacityIsMembersTimesSmallest)
+{
+    Array array(3, 1000);
+    Raid0 raid(array.pointers, 128);
+    EXPECT_EQ(raid.capacity(), 3000u);
+}
+
+TEST(Raid0, StripingDistributesEvenly)
+{
+    Array array(4, 1 << 20);
+    Raid0 raid(array.pointers, 1024);
+    std::vector<uint8_t> payload(4 * 1024 * 8, 7);
+    raid.pwrite(payload.data(), payload.size(), 0);
+    for (auto *dev : array.pointers)
+        EXPECT_DOUBLE_EQ(dev->bytesWritten(), 1024.0 * 8);
+}
+
+TEST(Raid0, SplitExtentSumsToRequest)
+{
+    Array array(3, 1 << 20);
+    Raid0 raid(array.pointers, 4096);
+    const auto split = raid.splitExtent(100000, 12345);
+    std::size_t sum = 0;
+    for (std::size_t s : split)
+        sum += s;
+    EXPECT_EQ(sum, 100000u);
+    EXPECT_EQ(split.size(), 3u);
+}
+
+TEST(Raid0, SmallIoTouchesOneMember)
+{
+    Array array(8, 1 << 20);
+    Raid0 raid(array.pointers, 65536);
+    const auto split = raid.splitExtent(1000, 0);
+    int touched = 0;
+    for (std::size_t s : split)
+        touched += (s > 0) ? 1 : 0;
+    EXPECT_EQ(touched, 1);
+}
+
+TEST(Raid0, SingleMemberDegeneratesToPlainDevice)
+{
+    Array array(1, 4096);
+    Raid0 raid(array.pointers, 512);
+    std::vector<uint8_t> payload(2048, 0xab);
+    raid.pwrite(payload.data(), payload.size(), 0);
+    EXPECT_DOUBLE_EQ(array.pointers[0]->bytesWritten(), 2048.0);
+}
+
+TEST(Raid0, EmptyMemberListIsFatal)
+{
+    EXPECT_THROW(Raid0({}, 512), std::runtime_error);
+}
+
+/** Property: random read/write sequences match a flat reference buffer. */
+class Raid0Property : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Raid0Property, MatchesFlatReference)
+{
+    const int members = GetParam();
+    const std::size_t per_dev = 1 << 14;
+    Array array(members, per_dev);
+    Raid0 raid(array.pointers, 1 << 9);
+    const std::size_t logical = raid.capacity();
+    std::vector<uint8_t> reference(logical, 0);
+
+    Rng rng(members * 977);
+    for (int op = 0; op < 200; ++op) {
+        const std::size_t len = 1 + rng.uniformInt(3000);
+        const std::size_t off = rng.uniformInt(logical - len);
+        if (rng.uniformInt(2) == 0) {
+            std::vector<uint8_t> data(len);
+            for (auto &b : data)
+                b = static_cast<uint8_t>(rng.next());
+            raid.pwrite(data.data(), len, off);
+            std::copy(data.begin(), data.end(), reference.begin() + off);
+        } else {
+            std::vector<uint8_t> got(len, 0);
+            raid.pread(got.data(), len, off);
+            EXPECT_TRUE(std::equal(got.begin(), got.end(),
+                                   reference.begin() + off))
+                << "mismatch at op " << op;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MemberCounts, Raid0Property,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+} // namespace
+} // namespace smartinf::storage

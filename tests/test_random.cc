@@ -1,0 +1,95 @@
+/** @file Tests for the deterministic xoshiro256** RNG. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace smartinf {
+namespace {
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next()) ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, ReseedResetsStream)
+{
+    Rng a(9);
+    const uint64_t first = a.next();
+    a.next();
+    a.reseed(9);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformRangeRespectsBounds)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.5);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Random, UniformIntWithinRange)
+{
+    Rng rng(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // All buckets hit over 1000 draws.
+}
+
+TEST(Random, NormalMomentsApproximatelyStandard)
+{
+    Rng rng(8);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Random, NormalWithParamsShiftsAndScales)
+{
+    Rng rng(9);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+} // namespace
+} // namespace smartinf

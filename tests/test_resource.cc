@@ -1,0 +1,99 @@
+/** @file Tests for the serial FIFO compute resource. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+
+namespace smartinf::sim {
+namespace {
+
+TEST(Resource, SingleJobDuration)
+{
+    Simulator sim;
+    Resource r(sim, "gpu", 10.0); // 10 units/s.
+    double done_at = -1.0;
+    r.submit(50.0, [&]() { done_at = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(done_at, 5.0);
+    EXPECT_DOUBLE_EQ(r.workDone(), 50.0);
+    EXPECT_EQ(r.jobsDone(), 1u);
+}
+
+TEST(Resource, JobsRunSerially)
+{
+    Simulator sim;
+    Resource r(sim, "cpu", 1.0);
+    std::vector<double> completion;
+    r.submit(1.0, [&]() { completion.push_back(sim.now()); });
+    r.submit(2.0, [&]() { completion.push_back(sim.now()); });
+    r.submit(3.0, [&]() { completion.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(completion.size(), 3u);
+    EXPECT_DOUBLE_EQ(completion[0], 1.0);
+    EXPECT_DOUBLE_EQ(completion[1], 3.0);
+    EXPECT_DOUBLE_EQ(completion[2], 6.0);
+}
+
+TEST(Resource, JobLatencyAddsFixedOverhead)
+{
+    Simulator sim;
+    Resource r(sim, "fpga", 100.0, 0.5);
+    double done_at = -1.0;
+    r.submit(100.0, [&]() { done_at = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(done_at, 1.5);
+}
+
+TEST(Resource, SubmitFromCompletionCallback)
+{
+    Simulator sim;
+    Resource r(sim, "x", 1.0);
+    double second_done = -1.0;
+    r.submit(1.0, [&]() {
+        r.submit(2.0, [&]() { second_done = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(second_done, 3.0);
+}
+
+TEST(Resource, IdleReflectsState)
+{
+    Simulator sim;
+    Resource r(sim, "y", 1.0);
+    EXPECT_TRUE(r.idle());
+    r.submit(1.0, nullptr);
+    EXPECT_FALSE(r.idle());
+    sim.run();
+    EXPECT_TRUE(r.idle());
+}
+
+TEST(Resource, BusyTimeAccumulates)
+{
+    Simulator sim;
+    Resource r(sim, "z", 2.0);
+    r.submit(2.0, nullptr); // 1s
+    r.submit(4.0, nullptr); // 2s
+    sim.run();
+    EXPECT_DOUBLE_EQ(r.busyTime(), 3.0);
+}
+
+TEST(Resource, ZeroWorkCompletesAfterLatencyOnly)
+{
+    Simulator sim;
+    Resource r(sim, "w", 1.0, 0.25);
+    double done_at = -1.0;
+    r.submit(0.0, [&]() { done_at = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(done_at, 0.25);
+}
+
+TEST(Resource, InvalidRateIsFatal)
+{
+    Simulator sim;
+    EXPECT_THROW(Resource(sim, "bad", 0.0), std::runtime_error);
+    EXPECT_THROW(Resource(sim, "bad", -1.0), std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::sim

@@ -1,0 +1,60 @@
+/** @file Tests for the bench table printer. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace smartinf {
+namespace {
+
+TEST(Table, FormattingHelpers)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.23456, 4), "1.2346");
+    EXPECT_EQ(Table::factor(1.85), "1.85x");
+    EXPECT_EQ(Table::percent(0.7557, 2), "75.57%");
+}
+
+TEST(Table, PrintContainsHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("csv");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowArityMismatchIsFatal)
+{
+    Table t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Table, HeaderAfterRowsIsFatal)
+{
+    Table t("bad2");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    EXPECT_THROW(t.setHeader({"x", "y"}), std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf

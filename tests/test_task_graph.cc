@@ -1,0 +1,141 @@
+/** @file Tests for the dependency task graph. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task_graph.h"
+
+namespace smartinf::sim {
+namespace {
+
+TEST(TaskGraph, LinearChainOnResource)
+{
+    Simulator sim;
+    Resource r(sim, "r", 1.0);
+    TaskGraph g(sim);
+    auto a = g.compute(r, 1.0, "a");
+    auto b = g.compute(r, 2.0, "b");
+    g.dependsOn(b, a);
+    g.start();
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_DOUBLE_EQ(g.finishTime(a), 1.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(b), 3.0);
+    EXPECT_DOUBLE_EQ(g.makespan(), 3.0);
+}
+
+TEST(TaskGraph, IndependentTasksOverlapAcrossResources)
+{
+    Simulator sim;
+    Resource r1(sim, "r1", 1.0), r2(sim, "r2", 1.0);
+    TaskGraph g(sim);
+    auto a = g.compute(r1, 5.0, "a");
+    auto b = g.compute(r2, 5.0, "b");
+    (void)a;
+    (void)b;
+    g.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(g.makespan(), 5.0);
+}
+
+TEST(TaskGraph, DiamondDependency)
+{
+    Simulator sim;
+    Resource r1(sim, "r1", 1.0), r2(sim, "r2", 1.0);
+    TaskGraph g(sim);
+    auto src = g.delay(1.0, "src");
+    auto left = g.compute(r1, 2.0, "left");
+    auto right = g.compute(r2, 3.0, "right");
+    auto sink = g.barrier("sink");
+    g.dependsOn(left, src);
+    g.dependsOn(right, src);
+    g.dependsOn(sink, {left, right});
+    g.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(sink), 4.0); // 1 + max(2,3).
+}
+
+TEST(TaskGraph, BarrierCompletesImmediatelyWithoutDeps)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto b = g.barrier("b");
+    g.start();
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_DOUBLE_EQ(g.finishTime(b), 0.0);
+}
+
+TEST(TaskGraph, StartTimeReflectsDependencyRelease)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto a = g.delay(2.0, "a");
+    auto b = g.delay(1.0, "b");
+    g.dependsOn(b, a);
+    g.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(g.startTime(b), 2.0);
+    EXPECT_DOUBLE_EQ(g.finishTime(b), 3.0);
+}
+
+TEST(TaskGraph, MultiDependencyWaitsForAll)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto a = g.delay(1.0);
+    auto b = g.delay(4.0);
+    auto c = g.delay(0.5);
+    g.dependsOn(c, {a, b});
+    g.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(c), 4.5);
+}
+
+TEST(TaskGraph, CustomAsyncAction)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto a = g.add(
+        [&sim](std::function<void()> done) { sim.after(7.0, std::move(done)); },
+        "custom");
+    g.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(g.finishTime(a), 7.0);
+}
+
+TEST(TaskGraph, SelfDependencyIsRejected)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto a = g.barrier();
+    EXPECT_THROW(g.dependsOn(a, a), std::logic_error);
+}
+
+TEST(TaskGraph, DoubleStartIsFatal)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    g.barrier();
+    g.start();
+    EXPECT_THROW(g.start(), std::runtime_error);
+}
+
+TEST(TaskGraph, AddAfterStartIsFatal)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    g.barrier();
+    g.start();
+    EXPECT_THROW(g.barrier(), std::runtime_error);
+}
+
+TEST(TaskGraph, NegativeDelayIsFatal)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    EXPECT_THROW(g.delay(-1.0), std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::sim

@@ -1,0 +1,86 @@
+/** @file Tests for the named link registry. */
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace smartinf::net {
+namespace {
+
+TEST(Topology, AddAndLookup)
+{
+    Topology topo;
+    Link &link = topo.addLink("host", 100.0);
+    EXPECT_EQ(&topo.link("host"), &link);
+    EXPECT_TRUE(topo.has("host"));
+    EXPECT_FALSE(topo.has("missing"));
+    EXPECT_EQ(topo.linkCount(), 1u);
+}
+
+TEST(Topology, DuplexCreatesTwoDirections)
+{
+    Topology topo;
+    DuplexLink d = topo.addDuplex("pcie", 50.0);
+    EXPECT_EQ(d.up, &topo.link("pcie.up"));
+    EXPECT_EQ(d.down, &topo.link("pcie.down"));
+    EXPECT_DOUBLE_EQ(d.up->capacity(), 50.0);
+}
+
+TEST(Topology, AsymmetricDuplex)
+{
+    Topology topo;
+    DuplexLink d = topo.addDuplex("ssd", 32.0, 14.0);
+    EXPECT_DOUBLE_EQ(d.up->capacity(), 32.0);
+    EXPECT_DOUBLE_EQ(d.down->capacity(), 14.0);
+}
+
+TEST(Topology, UnknownLinkIsFatal)
+{
+    Topology topo;
+    EXPECT_THROW(topo.link("nope"), std::runtime_error);
+}
+
+TEST(Topology, DuplicateNameIsFatal)
+{
+    Topology topo;
+    topo.addLink("x", 1.0);
+    EXPECT_THROW(topo.addLink("x", 2.0), std::runtime_error);
+}
+
+TEST(Topology, NonPositiveCapacityIsFatal)
+{
+    Topology topo;
+    EXPECT_THROW(topo.addLink("bad", 0.0), std::runtime_error);
+}
+
+TEST(Topology, PointerStabilityAcrossGrowth)
+{
+    Topology topo;
+    Link &first = topo.addLink("first", 1.0);
+    for (int i = 0; i < 100; ++i)
+        topo.addLink("l" + std::to_string(i), 1.0);
+    EXPECT_EQ(&topo.link("first"), &first);
+}
+
+TEST(Topology, ResetStatsClearsAllLinks)
+{
+    Topology topo;
+    Link &link = topo.addLink("l", 10.0);
+    link.account(100.0, 0.5, 2.0);
+    EXPECT_GT(link.bytesCarried(), 0.0);
+    topo.resetStats();
+    EXPECT_EQ(link.bytesCarried(), 0.0);
+    EXPECT_EQ(link.busyIntegral(), 0.0);
+}
+
+TEST(Topology, ForEachLinkVisitsAll)
+{
+    Topology topo;
+    topo.addLink("a", 1.0);
+    topo.addLink("b", 1.0);
+    int count = 0;
+    topo.forEachLink([&](const Link &) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+} // namespace
+} // namespace smartinf::net

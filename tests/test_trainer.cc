@@ -1,0 +1,99 @@
+/** @file Tests for the backend-agnostic training loop. */
+#include <gtest/gtest.h>
+
+#include "nn/trainer.h"
+
+namespace smartinf::nn {
+namespace {
+
+Trainer::Config
+quickConfig()
+{
+    Trainer::Config config;
+    config.epochs = 6;
+    config.batch_size = 32;
+    return config;
+}
+
+TEST(Trainer, HostBackendLearnsGaussianTask)
+{
+    const auto ds = makeTask(TaskId::MnliLike, 1024, 256, 16, 2);
+    Mlp mlp({16, 32, 3}, Activation::ReLU, 42);
+    HostBackend backend(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    Trainer trainer(mlp, backend, quickConfig());
+    const auto report = trainer.fit(ds);
+    EXPECT_GT(report.dev_accuracy, 0.85) << "accuracy too low";
+    EXPECT_GT(report.steps, 0u);
+    // Loss decreases over training.
+    EXPECT_LT(report.epoch_losses.back(), report.epoch_losses.front());
+}
+
+TEST(Trainer, LearnsNonlinearTask)
+{
+    const auto ds = makeTask(TaskId::QnliLike, 2048, 512, 16, 3);
+    Mlp mlp({16, 48, 24, 2}, Activation::GELU, 7);
+    HostBackend backend(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    Trainer::Config config = quickConfig();
+    config.epochs = 10;
+    Trainer trainer(mlp, backend, config);
+    const auto report = trainer.fit(ds);
+    EXPECT_GT(report.dev_accuracy, 0.9);
+}
+
+TEST(Trainer, Fp16GradientsBarelyAffectAccuracy)
+{
+    const auto ds = makeTask(TaskId::MnliLike, 1024, 256, 16, 2);
+    Trainer::Config fp16_cfg = quickConfig();
+    fp16_cfg.fp16_gradients = true;
+    Trainer::Config fp32_cfg = quickConfig();
+    fp32_cfg.fp16_gradients = false;
+
+    Mlp m1({16, 32, 3}, Activation::ReLU, 42);
+    HostBackend b1(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    const auto r1 = Trainer(m1, b1, fp16_cfg).fit(ds);
+
+    Mlp m2({16, 32, 3}, Activation::ReLU, 42);
+    HostBackend b2(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    const auto r2 = Trainer(m2, b2, fp32_cfg).fit(ds);
+
+    EXPECT_NEAR(r1.dev_accuracy, r2.dev_accuracy, 0.03);
+}
+
+TEST(Trainer, SgdBackendAlsoLearns)
+{
+    const auto ds = makeTask(TaskId::MnliLike, 1024, 256, 16, 2);
+    Mlp mlp({16, 32, 3}, Activation::ReLU, 42);
+    optim::Hyperparams hp;
+    hp.lr = 0.05f;
+    hp.momentum = 0.9f;
+    HostBackend backend(optim::OptimizerKind::SgdMomentum, hp);
+    Trainer::Config config = quickConfig();
+    config.epochs = 8;
+    Trainer trainer(mlp, backend, config);
+    EXPECT_GT(trainer.fit(ds).dev_accuracy, 0.8);
+}
+
+TEST(Trainer, DeterministicRuns)
+{
+    const auto ds = makeTask(TaskId::Sst2Like, 512, 128, 16, 1);
+    auto run_once = [&]() {
+        Mlp mlp({16, 24, 2}, Activation::ReLU, 3);
+        HostBackend backend(optim::OptimizerKind::Adam,
+                            optim::Hyperparams{});
+        Trainer trainer(mlp, backend, quickConfig());
+        return trainer.fit(ds).dev_accuracy;
+    };
+    EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Trainer, InvalidConfigIsFatal)
+{
+    Mlp mlp({4, 2}, Activation::ReLU, 1);
+    HostBackend backend(optim::OptimizerKind::Adam, optim::Hyperparams{});
+    Trainer::Config bad;
+    bad.epochs = 0;
+    EXPECT_THROW(Trainer(mlp, backend, bad), std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::nn

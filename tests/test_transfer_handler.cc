@@ -1,0 +1,192 @@
+/** @file Tests for the internal data transfer handler (paper SIV-B). */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/hls_module.h"
+#include "common/random.h"
+#include "csd/csd.h"
+#include "train/transfer_handler.h"
+
+namespace smartinf::train {
+namespace {
+
+/** Build a CSD with an Adam shard of @p elems initialized parameters. */
+struct Fixture {
+    ShardLayout layout;
+    csd::Csd device;
+    std::vector<float> init_params;
+    std::vector<float> grads;
+
+    explicit Fixture(std::size_t elems, uint64_t seed = 3)
+        : layout{elems, 2},
+          device("csd0", csd::CsdSpec::smartSsd(), layout.totalBytes())
+    {
+        device.installUpdater(accel::makeUpdater(optim::OptimizerKind::Adam,
+                                                 optim::Hyperparams{}));
+        Rng rng(seed);
+        init_params.resize(elems);
+        grads.resize(elems);
+        for (std::size_t i = 0; i < elems; ++i) {
+            init_params[i] = static_cast<float>(rng.normal());
+            grads[i] = static_cast<float>(rng.normal(0.0, 0.01));
+        }
+        device.ssd().writeFloats(init_params.data(), elems,
+                                 layout.masterOffset());
+        const std::vector<float> zeros(elems, 0.0f);
+        device.ssd().writeFloats(zeros.data(), elems, layout.auxOffset(0));
+        device.ssd().writeFloats(zeros.data(), elems, layout.auxOffset(1));
+        device.ssd().writeFloats(grads.data(), elems, layout.gradOffset());
+    }
+};
+
+/** Host-side expected result for one Adam step. */
+std::vector<float>
+hostReference(const std::vector<float> &params, const std::vector<float> &grads,
+              uint64_t steps = 1)
+{
+    auto opt = optim::makeOptimizer(optim::OptimizerKind::Adam,
+                                    optim::Hyperparams{});
+    std::vector<float> master = params;
+    std::vector<float> mmt(params.size(), 0.0f), var(params.size(), 0.0f);
+    float *states[] = {mmt.data(), var.data()};
+    for (uint64_t t = 1; t <= steps; ++t)
+        opt->step(master.data(), grads.data(), states, master.size(), t);
+    return master;
+}
+
+TEST(TransferHandler, OptimizedMatchesHostReference)
+{
+    Fixture fx(10000);
+    TransferHandler::Config config;
+    config.subgroup_elems = 1024;
+    config.optimized = true;
+    TransferHandler handler(fx.device, fx.layout, config);
+    std::vector<float> upstream(10000, 0.0f);
+    handler.runUpdate(1, upstream.data());
+    EXPECT_EQ(upstream, hostReference(fx.init_params, fx.grads));
+}
+
+TEST(TransferHandler, NaiveMatchesHostReference)
+{
+    Fixture fx(10000);
+    TransferHandler::Config config;
+    config.subgroup_elems = 1024;
+    config.optimized = false;
+    TransferHandler handler(fx.device, fx.layout, config);
+    std::vector<float> upstream(10000, 0.0f);
+    handler.runUpdate(1, upstream.data());
+    EXPECT_EQ(upstream, hostReference(fx.init_params, fx.grads));
+}
+
+TEST(TransferHandler, NaiveAndOptimizedBitIdentical)
+{
+    Fixture fx1(7777, 11), fx2(7777, 11);
+    TransferHandler::Config naive{512, false};
+    TransferHandler::Config opt{512, true};
+    TransferHandler h1(fx1.device, fx1.layout, naive);
+    TransferHandler h2(fx2.device, fx2.layout, opt);
+    std::vector<float> u1(7777), u2(7777);
+    h1.runUpdate(1, u1.data());
+    h2.runUpdate(1, u2.data());
+    EXPECT_EQ(u1, u2);
+}
+
+TEST(TransferHandler, WritesStatesBackToSsd)
+{
+    Fixture fx(512);
+    TransferHandler handler(fx.device, fx.layout, {128, true});
+    handler.runUpdate(1, nullptr);
+    // Momentum after one Adam step = (1-beta1) * grad.
+    std::vector<float> mmt(512);
+    fx.device.ssd().readFloats(mmt.data(), 512, fx.layout.auxOffset(0));
+    for (std::size_t i = 0; i < 512; ++i)
+        EXPECT_FLOAT_EQ(mmt[i], 0.1f * fx.grads[i]);
+}
+
+TEST(TransferHandler, MultipleStepsAccumulateState)
+{
+    Fixture fx(2048);
+    TransferHandler handler(fx.device, fx.layout, {256, true});
+    std::vector<float> upstream(2048);
+    // Same gradients twice (they stay on the SSD between runs).
+    handler.runUpdate(1, upstream.data());
+    handler.runUpdate(2, upstream.data());
+    EXPECT_EQ(upstream, hostReference(fx.init_params, fx.grads, 2));
+}
+
+TEST(TransferHandler, SubgroupCountCeil)
+{
+    Fixture fx(1000);
+    TransferHandler handler(fx.device, fx.layout, {300, true});
+    EXPECT_EQ(handler.subgroupCount(), 4u); // ceil(1000/300).
+}
+
+TEST(TransferHandler, DeviceMemoryBoundedByPreallocation)
+{
+    Fixture fx(100000);
+    const std::size_t chunk = 4096;
+    TransferHandler handler(fx.device, fx.layout, {chunk, true});
+    handler.runUpdate(1, nullptr);
+    // Double-buffered: 2 slots x 4 variables x chunk floats.
+    EXPECT_LE(handler.peakDeviceMemory(), 2 * 4 * chunk * sizeof(float));
+    EXPECT_GT(handler.peakDeviceMemory(), 0u);
+}
+
+TEST(TransferHandler, CompressedPathMatchesReferenceDecompression)
+{
+    const std::size_t n = 8192;
+    Fixture fx(n);
+    fx.device.installDecompressor(accel::makeTopKDecompressor());
+
+    compress::TopKCompressor comp(0.05);
+    const auto sparse = comp.compress(fx.grads.data(), n);
+    std::vector<float> dense(n);
+    compress::TopKCompressor::decompress(sparse, dense.data(), n);
+
+    TransferHandler handler(fx.device, fx.layout, {1024, true});
+    std::vector<float> upstream(n);
+    handler.runUpdateCompressed(sparse, 1, upstream.data());
+    EXPECT_EQ(upstream, hostReference(fx.init_params, dense));
+}
+
+TEST(TransferHandler, CompressedWithoutDecompressorIsFatal)
+{
+    Fixture fx(256);
+    TransferHandler handler(fx.device, fx.layout, {64, true});
+    compress::SparseGradient sparse;
+    sparse.dense_size = 256;
+    EXPECT_THROW(handler.runUpdateCompressed(sparse, 1, nullptr),
+                 std::runtime_error);
+}
+
+TEST(TransferHandler, MismatchedUpdaterStateCountIsFatal)
+{
+    // SGD updater (1 aux state) against an Adam-shaped shard (2 states).
+    ShardLayout layout{128, 2};
+    csd::Csd device("csd0", csd::CsdSpec::smartSsd(), layout.totalBytes());
+    device.installUpdater(accel::makeUpdater(
+        optim::OptimizerKind::SgdMomentum, optim::Hyperparams{}));
+    TransferHandler handler(device, layout, {64, true});
+    EXPECT_THROW(handler.runUpdate(1, nullptr), std::runtime_error);
+}
+
+/** Property: results are invariant to subgroup size (tasklet boundary). */
+class HandlerChunking : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HandlerChunking, SubgroupSizeInvariant)
+{
+    Fixture fx(5000, 99);
+    TransferHandler handler(fx.device, fx.layout, {GetParam(), true});
+    std::vector<float> upstream(5000);
+    handler.runUpdate(1, upstream.data());
+    EXPECT_EQ(upstream, hostReference(fx.init_params, fx.grads));
+}
+
+INSTANTIATE_TEST_SUITE_P(Subgroups, HandlerChunking,
+                         ::testing::Values(1, 17, 500, 5000, 10000));
+
+} // namespace
+} // namespace smartinf::train

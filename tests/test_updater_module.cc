@@ -1,0 +1,151 @@
+/** @file Tests for the behavioral FPGA updater modules. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/hls_module.h"
+#include "accel/updater.h"
+#include "common/random.h"
+
+namespace smartinf::accel {
+namespace {
+
+using optim::OptimizerKind;
+
+/** All optimizer kinds the paper exercises (SVII-F). */
+class UpdaterBitExact : public ::testing::TestWithParam<OptimizerKind>
+{
+};
+
+TEST_P(UpdaterBitExact, MatchesHostReferenceBitForBit)
+{
+    const auto kind = GetParam();
+    optim::Hyperparams hp;
+    hp.lr = 0.01f;
+    auto module = makeUpdater(kind, hp);
+    auto reference = optim::makeOptimizer(kind, hp);
+
+    const std::size_t n = 10000;
+    Rng rng(77);
+    std::vector<float> master_dev(n), master_ref(n), grad(n);
+    const int aux = optim::auxStateCount(kind);
+    std::vector<std::vector<float>> s_dev(aux, std::vector<float>(n, 0.0f));
+    std::vector<std::vector<float>> s_ref(aux, std::vector<float>(n, 0.0f));
+    for (std::size_t i = 0; i < n; ++i)
+        master_dev[i] = master_ref[i] = static_cast<float>(rng.normal());
+
+    std::vector<float *> p_dev, p_ref;
+    for (int a = 0; a < aux; ++a) {
+        p_dev.push_back(s_dev[a].data());
+        p_ref.push_back(s_ref[a].data());
+    }
+
+    for (uint64_t t = 1; t <= 5; ++t) {
+        for (auto &g : grad)
+            g = static_cast<float>(rng.normal(0.0, 0.01));
+        module->processSubgroup(master_dev.data(), grad.data(), p_dev.data(),
+                                n, t);
+        reference->step(master_ref.data(), grad.data(), p_ref.data(), n, t);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(master_dev[i], master_ref[i]) << "param " << i;
+        for (int a = 0; a < aux; ++a)
+            ASSERT_EQ(s_dev[a][i], s_ref[a][i]) << "state " << a << "/" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, UpdaterBitExact,
+                         ::testing::Values(OptimizerKind::Adam,
+                                           OptimizerKind::AdamW,
+                                           OptimizerKind::SgdMomentum,
+                                           OptimizerKind::AdaGrad));
+
+/** Chunk size must not affect results (hardware S is an implementation
+ *  detail). */
+class UpdaterChunking : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(UpdaterChunking, ChunkSizeInvariant)
+{
+    optim::Hyperparams hp;
+    UpdaterGeometry geom;
+    geom.chunk_elems = GetParam();
+    auto module = makeUpdater(OptimizerKind::Adam, hp, geom);
+    UpdaterGeometry big;
+    big.chunk_elems = 1 << 20;
+    auto wide = makeUpdater(OptimizerKind::Adam, hp, big);
+
+    const std::size_t n = 5000;
+    Rng rng(13);
+    std::vector<float> m1(n), m2(n), grad(n);
+    std::vector<float> mmt1(n, 0), var1(n, 0), mmt2(n, 0), var2(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        m1[i] = m2[i] = static_cast<float>(rng.normal());
+        grad[i] = static_cast<float>(rng.normal(0.0, 0.01));
+    }
+    float *s1[] = {mmt1.data(), var1.data()};
+    float *s2[] = {mmt2.data(), var2.data()};
+    module->processSubgroup(m1.data(), grad.data(), s1, n, 1);
+    wide->processSubgroup(m2.data(), grad.data(), s2, n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(m1[i], m2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, UpdaterChunking,
+                         ::testing::Values(1, 7, 64, 1000, 4096));
+
+TEST(UpdaterModule, SanityCheckerPassesBuiltins)
+{
+    for (auto kind :
+         {OptimizerKind::Adam, OptimizerKind::AdamW,
+          OptimizerKind::SgdMomentum, OptimizerKind::AdaGrad}) {
+        auto module = makeUpdater(kind, optim::Hyperparams{});
+        const auto report = sanityCheckUpdater(*module, 4096, 3, 5);
+        EXPECT_TRUE(report.passed) << optim::optimizerName(kind) << ": "
+                                   << report.detail;
+        EXPECT_EQ(report.max_abs_diff, 0.0);
+    }
+}
+
+TEST(UpdaterModule, PerformanceAnalyzerKeepsUpWithSsd)
+{
+    auto module = makeUpdater(OptimizerKind::Adam, optim::Hyperparams{});
+    const auto perf = analyzeUpdater(*module, 1 << 14);
+    // Fig 14: updater throughput (> 7 GB/s) clears SSD read (~3.2 GB/s).
+    EXPECT_GT(perf.modeled_throughput, 7e9);
+    EXPECT_TRUE(perf.keeps_up_with_ssd);
+    EXPECT_GT(perf.emulation_elems_per_sec, 0.0);
+}
+
+TEST(UpdaterModule, FootprintsFitTheKu15p)
+{
+    FpgaResourceModel fpga;
+    auto module = makeUpdater(OptimizerKind::Adam, optim::Hyperparams{});
+    EXPECT_NO_THROW(fpga.place(module->footprint()));
+}
+
+TEST(UpdaterModule, RegistryServesAllBuiltins)
+{
+    auto &registry = ModuleRegistry::instance();
+    for (const auto &name : {"adam", "adamw", "sgd", "adagrad"}) {
+        auto module = registry.makeUpdater(name, optim::Hyperparams{});
+        EXPECT_NE(module, nullptr);
+    }
+    EXPECT_THROW(registry.makeUpdater("nonexistent", optim::Hyperparams{}),
+                 std::runtime_error);
+}
+
+TEST(UpdaterModule, CustomModuleRegistration)
+{
+    auto &registry = ModuleRegistry::instance();
+    registry.registerUpdater("custom-adam", [](const optim::Hyperparams &hp) {
+        return makeUpdater(OptimizerKind::Adam, hp);
+    });
+    auto module = registry.makeUpdater("custom-adam", optim::Hyperparams{});
+    const auto report = sanityCheckUpdater(*module, 1024, 2, 3);
+    EXPECT_TRUE(report.passed);
+}
+
+} // namespace
+} // namespace smartinf::accel
