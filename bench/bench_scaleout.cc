@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Scale-out: multi-node data-parallel Smart-Infinity — the curve the paper
+ * never measures (its Fig 11 stops at intra-node CSD scaling). Sweeps node
+ * count x CSDs-per-node and reports per-iteration time, cluster token
+ * throughput, speedup over one node, and scaling efficiency. Data
+ * parallelism multiplies the global batch by the node count, so speedup is
+ * a throughput ratio; the gap to ideal N x is the (partially overlapped)
+ * ring all-reduce plus its contention with PCIe offload traffic on each
+ * node's shared host interconnect. A second table ablates the
+ * backward-overlapped bucketed sync against a monolithic post-backward
+ * all-reduce.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "dist/collective.h"
+#include "dist/distributed_engine.h"
+
+using namespace smartinf;
+using namespace smartinf::bench;
+using namespace smartinf::train;
+
+namespace {
+
+SystemConfig
+scaleoutConfig(Strategy strategy, int nodes, int csds, bool overlap = true)
+{
+    SystemConfig sc;
+    sc.strategy = strategy;
+    sc.num_devices = csds;
+    sc.num_nodes = nodes;
+    sc.overlap_grad_sync = overlap;
+    return sc;
+}
+
+void
+sweepNodesByCsds(const ModelSpec &model)
+{
+    const TrainConfig tc;
+    Table table("Scale-out: nodes x CSDs, data-parallel " +
+                std::string(strategyName(Strategy::SmartUpdateOpt)) + ", " +
+                model.name);
+    table.setHeader({"nodes", "CSDs/node", "iter (s)", "tok/s", "speedup",
+                     "efficiency", "sync TX/node (GB)"});
+
+    for (int csds : {4, 6, 8}) {
+        double single_node_throughput = 0.0;
+        for (int nodes : {1, 2, 4, 8}) {
+            const SystemConfig sc =
+                scaleoutConfig(Strategy::SmartUpdateOpt, nodes, csds);
+            auto engine = dist::makeDistributedEngine(model, tc, sc);
+            const IterationResult r = engine->runIteration();
+            const double tokens = tc.tokensPerIteration() * nodes;
+            const double throughput = tokens / r.iteration_time;
+            if (nodes == 1)
+                single_node_throughput = throughput;
+            const double speedup = throughput / single_node_throughput;
+            table.addRow({std::to_string(nodes), std::to_string(csds),
+                          Table::num(r.iteration_time, 3),
+                          Table::num(throughput, 1),
+                          Table::factor(speedup),
+                          Table::percent(speedup / nodes),
+                          Table::num(r.traffic.internode_tx /
+                                         std::max(nodes, 1) / 1e9,
+                                     2)});
+        }
+    }
+    table.print(std::cout);
+}
+
+void
+ablateSyncOverlap(const ModelSpec &model)
+{
+    // With dense offload (SU+O) the shared host interconnect is already
+    // saturated by gradient writes, so bucketing buys little; once SmartComp
+    // shrinks the offload wire (SU+O+C) the sync can actually hide behind
+    // backward compute.
+    const TrainConfig tc;
+    Table table("Gradient-sync overlap ablation (8 CSDs/node)");
+    table.setHeader({"strategy", "nodes", "overlapped (s)", "monolithic (s)",
+                     "overlap gain"});
+    for (Strategy s :
+         {Strategy::SmartUpdateOpt, Strategy::SmartUpdateOptComp}) {
+        for (int nodes : {2, 4, 8}) {
+            const auto overlapped =
+                dist::makeDistributedEngine(model, tc,
+                                            scaleoutConfig(s, nodes, 8))
+                    ->runIteration();
+            const auto monolithic =
+                dist::makeDistributedEngine(
+                    model, tc, scaleoutConfig(s, nodes, 8, false))
+                    ->runIteration();
+            table.addRow({strategyName(s), std::to_string(nodes),
+                          Table::num(overlapped.iteration_time, 3),
+                          Table::num(monolithic.iteration_time, 3),
+                          Table::factor(monolithic.iteration_time /
+                                        overlapped.iteration_time)});
+        }
+    }
+    table.print(std::cout);
+}
+
+void
+strategyComparisonAtScale(const ModelSpec &model)
+{
+    const TrainConfig tc;
+    Table table("4-node cluster by strategy (8 devices/node)");
+    breakdownHeader(table);
+    const auto base =
+        dist::makeDistributedEngine(
+            model, tc, scaleoutConfig(Strategy::Baseline, 4, 8))
+            ->runIteration();
+    for (Strategy s : {Strategy::Baseline, Strategy::SmartUpdate,
+                       Strategy::SmartUpdateOpt,
+                       Strategy::SmartUpdateOptComp}) {
+        const auto r = dist::makeDistributedEngine(model, tc,
+                                                   scaleoutConfig(s, 4, 8))
+                           ->runIteration();
+        addBreakdownRow(table, strategyName(s), r,
+                        base.iteration_time / r.iteration_time);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelSpec model = ModelSpec::gpt2(4.0);
+    sweepNodesByCsds(model);
+    std::cout << "\n";
+    ablateSyncOverlap(model);
+    std::cout << "\n";
+    strategyComparisonAtScale(model);
+    return 0;
+}

@@ -13,6 +13,12 @@
  *  - The *performance* layer (train::makeEngine / runWithSpeedup) — the
  *    calibrated discrete-event model reproducing the paper's timing
  *    results. Re-exported here for one-stop consumption.
+ *
+ * Multi-node data-parallel scale-out lives one layer up in src/dist/:
+ * dist::DataParallelCluster replicates a SmartInfinityCluster per node
+ * behind the same nn::UpdateBackend seam, and dist::makeDistributedEngine
+ * extends the performance model across servers with ring-collective
+ * gradient sync over the NIC fabric.
  */
 #ifndef SMARTINF_CORE_SMART_INFINITY_H
 #define SMARTINF_CORE_SMART_INFINITY_H

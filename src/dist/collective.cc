@@ -1,0 +1,192 @@
+#include "dist/collective.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "train/system_builder.h"
+
+namespace smartinf::dist {
+
+// ---- analytic wire-byte accounting ------------------------------------------
+
+Bytes
+ringReduceScatterTxBytesPerNode(Bytes buffer, int nodes)
+{
+    SI_REQUIRE(nodes >= 1, "need at least one node");
+    return (nodes - 1) * (buffer / nodes);
+}
+
+Bytes
+ringAllGatherTxBytesPerNode(Bytes buffer, int nodes)
+{
+    SI_REQUIRE(nodes >= 1, "need at least one node");
+    return (nodes - 1) * (buffer / nodes);
+}
+
+Bytes
+ringAllReduceTxBytesPerNode(Bytes buffer, int nodes)
+{
+    return ringReduceScatterTxBytesPerNode(buffer, nodes) +
+           ringAllGatherTxBytesPerNode(buffer, nodes);
+}
+
+const char *
+collectiveName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::ReduceScatter: return "reduce-scatter";
+      case CollectiveKind::AllGather: return "all-gather";
+      case CollectiveKind::AllReduce: return "all-reduce";
+    }
+    return "?";
+}
+
+Bytes
+collectiveTxBytesPerNode(CollectiveKind kind, Bytes buffer, int nodes)
+{
+    switch (kind) {
+      case CollectiveKind::ReduceScatter:
+        return ringReduceScatterTxBytesPerNode(buffer, nodes);
+      case CollectiveKind::AllGather:
+        return ringAllGatherTxBytesPerNode(buffer, nodes);
+      case CollectiveKind::AllReduce:
+        return ringAllReduceTxBytesPerNode(buffer, nodes);
+    }
+    return 0.0;
+}
+
+// ---- performance layer: flow schedules --------------------------------------
+
+CollectiveSchedule
+scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
+                       Bytes bytes,
+                       const std::vector<sim::TaskGraph::TaskId> &deps,
+                       const std::string &tag)
+{
+    using TaskId = sim::TaskGraph::TaskId;
+    SI_REQUIRE(nodes >= 1, "need at least one node");
+    SI_REQUIRE(bytes >= 0.0, "negative collective size");
+    SI_REQUIRE(deps.empty() || static_cast<int>(deps.size()) == nodes,
+               "need one gating dependency per node (or none)");
+
+    CollectiveSchedule out;
+    out.done = ctx.graph.barrier(tag + ".done");
+    if (nodes == 1) {
+        // Degenerate ring: nothing crosses the fabric, but the barrier
+        // still sequences against the gating dependencies.
+        if (!deps.empty())
+            ctx.graph.dependsOn(out.done, deps[0]);
+        return out;
+    }
+
+    out.steps = kind == CollectiveKind::AllReduce ? 2 * (nodes - 1)
+                                                  : nodes - 1;
+    const Bytes chunk = bytes / nodes;
+    const Seconds latency = ctx.system.nic_latency;
+
+    // One flow per (step, sender). The route crosses the sender's shared
+    // host interconnect (gradients live in host DRAM), its NIC egress, the
+    // receiver's NIC ingress, and the receiver's host interconnect — so
+    // collective traffic and storage-offload traffic contend end to end.
+    std::vector<TaskId> prev_step(nodes, sim::TaskGraph::kInvalidTask);
+    std::vector<TaskId> cur_step(nodes, sim::TaskGraph::kInvalidTask);
+    for (int s = 0; s < out.steps; ++s) {
+        for (int i = 0; i < nodes; ++i) {
+            const int j = (i + 1) % nodes;
+            const std::string src = train::nodePrefix(i);
+            const std::string dst = train::nodePrefix(j);
+            net::Route route = {&ctx.topo.link(src + "host.down"),
+                                &ctx.topo.link(src + "nic.tx"),
+                                &ctx.topo.link(dst + "nic.rx"),
+                                &ctx.topo.link(dst + "host.up")};
+            TaskId hop = ctx.graph.add(
+                [&ctx, route = std::move(route), chunk,
+                 latency](std::function<void()> done) {
+                    ctx.net.startFlow(route, chunk, std::move(done), latency);
+                },
+                tag + ".s" + std::to_string(s) + ".n" + std::to_string(i));
+            if (s == 0) {
+                if (!deps.empty())
+                    ctx.graph.dependsOn(hop, deps[i]);
+            } else {
+                // NIC serialization: one send in flight per node per step.
+                ctx.graph.dependsOn(hop, prev_step[i]);
+                // Data dependency: the chunk forwarded in step s arrived
+                // from the ring predecessor in step s-1.
+                ctx.graph.dependsOn(hop, prev_step[(i - 1 + nodes) % nodes]);
+            }
+            cur_step[i] = hop;
+        }
+        std::swap(prev_step, cur_step);
+    }
+    for (int i = 0; i < nodes; ++i)
+        ctx.graph.dependsOn(out.done, prev_step[i]);
+
+    out.tx_bytes_per_node = out.steps * chunk;
+    ctx.traffic.internode_tx += nodes * out.tx_bytes_per_node;
+    ctx.traffic.internode_rx += nodes * out.tx_bytes_per_node;
+    return out;
+}
+
+// ---- functional layer: deterministic in-memory rings ------------------------
+
+std::pair<std::size_t, std::size_t>
+shardRange(std::size_t n, int nodes, int shard)
+{
+    SI_REQUIRE(nodes >= 1 && shard >= 0 && shard < nodes, "bad shard index");
+    const std::size_t base = n / nodes;
+    const std::size_t rem = n % nodes;
+    const std::size_t s = static_cast<std::size_t>(shard);
+    const std::size_t begin = s * base + std::min(s, rem);
+    const std::size_t len = base + (s < rem ? 1 : 0);
+    return {begin, begin + len};
+}
+
+void
+functionalRingReduceScatter(const std::vector<float *> &replicas,
+                            std::size_t n, bool average)
+{
+    const int nodes = static_cast<int>(replicas.size());
+    SI_REQUIRE(nodes >= 1, "need at least one replica");
+    const float inv = 1.0f / static_cast<float>(nodes);
+    for (int s = 0; s < nodes; ++s) {
+        const auto [begin, end] = shardRange(n, nodes, s);
+        // Shard s circulates the ring starting at node s+1 and ends fully
+        // reduced on its owner, node s. Accumulating in exactly that order
+        // makes the owner's result a single well-defined bit pattern.
+        float *owner = replicas[s];
+        for (std::size_t e = begin; e < end; ++e) {
+            float acc = replicas[(s + 1) % nodes][e];
+            for (int k = 2; k <= nodes; ++k)
+                acc += replicas[(s + k) % nodes][e];
+            owner[e] = average ? acc * inv : acc;
+        }
+    }
+}
+
+void
+functionalRingAllGather(const std::vector<float *> &replicas, std::size_t n)
+{
+    const int nodes = static_cast<int>(replicas.size());
+    SI_REQUIRE(nodes >= 1, "need at least one replica");
+    for (int s = 0; s < nodes; ++s) {
+        const auto [begin, end] = shardRange(n, nodes, s);
+        const float *owner = replicas[s];
+        for (int i = 0; i < nodes; ++i) {
+            if (i == s)
+                continue;
+            std::copy(owner + begin, owner + end, replicas[i] + begin);
+        }
+    }
+}
+
+void
+functionalRingAllReduce(const std::vector<float *> &replicas, std::size_t n,
+                        bool average)
+{
+    functionalRingReduceScatter(replicas, n, average);
+    functionalRingAllGather(replicas, n);
+}
+
+} // namespace smartinf::dist

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Collective communication primitives for data-parallel scale-out, in the
+ * same two coupled layers as the rest of the reproduction (see DESIGN.md):
+ *
+ *  - The *functional* layer: deterministic ring reduce-scatter / all-gather
+ *    over in-memory replica buffers. Every shard is reduced in one fixed
+ *    ring order and the result copied verbatim to all replicas, so replicas
+ *    end bit-identical by construction — the property DataParallelCluster
+ *    asserts.
+ *  - The *performance* layer: the same ring schedules expressed as flow
+ *    tasks over net::Topology NIC links ("n<i>.nic.tx"/"n<i>.nic.rx" from
+ *    train::buildNicLinks). Each hop also traverses the endpoint nodes'
+ *    shared host interconnect, so collective traffic contends with PCIe
+ *    storage-offload traffic in the same max-min fluid-flow model.
+ *
+ * Wire-byte accounting is analytic and checkable: a ring all-reduce moves
+ * 2(N-1)/N * buffer bytes out of every node (reduce-scatter and all-gather
+ * move (N-1)/N each).
+ */
+#ifndef SMARTINF_DIST_COLLECTIVE_H
+#define SMARTINF_DIST_COLLECTIVE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/task_graph.h"
+#include "train/iteration_builder.h"
+
+namespace smartinf::dist {
+
+// ---- analytic wire-byte accounting ------------------------------------------
+
+/** Egress bytes per node of a ring all-reduce over @p buffer bytes. */
+Bytes ringAllReduceTxBytesPerNode(Bytes buffer, int nodes);
+/** Egress bytes per node of a ring reduce-scatter. */
+Bytes ringReduceScatterTxBytesPerNode(Bytes buffer, int nodes);
+/** Egress bytes per node of a ring all-gather. */
+Bytes ringAllGatherTxBytesPerNode(Bytes buffer, int nodes);
+
+/** The collectives the scale-out layer schedules. */
+enum class CollectiveKind { ReduceScatter, AllGather, AllReduce };
+
+const char *collectiveName(CollectiveKind kind);
+
+/** Dispatch to the per-kind analytic formula. */
+Bytes collectiveTxBytesPerNode(CollectiveKind kind, Bytes buffer, int nodes);
+
+// ---- performance layer: flow schedules --------------------------------------
+
+/** Handle to one scheduled collective in a SimContext's task graph. */
+struct CollectiveSchedule {
+    /** Completes when every node holds its result. */
+    sim::TaskGraph::TaskId done = sim::TaskGraph::kInvalidTask;
+    /** NIC egress bytes each node contributes (== the analytic formula). */
+    Bytes tx_bytes_per_node = 0.0;
+    /** Ring steps scheduled (2(N-1) for all-reduce, N-1 otherwise). */
+    int steps = 0;
+};
+
+/**
+ * Append a ring collective over @p bytes to @p ctx's task graph. Node i's
+ * first hop waits on @p deps[i] (pass an empty vector to start immediately).
+ * In ring step s node i sends one bytes/N chunk to node (i+1) % N; step s+1
+ * on node i waits for its own step-s send (NIC serialization) and for the
+ * chunk arriving from node i-1 (data dependency). NIC traffic is accounted
+ * into ctx.traffic.internode_tx/rx. A 1-node "collective" is a no-op
+ * barrier moving zero bytes.
+ */
+CollectiveSchedule
+scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
+                       Bytes bytes,
+                       const std::vector<sim::TaskGraph::TaskId> &deps,
+                       const std::string &tag);
+
+// ---- functional layer: deterministic in-memory rings ------------------------
+
+/**
+ * Ring reduce-scatter over @p replicas (each a buffer of @p n floats):
+ * shard s ends up fully reduced on replica s % N, accumulated in the fixed
+ * ring order (s+1, s+2, ..., s+N) mod N. When @p average, the reduced shard
+ * is divided by the replica count.
+ */
+void functionalRingReduceScatter(const std::vector<float *> &replicas,
+                                 std::size_t n, bool average);
+
+/** Ring all-gather: broadcast each shard from its owner to all replicas. */
+void functionalRingAllGather(const std::vector<float *> &replicas,
+                             std::size_t n);
+
+/**
+ * Ring all-reduce == reduce-scatter + all-gather. Afterwards every replica
+ * holds the bit-identical (averaged) reduction of all inputs.
+ */
+void functionalRingAllReduce(const std::vector<float *> &replicas,
+                             std::size_t n, bool average);
+
+/** Element range [begin, end) of shard @p shard when @p n splits @p nodes ways. */
+std::pair<std::size_t, std::size_t> shardRange(std::size_t n, int nodes,
+                                               int shard);
+
+} // namespace smartinf::dist
+
+#endif // SMARTINF_DIST_COLLECTIVE_H

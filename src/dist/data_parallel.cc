@@ -1,0 +1,94 @@
+#include "dist/data_parallel.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dist/collective.h"
+
+namespace smartinf::dist {
+
+DataParallelCluster::DataParallelCluster(const DataParallelConfig &config)
+    : config_(config)
+{
+    SI_REQUIRE(config.num_nodes >= 1, "need at least one node");
+    replicas_.reserve(config.num_nodes);
+    for (int i = 0; i < config.num_nodes; ++i)
+        replicas_.push_back(
+            std::make_unique<SmartInfinityCluster>(config.node));
+}
+
+DataParallelCluster::~DataParallelCluster() = default;
+
+void
+DataParallelCluster::initialize(const float *params, std::size_t n)
+{
+    for (auto &replica : replicas_)
+        replica->initialize(params, n);
+    reduce_buffers_.assign(replicas_.size(), std::vector<float>(n));
+}
+
+void
+DataParallelCluster::step(const float *grads, std::size_t n, uint64_t t)
+{
+    // Plain UpdateBackend semantics: every node drew the same batch.
+    std::vector<const float *> local(replicas_.size(), grads);
+    stepLocal(local, n, t);
+}
+
+void
+DataParallelCluster::stepLocal(const std::vector<const float *> &grads,
+                               std::size_t n, uint64_t t)
+{
+    SI_REQUIRE(grads.size() == replicas_.size(),
+               "need one gradient buffer per node");
+    SI_REQUIRE(!reduce_buffers_.empty() && reduce_buffers_[0].size() == n,
+               "initialize() must precede step() with matching size");
+
+    std::vector<float *> buffers(replicas_.size());
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        std::copy(grads[i], grads[i] + n, reduce_buffers_[i].begin());
+        buffers[i] = reduce_buffers_[i].data();
+    }
+    functionalRingAllReduce(buffers, n, config_.average_gradients);
+    last_reduce_tx_ = ringAllReduceTxBytesPerNode(n * kBytesFp32,
+                                                  numNodes());
+
+    // Every node now holds the bit-identical reduced gradient; each runs
+    // its own near-storage update, keeping the replicas in lockstep.
+    for (std::size_t i = 0; i < replicas_.size(); ++i)
+        replicas_[i]->step(buffers[i], n, t);
+    SI_ASSERT(replicasInSync(), "replicas diverged after a reduced step");
+}
+
+const float *
+DataParallelCluster::masterParams() const
+{
+    return replicas_[0]->masterParams();
+}
+
+std::size_t
+DataParallelCluster::paramCount() const
+{
+    return replicas_[0]->paramCount();
+}
+
+const char *
+DataParallelCluster::backendName() const
+{
+    return "data-parallel[smart-infinity]";
+}
+
+bool
+DataParallelCluster::replicasInSync() const
+{
+    const std::size_t n = replicas_[0]->paramCount();
+    const float *reference = replicas_[0]->masterParams();
+    for (std::size_t i = 1; i < replicas_.size(); ++i) {
+        const float *params = replicas_[i]->masterParams();
+        if (!std::equal(reference, reference + n, params))
+            return false;
+    }
+    return true;
+}
+
+} // namespace smartinf::dist

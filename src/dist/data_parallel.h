@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Functional data-parallel deployment: R replicas of a SmartInfinityCluster,
+ * one per node, each holding the full parameter/optimizer-state set on its
+ * own CSDs. A step reduces the replicas' local gradients with the
+ * deterministic functional ring collectives (dist/collective.h) — shard
+ * gradients, reduce each shard in fixed ring order, all-gather the result —
+ * then every node applies the identical reduced gradient through its
+ * near-storage update pipeline. Replicas therefore stay bit-identical to
+ * *each other* — the invariant replicasInSync() checks. Against a lone
+ * SmartInfinityCluster fed the same stream, equality additionally needs
+ * the ring-averaged gradient to reproduce the input bitwise: guaranteed
+ * at 2 replicas (x + x is exact and /2 is a power of two), ulp-level
+ * deviation possible at other node counts where the sequential sum
+ * rounds or 1/N is not representable.
+ */
+#ifndef SMARTINF_DIST_DATA_PARALLEL_H
+#define SMARTINF_DIST_DATA_PARALLEL_H
+
+#include <memory>
+#include <vector>
+
+#include "core/smart_infinity.h"
+
+namespace smartinf::dist {
+
+/** Configuration of a functional data-parallel cluster. */
+struct DataParallelConfig {
+    /** Replica (node) count. */
+    int num_nodes = 2;
+    /** Per-node Smart-Infinity deployment. */
+    ClusterConfig node;
+    /** Average (true, data-parallel convention) or sum local gradients. */
+    bool average_gradients = true;
+};
+
+/**
+ * Multiple Smart-Infinity replicas behind the single UpdateBackend seam.
+ * Through the plain UpdateBackend interface every replica receives the same
+ * gradients (as if all nodes drew identical batches); stepLocal() is the
+ * genuinely data-parallel path with one gradient buffer per node.
+ */
+class DataParallelCluster final : public nn::UpdateBackend
+{
+  public:
+    explicit DataParallelCluster(const DataParallelConfig &config);
+    ~DataParallelCluster() override;
+
+    /** @name nn::UpdateBackend @{ */
+    void initialize(const float *params, std::size_t n) override;
+    void step(const float *grads, std::size_t n, uint64_t t) override;
+    const float *masterParams() const override;
+    std::size_t paramCount() const override;
+    const char *backendName() const override;
+    /** @} */
+
+    /**
+     * Data-parallel step: @p grads holds one local gradient buffer per
+     * node. Reduces them across replicas (ring reduce-scatter +
+     * all-gather), then runs every node's near-storage update.
+     */
+    void stepLocal(const std::vector<const float *> &grads, std::size_t n,
+                   uint64_t t);
+
+    int numNodes() const { return static_cast<int>(replicas_.size()); }
+    const SmartInfinityCluster &replica(int idx) const { return *replicas_[idx]; }
+    SmartInfinityCluster &replica(int idx) { return *replicas_[idx]; }
+
+    /** True when all replicas hold bit-identical master parameters. */
+    bool replicasInSync() const;
+
+    /**
+     * NIC egress bytes per node of the last step's gradient reduction
+     * (ring all-reduce: 2(N-1)/N of the dense gradient bytes).
+     */
+    Bytes lastReduceTxBytesPerNode() const { return last_reduce_tx_; }
+
+    const DataParallelConfig &config() const { return config_; }
+
+  private:
+    DataParallelConfig config_;
+    std::vector<std::unique_ptr<SmartInfinityCluster>> replicas_;
+    /** Per-replica staging buffers for the functional ring reduction. */
+    std::vector<std::vector<float>> reduce_buffers_;
+    Bytes last_reduce_tx_ = 0.0;
+};
+
+} // namespace smartinf::dist
+
+#endif // SMARTINF_DIST_DATA_PARALLEL_H

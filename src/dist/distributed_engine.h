@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The multi-node data-parallel training engine (performance layer). Each of
+ * the cluster's identical servers runs the single-node Smart-Infinity (or
+ * baseline) iteration via its own train::IterationBuilder, all inside ONE
+ * SimContext; between backward and update the engine stitches in a ring
+ * all-reduce of the dense FP32 gradients over the NIC fabric. With
+ * overlap_grad_sync the all-reduce is bucketed per transformer block and
+ * each bucket launches as soon as every node produced that block's
+ * gradients, so gradient sync hides behind the remaining backward compute —
+ * and because NIC hops share the nodes' host interconnect links with
+ * storage offload flows, the cost of that contention falls out of the
+ * max-min flow model instead of being hand-estimated.
+ */
+#ifndef SMARTINF_DIST_DISTRIBUTED_ENGINE_H
+#define SMARTINF_DIST_DISTRIBUTED_ENGINE_H
+
+#include <memory>
+#include <string>
+
+#include "train/engine.h"
+
+namespace smartinf::dist {
+
+/** Data-parallel cluster of identical single-node systems. */
+class DistributedEngine final : public train::Engine
+{
+  public:
+    DistributedEngine(const train::ModelSpec &model,
+                      const train::TrainConfig &train,
+                      const train::SystemConfig &system);
+
+    train::IterationResult runIteration() override;
+    std::string name() const override;
+
+    /**
+     * NIC egress bytes one node contributed to gradient sync in the last
+     * runIteration() (== ringAllReduceTxBytesPerNode of the gradients).
+     */
+    Bytes lastSyncTxBytesPerNode() const { return last_sync_tx_per_node_; }
+
+    /**
+     * Tokens the whole cluster consumes per iteration: data parallelism
+     * multiplies the per-node batch by the node count, so scale-out speedup
+     * is a *throughput* ratio, not an iteration-time ratio.
+     */
+    double clusterTokensPerIteration() const;
+
+  private:
+    Bytes last_sync_tx_per_node_ = 0.0;
+};
+
+/**
+ * Factory covering the full node range: returns the matching single-node
+ * engine for num_nodes == 1 and a DistributedEngine otherwise.
+ */
+std::unique_ptr<train::Engine>
+makeDistributedEngine(const train::ModelSpec &model,
+                      const train::TrainConfig &train,
+                      const train::SystemConfig &system);
+
+} // namespace smartinf::dist
+
+#endif // SMARTINF_DIST_DISTRIBUTED_ENGINE_H

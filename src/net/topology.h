@@ -2,7 +2,8 @@
  * @file
  * A named registry of links with stable addresses, plus helpers for duplex
  * (PCIe-style) connections. Concrete system shapes (RAID host, CSD host,
- * congested multi-GPU expansion) are assembled in train/system_builder.
+ * congested multi-GPU expansion, and the multi-node NIC fabric used by the
+ * dist/ collectives) are assembled in train/system_builder.
  */
 #ifndef SMARTINF_NET_TOPOLOGY_H
 #define SMARTINF_NET_TOPOLOGY_H

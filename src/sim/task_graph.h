@@ -26,6 +26,8 @@ class TaskGraph
 {
   public:
     using TaskId = std::size_t;
+    /** Sentinel for "no task" (e.g. the predecessor of the first block). */
+    static constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
     /** An asynchronous action: call the argument when the task finishes. */
     using Action = std::function<void(std::function<void()> done)>;
 

@@ -1,13 +1,7 @@
 #include "train/engine.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/logging.h"
-#include "net/flow_network.h"
-#include "net/topology.h"
-#include "sim/resource.h"
-#include "sim/task_graph.h"
+#include "train/iteration_builder.h"
 
 namespace smartinf::train {
 
@@ -33,6 +27,8 @@ TrafficLedger::operator+=(const TrafficLedger &other)
     shared_param_up += other.shared_param_up;
     internal_read += other.internal_read;
     internal_write += other.internal_write;
+    internode_tx += other.internode_tx;
+    internode_rx += other.internode_rx;
     return *this;
 }
 
@@ -49,533 +45,23 @@ Engine::Engine(const ModelSpec &model, const TrainConfig &train,
                        system.compression_wire_fraction <= 1.0,
                    "compression wire fraction must be in (0, 1]");
     }
+    SI_REQUIRE(system.num_nodes >= 1, "need at least one node");
+    if (system.num_nodes > 1) {
+        SI_REQUIRE(system.nic_bandwidth > 0.0,
+                   "multi-node configs need a positive NIC bandwidth");
+        SI_REQUIRE(system.nic_latency >= 0.0, "negative NIC latency");
+    }
+}
+
+std::string
+engineDisplayName(Strategy strategy)
+{
+    if (strategy == Strategy::Baseline)
+        return "ZeRO-Infinity (RAID0)";
+    return std::string("Smart-Infinity (") + strategyName(strategy) + ")";
 }
 
 namespace {
-
-using sim::TaskGraph;
-using TaskId = sim::TaskGraph::TaskId;
-
-/** Everything one simulated iteration needs; rebuilt per runIteration(). */
-struct SimContext {
-    explicit SimContext(const SystemConfig &system)
-        : system(system), net(sim), graph(sim)
-    {
-    }
-
-    const SystemConfig &system;
-    sim::Simulator sim;
-    net::FlowNetwork net;
-    net::Topology topo;
-    TaskGraph graph;
-    std::unique_ptr<sim::Resource> gpu;
-    std::unique_ptr<sim::Resource> cpu;
-    std::vector<std::unique_ptr<sim::Resource>> fpga;
-    std::vector<std::unique_ptr<sim::Resource>> dma;
-    TrafficLedger traffic;
-
-    /** Add a flow-transfer task. */
-    TaskId
-    transfer(net::Route route, Bytes bytes, const std::string &label)
-    {
-        const Seconds latency = system.calib.transfer_latency;
-        return graph.add(
-            [this, route = std::move(route), bytes,
-             latency](std::function<void()> done) {
-                net.startFlow(route, bytes, std::move(done), latency);
-            },
-            label);
-    }
-};
-
-/**
- * Builds and runs one iteration for either engine. The front (FW + BW) is
- * shared; the update phase is strategy-specific.
- */
-class IterationBuilder
-{
-  public:
-    IterationBuilder(const ModelSpec &model, const TrainConfig &train,
-                     const SystemConfig &system)
-        : model_(model), train_(train), system_(system), ctx_(system)
-    {
-        buildTopologyAndResources();
-    }
-
-    IterationResult
-    run()
-    {
-        const TaskId fw_done = buildForward();
-        const TaskId bw_done = buildBackward(fw_done);
-        buildUpdate(bw_done);
-
-        ctx_.graph.start();
-        ctx_.sim.run();
-        SI_ASSERT(ctx_.graph.done(), "iteration graph did not drain");
-
-        IterationResult result;
-        const Seconds t_fw = ctx_.graph.finishTime(fw_done);
-        const Seconds t_bw = ctx_.graph.finishTime(bw_done);
-        const Seconds t_end = ctx_.graph.makespan();
-        result.phases.forward = t_fw;
-        result.phases.backward = t_bw - t_fw;
-        result.phases.update = t_end - t_bw;
-        result.iteration_time = t_end;
-        result.traffic = ctx_.traffic;
-        return result;
-    }
-
-  private:
-    // ---- topology -------------------------------------------------------
-
-    void
-    buildTopologyAndResources()
-    {
-        const Calibration &cal = system_.calib;
-        ctx_.topo.addLink("host.up", cal.host_shared);
-        ctx_.topo.addLink("host.down", cal.host_shared);
-        ctx_.topo.addLink("gpu.up", cal.gpu_link);
-        ctx_.topo.addLink("gpu.down", cal.gpu_link);
-        if (system_.congested_topology && system_.num_gpus > 1) {
-            // Peer traffic between tensor-parallel GPUs crosses the shared
-            // expansion switch fabric.
-            ctx_.topo.addLink("tp.fabric", cal.gpu_link);
-        }
-        // The baseline reaches SSD media through the software RAID0, which
-        // costs striping efficiency; Smart-Infinity's direct pread/pwrite
-        // P2P path does not.
-        const double media_eff = strategyUsesCsd(system_.strategy)
-                                     ? 1.0
-                                     : cal.raid_efficiency;
-        for (int d = 0; d < system_.num_devices; ++d) {
-            const std::string ssd = "ssd" + std::to_string(d);
-            ctx_.topo.addLink(ssd + ".read", cal.ssd_read * media_eff);
-            ctx_.topo.addLink(ssd + ".write", cal.ssd_write * media_eff);
-            ctx_.topo.addLink(ssd + ".up", cal.device_link);
-            ctx_.topo.addLink(ssd + ".down", cal.device_link);
-        }
-
-        const GpuModel gpu = GpuModel::get(system_.gpu);
-        ctx_.gpu = std::make_unique<sim::Resource>(
-            ctx_.sim, "gpu", gpu.effective_flops * system_.num_gpus,
-            cal.kernel_launch);
-        ctx_.cpu = std::make_unique<sim::Resource>(ctx_.sim, "cpu.update",
-                                                   cal.cpu_update, 20e-6);
-        if (strategyUsesCsd(system_.strategy)) {
-            for (int d = 0; d < system_.num_devices; ++d) {
-                // FPGA kernel engine: work is expressed in seconds
-                // (rate 1.0) so one resource serializes update and
-                // decompression kernels.
-                ctx_.fpga.push_back(std::make_unique<sim::Resource>(
-                    ctx_.sim, "fpga" + std::to_string(d), 1.0,
-                    cal.kernel_launch));
-                // Single OpenCL P2P DMA queue per CSD: internal reads and
-                // writes serialize on it.
-                ctx_.dma.push_back(std::make_unique<sim::Resource>(
-                    ctx_.sim, "dma" + std::to_string(d), 1.0,
-                    cal.transfer_latency));
-            }
-        }
-    }
-
-    /** Internal P2P transfer as work (seconds) on the CSD's DMA engine. */
-    TaskId
-    internalTransfer(int d, Bytes bytes, BytesPerSec p2p_rate,
-                     BytesPerSec media_rate, const std::string &label)
-    {
-        const Seconds duration = bytes / std::min(p2p_rate, media_rate);
-        return ctx_.graph.compute(*ctx_.dma[d], duration, label);
-    }
-
-    net::Route
-    gpuDown()
-    {
-        // Host memory -> GPU. In the congested topology this shares the
-        // expansion trunk with storage traffic (Fig 17).
-        if (system_.congested_topology)
-            return {&ctx_.topo.link("host.down"), &ctx_.topo.link("gpu.down")};
-        return {&ctx_.topo.link("gpu.down")};
-    }
-
-    net::Route
-    gpuUp()
-    {
-        if (system_.congested_topology)
-            return {&ctx_.topo.link("gpu.up"), &ctx_.topo.link("host.up")};
-        return {&ctx_.topo.link("gpu.up")};
-    }
-
-    net::Route
-    ssdWriteRoute(int d)
-    {
-        const std::string ssd = "ssd" + std::to_string(d);
-        return {&ctx_.topo.link("host.down"), &ctx_.topo.link(ssd + ".down"),
-                &ctx_.topo.link(ssd + ".write")};
-    }
-
-    net::Route
-    ssdReadRoute(int d)
-    {
-        const std::string ssd = "ssd" + std::to_string(d);
-        return {&ctx_.topo.link(ssd + ".read"), &ctx_.topo.link(ssd + ".up"),
-                &ctx_.topo.link("host.up")};
-    }
-
-    // ---- model slicing --------------------------------------------------
-
-    double paramsPerBlock() const { return model_.num_params / model_.num_layers; }
-
-    Bytes
-    activationBytesPerBlock() const
-    {
-        return static_cast<double>(train_.batch_size) * train_.seq_len *
-               model_.hidden_dim * kBytesFp16;
-    }
-
-    bool compressed() const
-    {
-        return system_.strategy == Strategy::SmartUpdateOptComp;
-    }
-
-    /** Gradient bytes leaving the GPU for one block (wire format). */
-    Bytes
-    gradWireBytesPerBlock() const
-    {
-        const Bytes dense = paramsPerBlock() * kBytesFp32;
-        return compressed() ? dense * system_.compression_wire_fraction
-                            : dense;
-    }
-
-    // ---- forward --------------------------------------------------------
-
-    TaskId
-    buildForward()
-    {
-        const double tokens = train_.tokensPerIteration();
-        const Flops fw_flops_per_block = 2.0 * paramsPerBlock() * tokens;
-        TaskId fw_done = ctx_.graph.barrier("fw.done");
-
-        TaskId prev_compute = static_cast<TaskId>(-1);
-        for (int b = 0; b < model_.num_layers; ++b) {
-            const std::string tag = "fw.b" + std::to_string(b);
-            // 1. Load the block's FP16 parameters from host memory.
-            TaskId load = ctx_.transfer(gpuDown(),
-                                        paramsPerBlock() * kBytesFp16,
-                                        tag + ".load");
-            // 2. Forward compute on the GPU (blocks in order).
-            TaskId compute = ctx_.graph.compute(*ctx_.gpu, fw_flops_per_block,
-                                                tag + ".compute");
-            ctx_.graph.dependsOn(compute, load);
-            if (b > 0)
-                ctx_.graph.dependsOn(compute, prev_compute);
-            tpAllReduce(compute, tag);
-            // 3. Checkpoint activations to host memory.
-            TaskId act = ctx_.transfer(gpuUp(), activationBytesPerBlock(),
-                                       tag + ".act");
-            ctx_.graph.dependsOn(act, compute);
-            ctx_.graph.dependsOn(fw_done, act);
-            ctx_.graph.dependsOn(fw_done, compute);
-            prev_compute = compute;
-        }
-        return fw_done;
-    }
-
-    /** Tensor-parallel activation all-reduce (congested multi-GPU only). */
-    void
-    tpAllReduce(TaskId after_compute, const std::string &tag)
-    {
-        if (!system_.congested_topology || system_.num_gpus <= 1)
-            return;
-        const double scale =
-            2.0 * (system_.num_gpus - 1) / system_.num_gpus;
-        TaskId ar = ctx_.transfer({&ctx_.topo.link("tp.fabric")},
-                                  scale * activationBytesPerBlock() *
-                                      system_.num_gpus,
-                                  tag + ".allreduce");
-        ctx_.graph.dependsOn(ar, after_compute);
-        // The next block's compute is serialized through the GPU resource;
-        // the all-reduce overlaps it but must finish inside the phase.
-    }
-
-    // ---- backward -------------------------------------------------------
-
-    TaskId
-    buildBackward(TaskId fw_done)
-    {
-        const double tokens = train_.tokensPerIteration();
-        const Flops bw_flops_per_block = 4.0 * paramsPerBlock() * tokens;
-        const Bytes dense_grad = paramsPerBlock() * kBytesFp32;
-        TaskId bw_done = ctx_.graph.barrier("bw.done");
-
-        TaskId prev_compute = static_cast<TaskId>(-1);
-        for (int b = 0; b < model_.num_layers; ++b) {
-            const std::string tag = "bw.b" + std::to_string(b);
-            // 1. Reload parameters + checkpointed activations.
-            TaskId load = ctx_.transfer(
-                gpuDown(),
-                paramsPerBlock() * kBytesFp16 + activationBytesPerBlock(),
-                tag + ".load");
-            ctx_.graph.dependsOn(load, fw_done);
-            // 2. Backward compute.
-            TaskId compute = ctx_.graph.compute(*ctx_.gpu, bw_flops_per_block,
-                                                tag + ".compute");
-            ctx_.graph.dependsOn(compute, load);
-            if (b > 0)
-                ctx_.graph.dependsOn(compute, prev_compute);
-            tpAllReduce(compute, tag);
-
-            // 3. Optional GPU-side Top-K compression (SmartComp).
-            TaskId producer = compute;
-            if (compressed()) {
-                const Flops compress_work =
-                    dense_grad / system_.calib.gpu_compress *
-                    ctx_.gpu->rate();
-                TaskId comp = ctx_.graph.compute(*ctx_.gpu, compress_work,
-                                                 tag + ".compress");
-                ctx_.graph.dependsOn(comp, compute);
-                producer = comp;
-            }
-
-            // 4. Gradients to host memory, then offload to storage.
-            TaskId to_host = ctx_.transfer(gpuUp(), gradWireBytesPerBlock(),
-                                           tag + ".tohost");
-            ctx_.graph.dependsOn(to_host, producer);
-            TaskId offload = buildGradOffload(b, tag);
-            ctx_.graph.dependsOn(offload, to_host);
-            ctx_.graph.dependsOn(bw_done, offload);
-            ctx_.graph.dependsOn(bw_done, compute);
-            prev_compute = compute;
-        }
-        return bw_done;
-    }
-
-    /**
-     * Offload one block's gradients. Baseline stripes over the RAID0;
-     * Smart-Infinity routes them to the owner CSD of the block's flattened
-     * parameter range (§IV-D).
-     */
-    TaskId
-    buildGradOffload(int block, const std::string &tag)
-    {
-        const Bytes wire = gradWireBytesPerBlock();
-        ctx_.traffic.shared_grad_write += wire;
-        if (system_.strategy == Strategy::Baseline) {
-            TaskId joined = ctx_.graph.barrier(tag + ".offload");
-            const Bytes per_dev = wire / system_.num_devices;
-            for (int d = 0; d < system_.num_devices; ++d) {
-                TaskId part = ctx_.transfer(ssdWriteRoute(d), per_dev,
-                                            tag + ".offload.d" +
-                                                std::to_string(d));
-                ctx_.graph.dependsOn(joined, part);
-            }
-            return joined;
-        }
-        // Flattened equal distribution: consecutive blocks land on
-        // consecutive owner CSDs.
-        const int owner = block % system_.num_devices;
-        return ctx_.transfer(ssdWriteRoute(owner), wire, tag + ".offload");
-    }
-
-    // ---- update: baseline ----------------------------------------------
-
-    void
-    buildUpdate(TaskId bw_done)
-    {
-        if (system_.strategy == Strategy::Baseline)
-            buildBaselineUpdate(bw_done);
-        else
-            buildSmartUpdate(bw_done);
-    }
-
-    void
-    buildBaselineUpdate(TaskId bw_done)
-    {
-        const int aux = optim::auxStateCount(system_.optimizer);
-        const double p_block = paramsPerBlock();
-        // Read side: gradients (FP32) + master + aux states.
-        const Bytes read_bytes = p_block * kBytesFp32 * (2.0 + aux);
-        // Write side: master + aux states.
-        const Bytes write_bytes = p_block * kBytesFp32 * (1.0 + aux);
-
-        TaskId prev_cpu = static_cast<TaskId>(-1);
-        TaskId prev_read = static_cast<TaskId>(-1);
-        TaskId prev_write = static_cast<TaskId>(-1);
-        for (int b = 0; b < model_.num_layers; ++b) {
-            const std::string tag = "upd.b" + std::to_string(b);
-            // 1. Upload gradients + optimizer states from the RAID0. The
-            // swapper streams blocks in order: block b's upload is issued
-            // after block b-1's (sequential prefetch, overlapped with
-            // compute and writeback through the full-duplex interconnect).
-            TaskId read = ctx_.graph.barrier(tag + ".read");
-            for (int d = 0; d < system_.num_devices; ++d) {
-                TaskId part =
-                    ctx_.transfer(ssdReadRoute(d),
-                                  read_bytes / system_.num_devices,
-                                  tag + ".read.d" + std::to_string(d));
-                ctx_.graph.dependsOn(part, bw_done);
-                if (b > 0)
-                    ctx_.graph.dependsOn(part, prev_read);
-                ctx_.graph.dependsOn(read, part);
-            }
-            ctx_.traffic.shared_grad_read += p_block * kBytesFp32;
-            ctx_.traffic.shared_opt_read += p_block * kBytesFp32 * (1.0 + aux);
-
-            // 2./3. CPU (AVX) update of the block.
-            TaskId cpu = ctx_.graph.compute(*ctx_.cpu, read_bytes,
-                                            tag + ".cpu");
-            ctx_.graph.dependsOn(cpu, read);
-            if (b > 0)
-                ctx_.graph.dependsOn(cpu, prev_cpu);
-
-            // 5. Offload updated optimizer states back to the RAID0,
-            // likewise streamed in block order.
-            TaskId write = ctx_.graph.barrier(tag + ".write");
-            for (int d = 0; d < system_.num_devices; ++d) {
-                TaskId part =
-                    ctx_.transfer(ssdWriteRoute(d),
-                                  write_bytes / system_.num_devices,
-                                  tag + ".write.d" + std::to_string(d));
-                ctx_.graph.dependsOn(part, cpu);
-                if (b > 0)
-                    ctx_.graph.dependsOn(part, prev_write);
-                ctx_.graph.dependsOn(write, part);
-            }
-            ctx_.traffic.shared_opt_write += write_bytes;
-            prev_cpu = cpu;
-            prev_read = read;
-            prev_write = write;
-        }
-    }
-
-    // ---- update: Smart-Infinity ----------------------------------------
-
-    void
-    buildSmartUpdate(TaskId bw_done)
-    {
-        const Calibration &cal = system_.calib;
-        const int aux = optim::auxStateCount(system_.optimizer);
-        const double params_per_csd =
-            model_.num_params / system_.num_devices;
-
-        // Subgroup sizing against FPGA DRAM (the paper's D): the naive
-        // handler dedicates the whole usable DRAM to one subgroup; the
-        // optimized handler needs double buffers.
-        const double resident_bytes_per_elem = kBytesFp32 * (2.0 + aux);
-        const bool optimized = system_.strategy != Strategy::SmartUpdate;
-        const double usable =
-            GiB(4.0) * cal.fpga_dram_usable / (optimized ? 2.0 : 1.0);
-        const double subgroup_elems =
-            std::max(1.0, std::floor(usable / resident_bytes_per_elem));
-        const int num_subgroups = static_cast<int>(
-            std::ceil(params_per_csd / subgroup_elems));
-
-        for (int d = 0; d < system_.num_devices; ++d)
-            buildCsdChain(d, bw_done, params_per_csd, num_subgroups, aux);
-    }
-
-    void
-    buildCsdChain(int d, TaskId bw_done, double params_per_csd,
-                  int num_subgroups, int aux)
-    {
-        const Calibration &cal = system_.calib;
-        const bool optimized = system_.strategy != Strategy::SmartUpdate;
-        const double elems = params_per_csd / num_subgroups;
-
-        // Per-subgroup byte volumes.
-        const Bytes grad_read = compressed()
-                                    ? elems * kBytesFp32 *
-                                          system_.compression_wire_fraction
-                                    : elems * kBytesFp32;
-        const Bytes state_read = elems * kBytesFp32 * (1.0 + aux);
-        const Bytes param_write = elems * kBytesFp32;  // FP32 master (urgent)
-        const Bytes state_write = elems * kBytesFp32 * aux; // mmt/var (lazy)
-        const Bytes upstream = elems * kBytesFp32;     // paper's 2M total
-
-        // Modeled kernel durations (Resource rate is 1.0 s/s).
-        const Seconds update_secs =
-            elems * kBytesFp32 * (2.0 + aux) / cal.fpga_updater;
-        const Seconds decomp_secs = elems * kBytesFp32 / cal.fpga_decomp;
-
-        const std::string csd = "csd" + std::to_string(d);
-        TaskId prev_kernel = static_cast<TaskId>(-1);
-        TaskId prev_write_all = static_cast<TaskId>(-1);
-
-        for (int s = 0; s < num_subgroups; ++s) {
-            const std::string tag = csd + ".sg" + std::to_string(s);
-
-            // 1. P2P load: (compressed) gradients + optimizer states, on
-            // the CSD's single DMA queue.
-            TaskId read = internalTransfer(d, grad_read + state_read,
-                                           cal.p2p_read, cal.ssd_read,
-                                           tag + ".read");
-            ctx_.graph.dependsOn(read, bw_done);
-            ctx_.traffic.internal_read += grad_read + state_read;
-
-            if (optimized) {
-                // Double buffering: the next load may begin once the
-                // previous subgroup's compute released its input buffer —
-                // the DMA queue stays busy through kernels.
-                if (s > 0)
-                    ctx_.graph.dependsOn(read, prev_kernel);
-            } else {
-                // Naive: one buffer — the whole previous tasklet (including
-                // writeback) must finish first (Fig 5a), so the DMA engine
-                // idles during every kernel.
-                if (s > 0)
-                    ctx_.graph.dependsOn(read, prev_write_all);
-            }
-
-            // 2. Decompress (SmartComp) then update on the FPGA.
-            TaskId kernel_dep = read;
-            if (compressed()) {
-                TaskId decomp = ctx_.graph.compute(*ctx_.fpga[d], decomp_secs,
-                                                   tag + ".decomp");
-                ctx_.graph.dependsOn(decomp, read);
-                kernel_dep = decomp;
-            }
-            TaskId kernel = ctx_.graph.compute(*ctx_.fpga[d], update_secs,
-                                               tag + ".update");
-            ctx_.graph.dependsOn(kernel, kernel_dep);
-
-            // 3. Writeback. Optimized: urgent FP32 master first, lazy
-            // momentum/variance after; naive: one combined transfer.
-            TaskId write_params, write_all;
-            if (optimized) {
-                write_params = internalTransfer(d, param_write, cal.p2p_write,
-                                                cal.ssd_write,
-                                                tag + ".wparam");
-                ctx_.graph.dependsOn(write_params, kernel);
-                TaskId write_states = internalTransfer(
-                    d, state_write, cal.p2p_write, cal.ssd_write,
-                    tag + ".wstate");
-                ctx_.graph.dependsOn(write_states, write_params);
-                write_all = write_states;
-            } else {
-                write_all = internalTransfer(d, param_write + state_write,
-                                             cal.p2p_write, cal.ssd_write,
-                                             tag + ".wall");
-                ctx_.graph.dependsOn(write_all, kernel);
-                write_params = write_all;
-            }
-            ctx_.traffic.internal_write += param_write + state_write;
-
-            // 4. Updated parameters upstream to host memory (overlappable
-            // with the update of other subgroups — paper §IV-A).
-            TaskId up = ctx_.transfer(ssdReadRoute(d), upstream,
-                                      tag + ".upstream");
-            ctx_.graph.dependsOn(up, write_params);
-            ctx_.traffic.shared_param_up += upstream;
-
-            prev_kernel = kernel;
-            prev_write_all = write_all;
-        }
-    }
-
-    const ModelSpec &model_;
-    const TrainConfig &train_;
-    const SystemConfig &system_;
-    SimContext ctx_;
-};
 
 /** Engine wrapper for the baseline strategy. */
 class BaselineEngine final : public Engine
@@ -586,11 +72,10 @@ class BaselineEngine final : public Engine
     IterationResult
     runIteration() override
     {
-        IterationBuilder builder(model_, train_, system_);
-        return builder.run();
+        return runSingleNodeIteration(model_, train_, system_);
     }
 
-    std::string name() const override { return "ZeRO-Infinity (RAID0)"; }
+    std::string name() const override { return engineDisplayName(system_.strategy); }
 };
 
 /** Engine wrapper for the Smart-Infinity strategies. */
@@ -602,15 +87,13 @@ class SmartEngine final : public Engine
     IterationResult
     runIteration() override
     {
-        IterationBuilder builder(model_, train_, system_);
-        return builder.run();
+        return runSingleNodeIteration(model_, train_, system_);
     }
 
     std::string
     name() const override
     {
-        return std::string("Smart-Infinity (") +
-               strategyName(system_.strategy) + ")";
+        return engineDisplayName(system_.strategy);
     }
 };
 
@@ -620,6 +103,8 @@ std::unique_ptr<Engine>
 makeEngine(const ModelSpec &model, const TrainConfig &train,
            const SystemConfig &system)
 {
+    SI_REQUIRE(system.num_nodes == 1,
+               "multi-node configs are driven by dist::makeDistributedEngine");
     if (system.strategy == Strategy::Baseline)
         return std::make_unique<BaselineEngine>(model, train, system);
     return std::make_unique<SmartEngine>(model, train, system);

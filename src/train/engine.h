@@ -66,6 +66,9 @@ class Engine
     SystemConfig system_;
 };
 
+/** Human-readable single-node engine name for @p strategy (bench labels). */
+std::string engineDisplayName(Strategy strategy);
+
 /** Instantiate the engine matching @c system.strategy. */
 std::unique_ptr<Engine> makeEngine(const ModelSpec &model,
                                    const TrainConfig &train,

@@ -1,12 +1,14 @@
 /**
  * @file
  * Experiment configuration: strategy (the paper's BASE / SU / SU+O /
- * SU+O+C), device counts, GPU grade, topology shape, optimizer, and
- * compression ratio.
+ * SU+O+C), device counts, GPU grade, topology shape, optimizer,
+ * compression ratio, and the data-parallel scale-out shape (node count
+ * and NIC link specs consumed by src/dist/).
  */
 #ifndef SMARTINF_TRAIN_SYSTEM_CONFIG_H
 #define SMARTINF_TRAIN_SYSTEM_CONFIG_H
 
+#include "common/units.h"
 #include "optim/optimizer.h"
 #include "train/calibration.h"
 #include "train/gpu_model.h"
@@ -50,6 +52,22 @@ struct SystemConfig {
      */
     double compression_wire_fraction = 0.02;
     Calibration calib = Calibration::defaults();
+
+    /** @name Multi-node data-parallel scale-out (src/dist/). @{ */
+    /** Identical servers training data-parallel; 1 = the paper's testbed. */
+    int num_nodes = 1;
+    /** Per-direction NIC bandwidth per node (default 100 GbE). */
+    BytesPerSec nic_bandwidth = GBps(12.5);
+    /** Per-hop NIC/switch propagation latency. */
+    Seconds nic_latency = 10e-6;
+    /**
+     * Bucket the gradient all-reduce per transformer block and launch each
+     * bucket as soon as every node produced that block's gradients, so the
+     * sync overlaps backward; false = one monolithic all-reduce after
+     * backward completes (for ablating the overlap).
+     */
+    bool overlap_grad_sync = true;
+    /** @} */
 };
 
 } // namespace smartinf::train

@@ -27,6 +27,13 @@ struct TrafficLedger {
     Bytes internal_write = 0.0; ///< FPGA -> SSD
     /** @} */
 
+    /** @name Between nodes (aggregate NIC traffic, dist/ collectives). @{ */
+    Bytes internode_tx = 0.0; ///< node -> fabric (sum over all nodes)
+    Bytes internode_rx = 0.0; ///< fabric -> node (sum over all nodes)
+    /** @} */
+
+    Bytes internodeTotal() const { return internode_tx + internode_rx; }
+
     Bytes
     sharedRead() const
     {

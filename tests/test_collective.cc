@@ -1,0 +1,300 @@
+/** @file Tests for the dist/ collective primitives: analytic wire-byte
+ *  formulas, the flow-schedule performance layer, and the deterministic
+ *  functional rings. */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "dist/collective.h"
+#include "train/system_builder.h"
+
+namespace smartinf::dist {
+namespace {
+
+std::vector<float>
+randomVector(std::size_t n, uint64_t seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+std::vector<float *>
+pointers(std::vector<std::vector<float>> &replicas)
+{
+    std::vector<float *> out;
+    for (auto &r : replicas)
+        out.push_back(r.data());
+    return out;
+}
+
+// ---- analytic formulas ------------------------------------------------------
+
+TEST(CollectiveBytes, RingAllReduceFormula)
+{
+    const Bytes buffer = 1e9;
+    for (int nodes : {1, 2, 3, 4, 8, 16}) {
+        const Bytes expected = 2.0 * (nodes - 1) / nodes * buffer;
+        EXPECT_NEAR(ringAllReduceTxBytesPerNode(buffer, nodes), expected,
+                    1e-9 * buffer)
+            << nodes;
+    }
+}
+
+TEST(CollectiveBytes, ReduceScatterPlusAllGatherEqualsAllReduce)
+{
+    const Bytes buffer = 3.7e8;
+    for (int nodes : {2, 3, 5, 8}) {
+        EXPECT_DOUBLE_EQ(ringReduceScatterTxBytesPerNode(buffer, nodes) +
+                             ringAllGatherTxBytesPerNode(buffer, nodes),
+                         ringAllReduceTxBytesPerNode(buffer, nodes))
+            << nodes;
+    }
+}
+
+TEST(CollectiveBytes, SingleNodeMovesNothing)
+{
+    EXPECT_DOUBLE_EQ(ringAllReduceTxBytesPerNode(1e9, 1), 0.0);
+    EXPECT_DOUBLE_EQ(ringReduceScatterTxBytesPerNode(1e9, 1), 0.0);
+    EXPECT_DOUBLE_EQ(ringAllGatherTxBytesPerNode(1e9, 1), 0.0);
+}
+
+TEST(CollectiveBytes, KindDispatch)
+{
+    const Bytes buffer = 64.0;
+    EXPECT_DOUBLE_EQ(
+        collectiveTxBytesPerNode(CollectiveKind::AllReduce, buffer, 4),
+        ringAllReduceTxBytesPerNode(buffer, 4));
+    EXPECT_DOUBLE_EQ(
+        collectiveTxBytesPerNode(CollectiveKind::ReduceScatter, buffer, 4),
+        ringReduceScatterTxBytesPerNode(buffer, 4));
+    EXPECT_DOUBLE_EQ(
+        collectiveTxBytesPerNode(CollectiveKind::AllGather, buffer, 4),
+        ringAllGatherTxBytesPerNode(buffer, 4));
+    EXPECT_STREQ(collectiveName(CollectiveKind::AllReduce), "all-reduce");
+}
+
+// ---- shard ranges -----------------------------------------------------------
+
+TEST(Collective, ShardRangesPartitionTheBuffer)
+{
+    for (std::size_t n : {100u, 101u, 7u}) {
+        for (int nodes : {1, 2, 3, 4}) {
+            std::size_t covered = 0;
+            std::size_t expected_begin = 0;
+            for (int s = 0; s < nodes; ++s) {
+                const auto [begin, end] = shardRange(n, nodes, s);
+                EXPECT_EQ(begin, expected_begin);
+                covered += end - begin;
+                expected_begin = end;
+            }
+            EXPECT_EQ(covered, n) << n << " over " << nodes;
+        }
+    }
+}
+
+// ---- functional layer -------------------------------------------------------
+
+TEST(Collective, FunctionalAllReduceMatchesNaiveSum)
+{
+    const std::size_t n = 1003;
+    const int nodes = 3;
+    std::vector<std::vector<float>> replicas;
+    for (int i = 0; i < nodes; ++i)
+        replicas.push_back(randomVector(n, 10 + i));
+    const auto originals = replicas;
+
+    auto ptrs = pointers(replicas);
+    functionalRingAllReduce(ptrs, n, /*average=*/false);
+
+    for (std::size_t e = 0; e < n; ++e) {
+        double sum = 0.0;
+        for (int i = 0; i < nodes; ++i)
+            sum += originals[i][e];
+        // Float ring accumulation vs double naive sum: small tolerance.
+        EXPECT_NEAR(replicas[0][e], sum, 1e-4) << e;
+    }
+}
+
+TEST(Collective, FunctionalAllReduceLeavesReplicasBitIdentical)
+{
+    const std::size_t n = 777;
+    for (int nodes : {2, 3, 5}) {
+        std::vector<std::vector<float>> replicas;
+        for (int i = 0; i < nodes; ++i)
+            replicas.push_back(randomVector(n, 50 + i));
+        auto ptrs = pointers(replicas);
+        functionalRingAllReduce(ptrs, n, /*average=*/true);
+        for (int i = 1; i < nodes; ++i) {
+            EXPECT_EQ(0, std::memcmp(replicas[0].data(), replicas[i].data(),
+                                     n * sizeof(float)))
+                << nodes << " nodes, replica " << i;
+        }
+    }
+}
+
+TEST(Collective, AllReduceEqualsReduceScatterThenAllGather)
+{
+    const std::size_t n = 512;
+    const int nodes = 4;
+    std::vector<std::vector<float>> a, b;
+    for (int i = 0; i < nodes; ++i) {
+        a.push_back(randomVector(n, 90 + i));
+        b.push_back(a.back());
+    }
+    auto pa = pointers(a);
+    auto pb = pointers(b);
+    functionalRingAllReduce(pa, n, /*average=*/true);
+    functionalRingReduceScatter(pb, n, /*average=*/true);
+    functionalRingAllGather(pb, n);
+    for (int i = 0; i < nodes; ++i)
+        EXPECT_EQ(0, std::memcmp(a[i].data(), b[i].data(), n * sizeof(float)))
+            << i;
+}
+
+TEST(Collective, AveragingDividesByNodeCount)
+{
+    const std::size_t n = 16;
+    const int nodes = 2;
+    std::vector<std::vector<float>> replicas(nodes,
+                                             std::vector<float>(n, 3.0f));
+    auto ptrs = pointers(replicas);
+    functionalRingAllReduce(ptrs, n, /*average=*/true);
+    for (std::size_t e = 0; e < n; ++e)
+        EXPECT_FLOAT_EQ(replicas[0][e], 3.0f);
+}
+
+// ---- performance layer ------------------------------------------------------
+
+/** A SimContext with NIC + host links for @p nodes identical nodes. */
+struct Fabric {
+    explicit Fabric(int nodes) : system(makeSystem(nodes)), ctx(system)
+    {
+        for (int i = 0; i < nodes; ++i)
+            train::buildNodeLinks(ctx.topo, system, train::nodePrefix(i));
+        train::buildNicLinks(ctx.topo, system);
+    }
+
+    static train::SystemConfig
+    makeSystem(int nodes)
+    {
+        train::SystemConfig sc;
+        sc.num_nodes = nodes;
+        sc.num_devices = 1;
+        return sc;
+    }
+
+    train::SystemConfig system;
+    train::SimContext ctx;
+};
+
+TEST(CollectiveSchedule, AccountsRingAllReduceTraffic)
+{
+    const int nodes = 4;
+    const Bytes bytes = GB(1.0);
+    Fabric f(nodes);
+    const CollectiveSchedule cs = scheduleRingCollective(
+        f.ctx, CollectiveKind::AllReduce, nodes, bytes, {}, "ar");
+    f.ctx.graph.start();
+    f.ctx.sim.run();
+    ASSERT_TRUE(f.ctx.graph.done());
+
+    EXPECT_EQ(cs.steps, 2 * (nodes - 1));
+    const Bytes expected = ringAllReduceTxBytesPerNode(bytes, nodes);
+    EXPECT_NEAR(cs.tx_bytes_per_node, expected, 1e-9 * bytes);
+    EXPECT_NEAR(f.ctx.traffic.internode_tx, nodes * expected,
+                1e-9 * nodes * bytes);
+    EXPECT_DOUBLE_EQ(f.ctx.traffic.internode_rx, f.ctx.traffic.internode_tx);
+    EXPECT_GT(f.ctx.graph.finishTime(cs.done), 0.0);
+}
+
+TEST(CollectiveSchedule, ReduceScatterPlusAllGatherMovesAllReduceBytes)
+{
+    const int nodes = 3;
+    const Bytes bytes = GB(0.5);
+    Fabric rs_ag(nodes);
+    const auto rs = scheduleRingCollective(
+        rs_ag.ctx, CollectiveKind::ReduceScatter, nodes, bytes, {}, "rs");
+    const auto ag = scheduleRingCollective(
+        rs_ag.ctx, CollectiveKind::AllGather, nodes, bytes,
+        std::vector<sim::TaskGraph::TaskId>(nodes, rs.done), "ag");
+    rs_ag.ctx.graph.start();
+    rs_ag.ctx.sim.run();
+    ASSERT_TRUE(rs_ag.ctx.graph.done());
+    EXPECT_EQ(rs.steps + ag.steps, 2 * (nodes - 1));
+
+    Fabric ar(nodes);
+    const auto all = scheduleRingCollective(
+        ar.ctx, CollectiveKind::AllReduce, nodes, bytes, {}, "ar");
+    ar.ctx.graph.start();
+    ar.ctx.sim.run();
+    ASSERT_TRUE(ar.ctx.graph.done());
+
+    EXPECT_DOUBLE_EQ(rs_ag.ctx.traffic.internode_tx,
+                     ar.ctx.traffic.internode_tx);
+    EXPECT_DOUBLE_EQ(rs.tx_bytes_per_node + ag.tx_bytes_per_node,
+                     all.tx_bytes_per_node);
+}
+
+TEST(CollectiveSchedule, GatingDependenciesDelayTheRing)
+{
+    const int nodes = 2;
+    Fabric f(nodes);
+    const Seconds gate = 0.25;
+    std::vector<sim::TaskGraph::TaskId> deps;
+    for (int i = 0; i < nodes; ++i)
+        deps.push_back(f.ctx.graph.delay(gate, "gate"));
+    const auto cs = scheduleRingCollective(f.ctx, CollectiveKind::AllReduce,
+                                           nodes, MB(64.0), deps, "ar");
+    f.ctx.graph.start();
+    f.ctx.sim.run();
+    ASSERT_TRUE(f.ctx.graph.done());
+    EXPECT_GT(f.ctx.graph.finishTime(cs.done), gate);
+}
+
+TEST(CollectiveSchedule, BiggerBuffersTakeLonger)
+{
+    const int nodes = 4;
+    Fabric small(nodes), big(nodes);
+    const auto s = scheduleRingCollective(small.ctx, CollectiveKind::AllReduce,
+                                          nodes, GB(0.5), {}, "s");
+    small.ctx.graph.start();
+    small.ctx.sim.run();
+    const auto b = scheduleRingCollective(big.ctx, CollectiveKind::AllReduce,
+                                          nodes, GB(2.0), {}, "b");
+    big.ctx.graph.start();
+    big.ctx.sim.run();
+    EXPECT_GT(big.ctx.graph.finishTime(b.done),
+              small.ctx.graph.finishTime(s.done));
+}
+
+TEST(CollectiveSchedule, SingleNodeIsANoOp)
+{
+    Fabric f(1);
+    const auto cs = scheduleRingCollective(f.ctx, CollectiveKind::AllReduce, 1,
+                                           GB(1.0), {}, "ar");
+    f.ctx.graph.start();
+    f.ctx.sim.run();
+    ASSERT_TRUE(f.ctx.graph.done());
+    EXPECT_EQ(cs.steps, 0);
+    EXPECT_DOUBLE_EQ(cs.tx_bytes_per_node, 0.0);
+    EXPECT_DOUBLE_EQ(f.ctx.traffic.internode_tx, 0.0);
+}
+
+TEST(CollectiveSchedule, RejectsBadArguments)
+{
+    Fabric f(2);
+    EXPECT_THROW(scheduleRingCollective(f.ctx, CollectiveKind::AllReduce, 0,
+                                        1.0, {}, "x"),
+                 std::runtime_error);
+    EXPECT_THROW(scheduleRingCollective(f.ctx, CollectiveKind::AllReduce, 2,
+                                        1.0, {f.ctx.graph.barrier()}, "x"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::dist
