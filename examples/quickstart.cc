@@ -7,12 +7,15 @@
  *     a host-side update bit for bit.
  *  2. Performance: ask the calibrated timing model how much faster
  *     Smart-Infinity trains GPT-2 4.0B than the ZeRO-Infinity baseline on
- *     the same ten devices.
+ *     the same ten devices — declared with ExperimentBuilder and executed
+ *     through the SweepRunner, the same path smartinf_bench uses.
  */
 #include <iostream>
 #include <vector>
 
 #include "core/smart_infinity.h"
+#include "exp/experiment.h"
+#include "exp/sweep_runner.h"
 
 using namespace smartinf;
 
@@ -50,16 +53,22 @@ main()
     std::cout << "near-storage update vs host CPU update: "
               << (identical ? "bit-identical" : "MISMATCH") << "\n";
 
-    // ---- 2. Performance model -------------------------------------------
-    train::TrainConfig tc;
-    train::SystemConfig sc;
-    sc.strategy = train::Strategy::SmartUpdateOptComp;
-    sc.num_devices = 10;
-    const auto sp =
-        train::runWithSpeedup(train::ModelSpec::gpt2(4.0), tc, sc);
+    // ---- 2. Performance model: a declarative two-point experiment ------
+    const auto specs = exp::ExperimentBuilder()
+                           .model(train::ModelSpec::gpt2(4.0))
+                           .strategies({train::Strategy::Baseline,
+                                        train::Strategy::SmartUpdateOptComp})
+                           .devices(10)
+                           .build();
+    exp::SweepRunner runner(
+        exp::SweepRunner::Options{.jobs = 2, .cache = true});
+    const auto records = runner.run(specs);
+    const auto &base = records[0].result;
+    const auto &smart = records[1].result;
     std::cout << "GPT-2 4.0B on 10 devices: baseline "
-              << sp.baseline.iteration_time << " s/iter, Smart-Infinity "
-              << sp.result.iteration_time << " s/iter -> " << sp.speedup
+              << base.iteration_time << " s/iter, Smart-Infinity "
+              << smart.iteration_time << " s/iter -> "
+              << base.iteration_time / smart.iteration_time
               << "x speedup\n";
     return identical ? 0 : 1;
 }

@@ -38,6 +38,12 @@ class Table
 
     const std::string &title() const { return title_; }
     std::size_t rowCount() const { return rows_.size(); }
+    /** Structured access for the exp/ JSON and CSV emitters. */
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::string title_;

@@ -24,12 +24,27 @@ updaterNameFor(optim::OptimizerKind kind)
 
 } // namespace
 
+std::vector<std::string>
+ClusterConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (num_csds < 1)
+        errors.push_back("num_csds must be >= 1, got " +
+                         std::to_string(num_csds));
+    if (!(keep_fraction > 0.0 && keep_fraction <= 1.0))
+        errors.push_back("keep_fraction must be in (0, 1], got " +
+                         std::to_string(keep_fraction));
+    if (subgroup_elems == 0)
+        errors.push_back("subgroup_elems must be >= 1, got 0");
+    return errors;
+}
+
 SmartInfinityCluster::SmartInfinityCluster(const ClusterConfig &config)
     : config_(config)
 {
-    SI_REQUIRE(config.num_csds >= 1, "need at least one CSD");
-    SI_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
-               "keep_fraction must be in (0, 1]");
+    const auto errors = config.validate();
+    SI_REQUIRE(errors.empty(), "invalid ClusterConfig: ",
+               train::joinErrors(errors));
 }
 
 SmartInfinityCluster::~SmartInfinityCluster() = default;

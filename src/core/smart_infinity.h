@@ -16,14 +16,18 @@
  *
  * Multi-node data-parallel scale-out lives one layer up in src/dist/:
  * dist::DataParallelCluster replicates a SmartInfinityCluster per node
- * behind the same nn::UpdateBackend seam, and dist::makeDistributedEngine
- * extends the performance model across servers with ring-collective
- * gradient sync over the NIC fabric.
+ * behind the same nn::UpdateBackend seam, and train::makeEngine extends
+ * the performance model across servers (num_nodes > 1 dispatches to
+ * dist::DistributedEngine) with ring-collective gradient sync over the
+ * NIC fabric. Declarative sweeps over either layer live in src/exp/
+ * (ExperimentBuilder, SweepRunner, the scenario registry driving the
+ * smartinf_bench CLI).
  */
 #ifndef SMARTINF_CORE_SMART_INFINITY_H
 #define SMARTINF_CORE_SMART_INFINITY_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "accel/hls_module.h"
@@ -50,6 +54,14 @@ struct ClusterConfig {
     std::size_t subgroup_elems = 1 << 14;
     /** Device characteristics (defaults to a Samsung SmartSSD). */
     csd::CsdSpec csd_spec = csd::CsdSpec::smartSsd();
+
+    /**
+     * Check the configuration for user errors. Returns every violated
+     * precondition as an actionable message; empty means usable. The
+     * cluster constructor calls this and reports the first error via
+     * fatal() instead of asserting mid-construction.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /**

@@ -11,6 +11,9 @@ DataParallelCluster::DataParallelCluster(const DataParallelConfig &config)
     : config_(config)
 {
     SI_REQUIRE(config.num_nodes >= 1, "need at least one node");
+    const auto errors = config.node.validate();
+    SI_REQUIRE(errors.empty(), "invalid per-node ClusterConfig: ",
+               train::joinErrors(errors));
     replicas_.reserve(config.num_nodes);
     for (int i = 0; i < config.num_nodes; ++i)
         replicas_.push_back(

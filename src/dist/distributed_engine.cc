@@ -132,9 +132,7 @@ makeDistributedEngine(const train::ModelSpec &model,
                       const train::TrainConfig &train,
                       const train::SystemConfig &system)
 {
-    if (system.num_nodes == 1)
-        return train::makeEngine(model, train, system);
-    return std::make_unique<DistributedEngine>(model, train, system);
+    return train::makeEngine(model, train, system);
 }
 
 } // namespace smartinf::dist

@@ -51,8 +51,9 @@ class DistributedEngine final : public train::Engine
 };
 
 /**
- * Factory covering the full node range: returns the matching single-node
- * engine for num_nodes == 1 and a DistributedEngine otherwise.
+ * Backward-compatible alias for train::makeEngine(), which now covers the
+ * full node range itself (num_nodes selects the scale-out path). Prefer
+ * train::makeEngine in new code.
  */
 std::unique_ptr<train::Engine>
 makeDistributedEngine(const train::ModelSpec &model,

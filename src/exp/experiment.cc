@@ -1,0 +1,253 @@
+#include "exp/experiment.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartinf::exp {
+
+ExperimentBuilder::ExperimentBuilder() = default;
+
+ExperimentBuilder &
+ExperimentBuilder::base(const train::SystemConfig &system)
+{
+    base_ = system;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::train(const train::TrainConfig &tc)
+{
+    trains_ = {tc};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::trains(std::vector<train::TrainConfig> tcs)
+{
+    trains_ = std::move(tcs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::model(const train::ModelSpec &m)
+{
+    models_ = {m};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::models(std::vector<train::ModelSpec> ms)
+{
+    models_ = std::move(ms);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::strategy(train::Strategy s)
+{
+    strategies_ = {s};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::strategies(std::vector<train::Strategy> ss)
+{
+    strategies_ = std::move(ss);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::devices(int n)
+{
+    devices_ = {n};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::devices(std::vector<int> ns)
+{
+    devices_ = std::move(ns);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::deviceRange(int lo, int hi)
+{
+    SI_REQUIRE(lo >= 1 && hi >= lo, "bad device range");
+    devices_.clear();
+    for (int n = lo; n <= hi; ++n)
+        devices_.push_back(n);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::gpu(train::GpuGrade g)
+{
+    gpus_ = {g};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::gpus(std::vector<train::GpuGrade> gs)
+{
+    gpus_ = std::move(gs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::numGpus(std::vector<int> ns)
+{
+    num_gpus_ = std::move(ns);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::nodes(int n)
+{
+    nodes_ = {n};
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::nodes(std::vector<int> ns)
+{
+    nodes_ = std::move(ns);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::optimizers(std::vector<optim::OptimizerKind> ks)
+{
+    optimizers_ = std::move(ks);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::compressionFractions(std::vector<double> fs)
+{
+    comp_fractions_ = std::move(fs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::overlapGradSync(std::vector<bool> vs)
+{
+    overlap_ = std::move(vs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::calibrations(std::vector<train::Calibration> cs)
+{
+    calibs_ = std::move(cs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::congested(bool on)
+{
+    congested_ = on;
+    return *this;
+}
+
+namespace {
+
+/** An untouched axis contributes one implicit value (the base config's). */
+template <typename T>
+std::size_t
+axisSize(const std::vector<T> &axis)
+{
+    return axis.empty() ? 1 : axis.size();
+}
+
+} // namespace
+
+std::size_t
+ExperimentBuilder::size() const
+{
+    if (models_.empty())
+        return 0; // build() refuses a model-less builder
+    return models_.size() * axisSize(trains_) * axisSize(strategies_) *
+           axisSize(devices_) * axisSize(gpus_) * axisSize(num_gpus_) *
+           axisSize(optimizers_) * axisSize(comp_fractions_) *
+           axisSize(nodes_) * axisSize(overlap_) * axisSize(calibs_);
+}
+
+std::vector<RunSpec>
+ExperimentBuilder::build() const
+{
+    SI_REQUIRE(!models_.empty(),
+               "ExperimentBuilder needs at least one model");
+
+    const std::vector<train::TrainConfig> trains =
+        trains_.empty() ? std::vector<train::TrainConfig>{{}} : trains_;
+    const std::vector<train::Strategy> strategies =
+        strategies_.empty() ? std::vector<train::Strategy>{base_.strategy}
+                            : strategies_;
+    const std::vector<int> devices =
+        devices_.empty() ? std::vector<int>{base_.num_devices} : devices_;
+    const std::vector<train::GpuGrade> gpus =
+        gpus_.empty() ? std::vector<train::GpuGrade>{base_.gpu} : gpus_;
+    const std::vector<int> num_gpus =
+        num_gpus_.empty() ? std::vector<int>{base_.num_gpus} : num_gpus_;
+    const std::vector<optim::OptimizerKind> optimizers =
+        optimizers_.empty()
+            ? std::vector<optim::OptimizerKind>{base_.optimizer}
+            : optimizers_;
+    const std::vector<double> fractions =
+        comp_fractions_.empty()
+            ? std::vector<double>{base_.compression_wire_fraction}
+            : comp_fractions_;
+    const std::vector<int> nodes =
+        nodes_.empty() ? std::vector<int>{base_.num_nodes} : nodes_;
+    const std::vector<bool> overlaps =
+        overlap_.empty() ? std::vector<bool>{base_.overlap_grad_sync}
+                         : overlap_;
+    const std::vector<train::Calibration> calibs =
+        calibs_.empty() ? std::vector<train::Calibration>{base_.calib}
+                        : calibs_;
+
+    // Odometer expansion: decompose the flat index with the last axis
+    // fastest, which fixes the deterministic nesting order documented in
+    // the header.
+    const std::size_t sizes[] = {
+        models_.size(),    trains.size(), strategies.size(),
+        devices.size(),    gpus.size(),   num_gpus.size(),
+        optimizers.size(), fractions.size(), nodes.size(),
+        overlaps.size(),   calibs.size()};
+    std::size_t total = 1;
+    for (const std::size_t s : sizes)
+        total *= s;
+
+    std::vector<RunSpec> specs;
+    specs.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        std::size_t idx[11];
+        std::size_t rest = i;
+        for (int a = 10; a >= 0; --a) {
+            idx[a] = rest % sizes[a];
+            rest /= sizes[a];
+        }
+        RunSpec spec;
+        spec.model = models_[idx[0]];
+        spec.train = trains[idx[1]];
+        spec.system = base_;
+        if (congested_.has_value())
+            spec.system.congested_topology = *congested_;
+        spec.system.strategy = strategies[idx[2]];
+        spec.system.num_devices = devices[idx[3]];
+        spec.system.gpu = gpus[idx[4]];
+        spec.system.num_gpus = num_gpus[idx[5]];
+        spec.system.optimizer = optimizers[idx[6]];
+        spec.system.compression_wire_fraction = fractions[idx[7]];
+        spec.system.num_nodes = nodes[idx[8]];
+        spec.system.overlap_grad_sync = overlaps[idx[9]];
+        spec.system.calib = calibs[idx[10]];
+        spec.label = spec.describe();
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+} // namespace smartinf::exp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Declarative sweep construction. An ExperimentBuilder holds one value-list
+ * per configuration axis (models, strategies, device counts, GPU grades,
+ * node counts, optimizers, compression ratios, ...) and expands to the
+ * cross-product of RunSpecs in a fixed deterministic order. Axes not
+ * touched keep a single default value, so a builder with two axes set
+ * yields exactly |axis1| x |axis2| specs. Every spec carries a *complete*
+ * SystemConfig — the whole point of the redesign: no call site can silently
+ * drop fields the way the old bench_util::runIteration default-constructed
+ * num_nodes/congested_topology.
+ */
+#ifndef SMARTINF_EXP_EXPERIMENT_H
+#define SMARTINF_EXP_EXPERIMENT_H
+
+#include <optional>
+#include <vector>
+
+#include "exp/run_spec.h"
+
+namespace smartinf::exp {
+
+/** Fluent cross-product sweep builder. */
+class ExperimentBuilder
+{
+  public:
+    ExperimentBuilder();
+
+    /**
+     * Seed the non-axis fields (NIC specs, calibration, topology flags...)
+     * for every generated spec. Axis setters called afterwards still
+     * override their own field.
+     */
+    ExperimentBuilder &base(const train::SystemConfig &system);
+    /** Per-iteration workload(s); defaults to one default TrainConfig. */
+    ExperimentBuilder &train(const train::TrainConfig &tc);
+    ExperimentBuilder &trains(std::vector<train::TrainConfig> tcs);
+
+    /** @name Sweep axes (each replaces the axis' current value list). @{ */
+    ExperimentBuilder &model(const train::ModelSpec &m);
+    ExperimentBuilder &models(std::vector<train::ModelSpec> ms);
+    ExperimentBuilder &strategy(train::Strategy s);
+    ExperimentBuilder &strategies(std::vector<train::Strategy> ss);
+    ExperimentBuilder &devices(int n);
+    ExperimentBuilder &devices(std::vector<int> ns);
+    /** Inclusive device range [lo, hi] (every integer count). */
+    ExperimentBuilder &deviceRange(int lo, int hi);
+    ExperimentBuilder &gpu(train::GpuGrade g);
+    ExperimentBuilder &gpus(std::vector<train::GpuGrade> gs);
+    ExperimentBuilder &numGpus(std::vector<int> ns);
+    ExperimentBuilder &nodes(int n);
+    ExperimentBuilder &nodes(std::vector<int> ns);
+    ExperimentBuilder &optimizers(std::vector<optim::OptimizerKind> ks);
+    ExperimentBuilder &compressionFractions(std::vector<double> fs);
+    ExperimentBuilder &overlapGradSync(std::vector<bool> vs);
+    ExperimentBuilder &calibrations(std::vector<train::Calibration> cs);
+    /** @} */
+
+    /** Single-value override of base().congested_topology; like the axes,
+     *  it survives a later base() call. */
+    ExperimentBuilder &congested(bool on);
+
+    /** Number of specs build() will produce (product of axis sizes;
+     *  0 while no model has been set, since build() would refuse). */
+    std::size_t size() const;
+
+    /**
+     * Expand the cross product. Deterministic nesting order (outermost to
+     * innermost): models, trains, strategies, devices, gpus, numGpus,
+     * optimizers, compressionFractions, nodes, overlapGradSync,
+     * calibrations. Labels default to RunSpec::describe().
+     */
+    std::vector<RunSpec> build() const;
+
+  private:
+    train::SystemConfig base_;
+    std::vector<train::TrainConfig> trains_;
+    std::vector<train::ModelSpec> models_;
+    std::vector<train::Strategy> strategies_;
+    std::vector<int> devices_;
+    std::vector<train::GpuGrade> gpus_;
+    std::vector<int> num_gpus_;
+    std::vector<int> nodes_;
+    std::vector<optim::OptimizerKind> optimizers_;
+    std::vector<double> comp_fractions_;
+    std::vector<bool> overlap_;
+    std::vector<train::Calibration> calibs_;
+    std::optional<bool> congested_;
+};
+
+} // namespace smartinf::exp
+
+#endif // SMARTINF_EXP_EXPERIMENT_H

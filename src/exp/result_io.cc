@@ -1,0 +1,209 @@
+#include "exp/result_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace smartinf::exp {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    std::ostringstream oss;
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << v;
+    return oss.str();
+}
+
+namespace {
+
+void
+writeCalibrationJson(std::ostream &os, const train::Calibration &c)
+{
+    os << "{\"ssd_read\":" << jsonNumber(c.ssd_read) << ",\"ssd_write\":"
+       << jsonNumber(c.ssd_write) << ",\"raid_efficiency\":"
+       << jsonNumber(c.raid_efficiency) << ",\"device_link\":"
+       << jsonNumber(c.device_link) << ",\"host_shared\":"
+       << jsonNumber(c.host_shared) << ",\"host_memory\":"
+       << jsonNumber(c.host_memory) << ",\"gpu_link\":"
+       << jsonNumber(c.gpu_link) << ",\"p2p_read\":"
+       << jsonNumber(c.p2p_read) << ",\"p2p_write\":"
+       << jsonNumber(c.p2p_write) << ",\"cpu_update\":"
+       << jsonNumber(c.cpu_update) << ",\"gpu_compress\":"
+       << jsonNumber(c.gpu_compress) << ",\"fpga_updater\":"
+       << jsonNumber(c.fpga_updater) << ",\"fpga_decomp\":"
+       << jsonNumber(c.fpga_decomp) << ",\"transfer_latency\":"
+       << jsonNumber(c.transfer_latency) << ",\"kernel_launch\":"
+       << jsonNumber(c.kernel_launch) << ",\"fpga_dram_usable\":"
+       << jsonNumber(c.fpga_dram_usable) << "}";
+}
+
+void
+writeSpecJson(std::ostream &os, const RunSpec &spec)
+{
+    const auto &sys = spec.system;
+    os << "{\"label\":\"" << jsonEscape(spec.label) << "\""
+       << ",\"model\":{\"name\":\"" << jsonEscape(spec.model.name) << "\""
+       << ",\"family\":\"" << train::familyName(spec.model.family) << "\""
+       << ",\"num_params\":" << jsonNumber(spec.model.num_params)
+       << ",\"num_layers\":" << spec.model.num_layers
+       << ",\"hidden_dim\":" << spec.model.hidden_dim << "}"
+       << ",\"train\":{\"batch_size\":" << spec.train.batch_size
+       << ",\"seq_len\":" << spec.train.seq_len << "}"
+       << ",\"system\":{\"strategy\":\"" << train::strategyName(sys.strategy)
+       << "\",\"num_devices\":" << sys.num_devices << ",\"gpu\":\""
+       << train::gpuName(sys.gpu) << "\",\"num_gpus\":" << sys.num_gpus
+       << ",\"congested_topology\":"
+       << (sys.congested_topology ? "true" : "false") << ",\"optimizer\":\""
+       << optim::optimizerName(sys.optimizer)
+       << "\",\"compression_wire_fraction\":"
+       << jsonNumber(sys.compression_wire_fraction)
+       << ",\"num_nodes\":" << sys.num_nodes << ",\"nic_bandwidth\":"
+       << jsonNumber(sys.nic_bandwidth) << ",\"nic_latency\":"
+       << jsonNumber(sys.nic_latency) << ",\"overlap_grad_sync\":"
+       << (sys.overlap_grad_sync ? "true" : "false")
+       << ",\"calibration\":";
+    writeCalibrationJson(os, sys.calib);
+    os << "}}";
+}
+
+void
+writeTrafficJson(std::ostream &os, const train::TrafficLedger &t)
+{
+    os << "{\"shared_opt_read\":" << jsonNumber(t.shared_opt_read)
+       << ",\"shared_opt_write\":" << jsonNumber(t.shared_opt_write)
+       << ",\"shared_grad_read\":" << jsonNumber(t.shared_grad_read)
+       << ",\"shared_grad_write\":" << jsonNumber(t.shared_grad_write)
+       << ",\"shared_param_up\":" << jsonNumber(t.shared_param_up)
+       << ",\"internal_read\":" << jsonNumber(t.internal_read)
+       << ",\"internal_write\":" << jsonNumber(t.internal_write)
+       << ",\"internode_tx\":" << jsonNumber(t.internode_tx)
+       << ",\"internode_rx\":" << jsonNumber(t.internode_rx) << "}";
+}
+
+} // namespace
+
+void
+writeRecordJson(std::ostream &os, const RunRecord &record)
+{
+    os << "{\"spec\":";
+    writeSpecJson(os, record.spec);
+    os << ",\"spec_hash\":\"" << hashHex(record.spec_hash) << "\""
+       << ",\"engine\":\"" << jsonEscape(record.engine_name) << "\""
+       << ",\"result\":{\"forward_s\":"
+       << jsonNumber(record.result.phases.forward) << ",\"backward_s\":"
+       << jsonNumber(record.result.phases.backward) << ",\"update_s\":"
+       << jsonNumber(record.result.phases.update) << ",\"iteration_s\":"
+       << jsonNumber(record.result.iteration_time)
+       << ",\"tokens_per_s\":" << jsonNumber(record.tokensPerSecond())
+       << ",\"traffic\":";
+    writeTrafficJson(os, record.result.traffic);
+    os << "}}";
+}
+
+void
+writeRecordsJson(std::ostream &os, const std::vector<RunRecord> &records)
+{
+    os << "[";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (i)
+            os << ",";
+        writeRecordJson(os, records[i]);
+    }
+    os << "]";
+}
+
+void
+writeTableJson(std::ostream &os, const Table &table)
+{
+    os << "{\"title\":\"" << jsonEscape(table.title()) << "\",\"header\":[";
+    for (std::size_t i = 0; i < table.header().size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(table.header()[i]) << "\"";
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        if (r)
+            os << ",";
+        os << "[";
+        const auto &row = table.rows()[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << "\"" << jsonEscape(row[c]) << "\"";
+        }
+        os << "]";
+    }
+    os << "]}";
+}
+
+void
+writeRecordsCsv(std::ostream &os, const std::vector<RunRecord> &records)
+{
+    os << "label,model,strategy,num_devices,gpu,num_gpus,optimizer,"
+          "compression_wire_fraction,num_nodes,overlap_grad_sync,"
+          "congested_topology,fpga_dram_usable,spec_hash,forward_s,"
+          "backward_s,update_s,iteration_s,tokens_per_s,"
+          "shared_total_bytes,internode_bytes\n";
+    // Keep the CSV single-schema with no quoting: every free-form string
+    // field gets its separators replaced.
+    auto sanitize = [](std::string s) {
+        for (auto &c : s)
+            if (c == ',' || c == '\n' || c == '\r')
+                c = ';';
+        return s;
+    };
+    for (const auto &rec : records) {
+        const auto &sys = rec.spec.system;
+        os << sanitize(rec.spec.label) << ","
+           << sanitize(rec.spec.model.name) << ","
+           << train::strategyName(sys.strategy) << "," << sys.num_devices
+           << "," << train::gpuName(sys.gpu) << "," << sys.num_gpus << ","
+           << optim::optimizerName(sys.optimizer) << ","
+           << jsonNumber(sys.compression_wire_fraction) << ","
+           << sys.num_nodes << "," << (sys.overlap_grad_sync ? 1 : 0) << ","
+           << (sys.congested_topology ? 1 : 0) << ","
+           << jsonNumber(sys.calib.fpga_dram_usable) << ","
+           << hashHex(rec.spec_hash) << ","
+           << jsonNumber(rec.result.phases.forward) << ","
+           << jsonNumber(rec.result.phases.backward) << ","
+           << jsonNumber(rec.result.phases.update) << ","
+           << jsonNumber(rec.result.iteration_time) << ","
+           << jsonNumber(rec.tokensPerSecond()) << ","
+           << jsonNumber(rec.result.traffic.sharedTotal()) << ","
+           << jsonNumber(rec.result.traffic.internodeTotal()) << "\n";
+    }
+}
+
+} // namespace smartinf::exp

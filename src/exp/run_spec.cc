@@ -1,0 +1,180 @@
+#include "exp/run_spec.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace smartinf::exp {
+
+namespace {
+
+/**
+ * FNV-1a over a canonical byte stream. Doubles are hashed by bit pattern
+ * (the engines are bit-deterministic, so bit-equal inputs give bit-equal
+ * results); enums and bools widen to int64 so the stream layout does not
+ * depend on the compiler's underlying enum type.
+ */
+class HashStream
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    HashStream &
+    operator<<(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        bytes(&bits, sizeof(bits));
+        return *this;
+    }
+
+    HashStream &
+    operator<<(std::int64_t v)
+    {
+        bytes(&v, sizeof(v));
+        return *this;
+    }
+
+    HashStream &
+    operator<<(const std::string &s)
+    {
+        *this << static_cast<std::int64_t>(s.size());
+        bytes(s.data(), s.size());
+        return *this;
+    }
+
+    template <typename E>
+        requires std::is_enum_v<E>
+    HashStream &
+    operator<<(E v)
+    {
+        return *this << static_cast<std::int64_t>(v);
+    }
+
+    HashStream &
+    operator<<(bool v)
+    {
+        return *this << static_cast<std::int64_t>(v);
+    }
+
+    HashStream &
+    operator<<(int v)
+    {
+        return *this << static_cast<std::int64_t>(v);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull; // FNV offset basis
+};
+
+void
+hashAppend(HashStream &hs, const train::Calibration &c)
+{
+    hs << c.ssd_read << c.ssd_write << c.raid_efficiency << c.device_link
+       << c.host_shared << c.host_memory << c.gpu_link
+       << c.p2p_read << c.p2p_write << c.cpu_update << c.gpu_compress
+       << c.fpga_updater << c.fpga_decomp << c.transfer_latency
+       << c.kernel_launch << c.fpga_dram_usable;
+}
+
+void
+hashAppend(HashStream &hs, const train::ModelSpec &m)
+{
+    hs << m.name << m.family << m.num_params << m.num_layers << m.hidden_dim;
+}
+
+void
+hashAppend(HashStream &hs, const train::TrainConfig &t)
+{
+    hs << t.batch_size << t.seq_len;
+}
+
+void
+hashAppend(HashStream &hs, const train::SystemConfig &s)
+{
+    hs << s.strategy << s.num_devices << s.gpu << s.num_gpus
+       << s.congested_topology << s.optimizer;
+    // Semantic normalization: fields that cannot affect the result in the
+    // current regime stay out of the hash, so e.g. the BASE reference at
+    // two compression ratios is one cache entry, not two.
+    if (s.strategy == train::Strategy::SmartUpdateOptComp)
+        hs << s.compression_wire_fraction;
+    hs << s.num_nodes;
+    if (s.num_nodes > 1)
+        hs << s.nic_bandwidth << s.nic_latency << s.overlap_grad_sync;
+    hashAppend(hs, s.calib);
+}
+
+} // namespace
+
+std::uint64_t
+RunSpec::hash() const
+{
+    HashStream hs;
+    hashAppend(hs, model);
+    hashAppend(hs, train);
+    hashAppend(hs, system);
+    return hs.value();
+}
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    std::ostringstream oss;
+    oss << std::hex;
+    oss.width(16);
+    oss.fill('0');
+    oss << hash;
+    return oss.str();
+}
+
+std::string
+RunSpec::hashHex() const
+{
+    return exp::hashHex(hash());
+}
+
+std::string
+RunSpec::describe() const
+{
+    if (!label.empty())
+        return label;
+    std::ostringstream oss;
+    oss << model.name << "/" << train::strategyName(system.strategy) << "/d"
+        << system.num_devices;
+    if (system.num_nodes > 1)
+        oss << "/n" << system.num_nodes;
+    if (system.gpu != train::GpuGrade::A5000 || system.num_gpus > 1)
+        oss << "/" << system.num_gpus << "x" << train::gpuName(system.gpu);
+    if (system.optimizer != optim::OptimizerKind::Adam)
+        oss << "/" << optim::optimizerName(system.optimizer);
+    if (system.strategy == train::Strategy::SmartUpdateOptComp)
+        oss << "/c" << system.compression_wire_fraction;
+    if (system.congested_topology)
+        oss << "/congested";
+    if (system.calib.fpga_dram_usable !=
+        train::Calibration::defaults().fpga_dram_usable)
+        oss << "/dram" << system.calib.fpga_dram_usable;
+    return oss.str();
+}
+
+double
+RunRecord::tokensPerSecond() const
+{
+    if (result.iteration_time <= 0.0)
+        return 0.0;
+    return spec.train.tokensPerIteration() * spec.system.num_nodes /
+           result.iteration_time;
+}
+
+} // namespace smartinf::exp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The unit of the experiment layer: one fully-specified engine run. A
+ * RunSpec bundles everything train::makeEngine consumes (model, training
+ * workload, system configuration) plus a display label, and hashes
+ * deterministically over every field that can affect the simulated result —
+ * the key the SweepRunner's result cache and the record emitters use.
+ */
+#ifndef SMARTINF_EXP_RUN_SPEC_H
+#define SMARTINF_EXP_RUN_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "train/engine.h"
+
+namespace smartinf::exp {
+
+/** A spec hash as fixed-width (16-digit) hex — the one format every
+ *  emitter uses, so JSON and CSV consumers can join on it. */
+std::string hashHex(std::uint64_t hash);
+
+/** One fully-specified experiment point. */
+struct RunSpec {
+    /** Display label; not part of the hash (it cannot affect the result). */
+    std::string label;
+    train::ModelSpec model;
+    train::TrainConfig train;
+    train::SystemConfig system;
+
+    /**
+     * Deterministic FNV-1a hash over every result-affecting field,
+     * including the full Calibration block. Stable within one build of the
+     * library (not across field additions — by design: new knobs must
+     * invalidate cached results).
+     */
+    std::uint64_t hash() const;
+
+    /** hash() rendered as fixed-width hex (JSON output, log lines). */
+    std::string hashHex() const;
+
+    /** Default label: "<model>/<strategy>/d<devices>[...]". */
+    std::string describe() const;
+};
+
+/** One executed experiment point: the spec plus the simulated result. */
+struct RunRecord {
+    RunSpec spec;
+    std::uint64_t spec_hash = 0;
+    std::string engine_name;
+    train::IterationResult result;
+
+    /** Cluster token throughput (data parallelism multiplies the batch). */
+    double tokensPerSecond() const;
+};
+
+} // namespace smartinf::exp
+
+#endif // SMARTINF_EXP_RUN_SPEC_H

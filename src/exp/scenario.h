@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Named, machine-runnable experiment scenarios. Every paper figure/table
+ * reproduction, every ablation, and the scale-out study registers as a
+ * Scenario: a name, a one-line title, and a run function that turns a
+ * shared SweepRunner into tables + structured records + commentary notes.
+ * The smartinf_bench CLI discovers scenarios via the registry (--list) and
+ * renders their results as text, JSON, or CSV — one binary replaces the
+ * seventeen per-figure bench mains.
+ */
+#ifndef SMARTINF_EXP_SCENARIO_H
+#define SMARTINF_EXP_SCENARIO_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/sweep_runner.h"
+
+namespace smartinf::exp {
+
+/** Everything one scenario produced. */
+struct ScenarioResult {
+    /** Human-readable tables (the paper's figures/tables as text). */
+    std::vector<Table> tables;
+    /**
+     * The engine-run records underlying the tables (empty for scenarios
+     * whose numbers come from the functional layer, e.g. accuracy runs).
+     */
+    std::vector<RunRecord> records;
+    /** Paper anchors / reading guidance, printed after the tables. */
+    std::vector<std::string> notes;
+};
+
+/** Shared execution context: one runner (and result cache) per process. */
+struct ScenarioContext {
+    SweepRunner &runner;
+};
+
+/** A registered experiment. */
+struct Scenario {
+    /** CLI name, e.g. "fig09", "table1", "scaleout". */
+    std::string name;
+    /** One-line description for --list. */
+    std::string title;
+    std::function<ScenarioResult(ScenarioContext &)> run;
+};
+
+/** Process-wide scenario registry. */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario; names are unique (duplicate is fatal). */
+    void add(Scenario scenario);
+
+    /** Look up by name; nullptr when absent. */
+    const Scenario *find(const std::string &name) const;
+
+    /** Every scenario, sorted by name. */
+    std::vector<const Scenario *> all() const;
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+/**
+ * Register the built-in scenarios (fig03a..fig17, table1/3/4, ablations,
+ * scaleout). Idempotent; the CLI and tests call it once at startup.
+ * Explicit registration — not static initializers — so the scenarios are
+ * immune to static-library dead stripping and register in a fixed order.
+ */
+void registerBuiltinScenarios();
+
+/** Serialize one scenario's output as a JSON document. */
+void writeScenarioJson(std::ostream &os, const std::string &name,
+                       const std::string &title,
+                       const ScenarioResult &result);
+
+} // namespace smartinf::exp
+
+#endif // SMARTINF_EXP_SCENARIO_H

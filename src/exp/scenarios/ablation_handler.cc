@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §4.3): the internal data transfer handler. Sweeps the
+ * naive vs. optimized handler across device counts and FPGA DRAM budgets
+ * (smaller DRAM => more, smaller subgroups => more overlap opportunity),
+ * isolating where the paper's §IV-B optimization pays off. Exercises the
+ * calibrations() axis — the one knob the old bench_util helper could not
+ * express at all.
+ */
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+ScenarioResult
+runAblationHandler(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const std::vector<double> budgets = {0.8, 0.4, 0.2};
+    std::vector<train::Calibration> calibs;
+    for (double usable : budgets) {
+        train::Calibration c = train::Calibration::defaults();
+        c.fpga_dram_usable = usable;
+        calibs.push_back(c);
+    }
+    const auto specs = ExperimentBuilder()
+                           .model(model)
+                           .strategies({train::Strategy::SmartUpdate,
+                                        train::Strategy::SmartUpdateOpt})
+                           .devices({2, 6, 10})
+                           .calibrations(calibs)
+                           .build();
+    out.records = ctx.runner.run(specs);
+
+    Table table("Ablation: transfer handler (GPT-2 4.0B)");
+    table.setHeader({"#CSDs", "DRAM usable", "naive upd (s)", "opt upd (s)",
+                     "handler gain"});
+    for (int n : {2, 6, 10}) {
+        for (double usable : budgets) {
+            auto at = [&](train::Strategy s) -> const RunRecord & {
+                return pick(out.records, [&](const RunSpec &spec) {
+                    return spec.system.strategy == s &&
+                           spec.system.num_devices == n &&
+                           spec.system.calib.fpga_dram_usable == usable;
+                });
+            };
+            const auto &naive = at(train::Strategy::SmartUpdate);
+            const auto &opt = at(train::Strategy::SmartUpdateOpt);
+            table.addRow({std::to_string(n), Table::percent(usable, 0),
+                          Table::num(naive.result.phases.update),
+                          Table::num(opt.result.phases.update),
+                          Table::factor(naive.result.phases.update /
+                                        opt.result.phases.update)});
+        }
+    }
+    out.tables.push_back(std::move(table));
+    out.notes.push_back(
+        "Reading: the optimized handler's gain comes from keeping the DMA "
+        "queue busy through kernels; it grows as subgroups shrink (smaller "
+        "DRAM) because the naive handler stalls once per tasklet.");
+    return out;
+}
+
+} // namespace
+
+void
+registerAblationHandler()
+{
+    ScenarioRegistry::instance().add(
+        {"ablation_handler",
+         "Naive vs optimized transfer handler across DRAM budgets",
+         runAblationHandler});
+}
+
+} // namespace smartinf::exp::scenarios

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig 9: training-time breakdown and speedup of BASE / SU / SU+O / SU+O+C
+ * for GPT-2 (4.0B, 8.4B) and BERT (4.0B, 8.3B) with 6 and 10 SSDs.
+ */
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+ScenarioResult
+runFig09(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const std::vector<train::ModelSpec> models = {
+        train::ModelSpec::gpt2(4.0), train::ModelSpec::gpt2(8.4),
+        train::ModelSpec::bert(4.0), train::ModelSpec::bert(8.3)};
+    const auto specs = ExperimentBuilder()
+                           .models(models)
+                           .strategies(train::allStrategies())
+                           .devices({6, 10})
+                           .build();
+    out.records = ctx.runner.run(specs);
+
+    for (const auto &model : models) {
+        for (int n : {6, 10}) {
+            Table table("Fig 9: " + model.name + ", #SSDs = " +
+                        std::to_string(n));
+            breakdownHeader(table);
+            auto at = [&](train::Strategy s) -> const RunRecord & {
+                return pick(out.records, [&](const RunSpec &spec) {
+                    return spec.model.name == model.name &&
+                           spec.system.strategy == s &&
+                           spec.system.num_devices == n;
+                });
+            };
+            const auto &base = at(train::Strategy::Baseline);
+            addBreakdownRow(table, "BASE", base.result, 1.0);
+            for (train::Strategy s : {train::Strategy::SmartUpdate,
+                                      train::Strategy::SmartUpdateOpt,
+                                      train::Strategy::SmartUpdateOptComp}) {
+                const auto &r = at(s);
+                addBreakdownRow(table, train::strategyName(s), r.result,
+                                base.result.iteration_time /
+                                    r.result.iteration_time);
+            }
+            out.tables.push_back(std::move(table));
+        }
+    }
+    out.notes.push_back(
+        "paper anchors (Fig 9): SU 1.18-1.24x @6, 1.54-1.60x @10; SU+O up "
+        "to 1.60-1.66x @10; SU+O+C 1.85-1.98x @10. Speedup trends are "
+        "near-identical across models.");
+    return out;
+}
+
+} // namespace
+
+void
+registerFig09()
+{
+    ScenarioRegistry::instance().add(
+        {"fig09",
+         "Breakdown and speedup of BASE/SU/SU+O/SU+O+C, GPT-2 and BERT",
+         runFig09});
+}
+
+} // namespace smartinf::exp::scenarios

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig 13: applying Smart-Infinity to BLOOM (3B / 7.1B) and ViT
+ * (0.30B / 0.63B) — the speedup is insensitive to the transformer flavour.
+ */
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+ScenarioResult
+runFig13(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const std::vector<train::ModelSpec> models = {
+        train::ModelSpec::bloom(3.0), train::ModelSpec::bloom(7.1),
+        train::ModelSpec::vit(0.30), train::ModelSpec::vit(0.63)};
+    const auto specs =
+        ExperimentBuilder()
+            .models(models)
+            .strategies({train::Strategy::Baseline,
+                         train::Strategy::SmartUpdateOpt,
+                         train::Strategy::SmartUpdateOptComp})
+            .devices({6, 10})
+            .build();
+    out.records = ctx.runner.run(specs);
+
+    for (int n : {6, 10}) {
+        Table table("Fig 13: BLOOM and ViT, #SSDs = " + std::to_string(n));
+        table.setHeader({"model", "BASE (s)", "SU+O", "SU+O+C"});
+        for (const auto &model : models) {
+            auto at = [&](train::Strategy s) -> const RunRecord & {
+                return pick(out.records, [&](const RunSpec &spec) {
+                    return spec.model.name == model.name &&
+                           spec.system.strategy == s &&
+                           spec.system.num_devices == n;
+                });
+            };
+            const double base =
+                at(train::Strategy::Baseline).result.iteration_time;
+            table.addRow(
+                {model.name, Table::num(base),
+                 Table::factor(base / at(train::Strategy::SmartUpdateOpt)
+                                          .result.iteration_time),
+                 Table::factor(base /
+                               at(train::Strategy::SmartUpdateOptComp)
+                                   .result.iteration_time)});
+        }
+        out.tables.push_back(std::move(table));
+    }
+    out.notes.push_back(
+        "paper anchor (Fig 13): 1.32-1.85x across BLOOM and ViT, mirroring "
+        "the GPT-2/BERT results.");
+    return out;
+}
+
+} // namespace
+
+void
+registerFig13()
+{
+    ScenarioRegistry::instance().add(
+        {"fig13", "Other model families: BLOOM and ViT", runFig13});
+}
+
+} // namespace smartinf::exp::scenarios

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig 15: system cost efficiency (GFLOPS/$) of the baseline vs
+ * Smart-Infinity for 1-10 devices, on the A5000 and A100 setups. SmartSSDs
+ * cost ~6x a plain SSD, so Smart-Infinity only wins beyond ~4 devices.
+ */
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+#include "train/cost_model.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+ScenarioResult
+runFig15(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const auto specs =
+        ExperimentBuilder()
+            .model(model)
+            .strategies({train::Strategy::Baseline,
+                         train::Strategy::SmartUpdateOptComp})
+            .devices({1, 2, 4, 6, 8, 10})
+            .gpus({train::GpuGrade::A5000, train::GpuGrade::A100_40GB})
+            .build();
+    out.records = ctx.runner.run(specs);
+
+    for (auto gpu : {train::GpuGrade::A5000, train::GpuGrade::A100_40GB}) {
+        Table table(std::string("Fig 15: GFLOPS/$, GPU = ") +
+                    train::gpuName(gpu));
+        table.setHeader({"#SSDs", "ZeRO-Inf", "Smart-Inf (SU+O+C)",
+                         "winner"});
+        for (int n : {1, 2, 4, 6, 8, 10}) {
+            auto at = [&](train::Strategy s) -> const RunRecord & {
+                return pick(out.records, [&](const RunSpec &spec) {
+                    return spec.system.strategy == s &&
+                           spec.system.num_devices == n &&
+                           spec.system.gpu == gpu;
+                });
+            };
+            const auto &base = at(train::Strategy::Baseline);
+            const auto &smart = at(train::Strategy::SmartUpdateOptComp);
+            const double base_g = train::gflopsPerDollar(
+                base.spec.model, base.spec.train, base.spec.system,
+                base.result);
+            const double smart_g = train::gflopsPerDollar(
+                smart.spec.model, smart.spec.train, smart.spec.system,
+                smart.result);
+            table.addRow({std::to_string(n), Table::num(base_g, 4),
+                          Table::num(smart_g, 4),
+                          smart_g > base_g ? "Smart-Inf" : "ZeRO-Inf"});
+        }
+        out.tables.push_back(std::move(table));
+    }
+    out.notes.push_back(
+        "paper anchor (Fig 15): baseline wins at 1-3 devices (SmartSSD "
+        "price premium); Smart-Infinity wins from ~4 and keeps improving "
+        "with more CSDs.");
+    return out;
+}
+
+} // namespace
+
+void
+registerFig15()
+{
+    ScenarioRegistry::instance().add(
+        {"fig15", "Cost efficiency (GFLOPS/$) vs device count", runFig15});
+}
+
+} // namespace smartinf::exp::scenarios

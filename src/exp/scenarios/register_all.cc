@@ -1,0 +1,31 @@
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp {
+
+void
+registerBuiltinScenarios()
+{
+    static const bool registered = [] {
+        scenarios::registerFig03a();
+        scenarios::registerFig03b();
+        scenarios::registerFig09();
+        scenarios::registerFig10();
+        scenarios::registerFig11();
+        scenarios::registerFig12();
+        scenarios::registerFig13();
+        scenarios::registerFig14();
+        scenarios::registerFig15();
+        scenarios::registerFig16();
+        scenarios::registerFig17();
+        scenarios::registerTable1();
+        scenarios::registerTable3();
+        scenarios::registerTable4();
+        scenarios::registerAblationHandler();
+        scenarios::registerAblationCompression();
+        scenarios::registerScaleout();
+        return true;
+    }();
+    (void)registered;
+}
+
+} // namespace smartinf::exp

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Scale-out: multi-node data-parallel Smart-Infinity — the curve the paper
+ * never measures (its Fig 11 stops at intra-node CSD scaling). Sweeps node
+ * count x CSDs-per-node and reports per-iteration time, cluster token
+ * throughput, speedup over one node, and scaling efficiency; ablates the
+ * backward-overlapped bucketed gradient sync against a monolithic
+ * post-backward all-reduce; and compares all four strategies on a 4-node
+ * cluster. All engines come from the unified train::makeEngine via the
+ * nodes() axis — no direct src/dist/ usage.
+ */
+#include <algorithm>
+
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+ScenarioResult
+runScaleout(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+
+    // ---- 1. nodes x CSDs sweep at SU+O. ---------------------------------
+    const auto sweep_specs = ExperimentBuilder()
+                                 .model(model)
+                                 .strategy(train::Strategy::SmartUpdateOpt)
+                                 .devices({4, 6, 8})
+                                 .nodes({1, 2, 4, 8})
+                                 .build();
+    auto sweep = ctx.runner.run(sweep_specs);
+    out.records = sweep;
+
+    Table table("Scale-out: nodes x CSDs, data-parallel " +
+                std::string(train::strategyName(
+                    train::Strategy::SmartUpdateOpt)) +
+                ", " + model.name);
+    table.setHeader({"nodes", "CSDs/node", "iter (s)", "tok/s", "speedup",
+                     "efficiency", "sync TX/node (GB)"});
+    for (int csds : {4, 6, 8}) {
+        double single_node_throughput = 0.0;
+        for (int nodes : {1, 2, 4, 8}) {
+            const auto &rec = pick(sweep, [&](const RunSpec &spec) {
+                return spec.system.num_devices == csds &&
+                       spec.system.num_nodes == nodes;
+            });
+            const double throughput = rec.tokensPerSecond();
+            if (nodes == 1)
+                single_node_throughput = throughput;
+            const double speedup = throughput / single_node_throughput;
+            table.addRow({std::to_string(nodes), std::to_string(csds),
+                          Table::num(rec.result.iteration_time, 3),
+                          Table::num(throughput, 1),
+                          Table::factor(speedup),
+                          Table::percent(speedup / nodes),
+                          Table::num(rec.result.traffic.internode_tx /
+                                         std::max(nodes, 1) / 1e9,
+                                     2)});
+        }
+    }
+    out.tables.push_back(std::move(table));
+
+    // ---- 2. Gradient-sync overlap ablation. -----------------------------
+    // With dense offload (SU+O) the shared host interconnect is already
+    // saturated by gradient writes, so bucketing buys little; once
+    // SmartComp shrinks the offload wire (SU+O+C) the sync can actually
+    // hide behind backward compute.
+    const auto ablation_specs =
+        ExperimentBuilder()
+            .model(model)
+            .strategies({train::Strategy::SmartUpdateOpt,
+                         train::Strategy::SmartUpdateOptComp})
+            .devices(8)
+            .nodes({2, 4, 8})
+            .overlapGradSync({true, false})
+            .build();
+    auto ablation = ctx.runner.run(ablation_specs);
+    out.records.insert(out.records.end(), ablation.begin(), ablation.end());
+
+    Table overlap_table("Gradient-sync overlap ablation (8 CSDs/node)");
+    overlap_table.setHeader({"strategy", "nodes", "overlapped (s)",
+                             "monolithic (s)", "overlap gain"});
+    for (train::Strategy s : {train::Strategy::SmartUpdateOpt,
+                              train::Strategy::SmartUpdateOptComp}) {
+        for (int nodes : {2, 4, 8}) {
+            auto at = [&](bool overlap) -> const RunRecord & {
+                return pick(ablation, [&](const RunSpec &spec) {
+                    return spec.system.strategy == s &&
+                           spec.system.num_nodes == nodes &&
+                           spec.system.overlap_grad_sync == overlap;
+                });
+            };
+            const auto &overlapped = at(true);
+            const auto &monolithic = at(false);
+            overlap_table.addRow(
+                {train::strategyName(s), std::to_string(nodes),
+                 Table::num(overlapped.result.iteration_time, 3),
+                 Table::num(monolithic.result.iteration_time, 3),
+                 Table::factor(monolithic.result.iteration_time /
+                               overlapped.result.iteration_time)});
+        }
+    }
+    out.tables.push_back(std::move(overlap_table));
+
+    // ---- 3. Strategy comparison on a 4-node cluster. --------------------
+    const auto compare_specs = ExperimentBuilder()
+                                   .model(model)
+                                   .strategies(train::allStrategies())
+                                   .devices(8)
+                                   .nodes(4)
+                                   .build();
+    auto compare = ctx.runner.run(compare_specs);
+    out.records.insert(out.records.end(), compare.begin(), compare.end());
+
+    Table compare_table("4-node cluster by strategy (8 devices/node)");
+    breakdownHeader(compare_table);
+    const auto &base = pick(compare, [&](const RunSpec &spec) {
+        return spec.system.strategy == train::Strategy::Baseline;
+    });
+    for (train::Strategy s : train::allStrategies()) {
+        const auto &rec = pick(compare, [&](const RunSpec &spec) {
+            return spec.system.strategy == s;
+        });
+        addBreakdownRow(compare_table, train::strategyName(s), rec.result,
+                        base.result.iteration_time /
+                            rec.result.iteration_time);
+    }
+    out.tables.push_back(std::move(compare_table));
+    return out;
+}
+
+} // namespace
+
+void
+registerScaleout()
+{
+    ScenarioRegistry::instance().add(
+        {"scaleout",
+         "Multi-node data-parallel scaling: nodes x CSDs, sync ablation",
+         runScaleout});
+}
+
+} // namespace smartinf::exp::scenarios

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared formatting and lookup helpers for the built-in scenarios. The
+ * breakdown-row format is the one every figure table in the paper uses
+ * (FW / BW+Grad / Update+Opt / total / speedup).
+ */
+#ifndef SMARTINF_EXP_SCENARIOS_SCENARIO_UTIL_H
+#define SMARTINF_EXP_SCENARIOS_SCENARIO_UTIL_H
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "exp/run_spec.h"
+
+namespace smartinf::exp::scenarios {
+
+inline void
+breakdownHeader(Table &table)
+{
+    table.setHeader({"config", "FW (s)", "BW+Grad (s)", "Update+Opt (s)",
+                     "total (s)", "speedup"});
+}
+
+inline void
+addBreakdownRow(Table &table, const std::string &label,
+                const train::IterationResult &r, double speedup)
+{
+    table.addRow({label, Table::num(r.phases.forward),
+                  Table::num(r.phases.backward), Table::num(r.phases.update),
+                  Table::num(r.iteration_time), Table::factor(speedup)});
+}
+
+/**
+ * First record whose spec satisfies @p pred; fatal when absent (a scenario
+ * asking for a record it never swept is a bug in the scenario).
+ */
+template <typename Pred>
+const RunRecord &
+pick(const std::vector<RunRecord> &records, Pred &&pred)
+{
+    for (const auto &r : records)
+        if (pred(r.spec))
+            return r;
+    fatal("scenario requested a record that was not part of its sweep");
+}
+
+} // namespace smartinf::exp::scenarios
+
+#endif // SMARTINF_EXP_SCENARIOS_SCENARIO_UTIL_H

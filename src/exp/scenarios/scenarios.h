@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Registration entry points for the built-in scenarios, one per paper
+ * figure/table/ablation plus the scale-out study. Called (in this order)
+ * by registerBuiltinScenarios(); each adds exactly one Scenario to the
+ * process registry.
+ */
+#ifndef SMARTINF_EXP_SCENARIOS_SCENARIOS_H
+#define SMARTINF_EXP_SCENARIOS_SCENARIOS_H
+
+#include "exp/scenario.h"
+
+namespace smartinf::exp::scenarios {
+
+void registerFig03a();
+void registerFig03b();
+void registerFig09();
+void registerFig10();
+void registerFig11();
+void registerFig12();
+void registerFig13();
+void registerFig14();
+void registerFig15();
+void registerFig16();
+void registerFig17();
+void registerTable1();
+void registerTable3();
+void registerTable4();
+void registerAblationHandler();
+void registerAblationCompression();
+void registerScaleout();
+
+} // namespace smartinf::exp::scenarios
+
+#endif // SMARTINF_EXP_SCENARIOS_SCENARIOS_H

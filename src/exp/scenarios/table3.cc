@@ -1,19 +1,23 @@
 /**
  * @file
  * Table III: KU15P resource utilization of the Adam updater, alone and
- * with the Top-K decompressor.
+ * with the Top-K decompressor. Pure resource-model arithmetic — no engine
+ * runs, so the records list stays empty.
  */
 #include "accel/decompressor.h"
 #include "accel/fpga_resources.h"
 #include "accel/updater.h"
-#include "bench_util.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
 
-using namespace smartinf;
-using namespace smartinf::bench;
+namespace smartinf::exp::scenarios {
 
-int
-main()
+namespace {
+
+ScenarioResult
+runTable3(ScenarioContext &)
 {
+    ScenarioResult out;
     Table table("Table III: FPGA resource utilization (KU15P)");
     table.setHeader({"module", "LUT (522K)", "BRAM (984)", "URAM (128)",
                      "DSP (1968)"});
@@ -41,8 +45,20 @@ main()
                       Table::percent(fpga.uramUtilization(), 2),
                       Table::percent(fpga.dspUtilization(), 2)});
     }
-    table.print(std::cout);
-    std::cout << "paper anchor (Table III): Adam 33.66/27.13/34.38/11.03%; "
-                 "Adam w/ Top-K 34.12/27.13/35.94/11.03%.\n";
-    return 0;
+    out.tables.push_back(std::move(table));
+    out.notes.push_back(
+        "paper anchor (Table III): Adam 33.66/27.13/34.38/11.03%; Adam w/ "
+        "Top-K 34.12/27.13/35.94/11.03%.");
+    return out;
 }
+
+} // namespace
+
+void
+registerTable3()
+{
+    ScenarioRegistry::instance().add(
+        {"table3", "FPGA resource utilization (KU15P)", runTable3});
+}
+
+} // namespace smartinf::exp::scenarios

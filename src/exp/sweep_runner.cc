@@ -1,0 +1,138 @@
+#include "exp/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace smartinf::exp {
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options options) : options_(options) {}
+
+RunRecord
+SweepRunner::execute(const RunSpec &spec, std::uint64_t hash)
+{
+    auto engine = train::makeEngine(spec.model, spec.train, spec.system);
+    RunRecord record;
+    record.spec = spec;
+    record.spec_hash = hash;
+    record.engine_name = engine->name();
+    record.result = engine->runIteration();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return record;
+}
+
+/**
+ * Single-flight cached execution. The cache stores only what execution
+ * produced (not the spec), so a duplicate spec that differs in label
+ * still gets its own label back.
+ */
+std::shared_future<RunRecord>
+SweepRunner::submit(const RunSpec &spec)
+{
+    const std::uint64_t hash = spec.hash();
+    std::promise<RunRecord> promise;
+    std::shared_future<RunRecord> future = promise.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(hash);
+        if (it != cache_.end()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+        cache_.emplace(hash, future);
+    }
+
+    try {
+        promise.set_value(execute(spec, hash));
+    } catch (...) {
+        // Never cache a failure: waiters holding this future see the
+        // exception, but later requests for the same spec re-execute.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_.erase(hash);
+        }
+        promise.set_exception(std::current_exception());
+    }
+    return future;
+}
+
+RunRecord
+SweepRunner::runOne(const RunSpec &spec)
+{
+    // With caching off, bypass the cache entirely — no lookup, no
+    // insertion, no single-flight — so concurrent duplicates genuinely
+    // re-execute and executedRuns() counts every run.
+    if (!options_.cache)
+        return execute(spec, spec.hash());
+
+    RunRecord record = submit(spec).get();
+    record.spec = spec; // restore this caller's label on a cache hit
+    record.spec_hash = spec.hash();
+    return record;
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<RunRecord> records(specs.size());
+    if (specs.empty())
+        return records;
+
+    const int jobs = std::max(1, options_.jobs);
+    const std::size_t workers =
+        std::min<std::size_t>(jobs, specs.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            records[i] = runOne(specs[i]);
+        return records;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size() || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                records[i] = runOne(specs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (auto &thread : threads)
+        thread.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return records;
+}
+
+void
+SweepRunner::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace smartinf::exp

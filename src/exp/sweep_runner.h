@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallel sweep execution. Every engine run is a self-contained,
+ * deterministic simulation (one SimContext, no shared mutable state), so
+ * independent RunSpecs execute concurrently on a thread pool with results
+ * bit-identical to serial order — records come back in input order and each
+ * is a pure function of its spec. An in-process cache keyed by the spec
+ * hash makes repeated specs (e.g. the BASE reference shared by several
+ * figures) run once per process; concurrent duplicates are single-flighted
+ * through a shared_future so exactly one thread simulates each unique spec.
+ */
+#ifndef SMARTINF_EXP_SWEEP_RUNNER_H
+#define SMARTINF_EXP_SWEEP_RUNNER_H
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "exp/run_spec.h"
+
+namespace smartinf::exp {
+
+/** Executes RunSpecs, possibly in parallel, with result caching. */
+class SweepRunner
+{
+  public:
+    struct Options {
+        /** Worker threads; <= 1 runs inline on the calling thread. */
+        int jobs = 1;
+        /** Reuse results for specs with equal hashes. */
+        bool cache = true;
+    };
+
+    SweepRunner();
+    explicit SweepRunner(Options options);
+
+    /**
+     * Run every spec and return records in input order. Deterministic:
+     * parallel and serial execution produce bit-identical records.
+     */
+    std::vector<RunRecord> run(const std::vector<RunSpec> &specs);
+
+    /** Run a single spec (through the same cache). */
+    RunRecord runOne(const RunSpec &spec);
+
+    /** @name Run-count accounting (cache verification, CLI stats). @{ */
+    /** Engines actually constructed and simulated. */
+    std::uint64_t executedRuns() const { return executed_; }
+    /** Requests answered from the cache (or an in-flight duplicate). */
+    std::uint64_t cacheHits() const { return cache_hits_; }
+    /** @} */
+
+    void clearCache();
+
+    const Options &options() const { return options_; }
+
+  private:
+    RunRecord execute(const RunSpec &spec, std::uint64_t hash);
+    std::shared_future<RunRecord> submit(const RunSpec &spec);
+
+    Options options_;
+    std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::shared_future<RunRecord>> cache_;
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+} // namespace smartinf::exp
+
+#endif // SMARTINF_EXP_SWEEP_RUNNER_H

@@ -1,21 +1,10 @@
 #include "train/engine.h"
 
 #include "common/logging.h"
+#include "dist/distributed_engine.h"
 #include "train/iteration_builder.h"
 
 namespace smartinf::train {
-
-const char *
-strategyName(Strategy strategy)
-{
-    switch (strategy) {
-      case Strategy::Baseline: return "BASE";
-      case Strategy::SmartUpdate: return "SU";
-      case Strategy::SmartUpdateOpt: return "SU+O";
-      case Strategy::SmartUpdateOptComp: return "SU+O+C";
-    }
-    return "?";
-}
 
 TrafficLedger &
 TrafficLedger::operator+=(const TrafficLedger &other)
@@ -36,21 +25,11 @@ Engine::Engine(const ModelSpec &model, const TrainConfig &train,
                const SystemConfig &system)
     : model_(model), train_(train), system_(system)
 {
-    SI_REQUIRE(system.num_devices >= 1, "need at least one storage device");
-    SI_REQUIRE(system.num_gpus >= 1, "need at least one GPU");
     SI_REQUIRE(model.num_params > 0 && model.num_layers > 0,
                "invalid model spec");
-    if (system.strategy == Strategy::SmartUpdateOptComp) {
-        SI_REQUIRE(system.compression_wire_fraction > 0.0 &&
-                       system.compression_wire_fraction <= 1.0,
-                   "compression wire fraction must be in (0, 1]");
-    }
-    SI_REQUIRE(system.num_nodes >= 1, "need at least one node");
-    if (system.num_nodes > 1) {
-        SI_REQUIRE(system.nic_bandwidth > 0.0,
-                   "multi-node configs need a positive NIC bandwidth");
-        SI_REQUIRE(system.nic_latency >= 0.0, "negative NIC latency");
-    }
+    const auto errors = system.validate();
+    SI_REQUIRE(errors.empty(), "invalid SystemConfig: ",
+               joinErrors(errors));
 }
 
 std::string
@@ -103,8 +82,9 @@ std::unique_ptr<Engine>
 makeEngine(const ModelSpec &model, const TrainConfig &train,
            const SystemConfig &system)
 {
-    SI_REQUIRE(system.num_nodes == 1,
-               "multi-node configs are driven by dist::makeDistributedEngine");
+    if (system.num_nodes > 1)
+        return std::make_unique<dist::DistributedEngine>(model, train,
+                                                         system);
     if (system.strategy == Strategy::Baseline)
         return std::make_unique<BaselineEngine>(model, train, system);
     return std::make_unique<SmartEngine>(model, train, system);

@@ -69,14 +69,21 @@ class Engine
 /** Human-readable single-node engine name for @p strategy (bench labels). */
 std::string engineDisplayName(Strategy strategy);
 
-/** Instantiate the engine matching @c system.strategy. */
+/**
+ * The one engine factory: instantiate the engine matching
+ * @c system.strategy, dispatching to the multi-node
+ * dist::DistributedEngine when @c system.num_nodes > 1. Callers never
+ * need to name src/dist/ types — the node count alone selects the
+ * scale-out path.
+ */
 std::unique_ptr<Engine> makeEngine(const ModelSpec &model,
                                    const TrainConfig &train,
                                    const SystemConfig &system);
 
 /**
- * Convenience for benches: run one iteration of @p system and of a baseline
- * with the same model/devices, returning (result, speedup-over-baseline).
+ * Thin wrapper over makeEngine(): run one iteration of @p system and of a
+ * baseline with the same model/devices/nodes, returning
+ * (result, speedup-over-baseline).
  */
 struct SpeedupResult {
     IterationResult result;

@@ -8,6 +8,10 @@
 #ifndef SMARTINF_TRAIN_SYSTEM_CONFIG_H
 #define SMARTINF_TRAIN_SYSTEM_CONFIG_H
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "common/units.h"
 #include "optim/optimizer.h"
 #include "train/calibration.h"
@@ -24,6 +28,18 @@ enum class Strategy {
 };
 
 const char *strategyName(Strategy strategy);
+
+/**
+ * Inverse of strategyName(): parses the paper notation ("BASE", "SU",
+ * "SU+O", "SU+O+C", case-insensitive). Returns nullopt for unknown names.
+ */
+std::optional<Strategy> strategyFromName(const std::string &name);
+
+/** Every strategy, in declaration order (sweep axes, exhaustive tests). */
+std::vector<Strategy> allStrategies();
+
+/** Join a validate() error list into one "a; b; c" message. */
+std::string joinErrors(const std::vector<std::string> &errors);
 
 /** True for the strategies that run updates on CSDs. */
 inline bool
@@ -68,6 +84,15 @@ struct SystemConfig {
      */
     bool overlap_grad_sync = true;
     /** @} */
+
+    /**
+     * Check the configuration for user errors. Returns every violated
+     * precondition as an actionable message ("num_devices must be >= 1,
+     * got 0"); an empty vector means the config is usable. Engine
+     * construction calls this and reports the first error via fatal()
+     * instead of asserting deep inside construction.
+     */
+    std::vector<std::string> validate() const;
 };
 
 } // namespace smartinf::train

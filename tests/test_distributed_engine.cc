@@ -62,13 +62,19 @@ TEST(DistributedEngine, FactoryDispatchesOnNodeCount)
     EXPECT_NE(multi->name().find("x4"), std::string::npos);
 }
 
-TEST(DistributedEngine, SingleNodeFactoryRejectsMultiNodeConfigs)
+TEST(DistributedEngine, UnifiedFactoryDispatchesToDistributedEngine)
 {
+    // The redesigned train::makeEngine covers the full node range: callers
+    // select scale-out with num_nodes alone, never naming src/dist/ types.
+    const auto m = ModelSpec::gpt2(1.0);
     TrainConfig tc;
-    EXPECT_THROW(
-        train::makeEngine(ModelSpec::gpt2(1.0), tc,
-                          config(Strategy::SmartUpdateOpt, 2, 4)),
-        std::runtime_error);
+    const auto multi =
+        train::makeEngine(m, tc, config(Strategy::SmartUpdateOpt, 4, 4));
+    EXPECT_NE(dynamic_cast<DistributedEngine *>(multi.get()), nullptr);
+    EXPECT_NE(multi->name().find("x4"), std::string::npos);
+    const auto single =
+        train::makeEngine(m, tc, config(Strategy::SmartUpdateOpt, 1, 4));
+    EXPECT_EQ(dynamic_cast<DistributedEngine *>(single.get()), nullptr);
 }
 
 TEST(DistributedEngine, RingAllReduceWireBytesMatchFormula)

@@ -1,0 +1,183 @@
+/** @file Tests for the declarative ExperimentBuilder: cross-product
+ *  expansion, deterministic ordering, base-config seeding (the old
+ *  bench_util footgun), and RunSpec hashing. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/experiment.h"
+
+namespace smartinf::exp {
+namespace {
+
+using train::ModelSpec;
+using train::Strategy;
+
+TEST(ExperimentBuilder, SingleAxisDefaultsToOneSpec)
+{
+    const auto specs =
+        ExperimentBuilder().model(ModelSpec::gpt2(1.0)).build();
+    ASSERT_EQ(specs.size(), 1u);
+    const auto &sys = specs[0].system;
+    const train::SystemConfig defaults;
+    EXPECT_EQ(sys.strategy, defaults.strategy);
+    EXPECT_EQ(sys.num_devices, defaults.num_devices);
+    EXPECT_EQ(sys.num_nodes, defaults.num_nodes);
+}
+
+TEST(ExperimentBuilder, ExpandsTheCrossProduct)
+{
+    ExperimentBuilder b;
+    b.models({ModelSpec::gpt2(1.0), ModelSpec::bert(0.34)})
+        .strategies({Strategy::Baseline, Strategy::SmartUpdateOpt})
+        .devices({2, 6, 10})
+        .nodes({1, 2});
+    EXPECT_EQ(b.size(), 2u * 2u * 3u * 2u);
+    const auto specs = b.build();
+    ASSERT_EQ(specs.size(), b.size());
+
+    // Every combination appears exactly once.
+    std::set<std::tuple<std::string, int, int, int>> seen;
+    for (const auto &spec : specs)
+        seen.insert({spec.model.name,
+                     static_cast<int>(spec.system.strategy),
+                     spec.system.num_devices, spec.system.num_nodes});
+    EXPECT_EQ(seen.size(), specs.size());
+}
+
+TEST(ExperimentBuilder, OrderIsDeterministicAndNested)
+{
+    ExperimentBuilder b;
+    b.model(ModelSpec::gpt2(1.0))
+        .strategies({Strategy::Baseline, Strategy::SmartUpdateOpt})
+        .devices({4, 8});
+    const auto specs = b.build();
+    ASSERT_EQ(specs.size(), 4u);
+    // strategies outer, devices inner.
+    EXPECT_EQ(specs[0].system.strategy, Strategy::Baseline);
+    EXPECT_EQ(specs[0].system.num_devices, 4);
+    EXPECT_EQ(specs[1].system.strategy, Strategy::Baseline);
+    EXPECT_EQ(specs[1].system.num_devices, 8);
+    EXPECT_EQ(specs[2].system.strategy, Strategy::SmartUpdateOpt);
+    EXPECT_EQ(specs[2].system.num_devices, 4);
+
+    const auto again = b.build();
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(specs[i].hash(), again[i].hash());
+}
+
+/** Regression for the bench_util::runIteration footgun: helpers that
+ *  default-construct the fields they don't parameterize silently drop
+ *  caller intent. The builder must carry every base field through. */
+TEST(ExperimentBuilder, BaseConfigFieldsSurviveTheSweep)
+{
+    train::SystemConfig base;
+    base.num_nodes = 4;
+    base.congested_topology = true;
+    base.nic_latency = 42e-6;
+    base.overlap_grad_sync = false;
+    const auto specs = ExperimentBuilder()
+                           .base(base)
+                           .model(ModelSpec::gpt2(1.0))
+                           .strategies({Strategy::Baseline,
+                                        Strategy::SmartUpdateOpt})
+                           .devices({2, 6})
+                           .build();
+    ASSERT_EQ(specs.size(), 4u);
+    for (const auto &spec : specs) {
+        EXPECT_EQ(spec.system.num_nodes, 4);
+        EXPECT_TRUE(spec.system.congested_topology);
+        EXPECT_DOUBLE_EQ(spec.system.nic_latency, 42e-6);
+        EXPECT_FALSE(spec.system.overlap_grad_sync);
+    }
+}
+
+TEST(ExperimentBuilder, DeviceRangeIsInclusive)
+{
+    const auto specs = ExperimentBuilder()
+                           .model(ModelSpec::gpt2(1.0))
+                           .deviceRange(3, 6)
+                           .build();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs.front().system.num_devices, 3);
+    EXPECT_EQ(specs.back().system.num_devices, 6);
+}
+
+TEST(ExperimentBuilder, NeedsAtLeastOneModel)
+{
+    EXPECT_THROW(ExperimentBuilder().devices({2}).build(),
+                 std::runtime_error);
+}
+
+TEST(RunSpecHash, EqualSpecsHashEqually)
+{
+    RunSpec a, b;
+    a.model = b.model = ModelSpec::gpt2(4.0);
+    a.label = "first";
+    b.label = "second"; // labels must not affect the hash
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(RunSpecHash, ResultAffectingFieldsChangeTheHash)
+{
+    RunSpec base;
+    base.model = ModelSpec::gpt2(4.0);
+
+    auto hash_with = [&](auto mutate) {
+        RunSpec spec = base;
+        mutate(spec);
+        return spec.hash();
+    };
+    const auto h0 = base.hash();
+    EXPECT_NE(h0, hash_with([](RunSpec &s) { s.system.num_devices = 7; }));
+    EXPECT_NE(h0, hash_with([](RunSpec &s) { s.system.num_nodes = 2; }));
+    EXPECT_NE(h0, hash_with([](RunSpec &s) {
+                  s.system.strategy = Strategy::SmartUpdateOpt;
+              }));
+    EXPECT_NE(h0, hash_with([](RunSpec &s) { s.train.batch_size = 8; }));
+    EXPECT_NE(h0, hash_with([](RunSpec &s) {
+                  s.system.calib.fpga_dram_usable = 0.2;
+              }));
+    EXPECT_NE(h0, hash_with([](RunSpec &s) {
+                  s.model = ModelSpec::gpt2(8.4);
+              }));
+}
+
+TEST(RunSpecHash, NormalizesFieldsThatCannotAffectTheResult)
+{
+    // The compression ratio only matters under SU+O+C, and NIC/overlap
+    // fields only matter with more than one node — shared baselines across
+    // figure sweeps must land on one cache entry.
+    RunSpec a, b;
+    a.model = b.model = ModelSpec::gpt2(4.0);
+    a.system.compression_wire_fraction = 0.02;
+    b.system.compression_wire_fraction = 0.10;
+    EXPECT_EQ(a.hash(), b.hash());
+
+    a.system.strategy = b.system.strategy = Strategy::SmartUpdateOptComp;
+    EXPECT_NE(a.hash(), b.hash());
+
+    RunSpec c, d;
+    c.model = d.model = ModelSpec::gpt2(4.0);
+    c.system.overlap_grad_sync = true;
+    d.system.overlap_grad_sync = false;
+    EXPECT_EQ(c.hash(), d.hash()); // num_nodes == 1: no sync at all
+    c.system.num_nodes = d.system.num_nodes = 2;
+    EXPECT_NE(c.hash(), d.hash());
+}
+
+TEST(RunSpec, DescribeNamesTheInterestingFields)
+{
+    RunSpec spec;
+    spec.model = ModelSpec::gpt2(4.0);
+    spec.system.strategy = Strategy::SmartUpdateOpt;
+    spec.system.num_devices = 8;
+    spec.system.num_nodes = 4;
+    const auto text = spec.describe();
+    EXPECT_NE(text.find("SU+O"), std::string::npos);
+    EXPECT_NE(text.find("d8"), std::string::npos);
+    EXPECT_NE(text.find("n4"), std::string::npos);
+}
+
+} // namespace
+} // namespace smartinf::exp

@@ -1,0 +1,126 @@
+/** @file Tests for strategy name round-tripping and the actionable
+ *  config validation added with the unified experiment API. */
+#include <gtest/gtest.h>
+
+#include "core/smart_infinity.h"
+#include "train/system_config.h"
+
+namespace smartinf::train {
+namespace {
+
+TEST(StrategyName, RoundTripsExhaustively)
+{
+    for (Strategy s : allStrategies()) {
+        const auto parsed = strategyFromName(strategyName(s));
+        ASSERT_TRUE(parsed.has_value()) << strategyName(s);
+        EXPECT_EQ(*parsed, s);
+    }
+}
+
+TEST(StrategyName, AllStrategiesCoversTheEnum)
+{
+    // Exhaustiveness guard: update allStrategies() when the enum grows.
+    const auto all = allStrategies();
+    EXPECT_EQ(all.size(), 4u);
+    EXPECT_EQ(all.front(), Strategy::Baseline);
+    EXPECT_EQ(all.back(), Strategy::SmartUpdateOptComp);
+}
+
+TEST(StrategyName, ParsingIsCaseInsensitive)
+{
+    EXPECT_EQ(strategyFromName("base"), Strategy::Baseline);
+    EXPECT_EQ(strategyFromName("su"), Strategy::SmartUpdate);
+    EXPECT_EQ(strategyFromName("su+o"), Strategy::SmartUpdateOpt);
+    EXPECT_EQ(strategyFromName("Su+O+c"), Strategy::SmartUpdateOptComp);
+}
+
+TEST(StrategyName, RejectsUnknownNames)
+{
+    EXPECT_FALSE(strategyFromName("").has_value());
+    EXPECT_FALSE(strategyFromName("SU+").has_value());
+    EXPECT_FALSE(strategyFromName("zero-infinity").has_value());
+}
+
+TEST(SystemConfigValidate, DefaultIsValid)
+{
+    EXPECT_TRUE(SystemConfig{}.validate().empty());
+}
+
+TEST(SystemConfigValidate, ReportsEveryViolation)
+{
+    SystemConfig sc;
+    sc.num_devices = 0;
+    sc.num_gpus = -1;
+    sc.num_nodes = 0;
+    const auto errors = sc.validate();
+    ASSERT_EQ(errors.size(), 3u);
+    EXPECT_NE(errors[0].find("num_devices"), std::string::npos);
+    EXPECT_NE(errors[0].find("got 0"), std::string::npos);
+    EXPECT_NE(errors[1].find("num_gpus"), std::string::npos);
+    EXPECT_NE(errors[2].find("num_nodes"), std::string::npos);
+}
+
+TEST(SystemConfigValidate, ChecksCompressionOnlyForSmartComp)
+{
+    SystemConfig sc;
+    sc.compression_wire_fraction = 0.0;
+    EXPECT_TRUE(sc.validate().empty()); // Baseline ignores the fraction
+    sc.strategy = Strategy::SmartUpdateOptComp;
+    const auto errors = sc.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("compression_wire_fraction"),
+              std::string::npos);
+}
+
+TEST(SystemConfigValidate, ChecksNicSpecsOnlyForMultiNode)
+{
+    SystemConfig sc;
+    sc.nic_bandwidth = 0.0;
+    EXPECT_TRUE(sc.validate().empty()); // single node never touches NICs
+    sc.num_nodes = 4;
+    const auto errors = sc.validate();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("nic_bandwidth"), std::string::npos);
+}
+
+TEST(SystemConfigValidate, EngineConstructionRejectsInvalidConfigs)
+{
+    SystemConfig sc;
+    sc.num_devices = 0;
+    EXPECT_THROW(makeEngine(ModelSpec::gpt2(1.0), TrainConfig{}, sc),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf::train
+
+namespace smartinf {
+namespace {
+
+TEST(ClusterConfigValidate, DefaultIsValid)
+{
+    EXPECT_TRUE(ClusterConfig{}.validate().empty());
+}
+
+TEST(ClusterConfigValidate, ReportsActionableErrors)
+{
+    ClusterConfig config;
+    config.num_csds = 0;
+    config.keep_fraction = 1.5;
+    config.subgroup_elems = 0;
+    const auto errors = config.validate();
+    ASSERT_EQ(errors.size(), 3u);
+    EXPECT_NE(errors[0].find("num_csds"), std::string::npos);
+    EXPECT_NE(errors[1].find("keep_fraction"), std::string::npos);
+    EXPECT_NE(errors[2].find("subgroup_elems"), std::string::npos);
+}
+
+TEST(ClusterConfigValidate, ConstructorUsesValidate)
+{
+    ClusterConfig config;
+    config.keep_fraction = 0.0;
+    EXPECT_THROW(SmartInfinityCluster{config}, std::runtime_error);
+}
+
+} // namespace
+} // namespace smartinf
