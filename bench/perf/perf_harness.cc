@@ -1,0 +1,142 @@
+#include "perf/perf_harness.h"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+#include <sys/resource.h>
+
+#include "common/logging.h"
+#include "exp/scenario.h"
+#include "train/engine.h"
+
+namespace smartinf::bench {
+
+namespace {
+
+long
+peakRssKb()
+{
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return usage.ru_maxrss; // KiB on Linux.
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Time one scenario end to end with a cold, serial, cache-less runner so
+ *  the measurement is the engine work, not the cache. */
+PerfSample
+scenarioCase(const std::string &name)
+{
+    const auto *scenario = exp::ScenarioRegistry::instance().find(name);
+    SI_REQUIRE(scenario != nullptr, "perf case references unknown scenario ",
+               name);
+    exp::SweepRunner::Options options;
+    options.jobs = 1;
+    options.cache = false;
+    exp::SweepRunner runner(options);
+    exp::ScenarioContext ctx{runner};
+
+    PerfSample sample;
+    sample.name = name;
+    const auto start = Clock::now();
+    const exp::ScenarioResult result = scenario->run(ctx);
+    sample.wall_s = secondsSince(start);
+    for (const auto &rec : result.records) {
+        sample.events += rec.result.events_executed;
+        sample.sim_seconds += rec.result.iteration_time;
+        ++sample.engine_runs;
+    }
+    sample.events_per_sec =
+        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
+    sample.peak_rss_kb = peakRssKb();
+    return sample;
+}
+
+/** Time one direct engine run (the scale-out acceptance points). */
+PerfSample
+engineCase(const std::string &name, int nodes)
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    train::TrainConfig train;
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOpt;
+    system.num_devices = 8;
+    system.num_nodes = nodes;
+
+    PerfSample sample;
+    sample.name = name;
+    const auto start = Clock::now();
+    auto engine = train::makeEngine(model, train, system);
+    const train::IterationResult result = engine->runIteration();
+    sample.wall_s = secondsSince(start);
+    sample.events = result.events_executed;
+    sample.sim_seconds = result.iteration_time;
+    sample.engine_runs = 1;
+    sample.events_per_sec =
+        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
+    sample.peak_rss_kb = peakRssKb();
+    return sample;
+}
+
+} // namespace
+
+std::vector<PerfSample>
+runPerfCases()
+{
+    std::vector<PerfSample> samples;
+    samples.push_back(scenarioCase("fig09"));
+    samples.push_back(scenarioCase("fig11"));
+    // Functional-layer only (no engine records): events/sim_seconds stay 0
+    // by construction — this case tracks wall_s and RSS, nothing else.
+    samples.push_back(scenarioCase("ablation_compression"));
+    samples.push_back(engineCase("scaleout_n4", 4));
+    samples.push_back(engineCase("scaleout_n16", 16));
+    return samples;
+}
+
+void
+writePerfJson(std::ostream &os, const std::vector<PerfSample> &samples)
+{
+    os << "{\n  \"bench\": \"smartinf_perf\",\n  \"schema\": 1,\n"
+       << "  \"cases\": [\n";
+    const auto flags = os.flags();
+    os << std::setprecision(6) << std::fixed;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const PerfSample &s = samples[i];
+        os << "    {\"name\": \"" << s.name << "\""
+           << ", \"wall_s\": " << s.wall_s
+           << ", \"events\": " << s.events
+           << ", \"events_per_sec\": " << std::setprecision(0) << s.events_per_sec
+           << std::setprecision(6)
+           << ", \"sim_seconds\": " << s.sim_seconds
+           << ", \"engine_runs\": " << s.engine_runs
+           << ", \"peak_rss_kb\": " << s.peak_rss_kb << "}"
+           << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    os.flags(flags);
+    os << "  ]\n}\n";
+}
+
+void
+writePerfText(std::ostream &os, const std::vector<PerfSample> &samples)
+{
+    for (const PerfSample &s : samples) {
+        os << "[perf] " << s.name << ": " << std::fixed
+           << std::setprecision(3) << s.wall_s << " s wall, " << s.events
+           << " events (" << std::setprecision(0) << s.events_per_sec
+           << "/s), " << s.engine_runs << " runs, peak RSS "
+           << s.peak_rss_kb << " KiB\n";
+        os.unsetf(std::ios_base::floatfield);
+    }
+}
+
+} // namespace smartinf::bench

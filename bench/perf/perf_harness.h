@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tracked performance benchmark for the simulation core. Times a fixed set
+ * of representative scenarios (paper figures, the compression ablation, and
+ * the multi-node scale-out engine at 4 and 16 nodes) and reports host
+ * wall-clock, discrete events executed, events/sec, and peak RSS. The
+ * emitted JSON (BENCH_PR<N>.json) is the repo's performance trajectory:
+ * every PR that touches the hot path appends a point, CI uploads it as an
+ * artifact, and regressions show up as a drop in events/sec on the same
+ * case names. See ROADMAP.md ("perf trajectory") for how to read/extend it.
+ */
+#ifndef SMARTINF_BENCH_PERF_HARNESS_H
+#define SMARTINF_BENCH_PERF_HARNESS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smartinf::bench {
+
+/** One timed case of the perf benchmark. */
+struct PerfSample {
+    std::string name;          ///< stable case name (the trajectory key)
+    double wall_s = 0.0;       ///< host wall-clock for the whole case
+    std::uint64_t events = 0;  ///< discrete events executed across its runs
+    double events_per_sec = 0.0;
+    double sim_seconds = 0.0;  ///< simulated seconds covered (sanity anchor)
+    int engine_runs = 0;       ///< engine iterations the case executed
+    long peak_rss_kb = 0;      ///< process high-water RSS after the case
+                               ///< (monotonic across cases by construction)
+};
+
+/**
+ * Execute the tracked cases (fig09, fig11, ablation_compression via the
+ * scenario registry with caching disabled; scaleout engines at 4 and 16
+ * nodes directly). registerBuiltinScenarios() must have run.
+ */
+std::vector<PerfSample> runPerfCases();
+
+/** Serialize samples as the BENCH_PR*.json document. */
+void writePerfJson(std::ostream &os, const std::vector<PerfSample> &samples);
+
+/** Human-readable one-line-per-case summary (stderr progress/reporting). */
+void writePerfText(std::ostream &os, const std::vector<PerfSample> &samples);
+
+} // namespace smartinf::bench
+
+#endif // SMARTINF_BENCH_PERF_HARNESS_H

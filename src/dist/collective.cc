@@ -62,7 +62,7 @@ CollectiveSchedule
 scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
                        Bytes bytes,
                        const std::vector<sim::TaskGraph::TaskId> &deps,
-                       const std::string &tag)
+                       sim::TaskLabel label)
 {
     using TaskId = sim::TaskGraph::TaskId;
     SI_REQUIRE(nodes >= 1, "need at least one node");
@@ -71,7 +71,7 @@ scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
                "need one gating dependency per node (or none)");
 
     CollectiveSchedule out;
-    out.done = ctx.graph.barrier(tag + ".done");
+    out.done = ctx.graph.barrier(label);
     if (nodes == 1) {
         // Degenerate ring: nothing crosses the fabric, but the barrier
         // still sequences against the gating dependencies.
@@ -100,12 +100,14 @@ scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
                                 &ctx.topo.link(src + "nic.tx"),
                                 &ctx.topo.link(dst + "nic.rx"),
                                 &ctx.topo.link(dst + "host.up")};
+            // Hop labels carry (step, sender); which collective they
+            // belong to is the enclosing label's concern.
             TaskId hop = ctx.graph.add(
                 [&ctx, route = std::move(route), chunk,
                  latency](std::function<void()> done) {
                     ctx.net.startFlow(route, chunk, std::move(done), latency);
                 },
-                tag + ".s" + std::to_string(s) + ".n" + std::to_string(i));
+                {"sync.hop", s, i});
             if (s == 0) {
                 if (!deps.empty())
                     ctx.graph.dependsOn(hop, deps[i]);

@@ -72,7 +72,7 @@ CollectiveSchedule
 scheduleRingCollective(train::SimContext &ctx, CollectiveKind kind, int nodes,
                        Bytes bytes,
                        const std::vector<sim::TaskGraph::TaskId> &deps,
-                       const std::string &tag);
+                       sim::TaskLabel label);
 
 // ---- functional layer: deterministic in-memory rings ------------------------
 

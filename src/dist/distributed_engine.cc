@@ -68,7 +68,7 @@ DistributedEngine::runIteration()
                     deps[i] = builders[i]->gradToHostTask(b);
                 const CollectiveSchedule cs = scheduleRingCollective(
                     ctx, CollectiveKind::AllReduce, nodes, bucket, deps,
-                    "sync.b" + std::to_string(b));
+                    {"sync.done", b});
                 for (int i = 0; i < nodes; ++i)
                     ctx.graph.dependsOn(builders[i]->gradOffloadGateTask(b),
                                         cs.done);
@@ -79,7 +79,7 @@ DistributedEngine::runIteration()
             std::vector<TaskId> deps(bw);
             const CollectiveSchedule cs = scheduleRingCollective(
                 ctx, CollectiveKind::AllReduce, nodes,
-                model_.gradientBytes(), deps, "sync.all");
+                model_.gradientBytes(), deps, {"sync.all"});
             sync_done = cs.done;
             last_sync_tx_per_node_ = cs.tx_bytes_per_node;
         }
@@ -91,7 +91,7 @@ DistributedEngine::runIteration()
     for (int i = 0; i < nodes; ++i) {
         TaskId ready = bw[i];
         if (sync_done != TaskGraph::kInvalidTask) {
-            ready = ctx.graph.barrier(train::nodePrefix(i) + "upd.ready");
+            ready = ctx.graph.barrier({"upd.ready", i});
             ctx.graph.dependsOn(ready, bw[i]);
             ctx.graph.dependsOn(ready, sync_done);
         }
@@ -117,6 +117,7 @@ DistributedEngine::runIteration()
     result.phases.update = t_end - t_bw;
     result.iteration_time = t_end;
     result.traffic = ctx.traffic;
+    result.events_executed = ctx.sim.eventsExecuted();
     return result;
 }
 

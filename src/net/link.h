@@ -45,6 +45,12 @@ class Link
         bytes_carried_ += bytes;
         busy_integral_ += rate_fraction * elapsed;
     }
+    /**
+     * @warning FlowNetwork settles link statistics lazily (at rate
+     * changes), so reset only while no flow crosses this link — e.g.
+     * after the simulation drains — or the pending un-flushed interval
+     * will be re-credited after the reset.
+     */
     void
     resetStats()
     {

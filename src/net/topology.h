@@ -46,7 +46,8 @@ class Topology
     /** Visit every link (stats dumping). */
     void forEachLink(const std::function<void(const Link &)> &visit) const;
 
-    /** Clear per-link statistics (between measurement windows). */
+    /** Clear per-link statistics (between measurement windows). Call only
+     *  while no flows are active — see Link::resetStats(). */
     void resetStats();
 
     std::size_t linkCount() const { return links_.size(); }

@@ -1,34 +1,116 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace smartinf::sim {
+
+bool
+EventQueue::entryLater(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when > b.when;
+    return a.seq > b.seq; // FIFO among simultaneous events.
+}
+
+uint32_t
+EventQueue::allocSlot()
+{
+    if (!free_.empty()) {
+        const uint32_t slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.fn = nullptr;
+    s.pending = false;
+    s.cancelled = false;
+    ++s.gen; // Stale EventIds (already-run or recycled) now miss.
+    free_.push_back(slot);
+}
 
 EventId
 EventQueue::schedule(Seconds when, std::function<void()> fn)
 {
     SI_ASSERT(when >= 0.0, "event scheduled at negative time ", when);
-    const EventId id = next_id_++;
-    cancelled_.push_back(false);
-    heap_.push(Entry{when, id, std::move(fn)});
+    const uint32_t slot = allocSlot();
+    Slot &s = slots_[slot];
+    s.fn = std::move(fn);
+    s.pending = true;
+    s.cancelled = false;
+    heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end(), entryLater);
     ++live_;
-    return id;
+    return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    if (id < cancelled_.size() && !cancelled_[id]) {
-        cancelled_[id] = true;
-        --live_;
+    const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
+    const uint32_t gen = static_cast<uint32_t>(id >> 32);
+    if (slot >= slots_.size())
+        return;
+    Slot &s = slots_[slot];
+    if (s.gen != gen || !s.pending || s.cancelled)
+        return; // Already ran, already cancelled, or slot recycled.
+    s.cancelled = true;
+    s.fn = nullptr; // Release the callback's captures immediately.
+    SI_ASSERT(live_ > 0, "cancel() with no live events");
+    --live_;
+    ++tombstones_;
+    // Compact once tombstones dominate: long cancel/reschedule churn (the
+    // flow network re-arms its completion event constantly) must not grow
+    // the heap beyond the live set.
+    if (tombstones_ > 64 && tombstones_ > heap_.size() / 2)
+        compact();
+}
+
+void
+EventQueue::compact()
+{
+    auto dead = [this](const Entry &e) {
+        const Slot &s = slots_[e.slot];
+        return s.gen != e.gen || !s.pending || s.cancelled;
+    };
+    for (const Entry &e : heap_) {
+        const Slot &s = slots_[e.slot];
+        if (s.gen == e.gen && s.pending && s.cancelled)
+            releaseSlot(e.slot);
     }
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), entryLater);
+    tombstones_ = 0;
+    SI_ASSERT(heap_.size() == live_,
+              "live accounting diverged from heap: ", live_, " vs ",
+              heap_.size());
 }
 
 void
 EventQueue::skipCancelled()
 {
-    while (!heap_.empty() && cancelled_[heap_.top().id])
-        heap_.pop();
+    while (!heap_.empty()) {
+        const Entry &top = heap_.front();
+        Slot &s = slots_[top.slot];
+        if (s.gen == top.gen && s.pending && !s.cancelled)
+            return;
+        // Tombstone (cancelled but not yet popped): recycle its slot now.
+        if (s.gen == top.gen && s.pending && s.cancelled) {
+            releaseSlot(top.slot);
+            SI_ASSERT(tombstones_ > 0, "tombstone accounting underflow");
+            --tombstones_;
+        }
+        std::pop_heap(heap_.begin(), heap_.end(), entryLater);
+        heap_.pop_back();
+    }
 }
 
 Seconds
@@ -37,23 +119,29 @@ EventQueue::nextTime() const
     auto *self = const_cast<EventQueue *>(this);
     self->skipCancelled();
     SI_ASSERT(!heap_.empty(), "nextTime() on empty queue");
-    return heap_.top().when;
+    return heap_.front().when;
 }
 
 bool
 EventQueue::runNext(Seconds &now)
 {
     skipCancelled();
-    if (heap_.empty())
+    if (heap_.empty()) {
+        SI_ASSERT(live_ == 0, "empty heap but ", live_, " live events");
         return false;
-    Entry entry = heap_.top();
-    heap_.pop();
-    cancelled_[entry.id] = true; // Mark consumed so double-cancel is benign.
+    }
+    const Entry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), entryLater);
+    heap_.pop_back();
+    Slot &s = slots_[entry.slot];
+    std::function<void()> fn = std::move(s.fn);
+    releaseSlot(entry.slot); // A later cancel() of this id is now benign.
+    SI_ASSERT(live_ > 0, "runNext() live accounting underflow");
     --live_;
     SI_ASSERT(entry.when + 1e-12 >= now,
               "event time ", entry.when, " precedes now ", now);
     now = entry.when;
-    entry.fn();
+    fn();
     return true;
 }
 

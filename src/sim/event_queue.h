@@ -2,33 +2,38 @@
  * @file
  * The discrete-event core: a time-ordered queue of callbacks. Ties are broken
  * by insertion order so simulations are fully deterministic.
+ *
+ * Storage is allocation-light: heap entries are 24-byte PODs ordered on
+ * (time, sequence); callbacks live in a recycled slot store addressed by
+ * generation-tagged EventIds, so memory is bounded by the peak number of
+ * outstanding events rather than the total ever scheduled. Cancellation is
+ * lazy (tombstones are skipped on pop) but a cancelled event's callback is
+ * released immediately and tombstones are compacted once they dominate the
+ * heap.
  */
 #ifndef SMARTINF_SIM_EVENT_QUEUE_H
 #define SMARTINF_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
 
 namespace smartinf::sim {
 
-/** Handle used to cancel a scheduled event. */
+/** Handle used to cancel a scheduled event (opaque: slot + generation). */
 using EventId = uint64_t;
 
-/**
- * A priority queue of (time, sequence, callback) events. Cancellation is
- * lazy: cancelled events stay queued but are skipped on pop.
- */
+/** A priority queue of (time, sequence, callback) events. */
 class EventQueue
 {
   public:
     /** Schedule @p fn at absolute time @p when. @return id for cancel(). */
     EventId schedule(Seconds when, std::function<void()> fn);
 
-    /** Cancel a previously scheduled event. Idempotent. */
+    /** Cancel a previously scheduled event. Idempotent; ids of events that
+     *  already ran (or whose slot was recycled) are safely ignored. */
     void cancel(EventId id);
 
     /** True when no live events remain. */
@@ -46,29 +51,43 @@ class EventQueue
      */
     bool runNext(Seconds &now);
 
+    /** Callback slots allocated (== peak outstanding events, not the total
+     *  ever scheduled) — memory-bound introspection for tests. */
+    std::size_t slotsAllocated() const { return slots_.size(); }
+
+    /** Heap entries currently stored, live plus tombstones. */
+    std::size_t heapSize() const { return heap_.size(); }
+
   private:
+    struct Slot {
+        std::function<void()> fn;
+        uint32_t gen = 0;       ///< bumped on release; stale ids miss
+        bool pending = false;   ///< has an entry in the heap
+        bool cancelled = false; ///< tombstoned, awaiting pop or compaction
+    };
     struct Entry {
         Seconds when;
-        EventId id;
-        std::function<void()> fn;
+        uint64_t seq;  ///< FIFO among simultaneous events
+        uint32_t slot;
+        uint32_t gen;
     };
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id; // FIFO among simultaneous events.
-        }
-    };
+    /** std::push_heap builds a max-heap; invert (when, seq) for min-first. */
+    static bool entryLater(const Entry &a, const Entry &b);
 
-    /** Drop cancelled entries from the front of the heap. */
+    uint32_t allocSlot();
+    /** Return a slot to the free list, bumping its generation. */
+    void releaseSlot(uint32_t slot);
+    /** Drop tombstoned entries from the front of the heap. */
     void skipCancelled();
+    /** Rebuild the heap without tombstones. */
+    void compact();
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::vector<bool> cancelled_;
-    EventId next_id_ = 0;
+    std::vector<Entry> heap_; ///< min-heap on (when, seq)
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> free_;
+    uint64_t next_seq_ = 0;
     std::size_t live_ = 0;
+    std::size_t tombstones_ = 0; ///< cancelled entries still in heap_
 };
 
 } // namespace smartinf::sim

@@ -1,45 +1,68 @@
 #include "sim/task_graph.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 
 namespace smartinf::sim {
 
+std::string
+TaskLabel::str() const
+{
+    std::string out = stem;
+    if (a >= 0) {
+        out += '.';
+        out += std::to_string(a);
+    }
+    if (b >= 0) {
+        out += '.';
+        out += std::to_string(b);
+    }
+    return out;
+}
+
 TaskGraph::TaskId
-TaskGraph::add(Action action, std::string label)
+TaskGraph::add(Action action, TaskLabel label)
 {
     SI_REQUIRE(!started_, "cannot add tasks after start()");
-    tasks_.push_back(Task{std::move(action), std::move(label), {}, 0,
+    tasks_.push_back(Task{std::move(action), label, {}, 0,
                           false, false, -1.0, -1.0});
     return tasks_.size() - 1;
 }
 
 TaskGraph::TaskId
-TaskGraph::barrier(std::string label)
+TaskGraph::barrier(TaskLabel label)
 {
-    return add(nullptr, std::move(label));
+    return add(nullptr, label);
 }
 
 TaskGraph::TaskId
-TaskGraph::compute(Resource &resource, double work, std::string label)
+TaskGraph::compute(Resource &resource, double work, TaskLabel label)
 {
     return add(
         [&resource, work](std::function<void()> done) {
             resource.submit(work, std::move(done));
         },
-        std::move(label));
+        label);
 }
 
 TaskGraph::TaskId
-TaskGraph::delay(Seconds duration, std::string label)
+TaskGraph::delay(Seconds duration, TaskLabel label)
 {
     SI_REQUIRE(duration >= 0.0, "negative delay");
     return add(
         [this, duration](std::function<void()> done) {
             sim_.after(duration, std::move(done));
         },
-        std::move(label));
+        label);
+}
+
+std::string
+TaskGraph::labelString(TaskId id) const
+{
+    SI_ASSERT(id < tasks_.size(), "bad task id");
+    return tasks_[id].label.str();
 }
 
 void

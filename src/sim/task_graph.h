@@ -18,6 +18,27 @@
 namespace smartinf::sim {
 
 /**
+ * Allocation-free task annotation: a static stem plus up to two numeric
+ * qualifiers ("bw.compute", block 7 — not a composed std::string). Engines
+ * create hundreds of thousands of tasks per sweep, so labels must not churn
+ * the heap on construction; str() materialises for debugging only.
+ */
+struct TaskLabel {
+    const char *stem = ""; ///< must point at static storage
+    int32_t a = -1;        ///< e.g. block / subgroup index; -1 = unset
+    int32_t b = -1;        ///< e.g. device / node index; -1 = unset
+
+    constexpr TaskLabel() = default;
+    constexpr TaskLabel(const char *stem, int32_t a = -1, int32_t b = -1)
+        : stem(stem), a(a), b(b)
+    {
+    }
+
+    /** "stem", "stem.7" or "stem.7.2" — debug rendering. */
+    std::string str() const;
+};
+
+/**
  * Executes tasks respecting dependencies. A task is any asynchronous action:
  * it receives a completion callback and must invoke it exactly once (possibly
  * immediately). Barriers are tasks with no action.
@@ -34,16 +55,16 @@ class TaskGraph
     explicit TaskGraph(Simulator &sim) : sim_(sim) {}
 
     /** Add a task with an arbitrary asynchronous action. */
-    TaskId add(Action action, std::string label = {});
+    TaskId add(Action action, TaskLabel label = {});
 
     /** Add a no-op barrier task (completes as soon as its deps do). */
-    TaskId barrier(std::string label = {});
+    TaskId barrier(TaskLabel label = {});
 
     /** Add a compute task running @p work units on @p resource. */
-    TaskId compute(Resource &resource, double work, std::string label = {});
+    TaskId compute(Resource &resource, double work, TaskLabel label = {});
 
     /** Add a fixed-delay task (models constant latencies). */
-    TaskId delay(Seconds duration, std::string label = {});
+    TaskId delay(Seconds duration, TaskLabel label = {});
 
     /** Declare that @p task starts only after @p dep completes. */
     void dependsOn(TaskId task, TaskId dep);
@@ -71,10 +92,13 @@ class TaskGraph
 
     std::size_t taskCount() const { return tasks_.size(); }
 
+    /** Materialised label of a task (debugging/tracing). */
+    std::string labelString(TaskId id) const;
+
   private:
     struct Task {
         Action action;
-        std::string label;
+        TaskLabel label;
         std::vector<TaskId> dependents;
         std::size_t pending_deps = 0;
         bool launched = false;

@@ -41,6 +41,9 @@ struct IterationResult {
     TrafficLedger traffic;
     /** Iteration wall-clock (== phases.total()). */
     Seconds iteration_time = 0.0;
+    /** Discrete events the simulator executed for this iteration — the
+     *  denominator of the perf harness's events/sec metric. */
+    uint64_t events_executed = 0;
 };
 
 /** Common interface of both engines. */

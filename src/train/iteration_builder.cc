@@ -11,7 +11,7 @@ namespace smartinf::train {
 using TaskId = sim::TaskGraph::TaskId;
 
 sim::TaskGraph::TaskId
-SimContext::transfer(net::Route route, Bytes bytes, const std::string &label)
+SimContext::transfer(net::Route route, Bytes bytes, sim::TaskLabel label)
 {
     const Seconds latency = system.calib.transfer_latency;
     return graph.add(
@@ -67,7 +67,7 @@ IterationBuilder::buildResources()
 TaskId
 IterationBuilder::internalTransfer(int d, Bytes bytes, BytesPerSec p2p_rate,
                                    BytesPerSec media_rate,
-                                   const std::string &label)
+                                   sim::TaskLabel label)
 {
     const Seconds duration = bytes / std::min(p2p_rate, media_rate);
     return ctx_.graph.compute(*dma_[d], duration, label);
@@ -168,24 +168,23 @@ IterationBuilder::buildForward()
 {
     const double tokens = train_.tokensPerIteration();
     const Flops fw_flops_per_block = 2.0 * paramsPerBlock() * tokens;
-    TaskId fw_done = ctx_.graph.barrier(pfx("fw.done"));
+    TaskId fw_done = ctx_.graph.barrier({"fw.done"});
 
     TaskId prev_compute = sim::TaskGraph::kInvalidTask;
     for (int b = 0; b < model_.num_layers; ++b) {
-        const std::string tag = pfx("fw.b" + std::to_string(b));
         // 1. Load the block's FP16 parameters from host memory.
         TaskId load = ctx_.transfer(gpuDown(), paramsPerBlock() * kBytesFp16,
-                                    tag + ".load");
+                                    {"fw.load", b});
         // 2. Forward compute on the GPU (blocks in order).
         TaskId compute = ctx_.graph.compute(*gpu_, fw_flops_per_block,
-                                            tag + ".compute");
+                                            {"fw.compute", b});
         ctx_.graph.dependsOn(compute, load);
         if (b > 0)
             ctx_.graph.dependsOn(compute, prev_compute);
-        tpAllReduce(compute, tag);
+        tpAllReduce(compute, {"fw.allreduce", b});
         // 3. Checkpoint activations to host memory.
         TaskId act = ctx_.transfer(gpuUp(), activationBytesPerBlock(),
-                                   tag + ".act");
+                                   {"fw.act", b});
         ctx_.graph.dependsOn(act, compute);
         ctx_.graph.dependsOn(fw_done, act);
         ctx_.graph.dependsOn(fw_done, compute);
@@ -196,7 +195,7 @@ IterationBuilder::buildForward()
 
 /** Tensor-parallel activation all-reduce (congested multi-GPU only). */
 void
-IterationBuilder::tpAllReduce(TaskId after_compute, const std::string &tag)
+IterationBuilder::tpAllReduce(TaskId after_compute, sim::TaskLabel label)
 {
     if (!system_.congested_topology || system_.num_gpus <= 1)
         return;
@@ -204,7 +203,7 @@ IterationBuilder::tpAllReduce(TaskId after_compute, const std::string &tag)
     TaskId ar = ctx_.transfer({link("tp.fabric")},
                               scale * activationBytesPerBlock() *
                                   system_.num_gpus,
-                              tag + ".allreduce");
+                              label);
     ctx_.graph.dependsOn(ar, after_compute);
     // The next block's compute is serialized through the GPU resource;
     // the all-reduce overlaps it but must finish inside the phase.
@@ -218,24 +217,23 @@ IterationBuilder::buildBackward(TaskId fw_done)
     const double tokens = train_.tokensPerIteration();
     const Flops bw_flops_per_block = 4.0 * paramsPerBlock() * tokens;
     const Bytes dense_grad = paramsPerBlock() * kBytesFp32;
-    TaskId bw_done = ctx_.graph.barrier(pfx("bw.done"));
+    TaskId bw_done = ctx_.graph.barrier({"bw.done"});
 
     TaskId prev_compute = sim::TaskGraph::kInvalidTask;
     for (int b = 0; b < model_.num_layers; ++b) {
-        const std::string tag = pfx("bw.b" + std::to_string(b));
         // 1. Reload parameters + checkpointed activations.
         TaskId load = ctx_.transfer(
             gpuDown(),
             paramsPerBlock() * kBytesFp16 + activationBytesPerBlock(),
-            tag + ".load");
+            {"bw.load", b});
         ctx_.graph.dependsOn(load, fw_done);
         // 2. Backward compute.
         TaskId compute = ctx_.graph.compute(*gpu_, bw_flops_per_block,
-                                            tag + ".compute");
+                                            {"bw.compute", b});
         ctx_.graph.dependsOn(compute, load);
         if (b > 0)
             ctx_.graph.dependsOn(compute, prev_compute);
-        tpAllReduce(compute, tag);
+        tpAllReduce(compute, {"bw.allreduce", b});
 
         // 3. Optional GPU-side Top-K compression (SmartComp).
         TaskId producer = compute;
@@ -243,17 +241,17 @@ IterationBuilder::buildBackward(TaskId fw_done)
             const Flops compress_work =
                 dense_grad / system_.calib.gpu_compress * gpu_->rate();
             TaskId comp = ctx_.graph.compute(*gpu_, compress_work,
-                                             tag + ".compress");
+                                             {"bw.compress", b});
             ctx_.graph.dependsOn(comp, compute);
             producer = comp;
         }
 
         // 4. Gradients to host memory, then offload to storage.
         TaskId to_host = ctx_.transfer(gpuUp(), gradWireBytesPerBlock(),
-                                       tag + ".tohost");
+                                       {"bw.tohost", b});
         ctx_.graph.dependsOn(to_host, producer);
         grad_to_host_[b] = to_host;
-        const auto [gate, offload] = buildGradOffload(b, tag);
+        const auto [gate, offload] = buildGradOffload(b);
         ctx_.graph.dependsOn(gate, to_host);
         grad_offload_gate_[b] = gate;
         grad_offload_[b] = offload;
@@ -270,7 +268,7 @@ IterationBuilder::buildBackward(TaskId fw_done)
  * parameter range (§IV-D).
  */
 std::pair<TaskId, TaskId>
-IterationBuilder::buildGradOffload(int block, const std::string &tag)
+IterationBuilder::buildGradOffload(int block)
 {
     const Bytes wire = gradWireBytesPerBlock();
     ctx_.traffic.shared_grad_write += wire;
@@ -278,13 +276,12 @@ IterationBuilder::buildGradOffload(int block, const std::string &tag)
         // The stripes hang off a gate barrier so they start only once the
         // block's gradients exist in host memory (plus whatever extra
         // dependencies a caller points at the gate).
-        TaskId gate = ctx_.graph.barrier(tag + ".offload.start");
-        TaskId joined = ctx_.graph.barrier(tag + ".offload");
+        TaskId gate = ctx_.graph.barrier({"bw.offload.start", block});
+        TaskId joined = ctx_.graph.barrier({"bw.offload", block});
         const Bytes per_dev = wire / system_.num_devices;
         for (int d = 0; d < system_.num_devices; ++d) {
             TaskId part = ctx_.transfer(ssdWriteRoute(d), per_dev,
-                                        tag + ".offload.d" +
-                                            std::to_string(d));
+                                        {"bw.offload", block, d});
             ctx_.graph.dependsOn(part, gate);
             ctx_.graph.dependsOn(joined, part);
         }
@@ -293,7 +290,8 @@ IterationBuilder::buildGradOffload(int block, const std::string &tag)
     // Flattened equal distribution: consecutive blocks land on
     // consecutive owner CSDs.
     const int owner = block % system_.num_devices;
-    TaskId t = ctx_.transfer(ssdWriteRoute(owner), wire, tag + ".offload");
+    TaskId t = ctx_.transfer(ssdWriteRoute(owner), wire,
+                             {"bw.offload", block});
     return {t, t};
 }
 
@@ -322,16 +320,15 @@ IterationBuilder::buildBaselineUpdate(TaskId ready)
     TaskId prev_read = sim::TaskGraph::kInvalidTask;
     TaskId prev_write = sim::TaskGraph::kInvalidTask;
     for (int b = 0; b < model_.num_layers; ++b) {
-        const std::string tag = pfx("upd.b" + std::to_string(b));
         // 1. Upload gradients + optimizer states from the RAID0. The
         // swapper streams blocks in order: block b's upload is issued
         // after block b-1's (sequential prefetch, overlapped with
         // compute and writeback through the full-duplex interconnect).
-        TaskId read = ctx_.graph.barrier(tag + ".read");
+        TaskId read = ctx_.graph.barrier({"upd.read", b});
         for (int d = 0; d < system_.num_devices; ++d) {
             TaskId part = ctx_.transfer(ssdReadRoute(d),
                                         read_bytes / system_.num_devices,
-                                        tag + ".read.d" + std::to_string(d));
+                                        {"upd.read", b, d});
             ctx_.graph.dependsOn(part, ready);
             if (b > 0)
                 ctx_.graph.dependsOn(part, prev_read);
@@ -341,18 +338,18 @@ IterationBuilder::buildBaselineUpdate(TaskId ready)
         ctx_.traffic.shared_opt_read += p_block * kBytesFp32 * (1.0 + aux);
 
         // 2./3. CPU (AVX) update of the block.
-        TaskId cpu = ctx_.graph.compute(*cpu_, read_bytes, tag + ".cpu");
+        TaskId cpu = ctx_.graph.compute(*cpu_, read_bytes, {"upd.cpu", b});
         ctx_.graph.dependsOn(cpu, read);
         if (b > 0)
             ctx_.graph.dependsOn(cpu, prev_cpu);
 
         // 5. Offload updated optimizer states back to the RAID0,
         // likewise streamed in block order.
-        TaskId write = ctx_.graph.barrier(tag + ".write");
+        TaskId write = ctx_.graph.barrier({"upd.write", b});
         for (int d = 0; d < system_.num_devices; ++d) {
             TaskId part = ctx_.transfer(ssdWriteRoute(d),
                                         write_bytes / system_.num_devices,
-                                        tag + ".write.d" + std::to_string(d));
+                                        {"upd.write", b, d});
             ctx_.graph.dependsOn(part, cpu);
             if (b > 0)
                 ctx_.graph.dependsOn(part, prev_write);
@@ -413,18 +410,18 @@ IterationBuilder::buildCsdChain(int d, TaskId ready, double params_per_csd,
         elems * kBytesFp32 * (2.0 + aux) / cal.fpga_updater;
     const Seconds decomp_secs = elems * kBytesFp32 / cal.fpga_decomp;
 
-    const std::string csd = pfx("csd" + std::to_string(d));
     TaskId prev_kernel = sim::TaskGraph::kInvalidTask;
     TaskId prev_write_all = sim::TaskGraph::kInvalidTask;
 
     for (int s = 0; s < num_subgroups; ++s) {
-        const std::string tag = csd + ".sg" + std::to_string(s);
+        // Labels carry (device, subgroup); the node prefix is a link/
+        // resource concept, not a label one.
 
         // 1. P2P load: (compressed) gradients + optimizer states, on
         // the CSD's single DMA queue.
         TaskId read = internalTransfer(d, grad_read + state_read,
                                        cal.p2p_read, cal.ssd_read,
-                                       tag + ".read");
+                                       {"csd.read", d, s});
         ctx_.graph.dependsOn(read, ready);
         ctx_.traffic.internal_read += grad_read + state_read;
 
@@ -446,12 +443,12 @@ IterationBuilder::buildCsdChain(int d, TaskId ready, double params_per_csd,
         TaskId kernel_dep = read;
         if (compressed()) {
             TaskId decomp = ctx_.graph.compute(*fpga_[d], decomp_secs,
-                                               tag + ".decomp");
+                                               {"csd.decomp", d, s});
             ctx_.graph.dependsOn(decomp, read);
             kernel_dep = decomp;
         }
         TaskId kernel = ctx_.graph.compute(*fpga_[d], update_secs,
-                                           tag + ".update");
+                                           {"csd.update", d, s});
         ctx_.graph.dependsOn(kernel, kernel_dep);
 
         // 3. Writeback. Optimized: urgent FP32 master first, lazy
@@ -459,17 +456,18 @@ IterationBuilder::buildCsdChain(int d, TaskId ready, double params_per_csd,
         TaskId write_params, write_all;
         if (optimized) {
             write_params = internalTransfer(d, param_write, cal.p2p_write,
-                                            cal.ssd_write, tag + ".wparam");
+                                            cal.ssd_write,
+                                            {"csd.wparam", d, s});
             ctx_.graph.dependsOn(write_params, kernel);
             TaskId write_states = internalTransfer(
                 d, state_write, cal.p2p_write, cal.ssd_write,
-                tag + ".wstate");
+                {"csd.wstate", d, s});
             ctx_.graph.dependsOn(write_states, write_params);
             write_all = write_states;
         } else {
             write_all = internalTransfer(d, param_write + state_write,
                                          cal.p2p_write, cal.ssd_write,
-                                         tag + ".wall");
+                                         {"csd.wall", d, s});
             ctx_.graph.dependsOn(write_all, kernel);
             write_params = write_all;
         }
@@ -478,7 +476,7 @@ IterationBuilder::buildCsdChain(int d, TaskId ready, double params_per_csd,
         // 4. Updated parameters upstream to host memory (overlappable
         // with the update of other subgroups — paper §IV-A).
         TaskId up = ctx_.transfer(ssdReadRoute(d), upstream,
-                                  tag + ".upstream");
+                                  {"csd.upstream", d, s});
         ctx_.graph.dependsOn(up, write_params);
         ctx_.traffic.shared_param_up += upstream;
 
@@ -510,6 +508,7 @@ runSingleNodeIteration(const ModelSpec &model, const TrainConfig &train,
     result.phases.update = t_end - t_bw;
     result.iteration_time = t_end;
     result.traffic = ctx.traffic;
+    result.events_executed = ctx.sim.eventsExecuted();
     return result;
 }
 

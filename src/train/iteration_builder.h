@@ -44,7 +44,7 @@ struct SimContext {
 
     /** Add a flow-transfer task. */
     sim::TaskGraph::TaskId transfer(net::Route route, Bytes bytes,
-                                    const std::string &label);
+                                    sim::TaskLabel label = {});
 };
 
 /**
@@ -95,7 +95,7 @@ class IterationBuilder
     net::Link *link(const std::string &name) { return &ctx_.topo.link(pfx(name)); }
 
     TaskId internalTransfer(int d, Bytes bytes, BytesPerSec p2p_rate,
-                            BytesPerSec media_rate, const std::string &label);
+                            BytesPerSec media_rate, sim::TaskLabel label);
     net::Route gpuDown();
     net::Route gpuUp();
     net::Route ssdWriteRoute(int d);
@@ -106,11 +106,10 @@ class IterationBuilder
     bool compressed() const;
     Bytes gradWireBytesPerBlock() const;
 
-    void tpAllReduce(TaskId after_compute, const std::string &tag);
+    void tpAllReduce(TaskId after_compute, sim::TaskLabel label);
     /** Returns {gate, completion} for one block's offload (see
      *  gradOffloadGateTask). */
-    std::pair<TaskId, TaskId> buildGradOffload(int block,
-                                               const std::string &tag);
+    std::pair<TaskId, TaskId> buildGradOffload(int block);
     void buildBaselineUpdate(TaskId ready);
     void buildSmartUpdate(TaskId ready);
     void buildCsdChain(int d, TaskId ready, double params_per_csd,

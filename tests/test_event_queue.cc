@@ -82,6 +82,74 @@ TEST(EventQueue, EventsScheduledDuringRun)
     EXPECT_DOUBLE_EQ(now, 2.0);
 }
 
+TEST(EventQueue, CancelledIdOfRecycledSlotIsIgnored)
+{
+    // After an event runs, its slot is recycled for new events; cancelling
+    // the stale id must not kill the slot's new occupant.
+    EventQueue q;
+    int fired = 0;
+    const EventId stale = q.schedule(1.0, [&]() { ++fired; });
+    Seconds now = 0.0;
+    ASSERT_TRUE(q.runNext(now));
+    const EventId fresh = q.schedule(2.0, [&]() { fired += 10; });
+    q.cancel(stale); // Refers to an event that already ran.
+    EXPECT_EQ(q.size(), 1u);
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(fired, 11);
+    (void)fresh;
+}
+
+TEST(EventQueue, ChurnKeepsStorageBounded)
+{
+    // One cancel+reschedule pair per "event" for 50k rounds — the flow
+    // network's completion-event pattern. Slot storage must track the peak
+    // number of outstanding events (a handful), not the total ever
+    // scheduled, and tombstone compaction must keep the heap flat.
+    EventQueue q;
+    Seconds now = 0.0;
+    int fired = 0;
+    EventId pending = q.schedule(1.0, [&]() { ++fired; });
+    for (int i = 1; i <= 50000; ++i) {
+        q.cancel(pending);
+        pending = q.schedule(static_cast<Seconds>(i), [&]() { ++fired; });
+        EXPECT_EQ(q.size(), 1u);
+    }
+    // Slots stabilise at the compaction threshold (~65), not at 50k.
+    EXPECT_LE(q.slotsAllocated(), 80u);
+    EXPECT_LE(q.heapSize(), 256u);
+    while (q.runNext(now)) {
+    }
+    EXPECT_EQ(fired, 1); // Only the last survivor runs.
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedCancelRescheduleMatchesReferenceOrder)
+{
+    // Heavy churn with tombstone compaction in the middle must not perturb
+    // time order or FIFO tie-breaks of the survivors.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 300; ++i) {
+        // Times collide in bands of three to exercise the FIFO tie-break.
+        ids.push_back(
+            q.schedule(static_cast<Seconds>(i / 3), [&order, i]() {
+                order.push_back(i);
+            }));
+    }
+    for (int i = 0; i < 300; ++i)
+        if (i % 3 != 1)
+            q.cancel(ids[i]);
+    EXPECT_EQ(q.size(), 100u);
+    Seconds now = 0.0;
+    while (q.runNext(now)) {
+    }
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t k = 0; k < order.size(); ++k)
+        EXPECT_EQ(order[k], static_cast<int>(3 * k + 1));
+}
+
 TEST(Simulator, AfterSchedulesRelative)
 {
     Simulator sim;

@@ -111,6 +111,25 @@ TEST(FlowNetwork, LatencyDelaysBulkPhase)
     EXPECT_NEAR(done_at, 3.0, 1e-6);
 }
 
+TEST(FlowNetwork, LatencyFlowKeepsItsIdThroughTheDelay)
+{
+    // Regression: the id returned for a latency-delayed flow used to refer
+    // to a flow that never materialized (the post-delay registration
+    // allocated a fresh id), so currentRate(id) stayed 0 forever.
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+    const FlowId id = net.startFlow({&link}, 400.0, nullptr, 2.0);
+
+    EXPECT_DOUBLE_EQ(net.currentRate(id), 0.0); // Still in the delay phase.
+    sim.runUntil([&]() { return sim.now() >= 2.0; });
+    EXPECT_DOUBLE_EQ(net.currentRate(id), 100.0); // Bulk phase, full link.
+    EXPECT_EQ(net.activeFlows(), 1u);
+    sim.run();
+    EXPECT_DOUBLE_EQ(net.currentRate(id), 0.0); // Completed.
+}
+
 TEST(FlowNetwork, CallbackCanStartNewFlow)
 {
     sim::Simulator sim;
