@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "exp/scenario.h"
+#include "serve/inference_workload.h"
 #include "train/engine.h"
 
 namespace smartinf::bench {
@@ -87,6 +88,39 @@ engineCase(const std::string &name, int nodes)
     return sample;
 }
 
+/** Time one direct serving run (the dynamic-task-graph hot path). */
+PerfSample
+serveCase(const std::string &name, int num_requests)
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOptComp;
+    system.num_devices = 6;
+
+    serve::ServeConfig config;
+    config.scheduler = serve::SchedulerPolicy::Continuous;
+    config.num_requests = num_requests;
+    config.arrival_rate = 0.25;
+    config.prompt_tokens = 256;
+    config.output_tokens = 16;
+    config.max_batch = 8;
+
+    PerfSample sample;
+    sample.name = name;
+    const auto start = Clock::now();
+    auto engine = train::makeEngine(model, {}, system);
+    serve::InferenceWorkload workload(model, config);
+    const train::WorkloadResult result = engine->run(workload);
+    sample.wall_s = secondsSince(start);
+    sample.events = result.events_executed;
+    sample.sim_seconds = result.iteration_time;
+    sample.engine_runs = 1;
+    sample.events_per_sec =
+        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
+    sample.peak_rss_kb = peakRssKb();
+    return sample;
+}
+
 } // namespace
 
 std::vector<PerfSample>
@@ -100,6 +134,7 @@ runPerfCases()
     samples.push_back(scenarioCase("ablation_compression"));
     samples.push_back(engineCase("scaleout_n4", 4));
     samples.push_back(engineCase("scaleout_n16", 16));
+    samples.push_back(serveCase("serve_smart_16req", 16));
     return samples;
 }
 

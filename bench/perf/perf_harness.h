@@ -34,7 +34,8 @@ struct PerfSample {
 /**
  * Execute the tracked cases (fig09, fig11, ablation_compression via the
  * scenario registry with caching disabled; scaleout engines at 4 and 16
- * nodes directly). registerBuiltinScenarios() must have run.
+ * nodes and the serve_smart_16req serving workload directly).
+ * registerBuiltinScenarios() must have run.
  */
 std::vector<PerfSample> runPerfCases();
 

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared inverse-lookup helper for enum name round-trips: every enum with
+ * a name() and allValues() pair (Strategy, WorkloadKind, SchedulerPolicy,
+ * ...) implements fromName() as one call here, so the case-insensitive
+ * matching and unknown-name behavior cannot drift between them.
+ */
+#ifndef SMARTINF_COMMON_ENUM_NAMES_H
+#define SMARTINF_COMMON_ENUM_NAMES_H
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smartinf {
+
+/**
+ * The value in @p all whose @p nameFn rendering equals @p name
+ * case-insensitively; nullopt when none does.
+ */
+template <typename E, typename NameFn>
+std::optional<E>
+enumFromName(const std::vector<E> &all, NameFn nameFn,
+             const std::string &name)
+{
+    auto lowered = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        return s;
+    };
+    const std::string wanted = lowered(name);
+    for (const E value : all)
+        if (wanted == lowered(nameFn(value)))
+            return value;
+    return std::nullopt;
+}
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_ENUM_NAMES_H

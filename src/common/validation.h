@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared helper for config validate() implementations: collect one
+ * actionable "what, got value" message per violated precondition.
+ */
+#ifndef SMARTINF_COMMON_VALIDATION_H
+#define SMARTINF_COMMON_VALIDATION_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace smartinf {
+
+/** Append "@p what, got @p got" to @p errors unless @p ok. */
+template <typename T>
+void
+requireField(std::vector<std::string> &errors, bool ok, const char *what,
+             const T &got)
+{
+    if (ok)
+        return;
+    std::ostringstream oss;
+    oss << what << ", got " << got;
+    errors.push_back(oss.str());
+}
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_VALIDATION_H

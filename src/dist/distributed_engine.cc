@@ -1,19 +1,8 @@
 #include "dist/distributed_engine.h"
 
-#include <algorithm>
-#include <vector>
-
-#include "common/logging.h"
-#include "dist/collective.h"
-#include "train/iteration_builder.h"
-#include "train/system_builder.h"
+#include "train/training_workload.h"
 
 namespace smartinf::dist {
-
-using sim::TaskGraph;
-using TaskId = TaskGraph::TaskId;
-using train::IterationBuilder;
-using train::SimContext;
 
 DistributedEngine::DistributedEngine(const train::ModelSpec &model,
                                      const train::TrainConfig &train,
@@ -31,93 +20,9 @@ DistributedEngine::clusterTokensPerIteration() const
 train::IterationResult
 DistributedEngine::runIteration()
 {
-    const int nodes = system_.num_nodes;
-    SimContext ctx(system_);
-    train::buildNicLinks(ctx.topo, system_);
-
-    // Every server runs the same single-node iteration, namespaced into the
-    // shared topology/graph so all flows contend in one fluid-flow model.
-    std::vector<std::unique_ptr<IterationBuilder>> builders;
-    builders.reserve(nodes);
-    for (int i = 0; i < nodes; ++i)
-        builders.push_back(std::make_unique<IterationBuilder>(
-            model_, train_, system_, ctx, train::nodePrefix(i)));
-
-    std::vector<TaskId> fw(nodes), bw(nodes);
-    for (int i = 0; i < nodes; ++i)
-        fw[i] = builders[i]->buildForward();
-    for (int i = 0; i < nodes; ++i)
-        bw[i] = builders[i]->buildBackward(fw[i]);
-
-    // Gradient sync: ring all-reduce of the dense FP32 gradients. (SmartComp
-    // compresses the host->CSD wire only; inter-node reduction stays dense
-    // so the data-parallel math matches the single-node run bit for bit.)
-    last_sync_tx_per_node_ = 0.0;
-    TaskId sync_done = TaskGraph::kInvalidTask;
-    if (nodes > 1) {
-        if (system_.overlap_grad_sync) {
-            // One bucket per transformer block, gated on every node having
-            // that block's gradients in host memory; the block's storage
-            // offload then waits for its reduced bucket. Early blocks sync
-            // while later blocks are still in backward compute.
-            const Bytes bucket =
-                model_.num_params / model_.num_layers * kBytesFp32;
-            for (int b = 0; b < model_.num_layers; ++b) {
-                std::vector<TaskId> deps(nodes);
-                for (int i = 0; i < nodes; ++i)
-                    deps[i] = builders[i]->gradToHostTask(b);
-                const CollectiveSchedule cs = scheduleRingCollective(
-                    ctx, CollectiveKind::AllReduce, nodes, bucket, deps,
-                    {"sync.done", b});
-                for (int i = 0; i < nodes; ++i)
-                    ctx.graph.dependsOn(builders[i]->gradOffloadGateTask(b),
-                                        cs.done);
-                last_sync_tx_per_node_ += cs.tx_bytes_per_node;
-            }
-        } else {
-            // Ablation: one monolithic all-reduce strictly after backward.
-            std::vector<TaskId> deps(bw);
-            const CollectiveSchedule cs = scheduleRingCollective(
-                ctx, CollectiveKind::AllReduce, nodes,
-                model_.gradientBytes(), deps, {"sync.all"});
-            sync_done = cs.done;
-            last_sync_tx_per_node_ = cs.tx_bytes_per_node;
-        }
-    }
-
-    // Each node updates its full optimizer-state replica near storage,
-    // gated on its own backward (whose offloads already waited for the
-    // bucketed sync) plus, in the monolithic case, the global sync.
-    for (int i = 0; i < nodes; ++i) {
-        TaskId ready = bw[i];
-        if (sync_done != TaskGraph::kInvalidTask) {
-            ready = ctx.graph.barrier({"upd.ready", i});
-            ctx.graph.dependsOn(ready, bw[i]);
-            ctx.graph.dependsOn(ready, sync_done);
-        }
-        builders[i]->buildUpdate(ready);
-    }
-
-    ctx.graph.start();
-    ctx.sim.run();
-    SI_ASSERT(ctx.graph.done(), "distributed iteration graph did not drain");
-
-    // Nodes are symmetric but not lock-stepped; report the slowest node's
-    // phase boundaries (the cluster advances at the straggler's pace).
-    Seconds t_fw = 0.0, t_bw = 0.0;
-    for (int i = 0; i < nodes; ++i) {
-        t_fw = std::max(t_fw, ctx.graph.finishTime(fw[i]));
-        t_bw = std::max(t_bw, ctx.graph.finishTime(bw[i]));
-    }
-    const Seconds t_end = ctx.graph.makespan();
-
-    train::IterationResult result;
-    result.phases.forward = t_fw;
-    result.phases.backward = t_bw - t_fw;
-    result.phases.update = t_end - t_bw;
-    result.iteration_time = t_end;
-    result.traffic = ctx.traffic;
-    result.events_executed = ctx.sim.eventsExecuted();
+    train::TrainingWorkload workload(model_, train_);
+    train::IterationResult result = run(workload);
+    last_sync_tx_per_node_ = workload.syncTxBytesPerNode();
     return result;
 }
 

@@ -1,16 +1,14 @@
 /**
  * @file
- * The multi-node data-parallel training engine (performance layer). Each of
- * the cluster's identical servers runs the single-node Smart-Infinity (or
- * baseline) iteration via its own train::IterationBuilder, all inside ONE
- * SimContext; between backward and update the engine stitches in a ring
- * all-reduce of the dense FP32 gradients over the NIC fabric. With
- * overlap_grad_sync the all-reduce is bucketed per transformer block and
- * each bucket launches as soon as every node produced that block's
- * gradients, so gradient sync hides behind the remaining backward compute —
- * and because NIC hops share the nodes' host interconnect links with
- * storage offload flows, the cost of that contention falls out of the
- * max-min flow model instead of being hand-estimated.
+ * The multi-node data-parallel engine (performance layer). The cluster's
+ * identical servers all build into ONE SimContext, so NIC hops share the
+ * nodes' host interconnect links with storage offload flows and the cost
+ * of that contention falls out of the max-min flow model instead of being
+ * hand-estimated. The multi-node dataflow itself lives in the workloads
+ * (train::TrainingWorkload stitches the bucketed ring all-reduce gradient
+ * sync; serve::InferenceWorkload shards the request stream over replica
+ * schedulers) — this engine runs any Workload at num_nodes > 1 through the
+ * shared Engine::run() entry point and adds the cluster-level accessors.
  */
 #ifndef SMARTINF_DIST_DISTRIBUTED_ENGINE_H
 #define SMARTINF_DIST_DISTRIBUTED_ENGINE_H
@@ -30,6 +28,7 @@ class DistributedEngine final : public train::Engine
                       const train::TrainConfig &train,
                       const train::SystemConfig &system);
 
+    /** run(TrainingWorkload), also harvesting the per-node sync bytes. */
     train::IterationResult runIteration() override;
     std::string name() const override;
 

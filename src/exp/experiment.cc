@@ -1,5 +1,6 @@
 #include "exp/experiment.h"
 
+#include <iterator>
 #include <utility>
 
 #include "common/logging.h"
@@ -26,6 +27,21 @@ ExperimentBuilder &
 ExperimentBuilder::trains(std::vector<train::TrainConfig> tcs)
 {
     trains_ = std::move(tcs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::workload(train::WorkloadKind kind)
+{
+    workload_ = kind;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::serving(const serve::ServeConfig &config)
+{
+    workload_ = train::WorkloadKind::Serving;
+    serve_base_ = config;
     return *this;
 }
 
@@ -145,6 +161,34 @@ ExperimentBuilder::calibrations(std::vector<train::Calibration> cs)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::schedulers(std::vector<serve::SchedulerPolicy> ps)
+{
+    schedulers_ = std::move(ps);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::arrivalRates(std::vector<double> rs)
+{
+    arrival_rates_ = std::move(rs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::maxBatches(std::vector<int> bs)
+{
+    max_batches_ = std::move(bs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::weightWireFractions(std::vector<double> fs)
+{
+    weight_fractions_ = std::move(fs);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::congested(bool on)
 {
     congested_ = on;
@@ -171,7 +215,9 @@ ExperimentBuilder::size() const
     return models_.size() * axisSize(trains_) * axisSize(strategies_) *
            axisSize(devices_) * axisSize(gpus_) * axisSize(num_gpus_) *
            axisSize(optimizers_) * axisSize(comp_fractions_) *
-           axisSize(nodes_) * axisSize(overlap_) * axisSize(calibs_);
+           axisSize(nodes_) * axisSize(overlap_) * axisSize(calibs_) *
+           axisSize(schedulers_) * axisSize(arrival_rates_) *
+           axisSize(max_batches_) * axisSize(weight_fractions_);
 }
 
 std::vector<RunSpec>
@@ -179,6 +225,13 @@ ExperimentBuilder::build() const
 {
     SI_REQUIRE(!models_.empty(),
                "ExperimentBuilder needs at least one model");
+    // Serving axes on a training sweep would expand duplicate specs (the
+    // hash normalizes serving knobs out of training runs) — refuse early.
+    SI_REQUIRE(workload_ == train::WorkloadKind::Serving ||
+                   (schedulers_.empty() && arrival_rates_.empty() &&
+                    max_batches_.empty() && weight_fractions_.empty()),
+               "serving axes set on a training sweep; call serving() (or "
+               "workload(WorkloadKind::Serving)) first");
 
     const std::vector<train::TrainConfig> trains =
         trains_.empty() ? std::vector<train::TrainConfig>{{}} : trains_;
@@ -207,15 +260,32 @@ ExperimentBuilder::build() const
     const std::vector<train::Calibration> calibs =
         calibs_.empty() ? std::vector<train::Calibration>{base_.calib}
                         : calibs_;
+    const std::vector<serve::SchedulerPolicy> schedulers =
+        schedulers_.empty()
+            ? std::vector<serve::SchedulerPolicy>{serve_base_.scheduler}
+            : schedulers_;
+    const std::vector<double> rates =
+        arrival_rates_.empty()
+            ? std::vector<double>{serve_base_.arrival_rate}
+            : arrival_rates_;
+    const std::vector<int> batches =
+        max_batches_.empty() ? std::vector<int>{serve_base_.max_batch}
+                             : max_batches_;
+    const std::vector<double> weight_fractions =
+        weight_fractions_.empty()
+            ? std::vector<double>{serve_base_.weight_wire_fraction}
+            : weight_fractions_;
 
     // Odometer expansion: decompose the flat index with the last axis
     // fastest, which fixes the deterministic nesting order documented in
     // the header.
     const std::size_t sizes[] = {
-        models_.size(),    trains.size(), strategies.size(),
-        devices.size(),    gpus.size(),   num_gpus.size(),
+        models_.size(),    trains.size(),    strategies.size(),
+        devices.size(),    gpus.size(),      num_gpus.size(),
         optimizers.size(), fractions.size(), nodes.size(),
-        overlaps.size(),   calibs.size()};
+        overlaps.size(),   calibs.size(),    schedulers.size(),
+        rates.size(),      batches.size(),   weight_fractions.size()};
+    constexpr int kAxes = static_cast<int>(std::size(sizes));
     std::size_t total = 1;
     for (const std::size_t s : sizes)
         total *= s;
@@ -223,15 +293,17 @@ ExperimentBuilder::build() const
     std::vector<RunSpec> specs;
     specs.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
-        std::size_t idx[11];
+        std::size_t idx[kAxes];
         std::size_t rest = i;
-        for (int a = 10; a >= 0; --a) {
+        for (int a = kAxes - 1; a >= 0; --a) {
             idx[a] = rest % sizes[a];
             rest /= sizes[a];
         }
         RunSpec spec;
+        spec.workload = workload_;
         spec.model = models_[idx[0]];
         spec.train = trains[idx[1]];
+        spec.serve = serve_base_;
         spec.system = base_;
         if (congested_.has_value())
             spec.system.congested_topology = *congested_;
@@ -244,6 +316,10 @@ ExperimentBuilder::build() const
         spec.system.num_nodes = nodes[idx[8]];
         spec.system.overlap_grad_sync = overlaps[idx[9]];
         spec.system.calib = calibs[idx[10]];
+        spec.serve.scheduler = schedulers[idx[11]];
+        spec.serve.arrival_rate = rates[idx[12]];
+        spec.serve.max_batch = batches[idx[13]];
+        spec.serve.weight_wire_fraction = weight_fractions[idx[14]];
         spec.label = spec.describe();
         specs.push_back(std::move(spec));
     }

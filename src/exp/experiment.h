@@ -36,6 +36,16 @@ class ExperimentBuilder
     ExperimentBuilder &train(const train::TrainConfig &tc);
     ExperimentBuilder &trains(std::vector<train::TrainConfig> tcs);
 
+    /** Select the workload kind every generated spec runs (default:
+     *  Training). serving() below is the usual way to set Serving. */
+    ExperimentBuilder &workload(train::WorkloadKind kind);
+    /**
+     * Declare a serving sweep: every spec runs @p config's request stream
+     * (workload = Serving). The serving axes below override their own
+     * field of this base config.
+     */
+    ExperimentBuilder &serving(const serve::ServeConfig &config);
+
     /** @name Sweep axes (each replaces the axis' current value list). @{ */
     ExperimentBuilder &model(const train::ModelSpec &m);
     ExperimentBuilder &models(std::vector<train::ModelSpec> ms);
@@ -54,6 +64,12 @@ class ExperimentBuilder
     ExperimentBuilder &compressionFractions(std::vector<double> fs);
     ExperimentBuilder &overlapGradSync(std::vector<bool> vs);
     ExperimentBuilder &calibrations(std::vector<train::Calibration> cs);
+    /** @name Serving axes (sweep fields of the serving() base config). @{ */
+    ExperimentBuilder &schedulers(std::vector<serve::SchedulerPolicy> ps);
+    ExperimentBuilder &arrivalRates(std::vector<double> rs);
+    ExperimentBuilder &maxBatches(std::vector<int> bs);
+    ExperimentBuilder &weightWireFractions(std::vector<double> fs);
+    /** @} */
     /** @} */
 
     /** Single-value override of base().congested_topology; like the axes,
@@ -68,12 +84,15 @@ class ExperimentBuilder
      * Expand the cross product. Deterministic nesting order (outermost to
      * innermost): models, trains, strategies, devices, gpus, numGpus,
      * optimizers, compressionFractions, nodes, overlapGradSync,
-     * calibrations. Labels default to RunSpec::describe().
+     * calibrations, schedulers, arrivalRates, maxBatches,
+     * weightWireFractions. Labels default to RunSpec::describe().
      */
     std::vector<RunSpec> build() const;
 
   private:
     train::SystemConfig base_;
+    train::WorkloadKind workload_ = train::WorkloadKind::Training;
+    serve::ServeConfig serve_base_;
     std::vector<train::TrainConfig> trains_;
     std::vector<train::ModelSpec> models_;
     std::vector<train::Strategy> strategies_;
@@ -85,6 +104,10 @@ class ExperimentBuilder
     std::vector<double> comp_fractions_;
     std::vector<bool> overlap_;
     std::vector<train::Calibration> calibs_;
+    std::vector<serve::SchedulerPolicy> schedulers_;
+    std::vector<double> arrival_rates_;
+    std::vector<int> max_batches_;
+    std::vector<double> weight_fractions_;
     std::optional<bool> congested_;
 };
 

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "serve/metrics.h"
+
 namespace smartinf::exp {
 
 std::string
@@ -69,11 +71,32 @@ writeCalibrationJson(std::ostream &os, const train::Calibration &c)
 }
 
 void
+writeServeConfigJson(std::ostream &os, const serve::ServeConfig &c)
+{
+    os << "{\"scheduler\":\"" << serve::schedulerPolicyName(c.scheduler)
+       << "\",\"num_requests\":" << c.streamSize()
+       << ",\"arrival_rate\":" << jsonNumber(c.arrival_rate)
+       << ",\"seed\":" << c.seed
+       << ",\"prompt_tokens\":" << c.prompt_tokens
+       << ",\"output_tokens\":" << c.output_tokens
+       << ",\"max_batch\":" << c.max_batch
+       << ",\"weight_wire_fraction\":" << jsonNumber(c.weight_wire_fraction)
+       << ",\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
+       << "}";
+}
+
+void
 writeSpecJson(std::ostream &os, const RunSpec &spec)
 {
     const auto &sys = spec.system;
     os << "{\"label\":\"" << jsonEscape(spec.label) << "\""
-       << ",\"model\":{\"name\":\"" << jsonEscape(spec.model.name) << "\""
+       << ",\"workload\":\"" << train::workloadKindName(spec.workload)
+       << "\"";
+    if (spec.workload == train::WorkloadKind::Serving) {
+        os << ",\"serve\":";
+        writeServeConfigJson(os, spec.serve);
+    }
+    os << ",\"model\":{\"name\":\"" << jsonEscape(spec.model.name) << "\""
        << ",\"family\":\"" << train::familyName(spec.model.family) << "\""
        << ",\"num_params\":" << jsonNumber(spec.model.num_params)
        << ",\"num_layers\":" << spec.model.num_layers
@@ -128,6 +151,37 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
        << ",\"tokens_per_s\":" << jsonNumber(record.tokensPerSecond())
        << ",\"traffic\":";
     writeTrafficJson(os, record.result.traffic);
+    if (record.result.kind == train::WorkloadKind::Serving) {
+        const serve::ServingMetrics m = serve::summarize(record.result);
+        os << ",\"serving\":{\"num_requests\":" << m.num_requests
+           << ",\"latency_p50_s\":" << jsonNumber(m.latency.p50)
+           << ",\"latency_p95_s\":" << jsonNumber(m.latency.p95)
+           << ",\"latency_p99_s\":" << jsonNumber(m.latency.p99)
+           << ",\"latency_mean_s\":" << jsonNumber(m.latency.mean)
+           << ",\"ttft_p50_s\":" << jsonNumber(m.ttft.p50)
+           << ",\"ttft_p99_s\":" << jsonNumber(m.ttft.p99)
+           << ",\"queue_delay_p99_s\":" << jsonNumber(m.queue_delay.p99)
+           << ",\"requests_per_s\":" << jsonNumber(m.requests_per_sec)
+           << ",\"output_tokens_per_s\":"
+           << jsonNumber(m.output_tokens_per_sec)
+           << ",\"mean_queue_depth\":" << jsonNumber(m.mean_queue_depth)
+           << ",\"peak_queue_depth\":" << m.peak_queue_depth
+           << ",\"requests\":[";
+        const auto &reqs = record.result.requests;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            const auto &r = reqs[i];
+            if (i)
+                os << ",";
+            os << "{\"id\":" << r.id << ",\"node\":" << r.node
+               << ",\"arrival_s\":" << jsonNumber(r.arrival)
+               << ",\"start_s\":" << jsonNumber(r.start)
+               << ",\"first_token_s\":" << jsonNumber(r.first_token)
+               << ",\"finish_s\":" << jsonNumber(r.finish)
+               << ",\"prompt_tokens\":" << r.prompt_tokens
+               << ",\"output_tokens\":" << r.output_tokens << "}";
+        }
+        os << "]}";
+    }
     os << "}}";
 }
 
@@ -171,11 +225,13 @@ writeTableJson(std::ostream &os, const Table &table)
 void
 writeRecordsCsv(std::ostream &os, const std::vector<RunRecord> &records)
 {
-    os << "label,model,strategy,num_devices,gpu,num_gpus,optimizer,"
+    os << "label,workload,model,strategy,num_devices,gpu,num_gpus,optimizer,"
           "compression_wire_fraction,num_nodes,overlap_grad_sync,"
           "congested_topology,fpga_dram_usable,spec_hash,forward_s,"
           "backward_s,update_s,iteration_s,tokens_per_s,"
-          "shared_total_bytes,internode_bytes\n";
+          "shared_total_bytes,internode_bytes,scheduler,arrival_rate,"
+          "max_batch,num_requests,latency_p50_s,latency_p95_s,"
+          "latency_p99_s,requests_per_s\n";
     // Keep the CSV single-schema with no quoting: every free-form string
     // field gets its separators replaced.
     auto sanitize = [](std::string s) {
@@ -187,6 +243,7 @@ writeRecordsCsv(std::ostream &os, const std::vector<RunRecord> &records)
     for (const auto &rec : records) {
         const auto &sys = rec.spec.system;
         os << sanitize(rec.spec.label) << ","
+           << train::workloadKindName(rec.spec.workload) << ","
            << sanitize(rec.spec.model.name) << ","
            << train::strategyName(sys.strategy) << "," << sys.num_devices
            << "," << train::gpuName(sys.gpu) << "," << sys.num_gpus << ","
@@ -202,7 +259,19 @@ writeRecordsCsv(std::ostream &os, const std::vector<RunRecord> &records)
            << jsonNumber(rec.result.iteration_time) << ","
            << jsonNumber(rec.tokensPerSecond()) << ","
            << jsonNumber(rec.result.traffic.sharedTotal()) << ","
-           << jsonNumber(rec.result.traffic.internodeTotal()) << "\n";
+           << jsonNumber(rec.result.traffic.internodeTotal());
+        if (rec.result.kind == train::WorkloadKind::Serving) {
+            const serve::ServingMetrics m = serve::summarize(rec.result);
+            os << "," << serve::schedulerPolicyName(rec.spec.serve.scheduler)
+               << "," << jsonNumber(rec.spec.serve.arrival_rate) << ","
+               << rec.spec.serve.max_batch << "," << m.num_requests << ","
+               << jsonNumber(m.latency.p50) << ","
+               << jsonNumber(m.latency.p95) << ","
+               << jsonNumber(m.latency.p99) << ","
+               << jsonNumber(m.requests_per_sec) << "\n";
+        } else {
+            os << ",,,,,,,,\n";
+        }
     }
 }
 

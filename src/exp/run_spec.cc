@@ -100,17 +100,46 @@ hashAppend(HashStream &hs, const train::TrainConfig &t)
 }
 
 void
-hashAppend(HashStream &hs, const train::SystemConfig &s)
+hashAppend(HashStream &hs, const serve::ServeConfig &c,
+           train::Strategy strategy)
 {
+    hs << c.scheduler << c.prompt_tokens << c.output_tokens << c.max_batch;
+    // Semantic normalization, mirroring compression_wire_fraction: the
+    // stored-weight quantization ratio only shapes SU+O+C runs.
+    if (strategy == train::Strategy::SmartUpdateOptComp)
+        hs << c.weight_wire_fraction;
+    if (c.trace.empty()) {
+        hs << c.num_requests << c.arrival_rate
+           << static_cast<std::int64_t>(c.seed);
+    } else {
+        // A trace fully determines the arrivals; the open-loop knobs are
+        // ignored by generation and stay out of the hash.
+        hs << static_cast<std::int64_t>(c.trace.size());
+        for (const double arrival : c.trace)
+            hs << arrival;
+    }
+}
+
+void
+hashAppend(HashStream &hs, const train::SystemConfig &s,
+           train::WorkloadKind workload)
+{
+    const bool training = workload == train::WorkloadKind::Training;
     hs << s.strategy << s.num_devices << s.gpu << s.num_gpus
-       << s.congested_topology << s.optimizer;
+       << s.congested_topology;
     // Semantic normalization: fields that cannot affect the result in the
     // current regime stay out of the hash, so e.g. the BASE reference at
-    // two compression ratios is one cache entry, not two.
-    if (s.strategy == train::Strategy::SmartUpdateOptComp)
-        hs << s.compression_wire_fraction;
+    // two compression ratios is one cache entry, not two. Serving skips
+    // the training-only knobs: the optimizer, the gradient compression
+    // ratio (serving keys on serve.weight_wire_fraction instead), and the
+    // gradient-sync NIC/overlap shape (replicas exchange no traffic).
+    if (training) {
+        hs << s.optimizer;
+        if (s.strategy == train::Strategy::SmartUpdateOptComp)
+            hs << s.compression_wire_fraction;
+    }
     hs << s.num_nodes;
-    if (s.num_nodes > 1)
+    if (training && s.num_nodes > 1)
         hs << s.nic_bandwidth << s.nic_latency << s.overlap_grad_sync;
     hashAppend(hs, s.calib);
 }
@@ -122,8 +151,15 @@ RunSpec::hash() const
 {
     HashStream hs;
     hashAppend(hs, model);
-    hashAppend(hs, train);
-    hashAppend(hs, system);
+    hs << workload;
+    // Semantic normalization across workload kinds: only the config the
+    // workload actually consumes is hashed, so e.g. a serving spec at two
+    // training batch sizes is one cache entry.
+    if (workload == train::WorkloadKind::Training)
+        hashAppend(hs, train);
+    else
+        hashAppend(hs, serve, system.strategy);
+    hashAppend(hs, system, workload);
     return hs.value();
 }
 
@@ -165,6 +201,14 @@ RunSpec::describe() const
     if (system.calib.fpga_dram_usable !=
         train::Calibration::defaults().fpga_dram_usable)
         oss << "/dram" << system.calib.fpga_dram_usable;
+    if (workload == train::WorkloadKind::Serving) {
+        oss << "/serve-" << serve::schedulerPolicyName(serve.scheduler)
+            << "/b" << serve.max_batch << "/q" << serve.streamSize();
+        if (serve.trace.empty())
+            oss << "/r" << serve.arrival_rate;
+        else
+            oss << "/trace";
+    }
     return oss.str();
 }
 
@@ -173,6 +217,8 @@ RunRecord::tokensPerSecond() const
 {
     if (result.iteration_time <= 0.0)
         return 0.0;
+    if (result.kind == train::WorkloadKind::Serving)
+        return result.totalOutputTokens() / result.iteration_time;
     return spec.train.tokensPerIteration() * spec.system.num_nodes /
            result.iteration_time;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/serve_config.h"
 #include "train/engine.h"
 
 namespace smartinf::exp {
@@ -24,8 +25,14 @@ std::string hashHex(std::uint64_t hash);
 struct RunSpec {
     /** Display label; not part of the hash (it cannot affect the result). */
     std::string label;
+    /** What runs on the engine: a training iteration or a served request
+     *  stream. Selects which of train/serve below is consumed. */
+    train::WorkloadKind workload = train::WorkloadKind::Training;
     train::ModelSpec model;
+    /** Per-iteration workload shape (training specs only). */
     train::TrainConfig train;
+    /** Request stream + scheduling policy (serving specs only). */
+    serve::ServeConfig serve;
     train::SystemConfig system;
 
     /**
@@ -50,7 +57,11 @@ struct RunRecord {
     std::string engine_name;
     train::IterationResult result;
 
-    /** Cluster token throughput (data parallelism multiplies the batch). */
+    /**
+     * Cluster token throughput. Training: consumed tokens/iteration
+     * (data parallelism multiplies the batch) over the iteration time.
+     * Serving: output tokens generated over the workload makespan.
+     */
     double tokensPerSecond() const;
 };
 

@@ -23,6 +23,7 @@ registerBuiltinScenarios()
         scenarios::registerAblationHandler();
         scenarios::registerAblationCompression();
         scenarios::registerScaleout();
+        scenarios::registerServeScenarios();
         return true;
     }();
     (void)registered;

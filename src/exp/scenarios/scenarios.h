@@ -29,6 +29,7 @@ void registerTable4();
 void registerAblationHandler();
 void registerAblationCompression();
 void registerScaleout();
+void registerServeScenarios();
 
 } // namespace smartinf::exp::scenarios
 

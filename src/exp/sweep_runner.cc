@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "serve/inference_workload.h"
 
 namespace smartinf::exp {
 
@@ -21,7 +22,12 @@ SweepRunner::execute(const RunSpec &spec, std::uint64_t hash)
     record.spec = spec;
     record.spec_hash = hash;
     record.engine_name = engine->name();
-    record.result = engine->runIteration();
+    if (spec.workload == train::WorkloadKind::Serving) {
+        serve::InferenceWorkload workload(spec.model, spec.serve);
+        record.result = engine->run(workload);
+    } else {
+        record.result = engine->runIteration();
+    }
     executed_.fetch_add(1, std::memory_order_relaxed);
     return record;
 }

@@ -1,0 +1,151 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace smartinf::serve {
+
+using sim::TaskGraph;
+using TaskId = TaskGraph::TaskId;
+
+BatchScheduler::BatchScheduler(train::SimContext &ctx,
+                               InferenceBuilder &builder,
+                               const ServeConfig &config, int node)
+    : ctx_(ctx), builder_(builder), config_(config), node_(node)
+{
+}
+
+void
+BatchScheduler::noteQueueDepthChange()
+{
+    const Seconds now = ctx_.sim.now();
+    queue_depth_integral_ +=
+        static_cast<double>(queue_.size()) * (now - last_depth_change_);
+    last_depth_change_ = now;
+}
+
+void
+BatchScheduler::submit(const RequestSpec &request)
+{
+    noteQueueDepthChange();
+    queue_.push_back(request);
+    peak_queue_depth_ =
+        std::max(peak_queue_depth_, static_cast<int>(queue_.size()));
+    maybeBeginStep();
+}
+
+void
+BatchScheduler::maybeBeginStep()
+{
+    if (step_in_flight_)
+        return;
+    if (running_.empty() && queue_.empty())
+        return; // idle until the next arrival
+    // A non-empty batch always continues decoding under both policies;
+    // whether queued requests may join is beginStep's admission decision.
+    beginStep();
+}
+
+void
+BatchScheduler::beginStep()
+{
+    SI_ASSERT(!step_in_flight_, "overlapping scheduler steps");
+    const Seconds now = ctx_.sim.now();
+
+    // Admission. FIFO: only into an empty batch (run-to-completion);
+    // continuous: top the batch up every step.
+    const bool may_admit = config_.scheduler == SchedulerPolicy::Continuous
+                               ? true
+                               : running_.empty();
+    if (may_admit && !queue_.empty()) {
+        noteQueueDepthChange();
+        while (!queue_.empty() &&
+               static_cast<int>(running_.size()) < config_.max_batch) {
+            Active a;
+            a.spec = queue_.front();
+            a.start = now;
+            queue_.pop_front();
+            running_.push_back(a);
+        }
+    }
+    SI_ASSERT(!running_.empty(), "beginStep with no admissible work");
+
+    // Step tokens: full prefill for the newly admitted, one decode token
+    // per already-running request.
+    double tokens = 0.0;
+    for (const Active &a : running_)
+        tokens += a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens);
+
+    // Build the pass reactively into the running graph (dynamic mode),
+    // with a sentinel task that re-enters the scheduler on completion.
+    const TaskId first = ctx_.graph.taskCount();
+    const TaskId pass_done =
+        builder_.buildForwardPass(tokens, next_step_index_);
+    const TaskId sentinel = ctx_.graph.add(
+        [this](std::function<void()> done) {
+            onStepDone();
+            done();
+        },
+        {"srv.step", next_step_index_, node_});
+    ctx_.graph.dependsOn(sentinel, pass_done);
+    ctx_.graph.releaseRange(first, ctx_.graph.taskCount());
+
+    ++next_step_index_;
+    step_in_flight_ = true;
+}
+
+void
+BatchScheduler::onStepDone()
+{
+    const Seconds now = ctx_.sim.now();
+    ++steps_executed_;
+    step_in_flight_ = false;
+
+    // Token progress: prefill emits the first token, decode one more.
+    for (Active &a : running_) {
+        if (!a.prefilled) {
+            a.prefilled = true;
+            a.first_token = now;
+            a.produced = 1;
+        } else {
+            ++a.produced;
+        }
+    }
+
+    // Retire finished requests (stable order keeps records deterministic).
+    auto finished = [](const Active &a) {
+        return a.produced >= a.spec.output_tokens;
+    };
+    for (const Active &a : running_) {
+        if (!finished(a))
+            continue;
+        train::RequestRecord record;
+        record.id = a.spec.id;
+        record.node = node_;
+        record.prompt_tokens = a.spec.prompt_tokens;
+        record.output_tokens = a.produced;
+        record.arrival = a.spec.arrival;
+        record.start = a.start;
+        record.first_token = a.first_token;
+        record.finish = now;
+        records_.push_back(record);
+    }
+    running_.erase(std::remove_if(running_.begin(), running_.end(), finished),
+                   running_.end());
+
+    maybeBeginStep();
+}
+
+void
+BatchScheduler::finalize(Seconds end_time)
+{
+    // The queue drained before the graph did, so the depth integral is
+    // already closed: the interval [last_depth_change_, end_time] is all
+    // at depth zero.
+    SI_ASSERT(queue_.empty() && running_.empty() && !step_in_flight_,
+              "scheduler finalized with unserved requests");
+    SI_ASSERT(end_time >= last_depth_change_, "finalize before last event");
+}
+
+} // namespace smartinf::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The per-node request scheduler: an event-driven state machine that turns
+ * arriving requests into batched forward-pass steps, built *reactively*
+ * into the running simulation through the task graph's dynamic mode. One
+ * step is one forward pass (prefill tokens of newly admitted requests +
+ * one decode token per running request); when a step's tasks complete, the
+ * scheduler records token progress, retires finished requests, and —
+ * depending on the policy — admits queued requests before building the
+ * next step.
+ *
+ * Determinism: every decision happens in an event callback of the
+ * deterministic simulator, on state derived only from the (seeded) request
+ * stream and the spec — so request latency records are bit-identical
+ * across repeated runs, thread counts, and build types.
+ */
+#ifndef SMARTINF_SERVE_BATCH_SCHEDULER_H
+#define SMARTINF_SERVE_BATCH_SCHEDULER_H
+
+#include <deque>
+#include <vector>
+
+#include "serve/inference_builder.h"
+#include "serve/request_stream.h"
+#include "train/workload.h"
+
+namespace smartinf::serve {
+
+/** Per-node batch scheduler (see file comment). */
+class BatchScheduler
+{
+  public:
+    /** @p node is this replica's index (stamped into the records). */
+    BatchScheduler(train::SimContext &ctx, InferenceBuilder &builder,
+                   const ServeConfig &config, int node);
+
+    /** Hand a request to the scheduler at its (current) arrival time. */
+    void submit(const RequestSpec &request);
+
+    /** Close the queue-depth integral at the workload's end time. */
+    void finalize(Seconds end_time);
+
+    /** One record per retired request, in retirement order. */
+    const std::vector<train::RequestRecord> &records() const
+    {
+        return records_;
+    }
+
+    /** Integral of the waiting-queue depth over time (see finalize). */
+    double queueDepthIntegral() const { return queue_depth_integral_; }
+    /** Largest instantaneous waiting-queue depth observed. */
+    int peakQueueDepth() const { return peak_queue_depth_; }
+    /** Forward-pass steps executed. */
+    int stepsExecuted() const { return steps_executed_; }
+
+  private:
+    /** A request admitted into the running batch. */
+    struct Active {
+        RequestSpec spec;
+        Seconds start = 0.0;       ///< admission time
+        Seconds first_token = 0.0; ///< set when its prefill step completes
+        bool prefilled = false;
+        int produced = 0; ///< tokens emitted so far
+    };
+
+    void maybeBeginStep();
+    void beginStep();
+    void onStepDone();
+    void noteQueueDepthChange();
+
+    train::SimContext &ctx_;
+    InferenceBuilder &builder_;
+    const ServeConfig &config_;
+    int node_;
+
+    std::deque<RequestSpec> queue_; ///< arrived, not yet admitted
+    std::vector<Active> running_;   ///< admitted into the current batch
+    bool step_in_flight_ = false;
+    int next_step_index_ = 0;
+    int steps_executed_ = 0;
+
+    std::vector<train::RequestRecord> records_;
+    double queue_depth_integral_ = 0.0;
+    Seconds last_depth_change_ = 0.0;
+    int peak_queue_depth_ = 0;
+};
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_BATCH_SCHEDULER_H

@@ -1,0 +1,109 @@
+#include "serve/inference_builder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace smartinf::serve {
+
+using train::Strategy;
+using TaskId = InferenceBuilder::TaskId;
+
+InferenceBuilder::InferenceBuilder(const train::ModelSpec &model,
+                                   const train::SystemConfig &system,
+                                   const ServeConfig &serve,
+                                   train::SimContext &ctx,
+                                   std::string prefix)
+    : PhaseBuilder(model, system, ctx, std::move(prefix)), serve_(serve)
+{
+}
+
+bool
+InferenceBuilder::weightsQuantized() const
+{
+    return system_.strategy == Strategy::SmartUpdateOptComp;
+}
+
+Bytes
+InferenceBuilder::paramWireBytesPerBlock() const
+{
+    const Bytes dense = paramsPerBlock() * kBytesFp16;
+    return weightsQuantized() ? dense * serve_.weight_wire_fraction : dense;
+}
+
+int
+InferenceBuilder::prefetchWindow() const
+{
+    const bool optimized = system_.strategy == Strategy::SmartUpdateOpt ||
+                           system_.strategy == Strategy::SmartUpdateOptComp;
+    if (!optimized)
+        return 1;
+    // The optimized handler multi-buffers up to one layer per owner CSD
+    // (their fetches come from distinct devices, so lookahead aggregates
+    // media bandwidth until the shared trunk saturates).
+    return std::max(2, std::min(system_.num_devices, 4));
+}
+
+TaskId
+InferenceBuilder::buildForwardPass(double tokens, int step_index)
+{
+    SI_ASSERT(tokens > 0.0, "empty forward pass");
+    const int layers = model_.num_layers;
+    const Bytes wire = paramWireBytesPerBlock();
+    const Bytes dense = paramsPerBlock() * kBytesFp16;
+    const int window = prefetchWindow();
+
+    std::vector<TaskId> computes(layers, sim::TaskGraph::kInvalidTask);
+    TaskId prev_compute = sim::TaskGraph::kInvalidTask;
+    for (int l = 0; l < layers; ++l) {
+        // 1. Stream the layer's stored parameters into host memory.
+        TaskId fetch_gate, fetch_done;
+        if (system_.strategy == Strategy::Baseline) {
+            // RAID0 stripes the layer across every device.
+            auto [gate, join] =
+                storageReadStriped(wire, {"srv.fetch", step_index, l});
+            fetch_gate = gate;
+            fetch_done = join;
+        } else {
+            // Whole layer from its owner CSD (flattened distribution).
+            const int owner = l % system_.num_devices;
+            fetch_gate = fetch_done =
+                storageRead(owner, wire, {"srv.fetch", step_index, l});
+        }
+        // Buffer window: the stream may run `window` layers ahead of
+        // compute (window 1 = strictly synchronous streaming).
+        if (l >= window)
+            ctx_.graph.dependsOn(fetch_gate, computes[l - window]);
+        ctx_.traffic.shared_param_up += wire;
+
+        // 2. Host memory -> GPU.
+        TaskId to_gpu = hostToGpu(wire, {"srv.togpu", step_index, l});
+        ctx_.graph.dependsOn(to_gpu, fetch_done);
+
+        // 3. Dequantize on the GPU (quantized-weight engines only); cost
+        // mirrors the training-side GPU compression calibration.
+        TaskId ready = to_gpu;
+        if (weightsQuantized()) {
+            const Flops work =
+                dense / system_.calib.gpu_compress * gpuRate();
+            TaskId dq = gpuCompute(work, {"srv.dequant", step_index, l});
+            ctx_.graph.dependsOn(dq, to_gpu);
+            ready = dq;
+        }
+
+        // 4. Forward compute for every token in the step (layers in
+        // order on the node's GPU).
+        TaskId compute = gpuCompute(2.0 * paramsPerBlock() * tokens,
+                                    {"srv.compute", step_index, l});
+        ctx_.graph.dependsOn(compute, ready);
+        if (l > 0)
+            ctx_.graph.dependsOn(compute, prev_compute);
+        computes[l] = compute;
+        prev_compute = compute;
+    }
+    return computes[layers - 1];
+}
+
+} // namespace smartinf::serve

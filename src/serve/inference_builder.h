@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The per-node inference phase builder: composes the shared phase
+ * primitives (train/phase_builders.h) into batched forward passes with
+ * layer-wise parameter streaming from the CSD/RAID substrate. Parameters
+ * do not fit in GPU (or host) memory, so *every* pass re-streams the whole
+ * model from storage — the serving analog of the paper's observation that
+ * storage-offloaded training is dominated by shared-interconnect traffic.
+ *
+ * Strategy mapping (mirrors the training-side semantics):
+ *  - BASE: dense FP16 weights striped over the software RAID0, streamed
+ *    synchronously (fetch of layer l starts when layer l-1's compute
+ *    finished — one staging buffer, no overlap).
+ *  - SU: weights live whole-layer on their owner CSD (layer l on CSD
+ *    l % D, the flattened distribution of §IV-D) with the same naive
+ *    single-buffer handling: per-layer fetches are limited to one
+ *    device's media rate and nothing overlaps.
+ *  - SU+O: the optimized transfer handler multi-buffers the stream:
+ *    several upcoming layers fetch in parallel from their (distinct)
+ *    owner CSDs while the current layer computes, aggregating media
+ *    bandwidth and hiding fetch latency behind compute.
+ *  - SU+O+C: + weights stored quantized (serve.weight_wire_fraction of
+ *    dense FP16) and dequantized on the GPU, shrinking every wire hop —
+ *    decode steps are bandwidth-bound, so this is the serving analog of
+ *    SmartComp.
+ */
+#ifndef SMARTINF_SERVE_INFERENCE_BUILDER_H
+#define SMARTINF_SERVE_INFERENCE_BUILDER_H
+
+#include <string>
+
+#include "serve/serve_config.h"
+#include "train/phase_builders.h"
+
+namespace smartinf::serve {
+
+/** Builds one node's batched forward passes into a shared SimContext. */
+class InferenceBuilder : public train::PhaseBuilder
+{
+  public:
+    InferenceBuilder(const train::ModelSpec &model,
+                     const train::SystemConfig &system,
+                     const ServeConfig &serve, train::SimContext &ctx,
+                     std::string prefix = {});
+
+    /**
+     * Build one scheduler step: a forward pass over every layer
+     * processing @p tokens (prefill tokens of newly admitted requests +
+     * one decode token per running request), with strategy-dependent
+     * parameter streaming. Returns the pass's completion task.
+     *
+     * Dynamic-mode contract: when called after the graph started (the
+     * normal case — the batch scheduler builds steps reactively), the
+     * caller must releaseRange() the tasks created by this call.
+     */
+    TaskId buildForwardPass(double tokens, int step_index);
+
+    /** Wire bytes one layer's stored parameters occupy. */
+    Bytes paramWireBytesPerBlock() const;
+
+    /** True when weights are stored quantized (SU+O+C). */
+    bool weightsQuantized() const;
+
+    /**
+     * Layer-fetch lookahead: how many layers ahead of the current compute
+     * the parameter stream may run (1 = no overlap; the optimized
+     * handler's multi-buffering fetches from several owner CSDs at once).
+     */
+    int prefetchWindow() const;
+
+  private:
+    const ServeConfig &serve_;
+};
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_INFERENCE_BUILDER_H

@@ -1,0 +1,69 @@
+#include "serve/inference_workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "train/system_builder.h"
+
+namespace smartinf::serve {
+
+InferenceWorkload::InferenceWorkload(const train::ModelSpec &model,
+                                     ServeConfig config)
+    : model_(model), config_(std::move(config))
+{
+    const auto errors = config_.validate();
+    SI_REQUIRE(errors.empty(), "invalid ServeConfig: ",
+               train::joinErrors(errors));
+}
+
+void
+InferenceWorkload::build(train::SimContext &ctx)
+{
+    SI_ASSERT(builders_.empty(), "InferenceWorkload::build called twice");
+    const int nodes = ctx.system.num_nodes;
+    stream_ = generateRequestStream(config_);
+
+    for (int i = 0; i < nodes; ++i) {
+        const std::string prefix = nodes > 1 ? train::nodePrefix(i) : "";
+        builders_.push_back(std::make_unique<InferenceBuilder>(
+            model_, ctx.system, config_, ctx, prefix));
+        schedulers_.push_back(std::make_unique<BatchScheduler>(
+            ctx, *builders_.back(), config_, i));
+    }
+
+    // Deterministic front door: request i goes to replica i % N. Arrivals
+    // are timed events that grow the task graph reactively (the graph
+    // itself starts empty for this workload).
+    for (const RequestSpec &request : stream_) {
+        BatchScheduler *scheduler = schedulers_[request.id % nodes].get();
+        ctx.sim.at(request.arrival,
+                   [scheduler, request] { scheduler->submit(request); });
+    }
+}
+
+void
+InferenceWorkload::collect(const train::SimContext &ctx,
+                           train::WorkloadResult &out)
+{
+    const Seconds end = ctx.graph.taskCount() > 0 ? ctx.graph.makespan() : 0.0;
+    out.iteration_time = end;
+
+    for (const auto &scheduler : schedulers_) {
+        scheduler->finalize(end);
+        const auto &records = scheduler->records();
+        out.requests.insert(out.requests.end(), records.begin(),
+                            records.end());
+        out.queue_depth_time_integral += scheduler->queueDepthIntegral();
+        out.peak_queue_depth =
+            std::max(out.peak_queue_depth, scheduler->peakQueueDepth());
+    }
+    std::sort(out.requests.begin(), out.requests.end(),
+              [](const train::RequestRecord &a,
+                 const train::RequestRecord &b) { return a.id < b.id; });
+    SI_ASSERT(static_cast<int>(out.requests.size()) ==
+                  static_cast<int>(stream_.size()),
+              "not every request was served");
+}
+
+} // namespace smartinf::serve

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Inference serving as a Workload: a finite request stream served by
+ * 1..N data-parallel replicas of the storage-offload substrate, all inside
+ * one SimContext. Requests are sharded round-robin over the replicas (a
+ * deterministic front door); each replica runs its own BatchScheduler and
+ * InferenceBuilder with node-prefixed links, so N-node serving measures
+ * true replica contention-free scaling while every node's internal PCIe
+ * contention is still modeled. Runs on any engine via Engine::run() —
+ * makeEngine's num_nodes dispatch works unchanged.
+ */
+#ifndef SMARTINF_SERVE_INFERENCE_WORKLOAD_H
+#define SMARTINF_SERVE_INFERENCE_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batch_scheduler.h"
+#include "train/workload.h"
+
+namespace smartinf::serve {
+
+/** A finite request stream served on ctx.system.num_nodes replicas. */
+class InferenceWorkload final : public train::Workload
+{
+  public:
+    InferenceWorkload(const train::ModelSpec &model, ServeConfig config);
+
+    std::string name() const override { return "inference-serving"; }
+    train::WorkloadKind kind() const override
+    {
+        return train::WorkloadKind::Serving;
+    }
+
+    void build(train::SimContext &ctx) override;
+    void collect(const train::SimContext &ctx,
+                 train::WorkloadResult &out) override;
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    train::ModelSpec model_;
+    ServeConfig config_;
+    std::vector<RequestSpec> stream_;
+    std::vector<std::unique_ptr<InferenceBuilder>> builders_;
+    std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
+};
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_INFERENCE_WORKLOAD_H

@@ -1,0 +1,72 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartinf::serve {
+
+namespace {
+
+/** Nearest-rank percentile of a sorted population. */
+double
+percentileSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+} // namespace
+
+LatencySummary
+summarizeLatencies(std::vector<double> values)
+{
+    LatencySummary out;
+    if (values.empty())
+        return out;
+    std::sort(values.begin(), values.end());
+    out.p50 = percentileSorted(values, 50.0);
+    out.p95 = percentileSorted(values, 95.0);
+    out.p99 = percentileSorted(values, 99.0);
+    out.max = values.back();
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    out.mean = sum / static_cast<double>(values.size());
+    return out;
+}
+
+ServingMetrics
+summarize(const train::WorkloadResult &result)
+{
+    ServingMetrics m;
+    m.num_requests = static_cast<int>(result.requests.size());
+    m.makespan = result.iteration_time;
+    m.peak_queue_depth = result.peak_queue_depth;
+    if (m.makespan > 0.0)
+        m.mean_queue_depth = result.queue_depth_time_integral / m.makespan;
+
+    std::vector<double> latency, ttft, queue_delay;
+    latency.reserve(result.requests.size());
+    ttft.reserve(result.requests.size());
+    queue_delay.reserve(result.requests.size());
+    double output_tokens = 0.0;
+    for (const train::RequestRecord &r : result.requests) {
+        latency.push_back(r.latency());
+        ttft.push_back(r.timeToFirstToken());
+        queue_delay.push_back(r.queueDelay());
+        output_tokens += r.output_tokens;
+    }
+    m.latency = summarizeLatencies(std::move(latency));
+    m.ttft = summarizeLatencies(std::move(ttft));
+    m.queue_delay = summarizeLatencies(std::move(queue_delay));
+    if (m.makespan > 0.0) {
+        m.requests_per_sec = m.num_requests / m.makespan;
+        m.output_tokens_per_sec = output_tokens / m.makespan;
+    }
+    return m;
+}
+
+} // namespace smartinf::serve

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Serving-result summarization: percentile latency (nearest-rank, so the
+ * numbers are exact functions of the deterministic records — no
+ * interpolation), throughput, and queue statistics derived from a
+ * WorkloadResult's request records. Every serving scenario and the JSON
+ * emitters report through these helpers so the metric definitions live in
+ * exactly one place.
+ */
+#ifndef SMARTINF_SERVE_METRICS_H
+#define SMARTINF_SERVE_METRICS_H
+
+#include <vector>
+
+#include "train/workload.h"
+
+namespace smartinf::serve {
+
+/** Order statistics of one latency population (seconds). */
+struct LatencySummary {
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/** Nearest-rank percentile summary of @p values (empty => all zeros). */
+LatencySummary summarizeLatencies(std::vector<double> values);
+
+/** Everything a serving table reports about one run. */
+struct ServingMetrics {
+    int num_requests = 0;
+    Seconds makespan = 0.0;
+    LatencySummary latency;     ///< request completion (arrival -> finish)
+    LatencySummary ttft;        ///< time to first token
+    LatencySummary queue_delay; ///< arrival -> batch admission
+    double requests_per_sec = 0.0;
+    double output_tokens_per_sec = 0.0;
+    double mean_queue_depth = 0.0;
+    int peak_queue_depth = 0;
+};
+
+/** Derive the serving metrics from @p result's request records. */
+ServingMetrics summarize(const train::WorkloadResult &result);
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_METRICS_H

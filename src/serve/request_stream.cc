@@ -1,0 +1,36 @@
+#include "serve/request_stream.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartinf::serve {
+
+std::vector<RequestSpec>
+generateRequestStream(const ServeConfig &config)
+{
+    std::vector<RequestSpec> stream;
+    const int n = config.streamSize();
+    stream.reserve(n);
+
+    if (!config.trace.empty()) {
+        for (int i = 0; i < n; ++i)
+            stream.push_back({i, config.trace[i], config.prompt_tokens,
+                              config.output_tokens});
+        return stream;
+    }
+
+    Rng rng(config.seed);
+    Seconds t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        // Exponential interarrival; 1 - uniform() is in (0, 1] so the log
+        // is finite.
+        t += -std::log(1.0 - rng.uniform()) / config.arrival_rate;
+        stream.push_back({i, t, config.prompt_tokens,
+                          config.output_tokens});
+    }
+    return stream;
+}
+
+} // namespace smartinf::serve

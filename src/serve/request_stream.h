@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Deterministic request-arrival generation. A RequestStream expands a
+ * ServeConfig into the concrete request list *before* the simulation runs
+ * — all randomness comes from the config's seeded xoshiro PRNG (open-loop
+ * exponential interarrivals) or from the explicit trace, which is what
+ * makes serving runs a pure function of their spec: same seed + spec =>
+ * bit-identical arrivals => bit-identical latency records.
+ */
+#ifndef SMARTINF_SERVE_REQUEST_STREAM_H
+#define SMARTINF_SERVE_REQUEST_STREAM_H
+
+#include <vector>
+
+#include "serve/serve_config.h"
+
+namespace smartinf::serve {
+
+/** One request to serve. */
+struct RequestSpec {
+    int id = 0;            ///< stream position (global across nodes)
+    Seconds arrival = 0.0; ///< open-loop/trace arrival time
+    int prompt_tokens = 0;
+    int output_tokens = 0;
+};
+
+/**
+ * Expand @p config into its request list: trace arrivals verbatim, or
+ * num_requests open-loop arrivals with exponential interarrival times at
+ * arrival_rate, drawn from a PRNG seeded with config.seed. Arrivals are
+ * non-decreasing; ids are stream positions.
+ */
+std::vector<RequestSpec> generateRequestStream(const ServeConfig &config);
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_REQUEST_STREAM_H

@@ -1,0 +1,62 @@
+#include "serve/serve_config.h"
+
+#include "common/enum_names.h"
+#include "common/validation.h"
+
+namespace smartinf::serve {
+
+const char *
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Fifo: return "fifo";
+      case SchedulerPolicy::Continuous: return "continuous";
+    }
+    return "?";
+}
+
+std::optional<SchedulerPolicy>
+schedulerPolicyFromName(const std::string &name)
+{
+    return enumFromName(allSchedulerPolicies(), schedulerPolicyName, name);
+}
+
+std::vector<SchedulerPolicy>
+allSchedulerPolicies()
+{
+    return {SchedulerPolicy::Fifo, SchedulerPolicy::Continuous};
+}
+
+std::vector<std::string>
+ServeConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (trace.empty()) {
+        requireField(errors, num_requests >= 1,
+                     "num_requests must be >= 1", num_requests);
+        requireField(errors, arrival_rate > 0.0,
+                     "arrival_rate must be positive", arrival_rate);
+    } else {
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (trace[i] < 0.0 || (i > 0 && trace[i] < trace[i - 1])) {
+                errors.push_back(
+                    "trace arrivals must be non-negative and "
+                    "non-decreasing");
+                break;
+            }
+        }
+    }
+    requireField(errors, prompt_tokens >= 1, "prompt_tokens must be >= 1",
+                 prompt_tokens);
+    requireField(errors, output_tokens >= 1, "output_tokens must be >= 1",
+                 output_tokens);
+    requireField(errors, max_batch >= 1, "max_batch must be >= 1",
+                 max_batch);
+    requireField(errors,
+                 weight_wire_fraction > 0.0 && weight_wire_fraction <= 1.0,
+                 "weight_wire_fraction must be in (0, 1]",
+                 weight_wire_fraction);
+    return errors;
+}
+
+} // namespace smartinf::serve

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration of one inference-serving experiment: the request stream
+ * shape (open-loop Poisson arrivals or an explicit trace), per-request
+ * token counts, and the batch-scheduling policy. Every field here affects
+ * the simulated result and therefore participates in the RunSpec hash
+ * (src/exp/run_spec.cc) — add new knobs there too, or cached results
+ * alias.
+ */
+#ifndef SMARTINF_SERVE_SERVE_CONFIG_H
+#define SMARTINF_SERVE_SERVE_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartinf::serve {
+
+/** How the per-node batch scheduler admits requests. */
+enum class SchedulerPolicy {
+    /** A batch is formed when the node is idle and runs to full
+     *  completion (every request emits all its tokens) before the next
+     *  batch is admitted. */
+    Fifo,
+    /** Continuous batching (Orca/vLLM style): requests join and leave the
+     *  running batch at decode-step boundaries; newly admitted requests
+     *  prefill in the step they join. */
+    Continuous
+};
+
+const char *schedulerPolicyName(SchedulerPolicy policy);
+
+/**
+ * Inverse of schedulerPolicyName() ("fifo"/"continuous",
+ * case-insensitive). Returns nullopt for unknown names.
+ */
+std::optional<SchedulerPolicy>
+schedulerPolicyFromName(const std::string &name);
+
+/** Every policy, in declaration order (sweep axes, exhaustive tests). */
+std::vector<SchedulerPolicy> allSchedulerPolicies();
+
+/** Full configuration of one serving experiment. */
+struct ServeConfig {
+    SchedulerPolicy scheduler = SchedulerPolicy::Continuous;
+    /** Requests in the (finite) stream. Ignored when @c trace is set. */
+    int num_requests = 16;
+    /** Open-loop Poisson arrival rate (requests/s of *simulated* time). */
+    double arrival_rate = 0.05;
+    /** Seed of the deterministic arrival stream. */
+    std::uint64_t seed = 0x5eedu;
+    /** Prefill length per request. */
+    int prompt_tokens = 256;
+    /** Tokens each request generates (incl. the prefill's first token). */
+    int output_tokens = 16;
+    /** Most requests a node's scheduler runs in one batch. */
+    int max_batch = 8;
+    /**
+     * Stored-weight wire volume as a fraction of the dense FP16
+     * parameters, for engines that keep quantized weights on the CSDs and
+     * dequantize on the GPU (SU+O+C; default 4-bit = 0.25). Mirrors the
+     * training-side compression_wire_fraction.
+     */
+    double weight_wire_fraction = 0.25;
+    /**
+     * Explicit arrival times (simulated seconds, non-decreasing). When
+     * non-empty this trace *is* the request stream (num_requests,
+     * arrival_rate, and seed are ignored).
+     */
+    std::vector<Seconds> trace;
+
+    /** Requests the stream will contain (trace size or num_requests). */
+    int streamSize() const
+    {
+        return trace.empty() ? num_requests
+                             : static_cast<int>(trace.size());
+    }
+
+    /** Actionable error list; empty means the config is usable. */
+    std::vector<std::string> validate() const;
+};
+
+} // namespace smartinf::serve
+
+#endif // SMARTINF_SERVE_SERVE_CONFIG_H

@@ -25,9 +25,10 @@ TaskLabel::str() const
 TaskGraph::TaskId
 TaskGraph::add(Action action, TaskLabel label)
 {
-    SI_REQUIRE(!started_, "cannot add tasks after start()");
+    // Post-start additions stay dormant (released == false) until the
+    // caller wires their dependencies and calls release().
     tasks_.push_back(Task{std::move(action), label, {}, 0,
-                          false, false, -1.0, -1.0});
+                          false, false, false, -1.0, -1.0});
     return tasks_.size() - 1;
 }
 
@@ -68,9 +69,14 @@ TaskGraph::labelString(TaskId id) const
 void
 TaskGraph::dependsOn(TaskId task, TaskId dep)
 {
-    SI_REQUIRE(!started_, "cannot add dependencies after start()");
     SI_ASSERT(task < tasks_.size() && dep < tasks_.size(), "bad task id");
     SI_ASSERT(task != dep, "task cannot depend on itself");
+    SI_ASSERT(!tasks_[task].launched,
+              "cannot add a dependency to a launched task");
+    if (tasks_[dep].completed) {
+        SI_ASSERT(started_, "completed dependency before start()");
+        return; // already satisfied
+    }
     tasks_[dep].dependents.push_back(task);
     ++tasks_[task].pending_deps;
 }
@@ -87,38 +93,69 @@ TaskGraph::start()
 {
     SI_REQUIRE(!started_, "start() called twice");
     started_ = true;
-    for (TaskId id = 0; id < tasks_.size(); ++id) {
+    // Launching a static task may already grow the graph (its action can
+    // add + release dynamic tasks); those manage their own release, so
+    // only the pre-start prefix is released here.
+    const TaskId static_tasks = tasks_.size();
+    for (TaskId id = 0; id < static_tasks; ++id) {
+        tasks_[id].released = true;
         if (tasks_[id].pending_deps == 0)
             launch(id);
     }
 }
 
 void
+TaskGraph::release(TaskId id)
+{
+    SI_REQUIRE(started_, "release() before start() (start releases all)");
+    SI_ASSERT(id < tasks_.size(), "bad task id");
+    SI_ASSERT(!tasks_[id].released, "task ", id, " released twice");
+    tasks_[id].released = true;
+    if (tasks_[id].pending_deps == 0)
+        launch(id);
+}
+
+void
+TaskGraph::releaseRange(TaskId first, TaskId end)
+{
+    SI_ASSERT(end <= tasks_.size(), "bad release range");
+    for (TaskId id = first; id < end; ++id)
+        if (!tasks_[id].released)
+            release(id);
+}
+
+void
 TaskGraph::launch(TaskId id)
 {
-    Task &task = tasks_[id];
-    SI_ASSERT(!task.launched, "task ", id, " launched twice");
-    task.launched = true;
-    task.start_time = sim_.now();
-    if (!task.action) {
+    SI_ASSERT(!tasks_[id].launched, "task ", id, " launched twice");
+    tasks_[id].launched = true;
+    tasks_[id].start_time = sim_.now();
+    if (!tasks_[id].action) {
         complete(id);
         return;
     }
-    task.action([this, id]() { complete(id); });
+    // Move the action out before invoking it: a dynamic-mode action may
+    // add tasks and reallocate tasks_, which would otherwise move the
+    // std::function out from under its own call frame.
+    Action action = std::move(tasks_[id].action);
+    action([this, id]() { complete(id); });
 }
 
 void
 TaskGraph::complete(TaskId id)
 {
-    Task &task = tasks_[id];
-    SI_ASSERT(!task.completed, "task ", id, " completed twice");
-    task.completed = true;
-    task.finish_time = sim_.now();
+    SI_ASSERT(!tasks_[id].completed, "task ", id, " completed twice");
+    tasks_[id].completed = true;
+    tasks_[id].finish_time = sim_.now();
     ++completed_;
-    for (TaskId dep_id : task.dependents) {
-        Task &dependent = tasks_[dep_id];
-        SI_ASSERT(dependent.pending_deps > 0, "dependency underflow");
-        if (--dependent.pending_deps == 0)
+    // A completed task's dependent list is frozen (dependsOn on a
+    // completed dep is a no-op), but launching a dependent may append
+    // tasks and reallocate tasks_ — re-index on every access.
+    const std::size_t n = tasks_[id].dependents.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const TaskId dep_id = tasks_[id].dependents[i];
+        SI_ASSERT(tasks_[dep_id].pending_deps > 0, "dependency underflow");
+        if (--tasks_[dep_id].pending_deps == 0 && tasks_[dep_id].released)
             launch(dep_id);
     }
 }

@@ -42,6 +42,17 @@ struct TaskLabel {
  * Executes tasks respecting dependencies. A task is any asynchronous action:
  * it receives a completion callback and must invoke it exactly once (possibly
  * immediately). Barriers are tasks with no action.
+ *
+ * Two phases of use:
+ *  - Static (the training engines): add every task and dependency, then
+ *    start() once; dependency-free tasks launch immediately.
+ *  - Dynamic (reactive workloads, e.g. the serving batch scheduler): after
+ *    start(), tasks may still be added from inside running actions. A
+ *    post-start task stays dormant until release() is called on it, so the
+ *    caller can wire its dependencies first; dependsOn() with an
+ *    already-completed dependency is a satisfied no-op. releaseRange()
+ *    releases a contiguous id block (dynamic construction is append-only,
+ *    so a sub-graph built in one callback is always one id range).
  */
 class TaskGraph
 {
@@ -66,11 +77,25 @@ class TaskGraph
     /** Add a fixed-delay task (models constant latencies). */
     TaskId delay(Seconds duration, TaskLabel label = {});
 
-    /** Declare that @p task starts only after @p dep completes. */
+    /**
+     * Declare that @p task starts only after @p dep completes. After
+     * start(), a completed @p dep counts as already satisfied (no-op);
+     * @p task must not have launched yet.
+     */
     void dependsOn(TaskId task, TaskId dep);
 
     /** Convenience: @p task depends on every id in @p deps. */
     void dependsOn(TaskId task, const std::vector<TaskId> &deps);
+
+    /**
+     * Arm a task added after start(): it launches as soon as its pending
+     * dependencies drain (immediately when it has none). Every post-start
+     * task needs exactly one release() once its dependencies are wired.
+     */
+    void release(TaskId id);
+
+    /** release() every not-yet-released task in [first, end). */
+    void releaseRange(TaskId first, TaskId end);
 
     /**
      * Release all dependency-free tasks. Must be called exactly once, before
@@ -103,6 +128,9 @@ class TaskGraph
         std::size_t pending_deps = 0;
         bool launched = false;
         bool completed = false;
+        /** Armed to launch (start() arms the static graph; dynamic tasks
+         *  are armed individually via release()). */
+        bool released = false;
         Seconds start_time = -1.0;
         Seconds finish_time = -1.0;
     };

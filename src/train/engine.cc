@@ -2,7 +2,8 @@
 
 #include "common/logging.h"
 #include "dist/distributed_engine.h"
-#include "train/iteration_builder.h"
+#include "train/sim_context.h"
+#include "train/training_workload.h"
 
 namespace smartinf::train {
 
@@ -32,6 +33,30 @@ Engine::Engine(const ModelSpec &model, const TrainConfig &train,
                joinErrors(errors));
 }
 
+WorkloadResult
+Engine::run(Workload &workload)
+{
+    SimContext ctx(system_);
+    workload.build(ctx);
+    ctx.graph.start();
+    ctx.sim.run();
+    SI_ASSERT(ctx.graph.done(), "workload graph did not drain");
+
+    WorkloadResult result;
+    result.kind = workload.kind();
+    workload.collect(ctx, result);
+    result.traffic = ctx.traffic;
+    result.events_executed = ctx.sim.eventsExecuted();
+    return result;
+}
+
+IterationResult
+Engine::runIteration()
+{
+    TrainingWorkload workload(model_, train_);
+    return run(workload);
+}
+
 std::string
 engineDisplayName(Strategy strategy)
 {
@@ -48,13 +73,10 @@ class BaselineEngine final : public Engine
   public:
     using Engine::Engine;
 
-    IterationResult
-    runIteration() override
+    std::string name() const override
     {
-        return runSingleNodeIteration(model_, train_, system_);
+        return engineDisplayName(system_.strategy);
     }
-
-    std::string name() const override { return engineDisplayName(system_.strategy); }
 };
 
 /** Engine wrapper for the Smart-Infinity strategies. */
@@ -62,12 +84,6 @@ class SmartEngine final : public Engine
 {
   public:
     using Engine::Engine;
-
-    IterationResult
-    runIteration() override
-    {
-        return runSingleNodeIteration(model_, train_, system_);
-    }
 
     std::string
     name() const override

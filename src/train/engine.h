@@ -1,13 +1,21 @@
 /**
  * @file
- * The storage-offloaded training engines. BaselineEngine reproduces the
- * ZeRO-Infinity dataflow (Fig 1): block-wise FW/BW with gradient offload to
- * a software RAID0, then a CPU update phase streaming optimizer states over
- * the shared interconnect. SmartEngine implements Smart-Infinity (Fig 4/6):
- * per-CSD near-storage updates over internal P2P links, with the naive or
- * optimized transfer handler (Fig 5) and optional SmartComp compression.
+ * The storage-offloaded engines. An Engine models one system shape (the
+ * ZeRO-Infinity RAID0 baseline or a Smart-Infinity CSD configuration,
+ * single- or multi-node) and executes *workloads* on it: run(Workload&) is
+ * the single execution entry point — it owns the SimContext lifecycle
+ * (build, simulate, collect) for any workload. Training is one such
+ * workload (TrainingWorkload); runIteration() is the training shorthand
+ * and produces bit-identical results to the pre-Workload engines.
  *
- * One iteration is expressed as a task graph of compute jobs (GPU, CPU,
+ * BaselineEngine reproduces the ZeRO-Infinity dataflow (Fig 1): block-wise
+ * FW/BW with gradient offload to a software RAID0, then a CPU update phase
+ * streaming optimizer states over the shared interconnect. SmartEngine
+ * implements Smart-Infinity (Fig 4/6): per-CSD near-storage updates over
+ * internal P2P links, with the naive or optimized transfer handler (Fig 5)
+ * and optional SmartComp compression.
+ *
+ * One workload is expressed as a task graph of compute jobs (GPU, CPU,
  * FPGA) and fluid flows (PCIe links); overlap and contention fall out of
  * the dependency structure and the max-min flow model.
  */
@@ -21,30 +29,15 @@
 #include "train/model_spec.h"
 #include "train/system_config.h"
 #include "train/traffic_ledger.h"
+#include "train/workload.h"
 
 namespace smartinf::train {
 
-/** Wall-clock split of one iteration into the paper's three phases. */
-struct PhaseBreakdown {
-    Seconds forward = 0.0;
-    /** Backward compute + gradient offload (paper "BW+Grad. Offload"). */
-    Seconds backward = 0.0;
-    /** Update + optimizer-state upload/offload. */
-    Seconds update = 0.0;
-
-    Seconds total() const { return forward + backward + update; }
-};
-
-/** Result of simulating one training iteration. */
-struct IterationResult {
-    PhaseBreakdown phases;
-    TrafficLedger traffic;
-    /** Iteration wall-clock (== phases.total()). */
-    Seconds iteration_time = 0.0;
-    /** Discrete events the simulator executed for this iteration — the
-     *  denominator of the perf harness's events/sec metric. */
-    uint64_t events_executed = 0;
-};
+/**
+ * Result of simulating one training iteration — the training-era name for
+ * a WorkloadResult (phases populated, request records empty).
+ */
+using IterationResult = WorkloadResult;
 
 /** Common interface of both engines. */
 class Engine
@@ -54,8 +47,20 @@ class Engine
            const SystemConfig &system);
     virtual ~Engine() = default;
 
-    /** Simulate one steady-state training iteration. Deterministic. */
-    virtual IterationResult runIteration() = 0;
+    /**
+     * THE execution entry point: build @p workload into a fresh
+     * SimContext, run the simulator until it drains, and collect the
+     * result. Deterministic: a pure function of (workload, engine
+     * config).
+     */
+    WorkloadResult run(Workload &workload);
+
+    /**
+     * Simulate one steady-state training iteration — shorthand for
+     * run(TrainingWorkload) with this engine's model and train config.
+     * Deterministic.
+     */
+    virtual IterationResult runIteration();
 
     virtual std::string name() const = 0;
 

@@ -4,114 +4,24 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "train/system_builder.h"
+#include "train/gpu_model.h"
 
 namespace smartinf::train {
 
 using TaskId = sim::TaskGraph::TaskId;
 
-sim::TaskGraph::TaskId
-SimContext::transfer(net::Route route, Bytes bytes, sim::TaskLabel label)
-{
-    const Seconds latency = system.calib.transfer_latency;
-    return graph.add(
-        [this, route = std::move(route), bytes,
-         latency](std::function<void()> done) {
-            net.startFlow(route, bytes, std::move(done), latency);
-        },
-        label);
-}
-
 IterationBuilder::IterationBuilder(const ModelSpec &model,
                                    const TrainConfig &train,
                                    const SystemConfig &system, SimContext &ctx,
                                    std::string prefix)
-    : model_(model), train_(train), system_(system), ctx_(ctx),
-      prefix_(std::move(prefix))
+    : PhaseBuilder(model, system, ctx, std::move(prefix)), train_(train)
 {
-    buildNodeLinks(ctx_.topo, system_, prefix_);
-    buildResources();
     grad_to_host_.assign(model_.num_layers, sim::TaskGraph::kInvalidTask);
     grad_offload_gate_.assign(model_.num_layers, sim::TaskGraph::kInvalidTask);
     grad_offload_.assign(model_.num_layers, sim::TaskGraph::kInvalidTask);
 }
 
-void
-IterationBuilder::buildResources()
-{
-    const Calibration &cal = system_.calib;
-    const GpuModel gpu = GpuModel::get(system_.gpu);
-    gpu_ = std::make_unique<sim::Resource>(
-        ctx_.sim, pfx("gpu"), gpu.effective_flops * system_.num_gpus,
-        cal.kernel_launch);
-    cpu_ = std::make_unique<sim::Resource>(ctx_.sim, pfx("cpu.update"),
-                                           cal.cpu_update, 20e-6);
-    if (strategyUsesCsd(system_.strategy)) {
-        for (int d = 0; d < system_.num_devices; ++d) {
-            // FPGA kernel engine: work is expressed in seconds
-            // (rate 1.0) so one resource serializes update and
-            // decompression kernels.
-            fpga_.push_back(std::make_unique<sim::Resource>(
-                ctx_.sim, pfx("fpga" + std::to_string(d)), 1.0,
-                cal.kernel_launch));
-            // Single OpenCL P2P DMA queue per CSD: internal reads and
-            // writes serialize on it.
-            dma_.push_back(std::make_unique<sim::Resource>(
-                ctx_.sim, pfx("dma" + std::to_string(d)), 1.0,
-                cal.transfer_latency));
-        }
-    }
-}
-
-/** Internal P2P transfer as work (seconds) on the CSD's DMA engine. */
-TaskId
-IterationBuilder::internalTransfer(int d, Bytes bytes, BytesPerSec p2p_rate,
-                                   BytesPerSec media_rate,
-                                   sim::TaskLabel label)
-{
-    const Seconds duration = bytes / std::min(p2p_rate, media_rate);
-    return ctx_.graph.compute(*dma_[d], duration, label);
-}
-
-net::Route
-IterationBuilder::gpuDown()
-{
-    // Host memory -> GPU. In the congested topology this shares the
-    // expansion trunk with storage traffic (Fig 17).
-    if (system_.congested_topology)
-        return {link("host.down"), link("gpu.down")};
-    return {link("gpu.down")};
-}
-
-net::Route
-IterationBuilder::gpuUp()
-{
-    if (system_.congested_topology)
-        return {link("gpu.up"), link("host.up")};
-    return {link("gpu.up")};
-}
-
-net::Route
-IterationBuilder::ssdWriteRoute(int d)
-{
-    const std::string ssd = "ssd" + std::to_string(d);
-    return {link("host.down"), link(ssd + ".down"), link(ssd + ".write")};
-}
-
-net::Route
-IterationBuilder::ssdReadRoute(int d)
-{
-    const std::string ssd = "ssd" + std::to_string(d);
-    return {link(ssd + ".read"), link(ssd + ".up"), link("host.up")};
-}
-
 // ---- model slicing ----------------------------------------------------------
-
-double
-IterationBuilder::paramsPerBlock() const
-{
-    return model_.num_params / model_.num_layers;
-}
 
 Bytes
 IterationBuilder::activationBytesPerBlock() const
@@ -173,18 +83,16 @@ IterationBuilder::buildForward()
     TaskId prev_compute = sim::TaskGraph::kInvalidTask;
     for (int b = 0; b < model_.num_layers; ++b) {
         // 1. Load the block's FP16 parameters from host memory.
-        TaskId load = ctx_.transfer(gpuDown(), paramsPerBlock() * kBytesFp16,
-                                    {"fw.load", b});
+        TaskId load = hostToGpu(paramsPerBlock() * kBytesFp16,
+                                {"fw.load", b});
         // 2. Forward compute on the GPU (blocks in order).
-        TaskId compute = ctx_.graph.compute(*gpu_, fw_flops_per_block,
-                                            {"fw.compute", b});
+        TaskId compute = gpuCompute(fw_flops_per_block, {"fw.compute", b});
         ctx_.graph.dependsOn(compute, load);
         if (b > 0)
             ctx_.graph.dependsOn(compute, prev_compute);
         tpAllReduce(compute, {"fw.allreduce", b});
         // 3. Checkpoint activations to host memory.
-        TaskId act = ctx_.transfer(gpuUp(), activationBytesPerBlock(),
-                                   {"fw.act", b});
+        TaskId act = gpuToHost(activationBytesPerBlock(), {"fw.act", b});
         ctx_.graph.dependsOn(act, compute);
         ctx_.graph.dependsOn(fw_done, act);
         ctx_.graph.dependsOn(fw_done, compute);
@@ -222,14 +130,12 @@ IterationBuilder::buildBackward(TaskId fw_done)
     TaskId prev_compute = sim::TaskGraph::kInvalidTask;
     for (int b = 0; b < model_.num_layers; ++b) {
         // 1. Reload parameters + checkpointed activations.
-        TaskId load = ctx_.transfer(
-            gpuDown(),
+        TaskId load = hostToGpu(
             paramsPerBlock() * kBytesFp16 + activationBytesPerBlock(),
             {"bw.load", b});
         ctx_.graph.dependsOn(load, fw_done);
         // 2. Backward compute.
-        TaskId compute = ctx_.graph.compute(*gpu_, bw_flops_per_block,
-                                            {"bw.compute", b});
+        TaskId compute = gpuCompute(bw_flops_per_block, {"bw.compute", b});
         ctx_.graph.dependsOn(compute, load);
         if (b > 0)
             ctx_.graph.dependsOn(compute, prev_compute);
@@ -239,16 +145,15 @@ IterationBuilder::buildBackward(TaskId fw_done)
         TaskId producer = compute;
         if (compressed()) {
             const Flops compress_work =
-                dense_grad / system_.calib.gpu_compress * gpu_->rate();
-            TaskId comp = ctx_.graph.compute(*gpu_, compress_work,
-                                             {"bw.compress", b});
+                dense_grad / system_.calib.gpu_compress * gpuRate();
+            TaskId comp = gpuCompute(compress_work, {"bw.compress", b});
             ctx_.graph.dependsOn(comp, compute);
             producer = comp;
         }
 
         // 4. Gradients to host memory, then offload to storage.
-        TaskId to_host = ctx_.transfer(gpuUp(), gradWireBytesPerBlock(),
-                                       {"bw.tohost", b});
+        TaskId to_host = gpuToHost(gradWireBytesPerBlock(),
+                                   {"bw.tohost", b});
         ctx_.graph.dependsOn(to_host, producer);
         grad_to_host_[b] = to_host;
         const auto [gate, offload] = buildGradOffload(b);
@@ -280,8 +185,7 @@ IterationBuilder::buildGradOffload(int block)
         TaskId joined = ctx_.graph.barrier({"bw.offload", block});
         const Bytes per_dev = wire / system_.num_devices;
         for (int d = 0; d < system_.num_devices; ++d) {
-            TaskId part = ctx_.transfer(ssdWriteRoute(d), per_dev,
-                                        {"bw.offload", block, d});
+            TaskId part = storageWrite(d, per_dev, {"bw.offload", block, d});
             ctx_.graph.dependsOn(part, gate);
             ctx_.graph.dependsOn(joined, part);
         }
@@ -290,8 +194,7 @@ IterationBuilder::buildGradOffload(int block)
     // Flattened equal distribution: consecutive blocks land on
     // consecutive owner CSDs.
     const int owner = block % system_.num_devices;
-    TaskId t = ctx_.transfer(ssdWriteRoute(owner), wire,
-                             {"bw.offload", block});
+    TaskId t = storageWrite(owner, wire, {"bw.offload", block});
     return {t, t};
 }
 
@@ -326,9 +229,8 @@ IterationBuilder::buildBaselineUpdate(TaskId ready)
         // compute and writeback through the full-duplex interconnect).
         TaskId read = ctx_.graph.barrier({"upd.read", b});
         for (int d = 0; d < system_.num_devices; ++d) {
-            TaskId part = ctx_.transfer(ssdReadRoute(d),
-                                        read_bytes / system_.num_devices,
-                                        {"upd.read", b, d});
+            TaskId part = storageRead(d, read_bytes / system_.num_devices,
+                                      {"upd.read", b, d});
             ctx_.graph.dependsOn(part, ready);
             if (b > 0)
                 ctx_.graph.dependsOn(part, prev_read);
@@ -347,9 +249,8 @@ IterationBuilder::buildBaselineUpdate(TaskId ready)
         // likewise streamed in block order.
         TaskId write = ctx_.graph.barrier({"upd.write", b});
         for (int d = 0; d < system_.num_devices; ++d) {
-            TaskId part = ctx_.transfer(ssdWriteRoute(d),
-                                        write_bytes / system_.num_devices,
-                                        {"upd.write", b, d});
+            TaskId part = storageWrite(d, write_bytes / system_.num_devices,
+                                       {"upd.write", b, d});
             ctx_.graph.dependsOn(part, cpu);
             if (b > 0)
                 ctx_.graph.dependsOn(part, prev_write);
@@ -475,41 +376,13 @@ IterationBuilder::buildCsdChain(int d, TaskId ready, double params_per_csd,
 
         // 4. Updated parameters upstream to host memory (overlappable
         // with the update of other subgroups — paper §IV-A).
-        TaskId up = ctx_.transfer(ssdReadRoute(d), upstream,
-                                  {"csd.upstream", d, s});
+        TaskId up = storageRead(d, upstream, {"csd.upstream", d, s});
         ctx_.graph.dependsOn(up, write_params);
         ctx_.traffic.shared_param_up += upstream;
 
         prev_kernel = kernel;
         prev_write_all = write_all;
     }
-}
-
-IterationResult
-runSingleNodeIteration(const ModelSpec &model, const TrainConfig &train,
-                       const SystemConfig &system)
-{
-    SimContext ctx(system);
-    IterationBuilder builder(model, train, system, ctx);
-    const TaskId fw_done = builder.buildForward();
-    const TaskId bw_done = builder.buildBackward(fw_done);
-    builder.buildUpdate(bw_done);
-
-    ctx.graph.start();
-    ctx.sim.run();
-    SI_ASSERT(ctx.graph.done(), "iteration graph did not drain");
-
-    IterationResult result;
-    const Seconds t_fw = ctx.graph.finishTime(fw_done);
-    const Seconds t_bw = ctx.graph.finishTime(bw_done);
-    const Seconds t_end = ctx.graph.makespan();
-    result.phases.forward = t_fw;
-    result.phases.backward = t_bw - t_fw;
-    result.phases.update = t_end - t_bw;
-    result.iteration_time = t_end;
-    result.traffic = ctx.traffic;
-    result.events_executed = ctx.sim.eventsExecuted();
-    return result;
 }
 
 } // namespace smartinf::train

@@ -1,67 +1,36 @@
 /**
  * @file
- * The per-node iteration builder extracted from the engines so higher layers
- * can compose it. One IterationBuilder expresses one server's training
- * iteration (block loads, GPU compute, gradient offloads, CSD-internal
- * swaps, FPGA updates, ...) as tasks in a SimContext's shared task graph.
- * The single-node engines drive exactly one builder; dist::DistributedEngine
- * drives one per node in the *same* SimContext and stitches inter-node
- * gradient-sync collectives between their backward and update phases, so
- * NIC traffic contends with PCIe offload traffic in one fluid-flow model.
+ * The per-node training iteration builder: composes the shared phase
+ * primitives (train/phase_builders.h) into one server's training iteration
+ * — block parameter loads, GPU compute, gradient offloads, CSD-internal
+ * swaps, FPGA updates — as tasks in a SimContext's shared task graph.
+ * TrainingWorkload drives one builder per node in the *same* SimContext and
+ * stitches inter-node gradient-sync collectives between their backward and
+ * update phases, so NIC traffic contends with PCIe offload traffic in one
+ * fluid-flow model.
  */
 #ifndef SMARTINF_TRAIN_ITERATION_BUILDER_H
 #define SMARTINF_TRAIN_ITERATION_BUILDER_H
 
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "net/flow_network.h"
-#include "net/topology.h"
-#include "sim/resource.h"
-#include "sim/task_graph.h"
-#include "train/engine.h"
+#include "train/phase_builders.h"
 
 namespace smartinf::train {
 
 /**
- * Shared simulation substrate for one iteration: the event queue, the flow
- * network, the link registry, the task graph, and the traffic ledger every
- * participating node accumulates into. Rebuilt per runIteration().
- */
-struct SimContext {
-    explicit SimContext(const SystemConfig &system)
-        : system(system), net(sim), graph(sim)
-    {
-    }
-
-    const SystemConfig &system;
-    sim::Simulator sim;
-    net::FlowNetwork net;
-    net::Topology topo;
-    sim::TaskGraph graph;
-    TrafficLedger traffic;
-
-    /** Add a flow-transfer task. */
-    sim::TaskGraph::TaskId transfer(net::Route route, Bytes bytes,
-                                    sim::TaskLabel label = {});
-};
-
-/**
- * Builds one node's iteration into a shared SimContext. Link and resource
- * names are prefixed with @p prefix ("" for single-node runs, "n3." for
- * node 3 of a cluster), so any number of builders coexist in one topology.
+ * Builds one node's training iteration into a shared SimContext.
  *
  * The build is staged so callers can interpose between phases: the
- * distributed engine hangs each block's gradient offload off that block's
- * inter-node all-reduce by adding dependencies to gradOffloadTask(b) before
- * the graph starts.
+ * distributed training workload hangs each block's gradient offload off
+ * that block's inter-node all-reduce by adding dependencies to
+ * gradOffloadGateTask(b) before the graph starts.
  */
-class IterationBuilder
+class IterationBuilder : public PhaseBuilder
 {
   public:
-    using TaskId = sim::TaskGraph::TaskId;
-
     IterationBuilder(const ModelSpec &model, const TrainConfig &train,
                      const SystemConfig &system, SimContext &ctx,
                      std::string prefix = {});
@@ -82,26 +51,14 @@ class IterationBuilder
     /**
      * Per-block task gating the block's offload transfers: adding a
      * dependency here (before start()) holds the actual flows back — the
-     * distributed engine points it at the block's reduced all-reduce
-     * bucket. For the baseline's striped offload this is a barrier in
-     * front of the per-device parts; for Smart-Infinity it is the single
-     * offload transfer itself.
+     * distributed training workload points it at the block's reduced
+     * all-reduce bucket. For the baseline's striped offload this is a
+     * barrier in front of the per-device parts; for Smart-Infinity it is
+     * the single offload transfer itself.
      */
     TaskId gradOffloadGateTask(int block) const;
 
   private:
-    void buildResources();
-    std::string pfx(const std::string &name) const { return prefix_ + name; }
-    net::Link *link(const std::string &name) { return &ctx_.topo.link(pfx(name)); }
-
-    TaskId internalTransfer(int d, Bytes bytes, BytesPerSec p2p_rate,
-                            BytesPerSec media_rate, sim::TaskLabel label);
-    net::Route gpuDown();
-    net::Route gpuUp();
-    net::Route ssdWriteRoute(int d);
-    net::Route ssdReadRoute(int d);
-
-    double paramsPerBlock() const;
     Bytes activationBytesPerBlock() const;
     bool compressed() const;
     Bytes gradWireBytesPerBlock() const;
@@ -115,24 +72,11 @@ class IterationBuilder
     void buildCsdChain(int d, TaskId ready, double params_per_csd,
                        int num_subgroups, int aux);
 
-    const ModelSpec &model_;
     const TrainConfig &train_;
-    const SystemConfig &system_;
-    SimContext &ctx_;
-    std::string prefix_;
-    std::unique_ptr<sim::Resource> gpu_;
-    std::unique_ptr<sim::Resource> cpu_;
-    std::vector<std::unique_ptr<sim::Resource>> fpga_;
-    std::vector<std::unique_ptr<sim::Resource>> dma_;
     std::vector<TaskId> grad_to_host_;
     std::vector<TaskId> grad_offload_gate_;
     std::vector<TaskId> grad_offload_;
 };
-
-/** Build and run one single-node iteration (shared by both engines). */
-IterationResult runSingleNodeIteration(const ModelSpec &model,
-                                       const TrainConfig &train,
-                                       const SystemConfig &system);
 
 } // namespace smartinf::train
 

@@ -1,0 +1,17 @@
+#include "train/sim_context.h"
+
+namespace smartinf::train {
+
+sim::TaskGraph::TaskId
+SimContext::transfer(net::Route route, Bytes bytes, sim::TaskLabel label)
+{
+    const Seconds latency = system.calib.transfer_latency;
+    return graph.add(
+        [this, route = std::move(route), bytes,
+         latency](std::function<void()> done) {
+            net.startFlow(route, bytes, std::move(done), latency);
+        },
+        label);
+}
+
+} // namespace smartinf::train

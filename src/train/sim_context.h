@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared simulation substrate for one workload run: the event queue, the
+ * flow network, the link registry, the task graph, and the traffic ledger
+ * every participating node accumulates into. One SimContext is rebuilt per
+ * Engine::run(); every node of a multi-node workload builds into the same
+ * context so all flows contend in one fluid-flow model.
+ */
+#ifndef SMARTINF_TRAIN_SIM_CONTEXT_H
+#define SMARTINF_TRAIN_SIM_CONTEXT_H
+
+#include "net/flow_network.h"
+#include "net/topology.h"
+#include "sim/task_graph.h"
+#include "train/system_config.h"
+#include "train/traffic_ledger.h"
+
+namespace smartinf::train {
+
+/** Shared simulation substrate for one workload run. */
+struct SimContext {
+    explicit SimContext(const SystemConfig &system)
+        : system(system), net(sim), graph(sim)
+    {
+    }
+
+    const SystemConfig &system;
+    sim::Simulator sim;
+    net::FlowNetwork net;
+    net::Topology topo;
+    sim::TaskGraph graph;
+    TrafficLedger traffic;
+
+    /** Add a flow-transfer task. */
+    sim::TaskGraph::TaskId transfer(net::Route route, Bytes bytes,
+                                    sim::TaskLabel label = {});
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_SIM_CONTEXT_H

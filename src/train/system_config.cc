@@ -1,8 +1,7 @@
 #include "train/system_config.h"
 
-#include <algorithm>
-#include <cctype>
-#include <sstream>
+#include "common/enum_names.h"
+#include "common/validation.h"
 
 namespace smartinf::train {
 
@@ -21,13 +20,7 @@ strategyName(Strategy strategy)
 std::optional<Strategy>
 strategyFromName(const std::string &name)
 {
-    std::string upper(name);
-    std::transform(upper.begin(), upper.end(), upper.begin(),
-                   [](unsigned char c) { return std::toupper(c); });
-    for (Strategy s : allStrategies())
-        if (upper == strategyName(s))
-            return s;
-    return std::nullopt;
+    return enumFromName(allStrategies(), strategyName, name);
 }
 
 std::vector<Strategy>
@@ -49,52 +42,38 @@ joinErrors(const std::vector<std::string> &errors)
     return out;
 }
 
-namespace {
-
-template <typename T>
-void
-require(std::vector<std::string> &errors, bool ok, const char *what,
-        const T &got)
-{
-    if (ok)
-        return;
-    std::ostringstream oss;
-    oss << what << ", got " << got;
-    errors.push_back(oss.str());
-}
-
-} // namespace
-
 std::vector<std::string>
 SystemConfig::validate() const
 {
     std::vector<std::string> errors;
-    require(errors, num_devices >= 1, "num_devices must be >= 1",
-            num_devices);
-    require(errors, num_gpus >= 1, "num_gpus must be >= 1", num_gpus);
+    requireField(errors, num_devices >= 1, "num_devices must be >= 1",
+                 num_devices);
+    requireField(errors, num_gpus >= 1, "num_gpus must be >= 1", num_gpus);
     if (strategy == Strategy::SmartUpdateOptComp) {
-        require(errors,
-                compression_wire_fraction > 0.0 &&
-                    compression_wire_fraction <= 1.0,
-                "compression_wire_fraction must be in (0, 1]",
-                compression_wire_fraction);
+        requireField(errors,
+                     compression_wire_fraction > 0.0 &&
+                         compression_wire_fraction <= 1.0,
+                     "compression_wire_fraction must be in (0, 1]",
+                     compression_wire_fraction);
     }
-    require(errors, num_nodes >= 1, "num_nodes must be >= 1", num_nodes);
+    requireField(errors, num_nodes >= 1, "num_nodes must be >= 1",
+                 num_nodes);
     if (num_nodes > 1) {
-        require(errors, nic_bandwidth > 0.0,
-                "nic_bandwidth must be positive for multi-node configs",
-                nic_bandwidth);
-        require(errors, nic_latency >= 0.0, "nic_latency must be >= 0",
-                nic_latency);
+        requireField(errors, nic_bandwidth > 0.0,
+                     "nic_bandwidth must be positive for multi-node configs",
+                     nic_bandwidth);
+        requireField(errors, nic_latency >= 0.0, "nic_latency must be >= 0",
+                     nic_latency);
     }
-    require(errors, calib.ssd_read > 0.0, "calib.ssd_read must be positive",
-            calib.ssd_read);
-    require(errors, calib.ssd_write > 0.0,
-            "calib.ssd_write must be positive", calib.ssd_write);
-    require(errors,
-            calib.fpga_dram_usable > 0.0 && calib.fpga_dram_usable <= 1.0,
-            "calib.fpga_dram_usable must be in (0, 1]",
-            calib.fpga_dram_usable);
+    requireField(errors, calib.ssd_read > 0.0,
+                 "calib.ssd_read must be positive", calib.ssd_read);
+    requireField(errors, calib.ssd_write > 0.0,
+                 "calib.ssd_write must be positive", calib.ssd_write);
+    requireField(errors,
+                 calib.fpga_dram_usable > 0.0 &&
+                     calib.fpga_dram_usable <= 1.0,
+                 "calib.fpga_dram_usable must be in (0, 1]",
+                 calib.fpga_dram_usable);
     return errors;
 }
 

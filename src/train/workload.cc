@@ -1,0 +1,38 @@
+#include "train/workload.h"
+
+#include "common/enum_names.h"
+
+namespace smartinf::train {
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Training: return "training";
+      case WorkloadKind::Serving: return "serving";
+    }
+    return "?";
+}
+
+std::optional<WorkloadKind>
+workloadKindFromName(const std::string &name)
+{
+    return enumFromName(allWorkloadKinds(), workloadKindName, name);
+}
+
+std::vector<WorkloadKind>
+allWorkloadKinds()
+{
+    return {WorkloadKind::Training, WorkloadKind::Serving};
+}
+
+double
+WorkloadResult::totalOutputTokens() const
+{
+    double tokens = 0.0;
+    for (const RequestRecord &r : requests)
+        tokens += r.output_tokens;
+    return tokens;
+}
+
+} // namespace smartinf::train

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The Workload abstraction: the engine layer executes *workloads*, not just
+ * training iterations. A Workload expresses its work (task graphs, flows,
+ * timed events) into a SimContext; Engine::run() drives the simulator and
+ * hands back a WorkloadResult. Training is one workload
+ * (train::TrainingWorkload); batched inference serving is another
+ * (serve::InferenceWorkload); new workload shapes implement this interface
+ * and plug into the same engines, sweep runner, and scenario registry.
+ */
+#ifndef SMARTINF_TRAIN_WORKLOAD_H
+#define SMARTINF_TRAIN_WORKLOAD_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "train/traffic_ledger.h"
+
+namespace smartinf::train {
+
+struct SimContext;
+
+/** The shape of work an engine executes (RunSpec axis, hashed). */
+enum class WorkloadKind {
+    Training, ///< steady-state training iterations (the paper's workload)
+    Serving   ///< batched inference over the same storage-offload substrate
+};
+
+const char *workloadKindName(WorkloadKind kind);
+
+/**
+ * Inverse of workloadKindName() ("training"/"serving", case-insensitive).
+ * Returns nullopt for unknown names.
+ */
+std::optional<WorkloadKind> workloadKindFromName(const std::string &name);
+
+/** Every workload kind, in declaration order (sweep axes, tests). */
+std::vector<WorkloadKind> allWorkloadKinds();
+
+/** Wall-clock split of one training iteration into the paper's three
+ *  phases. Serving workloads leave it zero. */
+struct PhaseBreakdown {
+    Seconds forward = 0.0;
+    /** Backward compute + gradient offload (paper "BW+Grad. Offload"). */
+    Seconds backward = 0.0;
+    /** Update + optimizer-state upload/offload. */
+    Seconds update = 0.0;
+
+    Seconds total() const { return forward + backward + update; }
+};
+
+/**
+ * Lifecycle timestamps of one served request (simulated seconds). The
+ * serving scheduler emits one per request; percentile latency and
+ * throughput reporting derive from these records, which are part of the
+ * deterministic contract: same seed + spec => bit-identical records.
+ */
+struct RequestRecord {
+    int id = 0;             ///< stream position (global across nodes)
+    int node = 0;           ///< replica that served the request
+    int prompt_tokens = 0;  ///< prefill length
+    int output_tokens = 0;  ///< tokens generated (incl. the first)
+    Seconds arrival = 0.0;  ///< open-loop/trace arrival time
+    Seconds start = 0.0;    ///< admitted into a running batch
+    Seconds first_token = 0.0; ///< prefill step completed
+    Seconds finish = 0.0;      ///< last decode step completed
+
+    Seconds queueDelay() const { return start - arrival; }
+    Seconds timeToFirstToken() const { return first_token - arrival; }
+    Seconds latency() const { return finish - arrival; }
+};
+
+/**
+ * Result of simulating one workload. Training populates phases; serving
+ * populates the per-request records and queue statistics. iteration_time
+ * keeps its historic name and always holds the workload makespan.
+ */
+struct WorkloadResult {
+    WorkloadKind kind = WorkloadKind::Training;
+    PhaseBreakdown phases;
+    TrafficLedger traffic;
+    /** Workload makespan (== phases.total() for training). */
+    Seconds iteration_time = 0.0;
+    /** Discrete events the simulator executed — the denominator of the
+     *  perf harness's events/sec metric. */
+    uint64_t events_executed = 0;
+
+    /** @name Serving only (empty/zero for training). @{ */
+    /** One record per request, sorted by id. */
+    std::vector<RequestRecord> requests;
+    /** Integral of the cluster-wide queued-request count over time;
+     *  divide by iteration_time for the mean queue depth. */
+    double queue_depth_time_integral = 0.0;
+    /** Largest instantaneous per-node queue depth observed. */
+    int peak_queue_depth = 0;
+    /** @} */
+
+    /** Output tokens generated across all requests (0 for training). */
+    double totalOutputTokens() const;
+};
+
+/**
+ * One unit of executable work. Implementations hold the workload's own
+ * parameters (model, batch shape, request stream, ...) and read the system
+ * shape from the SimContext the engine hands them. A Workload instance is
+ * single-use state for one run: build() may stash task ids / schedulers
+ * that collect() then harvests.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+    virtual WorkloadKind kind() const = 0;
+
+    /**
+     * Express the workload in @p ctx: add tasks/dependencies to the graph
+     * and (for reactive workloads) schedule timed events that grow the
+     * graph dynamically while the simulator runs. Called exactly once,
+     * before the engine starts the graph.
+     */
+    virtual void build(SimContext &ctx) = 0;
+
+    /**
+     * Harvest workload-specific results after the simulator drained.
+     * Engine::run() fills traffic and events_executed afterwards.
+     */
+    virtual void collect(const SimContext &ctx, WorkloadResult &out) = 0;
+};
+
+} // namespace smartinf::train
+
+#endif // SMARTINF_TRAIN_WORKLOAD_H

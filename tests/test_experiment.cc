@@ -166,6 +166,34 @@ TEST(RunSpecHash, NormalizesFieldsThatCannotAffectTheResult)
     EXPECT_NE(c.hash(), d.hash());
 }
 
+TEST(ExperimentBuilder, ServingAxesSweepTheServeConfig)
+{
+    serve::ServeConfig config;
+    const auto specs = ExperimentBuilder()
+                           .model(ModelSpec::gpt2(0.5))
+                           .serving(config)
+                           .schedulers(serve::allSchedulerPolicies())
+                           .maxBatches({1, 8})
+                           .build();
+    ASSERT_EQ(specs.size(), 4u);
+    for (const auto &spec : specs)
+        EXPECT_EQ(spec.workload, train::WorkloadKind::Serving);
+    EXPECT_EQ(specs[0].serve.scheduler, serve::SchedulerPolicy::Fifo);
+    EXPECT_EQ(specs[0].serve.max_batch, 1);
+    EXPECT_EQ(specs[3].serve.scheduler, serve::SchedulerPolicy::Continuous);
+    EXPECT_EQ(specs[3].serve.max_batch, 8);
+}
+
+TEST(ExperimentBuilder, ServingAxesOnATrainingSweepAreFatal)
+{
+    // The hash normalizes serving knobs out of training runs, so such a
+    // sweep would emit duplicate specs — build() refuses instead.
+    auto builder = ExperimentBuilder()
+                       .model(ModelSpec::gpt2(0.5))
+                       .arrivalRates({0.1, 0.2});
+    EXPECT_THROW(builder.build(), std::runtime_error);
+}
+
 TEST(RunSpec, DescribeNamesTheInterestingFields)
 {
     RunSpec spec;

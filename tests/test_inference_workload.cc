@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the serving workload: determinism of the request latency
+ * records (same seed + spec => bit-identical, across repeated runs and
+ * across --jobs 1 / --jobs N sweep execution — the serving analog of the
+ * sweep runner's parallel==serial guarantee), batch-scheduler policy
+ * semantics, multi-node replica sharding, and the BASE vs Smart ordering
+ * on the wire-bound decode path.
+ */
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "exp/sweep_runner.h"
+#include "serve/inference_workload.h"
+#include "serve/metrics.h"
+#include "train/engine.h"
+
+namespace smartinf {
+namespace {
+
+train::ModelSpec
+smallModel()
+{
+    return train::ModelSpec::gpt2(0.5);
+}
+
+serve::ServeConfig
+smallServe()
+{
+    serve::ServeConfig config;
+    config.num_requests = 8;
+    config.arrival_rate = 0.5;
+    config.prompt_tokens = 64;
+    config.output_tokens = 6;
+    config.max_batch = 4;
+    return config;
+}
+
+train::WorkloadResult
+runServe(const serve::ServeConfig &config, train::Strategy strategy,
+         int nodes = 1)
+{
+    train::SystemConfig system;
+    system.strategy = strategy;
+    system.num_devices = 4;
+    system.num_nodes = nodes;
+    auto engine = train::makeEngine(smallModel(), {}, system);
+    serve::InferenceWorkload workload(smallModel(), config);
+    return engine->run(workload);
+}
+
+void
+expectRecordsBitIdentical(const std::vector<train::RequestRecord> &a,
+                          const std::vector<train::RequestRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].node, b[i].node);
+        // Bit-equality of every timestamp, not approximate equality.
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].first_token, b[i].first_token);
+        EXPECT_EQ(a[i].finish, b[i].finish);
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+    }
+}
+
+TEST(InferenceWorkload, RepeatedRunsAreBitIdentical)
+{
+    const auto config = smallServe();
+    const auto a = runServe(config, train::Strategy::SmartUpdateOptComp);
+    const auto b = runServe(config, train::Strategy::SmartUpdateOptComp);
+    expectRecordsBitIdentical(a.requests, b.requests);
+    EXPECT_EQ(a.iteration_time, b.iteration_time);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.queue_depth_time_integral, b.queue_depth_time_integral);
+}
+
+TEST(InferenceWorkload, SweepRecordsAreIdenticalAcrossJobCounts)
+{
+    // Satellite guarantee: --jobs 1 and --jobs N produce bit-identical
+    // request latency records for the same specs.
+    const auto build = [] {
+        return exp::ExperimentBuilder()
+            .model(smallModel())
+            .serving(smallServe())
+            .strategies(train::allStrategies())
+            .devices(4)
+            .nodes({1, 2})
+            .build();
+    };
+
+    exp::SweepRunner serial({/*jobs=*/1, /*cache=*/true});
+    exp::SweepRunner parallel({/*jobs=*/8, /*cache=*/true});
+    const auto serial_records = serial.run(build());
+    const auto parallel_records = parallel.run(build());
+
+    ASSERT_EQ(serial_records.size(), 8u);
+    ASSERT_EQ(serial_records.size(), parallel_records.size());
+    for (std::size_t i = 0; i < serial_records.size(); ++i) {
+        const auto &a = serial_records[i];
+        const auto &b = parallel_records[i];
+        EXPECT_EQ(a.spec_hash, b.spec_hash);
+        EXPECT_EQ(a.result.iteration_time, b.result.iteration_time);
+        EXPECT_EQ(a.result.events_executed, b.result.events_executed);
+        expectRecordsBitIdentical(a.result.requests, b.result.requests);
+    }
+}
+
+TEST(InferenceWorkload, EveryRequestIsServedExactlyOnce)
+{
+    const auto result = runServe(smallServe(), train::Strategy::Baseline);
+    ASSERT_EQ(result.requests.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(result.requests[i].id, i); // sorted, no gaps, no dupes
+}
+
+TEST(InferenceWorkload, BatchOfOneMakesPoliciesEquivalent)
+{
+    // With max_batch 1, continuous batching degenerates to FIFO: the
+    // admission decision spaces are identical, so records must be too.
+    auto config = smallServe();
+    config.max_batch = 1;
+    config.scheduler = serve::SchedulerPolicy::Fifo;
+    const auto fifo = runServe(config, train::Strategy::SmartUpdateOpt);
+    config.scheduler = serve::SchedulerPolicy::Continuous;
+    const auto continuous = runServe(config, train::Strategy::SmartUpdateOpt);
+    expectRecordsBitIdentical(fifo.requests, continuous.requests);
+    EXPECT_EQ(fifo.iteration_time, continuous.iteration_time);
+}
+
+TEST(InferenceWorkload, ContinuousBatchingDoesNotLoseToFifo)
+{
+    // Under queueing pressure, admitting at step boundaries can only help
+    // mean latency (same service capacity, earlier admission).
+    auto config = smallServe();
+    config.arrival_rate = 2.0;
+    config.scheduler = serve::SchedulerPolicy::Fifo;
+    const auto fifo = runServe(config, train::Strategy::Baseline);
+    config.scheduler = serve::SchedulerPolicy::Continuous;
+    const auto continuous = runServe(config, train::Strategy::Baseline);
+    EXPECT_LE(serve::summarize(continuous).latency.mean,
+              serve::summarize(fifo).latency.mean * (1.0 + 1e-9));
+}
+
+TEST(InferenceWorkload, ReplicasShardRoundRobinAndScaleThroughput)
+{
+    auto config = smallServe();
+    config.arrival_rate = 2.0; // enough pressure that replicas matter
+    const auto single = runServe(config, train::Strategy::SmartUpdateOpt, 1);
+    const auto quad = runServe(config, train::Strategy::SmartUpdateOpt, 4);
+
+    ASSERT_EQ(quad.requests.size(), 8u);
+    for (const train::RequestRecord &r : quad.requests)
+        EXPECT_EQ(r.node, r.id % 4);
+    // Same arrivals, 4x the service capacity: strictly earlier completion.
+    EXPECT_LT(quad.iteration_time, single.iteration_time);
+    EXPECT_LE(serve::summarize(quad).latency.p95,
+              serve::summarize(single).latency.p95);
+}
+
+TEST(InferenceWorkload, QuantizedWeightsBeatDenseStreaming)
+{
+    // Decode is wire-bound: SU+O+C (quantized weights, optimized handler)
+    // must beat BASE dense striping end to end.
+    const auto base = runServe(smallServe(), train::Strategy::Baseline);
+    const auto smart =
+        runServe(smallServe(), train::Strategy::SmartUpdateOptComp);
+    EXPECT_LT(serve::summarize(smart).latency.p95,
+              serve::summarize(base).latency.p95);
+    // And it moves proportionally fewer bytes over the shared wire.
+    EXPECT_LT(smart.traffic.shared_param_up,
+              0.5 * base.traffic.shared_param_up);
+}
+
+TEST(InferenceWorkload, TraceDrivenArrivalsAreHonored)
+{
+    auto config = smallServe();
+    config.trace = {0.0, 0.0, 10.0};
+    const auto result = runServe(config, train::Strategy::SmartUpdateOpt);
+    ASSERT_EQ(result.requests.size(), 3u);
+    EXPECT_EQ(result.requests[0].arrival, 0.0);
+    EXPECT_EQ(result.requests[2].arrival, 10.0);
+    EXPECT_GE(result.requests[2].start, 10.0);
+}
+
+TEST(InferenceWorkload, QueueDepthStatisticsAreConsistent)
+{
+    auto config = smallServe();
+    config.arrival_rate = 4.0; // burst: arrivals pile up behind slow steps
+    const auto result = runServe(config, train::Strategy::Baseline);
+    EXPECT_GT(result.peak_queue_depth, 0);
+    EXPECT_GT(result.queue_depth_time_integral, 0.0);
+    EXPECT_LE(result.queue_depth_time_integral,
+              static_cast<double>(result.peak_queue_depth) *
+                  result.iteration_time);
+}
+
+} // namespace
+} // namespace smartinf

@@ -1,0 +1,98 @@
+/** @file Tests of deterministic request-arrival generation. */
+#include <gtest/gtest.h>
+
+#include "serve/request_stream.h"
+
+namespace smartinf::serve {
+namespace {
+
+TEST(RequestStream, SameSeedIsBitIdentical)
+{
+    ServeConfig config;
+    config.num_requests = 64;
+    config.arrival_rate = 3.0;
+    const auto a = generateRequestStream(config);
+    const auto b = generateRequestStream(config);
+    ASSERT_EQ(a.size(), 64u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, static_cast<int>(i));
+        EXPECT_EQ(a[i].arrival, b[i].arrival); // bit-equal doubles
+        EXPECT_EQ(a[i].prompt_tokens, config.prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, config.output_tokens);
+    }
+}
+
+TEST(RequestStream, DifferentSeedsDiffer)
+{
+    ServeConfig config;
+    config.num_requests = 8;
+    const auto a = generateRequestStream(config);
+    config.seed += 1;
+    const auto b = generateRequestStream(config);
+    bool any_different = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_different |= a[i].arrival != b[i].arrival;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(RequestStream, ArrivalsAreStrictlyPositiveAndNonDecreasing)
+{
+    ServeConfig config;
+    config.num_requests = 128;
+    config.arrival_rate = 10.0;
+    const auto stream = generateRequestStream(config);
+    Seconds prev = 0.0;
+    for (const RequestSpec &r : stream) {
+        EXPECT_GT(r.arrival, 0.0);
+        EXPECT_GE(r.arrival, prev);
+        prev = r.arrival;
+    }
+}
+
+TEST(RequestStream, MeanInterarrivalTracksTheRate)
+{
+    ServeConfig config;
+    config.num_requests = 4096;
+    config.arrival_rate = 5.0;
+    const auto stream = generateRequestStream(config);
+    const double mean = stream.back().arrival / stream.size();
+    EXPECT_NEAR(mean, 1.0 / config.arrival_rate, 0.02);
+}
+
+TEST(RequestStream, TraceOverridesOpenLoop)
+{
+    ServeConfig config;
+    config.num_requests = 99; // ignored
+    config.trace = {0.0, 0.5, 0.5, 2.0};
+    const auto stream = generateRequestStream(config);
+    ASSERT_EQ(stream.size(), 4u);
+    EXPECT_EQ(config.streamSize(), 4);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(stream[i].id, static_cast<int>(i));
+        EXPECT_DOUBLE_EQ(stream[i].arrival, config.trace[i]);
+    }
+}
+
+TEST(RequestStream, ValidationCatchesBadConfigs)
+{
+    ServeConfig config;
+    EXPECT_TRUE(config.validate().empty());
+    config.arrival_rate = 0.0;
+    EXPECT_FALSE(config.validate().empty());
+
+    ServeConfig bad_trace;
+    bad_trace.trace = {1.0, 0.5}; // decreasing
+    EXPECT_FALSE(bad_trace.validate().empty());
+
+    ServeConfig bad_tokens;
+    bad_tokens.output_tokens = 0;
+    EXPECT_FALSE(bad_tokens.validate().empty());
+
+    ServeConfig bad_fraction;
+    bad_fraction.weight_wire_fraction = 0.0;
+    EXPECT_FALSE(bad_fraction.validate().empty());
+}
+
+} // namespace
+} // namespace smartinf::serve

@@ -91,7 +91,7 @@ TEST(ResultIo, CsvHasOneLinePerRecordPlusHeader)
     std::string line;
     std::size_t count = 0;
     std::getline(lines, line);
-    EXPECT_NE(line.find("label,model,strategy"), std::string::npos);
+    EXPECT_NE(line.find("label,workload,model,strategy"), std::string::npos);
     const auto columns =
         static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) +
         1;

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Alias-regression tests for the RunSpec hash over the new workload and
+ * serving knobs (ROADMAP: new config knobs must join the FNV-1a hash in
+ * src/exp/run_spec.cc or cached results alias). The contract under test:
+ * any two specs differing in exactly one result-affecting field hash
+ * differently, and fields the workload kind cannot consume are normalized
+ * out (so e.g. a training spec is one cache entry across serve configs).
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "exp/run_spec.h"
+
+namespace smartinf::exp {
+namespace {
+
+RunSpec
+servingSpec()
+{
+    RunSpec spec;
+    spec.workload = train::WorkloadKind::Serving;
+    spec.model = train::ModelSpec::gpt2(0.5);
+    // The quantized-weight engine so weight_wire_fraction is live.
+    spec.system.strategy = train::Strategy::SmartUpdateOptComp;
+    spec.system.num_devices = 4;
+    return spec;
+}
+
+TEST(RunSpecHash, EveryNewServingFieldChangesTheHash)
+{
+    const RunSpec base = servingSpec();
+
+    // One mutator per new result-affecting field.
+    struct Mutation {
+        const char *field;
+        std::function<void(RunSpec &)> apply;
+    };
+    const std::vector<Mutation> mutations = {
+        {"workload",
+         [](RunSpec &s) { s.workload = train::WorkloadKind::Training; }},
+        {"serve.scheduler",
+         [](RunSpec &s) {
+             s.serve.scheduler = serve::SchedulerPolicy::Fifo;
+         }},
+        {"serve.num_requests", [](RunSpec &s) { s.serve.num_requests += 1; }},
+        {"serve.arrival_rate",
+         [](RunSpec &s) { s.serve.arrival_rate *= 2.0; }},
+        {"serve.seed", [](RunSpec &s) { s.serve.seed += 1; }},
+        {"serve.prompt_tokens",
+         [](RunSpec &s) { s.serve.prompt_tokens += 1; }},
+        {"serve.output_tokens",
+         [](RunSpec &s) { s.serve.output_tokens += 1; }},
+        {"serve.max_batch", [](RunSpec &s) { s.serve.max_batch += 1; }},
+        {"serve.weight_wire_fraction",
+         [](RunSpec &s) { s.serve.weight_wire_fraction = 0.125; }},
+        {"serve.trace", [](RunSpec &s) { s.serve.trace = {0.0, 1.0}; }},
+    };
+
+    // Every single-field mutation must produce a distinct hash — distinct
+    // from the base and pairwise distinct from every other mutation.
+    std::set<std::uint64_t> hashes{base.hash()};
+    for (const Mutation &m : mutations) {
+        RunSpec mutated = base;
+        m.apply(mutated);
+        const auto [_, inserted] = hashes.insert(mutated.hash());
+        EXPECT_TRUE(inserted) << "hash alias on field " << m.field;
+    }
+    EXPECT_EQ(hashes.size(), mutations.size() + 1);
+}
+
+TEST(RunSpecHash, TraceContentChangesTheHash)
+{
+    RunSpec a = servingSpec();
+    a.serve.trace = {0.0, 1.0, 2.0};
+    RunSpec b = a;
+    b.serve.trace = {0.0, 1.0, 2.5};
+    RunSpec c = a;
+    c.serve.trace = {0.0, 1.0, 2.0, 3.0};
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_NE(b.hash(), c.hash());
+}
+
+TEST(RunSpecHash, TrainingSpecsNormalizeServingKnobsOut)
+{
+    // A training run cannot consume the serve config, so differing serve
+    // fields must NOT split the cache entry.
+    RunSpec a = servingSpec();
+    a.workload = train::WorkloadKind::Training;
+    RunSpec b = a;
+    b.serve.arrival_rate *= 3.0;
+    b.serve.max_batch += 2;
+    b.serve.seed += 7;
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(RunSpecHash, ServingSpecsNormalizeTrainingKnobsOut)
+{
+    RunSpec a = servingSpec();
+    RunSpec b = a;
+    b.train.batch_size += 4;
+    b.train.seq_len *= 2;
+    EXPECT_EQ(a.hash(), b.hash());
+
+    // Training-only SystemConfig knobs must not split serving cache
+    // entries either: the serving path has no optimizer update, no
+    // gradient compression, and no gradient-sync collective.
+    RunSpec c = servingSpec();
+    RunSpec d = c;
+    d.system.optimizer = optim::OptimizerKind::SgdMomentum;
+    d.system.compression_wire_fraction = 0.1;
+    EXPECT_EQ(c.hash(), d.hash());
+
+    RunSpec e = servingSpec();
+    e.system.num_nodes = 4;
+    RunSpec f = e;
+    f.system.overlap_grad_sync = !f.system.overlap_grad_sync;
+    f.system.nic_bandwidth *= 2.0;
+    EXPECT_EQ(e.hash(), f.hash());
+    // ... while a training spec still keys on them.
+    RunSpec g = e;
+    g.workload = train::WorkloadKind::Training;
+    RunSpec h = g;
+    h.system.overlap_grad_sync = !h.system.overlap_grad_sync;
+    EXPECT_NE(g.hash(), h.hash());
+}
+
+TEST(RunSpecHash, WeightFractionIsNormalizedForDenseEngines)
+{
+    // Mirrors the compression_wire_fraction normalization: dense-weight
+    // engines ignore the quantization ratio, so it must not split their
+    // cache entries — but the quantized engine must key on it.
+    RunSpec dense = servingSpec();
+    dense.system.strategy = train::Strategy::SmartUpdateOpt;
+    RunSpec dense2 = dense;
+    dense2.serve.weight_wire_fraction = 0.5;
+    EXPECT_EQ(dense.hash(), dense2.hash());
+
+    RunSpec quant = servingSpec();
+    RunSpec quant2 = quant;
+    quant2.serve.weight_wire_fraction = 0.5;
+    EXPECT_NE(quant.hash(), quant2.hash());
+}
+
+TEST(RunSpecHash, OpenLoopKnobsAreNormalizedUnderATrace)
+{
+    // With a trace set, generation ignores num_requests/arrival_rate/seed
+    // entirely — hashing them anyway would alias nothing but split caches.
+    RunSpec a = servingSpec();
+    a.serve.trace = {0.0, 0.5};
+    RunSpec b = a;
+    b.serve.num_requests += 5;
+    b.serve.arrival_rate *= 2.0;
+    b.serve.seed += 1;
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(RunSpecHash, DescribeDistinguishesServingSpecs)
+{
+    const RunSpec spec = servingSpec();
+    const std::string label = spec.describe();
+    EXPECT_NE(label.find("serve-continuous"), std::string::npos) << label;
+    EXPECT_NE(label.find("/b8"), std::string::npos) << label;
+
+    RunSpec training = spec;
+    training.workload = train::WorkloadKind::Training;
+    EXPECT_EQ(training.describe().find("serve"), std::string::npos);
+}
+
+} // namespace
+} // namespace smartinf::exp

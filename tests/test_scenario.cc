@@ -14,7 +14,8 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
     registerBuiltinScenarios();
     registerBuiltinScenarios(); // second call must not duplicate
     const auto all = ScenarioRegistry::instance().all();
-    EXPECT_EQ(all.size(), 17u); // one per migrated bench binary
+    // 17 migrated bench binaries + the 3 serving studies.
+    EXPECT_EQ(all.size(), 20u);
 
     // Sorted by name, every paper artifact present.
     for (std::size_t i = 1; i < all.size(); ++i)
@@ -22,7 +23,8 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
     for (const char *name :
          {"fig03a", "fig03b", "fig09", "fig10", "fig11", "fig12", "fig13",
           "fig14", "fig15", "fig16", "fig17", "table1", "table3", "table4",
-          "ablation_handler", "ablation_compression", "scaleout"})
+          "ablation_handler", "ablation_compression", "scaleout",
+          "serve_smart", "serve_baseline", "serve_batching"})
         EXPECT_NE(ScenarioRegistry::instance().find(name), nullptr)
             << name;
     EXPECT_EQ(ScenarioRegistry::instance().find("nope"), nullptr);

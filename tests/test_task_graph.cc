@@ -121,13 +121,99 @@ TEST(TaskGraph, DoubleStartIsFatal)
     EXPECT_THROW(g.start(), std::runtime_error);
 }
 
-TEST(TaskGraph, AddAfterStartIsFatal)
+// ---- dynamic mode (tasks added while the simulator runs) --------------------
+
+TEST(TaskGraph, DynamicTaskAddedAfterStartLaunchesOnRelease)
 {
     Simulator sim;
     TaskGraph g(sim);
-    g.barrier();
+    auto head = g.delay(1.0, "head");
     g.start();
-    EXPECT_THROW(g.barrier(), std::runtime_error);
+    // Grow the graph from inside the running simulation.
+    double dynamic_finish = -1.0;
+    sim.at(0.5, [&] {
+        auto tail = g.delay(2.0, "tail");
+        g.dependsOn(tail, head); // head not yet complete: real dependency
+        g.release(tail);
+        sim.at(3.5, [&, tail] { dynamic_finish = g.finishTime(tail); });
+    });
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_DOUBLE_EQ(dynamic_finish, 3.0); // 1.0 (head) + 2.0
+    EXPECT_DOUBLE_EQ(g.makespan(), 3.0);
+}
+
+TEST(TaskGraph, DynamicDependencyOnCompletedTaskIsSatisfied)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto head = g.delay(1.0, "head");
+    g.start();
+    sim.at(5.0, [&] {
+        auto tail = g.delay(1.0, "tail");
+        g.dependsOn(tail, head); // completed at t=1: no-op, already satisfied
+        g.release(tail);
+    });
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_DOUBLE_EQ(g.startTime(head), 0.0); // head launched at start
+    EXPECT_DOUBLE_EQ(g.makespan(), 6.0);      // released at 5, runs 1s
+}
+
+TEST(TaskGraph, ReleaseRangeArmsOneDynamicSubgraph)
+{
+    Simulator sim;
+    Resource r(sim, "r", 1.0);
+    TaskGraph g(sim);
+    auto head = g.delay(1.0, "head");
+    g.start();
+    sim.at(1.0, [&] {
+        const TaskGraph::TaskId first = g.taskCount();
+        auto a = g.compute(r, 1.0, "a");
+        auto b = g.compute(r, 1.0, "b");
+        auto join = g.barrier("join");
+        g.dependsOn(b, a);
+        g.dependsOn(join, {a, b});
+        g.releaseRange(first, g.taskCount());
+        (void)head;
+        sim.at(4.0, [&, join] { EXPECT_DOUBLE_EQ(g.finishTime(join), 3.0); });
+    });
+    sim.run();
+    EXPECT_TRUE(g.done());
+}
+
+TEST(TaskGraph, DynamicGrowthFromCompletionCallbackSurvivesReallocation)
+{
+    // A chain grown one link at a time from inside task actions: each
+    // action appends the next task while complete() is iterating its
+    // dependents, exercising the reallocation-safety of the tasks_ store.
+    Simulator sim;
+    TaskGraph g(sim);
+    int hops = 0;
+    std::function<void(std::function<void()>)> grow =
+        [&](std::function<void()> done) {
+            ++hops;
+            if (hops < 200) {
+                auto next = g.add(grow, {"hop"});
+                g.release(next);
+            }
+            done();
+        };
+    auto seed = g.add(grow, {"hop"});
+    (void)seed;
+    g.start();
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_EQ(hops, 200);
+    EXPECT_EQ(g.taskCount(), 200u);
+}
+
+TEST(TaskGraph, ReleaseBeforeStartIsFatal)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    auto a = g.barrier();
+    EXPECT_THROW(g.release(a), std::runtime_error);
 }
 
 TEST(TaskGraph, NegativeDelayIsFatal)
