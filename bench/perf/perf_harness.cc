@@ -90,7 +90,8 @@ engineCase(const std::string &name, int nodes)
 
 /** Time one direct serving run (the dynamic-task-graph hot path). */
 PerfSample
-serveCase(const std::string &name, int num_requests)
+serveCase(const std::string &name, int num_requests,
+          bool kv_heavy = false)
 {
     const auto model = train::ModelSpec::gpt2(4.0);
     train::SystemConfig system;
@@ -104,6 +105,20 @@ serveCase(const std::string &name, int num_requests)
     config.prompt_tokens = 256;
     config.output_tokens = 16;
     config.max_batch = 8;
+    if (kv_heavy) {
+        // The KV-heavy tracked case: sampled output lengths (ragged
+        // batches) + tight KV budgets so every decode step issues spill
+        // flows on top of the parameter stream — the serving-fidelity
+        // hot path added in PR 5.
+        config.output_lengths.kind = serve::LengthDistKind::Lognormal;
+        config.output_lengths.log_mean = 3.5; // median ~33 tokens
+        config.output_lengths.log_sigma = 0.7;
+        config.output_lengths.min_tokens = 8;
+        config.output_lengths.max_tokens = 128;
+        config.kv.enabled = true;
+        config.kv.hbm_budget = GiB(0.25);
+        config.kv.host_budget = GiB(0.5);
+    }
 
     PerfSample sample;
     sample.name = name;
@@ -135,6 +150,7 @@ runPerfCases()
     samples.push_back(engineCase("scaleout_n4", 4));
     samples.push_back(engineCase("scaleout_n16", 16));
     samples.push_back(serveCase("serve_smart_16req", 16));
+    samples.push_back(serveCase("serve_kv_24req", 24, /*kv_heavy=*/true));
     return samples;
 }
 

@@ -189,6 +189,27 @@ ExperimentBuilder::weightWireFractions(std::vector<double> fs)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::outputTokenCounts(std::vector<int> ts)
+{
+    output_token_counts_ = std::move(ts);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::hbmBudgets(std::vector<double> bs)
+{
+    hbm_budgets_ = std::move(bs);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::concurrencies(std::vector<int> cs)
+{
+    concurrencies_ = std::move(cs);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::congested(bool on)
 {
     congested_ = on;
@@ -217,7 +238,9 @@ ExperimentBuilder::size() const
            axisSize(optimizers_) * axisSize(comp_fractions_) *
            axisSize(nodes_) * axisSize(overlap_) * axisSize(calibs_) *
            axisSize(schedulers_) * axisSize(arrival_rates_) *
-           axisSize(max_batches_) * axisSize(weight_fractions_);
+           axisSize(max_batches_) * axisSize(weight_fractions_) *
+           axisSize(output_token_counts_) * axisSize(hbm_budgets_) *
+           axisSize(concurrencies_);
 }
 
 std::vector<RunSpec>
@@ -229,9 +252,23 @@ ExperimentBuilder::build() const
     // hash normalizes serving knobs out of training runs) — refuse early.
     SI_REQUIRE(workload_ == train::WorkloadKind::Serving ||
                    (schedulers_.empty() && arrival_rates_.empty() &&
-                    max_batches_.empty() && weight_fractions_.empty()),
+                    max_batches_.empty() && weight_fractions_.empty() &&
+                    output_token_counts_.empty() && hbm_budgets_.empty() &&
+                    concurrencies_.empty()),
                "serving axes set on a training sweep; call serving() (or "
                "workload(WorkloadKind::Serving)) first");
+    // Same duplicate-hash failure mode, per axis: the hash normalizes
+    // these knobs out when their enabling mode is off, so sweeping them
+    // would expand N identically-hashed specs and the cache would hand
+    // back one aliased result per row. Refuse early instead.
+    SI_REQUIRE(concurrencies_.empty() ||
+                   serve_base_.client_mode ==
+                       serve::ClientMode::ClosedLoop,
+               "concurrencies() axis needs a closed-loop serving() base "
+               "config (set client_mode = ClientMode::ClosedLoop)");
+    SI_REQUIRE(hbm_budgets_.empty() || serve_base_.kv.enabled,
+               "hbmBudgets() axis needs KV modeling enabled on the "
+               "serving() base config (set kv.enabled = true)");
 
     const std::vector<train::TrainConfig> trains =
         trains_.empty() ? std::vector<train::TrainConfig>{{}} : trains_;
@@ -275,6 +312,17 @@ ExperimentBuilder::build() const
         weight_fractions_.empty()
             ? std::vector<double>{serve_base_.weight_wire_fraction}
             : weight_fractions_;
+    const std::vector<int> output_tokens =
+        output_token_counts_.empty()
+            ? std::vector<int>{serve_base_.output_tokens}
+            : output_token_counts_;
+    const std::vector<double> hbm_budgets =
+        hbm_budgets_.empty()
+            ? std::vector<double>{serve_base_.kv.hbm_budget}
+            : hbm_budgets_;
+    const std::vector<int> concurrencies =
+        concurrencies_.empty() ? std::vector<int>{serve_base_.concurrency}
+                               : concurrencies_;
 
     // Odometer expansion: decompose the flat index with the last axis
     // fastest, which fixes the deterministic nesting order documented in
@@ -284,7 +332,8 @@ ExperimentBuilder::build() const
         devices.size(),    gpus.size(),      num_gpus.size(),
         optimizers.size(), fractions.size(), nodes.size(),
         overlaps.size(),   calibs.size(),    schedulers.size(),
-        rates.size(),      batches.size(),   weight_fractions.size()};
+        rates.size(),      batches.size(),   weight_fractions.size(),
+        output_tokens.size(), hbm_budgets.size(), concurrencies.size()};
     constexpr int kAxes = static_cast<int>(std::size(sizes));
     std::size_t total = 1;
     for (const std::size_t s : sizes)
@@ -320,6 +369,9 @@ ExperimentBuilder::build() const
         spec.serve.arrival_rate = rates[idx[12]];
         spec.serve.max_batch = batches[idx[13]];
         spec.serve.weight_wire_fraction = weight_fractions[idx[14]];
+        spec.serve.output_tokens = output_tokens[idx[15]];
+        spec.serve.kv.hbm_budget = hbm_budgets[idx[16]];
+        spec.serve.concurrency = concurrencies[idx[17]];
         spec.label = spec.describe();
         specs.push_back(std::move(spec));
     }

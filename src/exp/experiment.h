@@ -69,6 +69,15 @@ class ExperimentBuilder
     ExperimentBuilder &arrivalRates(std::vector<double> rs);
     ExperimentBuilder &maxBatches(std::vector<int> bs);
     ExperimentBuilder &weightWireFractions(std::vector<double> fs);
+    /** Sweep serve.output_tokens (sequence-length studies). Only
+     *  meaningful while output_lengths stays Fixed. */
+    ExperimentBuilder &outputTokenCounts(std::vector<int> ts);
+    /** Sweep serve.kv.hbm_budget (bytes). The serving() base config must
+     *  have kv.enabled set, or the axis cannot affect results. */
+    ExperimentBuilder &hbmBudgets(std::vector<double> bs);
+    /** Sweep serve.concurrency (closed-loop client population). The
+     *  serving() base config must be in ClosedLoop mode. */
+    ExperimentBuilder &concurrencies(std::vector<int> cs);
     /** @} */
     /** @} */
 
@@ -85,7 +94,8 @@ class ExperimentBuilder
      * innermost): models, trains, strategies, devices, gpus, numGpus,
      * optimizers, compressionFractions, nodes, overlapGradSync,
      * calibrations, schedulers, arrivalRates, maxBatches,
-     * weightWireFractions. Labels default to RunSpec::describe().
+     * weightWireFractions, outputTokenCounts, hbmBudgets, concurrencies.
+     * Labels default to RunSpec::describe().
      */
     std::vector<RunSpec> build() const;
 
@@ -108,6 +118,9 @@ class ExperimentBuilder
     std::vector<double> arrival_rates_;
     std::vector<int> max_batches_;
     std::vector<double> weight_fractions_;
+    std::vector<int> output_token_counts_;
+    std::vector<double> hbm_budgets_;
+    std::vector<int> concurrencies_;
     std::optional<bool> congested_;
 };
 

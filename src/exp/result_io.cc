@@ -71,17 +71,43 @@ writeCalibrationJson(std::ostream &os, const train::Calibration &c)
 }
 
 void
+writeLengthDistributionJson(std::ostream &os,
+                            const serve::LengthDistribution &d)
+{
+    os << "{\"kind\":\"" << serve::lengthDistKindName(d.kind) << "\"";
+    if (d.kind != serve::LengthDistKind::Fixed)
+        os << ",\"min_tokens\":" << d.min_tokens
+           << ",\"max_tokens\":" << d.max_tokens;
+    if (d.kind == serve::LengthDistKind::Lognormal)
+        os << ",\"log_mean\":" << jsonNumber(d.log_mean)
+           << ",\"log_sigma\":" << jsonNumber(d.log_sigma);
+    os << "}";
+}
+
+void
 writeServeConfigJson(std::ostream &os, const serve::ServeConfig &c)
 {
     os << "{\"scheduler\":\"" << serve::schedulerPolicyName(c.scheduler)
+       << "\",\"client_mode\":\"" << serve::clientModeName(c.client_mode)
        << "\",\"num_requests\":" << c.streamSize()
        << ",\"arrival_rate\":" << jsonNumber(c.arrival_rate)
        << ",\"seed\":" << c.seed
        << ",\"prompt_tokens\":" << c.prompt_tokens
        << ",\"output_tokens\":" << c.output_tokens
-       << ",\"max_batch\":" << c.max_batch
+       << ",\"prompt_lengths\":";
+    writeLengthDistributionJson(os, c.prompt_lengths);
+    os << ",\"output_lengths\":";
+    writeLengthDistributionJson(os, c.output_lengths);
+    os << ",\"max_batch\":" << c.max_batch
        << ",\"weight_wire_fraction\":" << jsonNumber(c.weight_wire_fraction)
-       << ",\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
+       << ",\"concurrency\":" << c.concurrency
+       << ",\"think_time_s\":" << jsonNumber(c.think_time)
+       << ",\"kv\":{\"enabled\":" << (c.kv.enabled ? "true" : "false");
+    if (c.kv.enabled)
+        os << ",\"bytes_per_token\":" << jsonNumber(c.kv.bytes_per_token)
+           << ",\"hbm_budget\":" << jsonNumber(c.kv.hbm_budget)
+           << ",\"host_budget\":" << jsonNumber(c.kv.host_budget);
+    os << "},\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
        << "}";
 }
 

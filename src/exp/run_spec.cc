@@ -100,23 +100,63 @@ hashAppend(HashStream &hs, const train::TrainConfig &t)
 }
 
 void
+hashAppend(HashStream &hs, const serve::LengthDistribution &d,
+           int fixed_tokens)
+{
+    hs << d.kind;
+    // Semantic normalization: only the parameters the kind consumes are
+    // hashed — a Fixed config at two log_sigmas is one cache entry, and
+    // a Uniform config ignores the lognormal shape entirely.
+    switch (d.kind) {
+      case serve::LengthDistKind::Fixed:
+        hs << fixed_tokens;
+        break;
+      case serve::LengthDistKind::Uniform:
+        hs << d.min_tokens << d.max_tokens;
+        break;
+      case serve::LengthDistKind::Lognormal:
+        hs << d.min_tokens << d.max_tokens << d.log_mean << d.log_sigma;
+        break;
+    }
+}
+
+void
 hashAppend(HashStream &hs, const serve::ServeConfig &c,
            train::Strategy strategy)
 {
-    hs << c.scheduler << c.prompt_tokens << c.output_tokens << c.max_batch;
+    hs << c.scheduler << c.max_batch;
+    hashAppend(hs, c.prompt_lengths, c.prompt_tokens);
+    hashAppend(hs, c.output_lengths, c.output_tokens);
     // Semantic normalization, mirroring compression_wire_fraction: the
     // stored-weight quantization ratio only shapes SU+O+C runs.
     if (strategy == train::Strategy::SmartUpdateOptComp)
         hs << c.weight_wire_fraction;
-    if (c.trace.empty()) {
+    // KV model: when disabled every knob is inert and stays out.
+    hs << c.kv.enabled;
+    if (c.kv.enabled)
+        hs << c.kv.bytes_per_token << c.kv.hbm_budget << c.kv.host_budget;
+    // Client model. The seed feeds two independent streams: arrivals
+    // (open-loop, non-trace only) and sampled lengths (any mode with a
+    // non-Fixed distribution) — it is hashed iff at least one consumes it.
+    hs << c.client_mode;
+    if (c.client_mode == serve::ClientMode::ClosedLoop) {
+        // Arrivals are reactive: arrival_rate and the trace are ignored
+        // by generation and stay out of the hash.
+        hs << c.num_requests << c.concurrency << c.think_time;
+        if (c.samplesLengths())
+            hs << static_cast<std::int64_t>(c.seed);
+    } else if (c.trace.empty()) {
         hs << c.num_requests << c.arrival_rate
            << static_cast<std::int64_t>(c.seed);
     } else {
         // A trace fully determines the arrivals; the open-loop knobs are
-        // ignored by generation and stay out of the hash.
+        // ignored by generation and stay out of the hash — but the seed
+        // still shapes sampled lengths.
         hs << static_cast<std::int64_t>(c.trace.size());
         for (const double arrival : c.trace)
             hs << arrival;
+        if (c.samplesLengths())
+            hs << static_cast<std::int64_t>(c.seed);
     }
 }
 
@@ -204,10 +244,26 @@ RunSpec::describe() const
     if (workload == train::WorkloadKind::Serving) {
         oss << "/serve-" << serve::schedulerPolicyName(serve.scheduler)
             << "/b" << serve.max_batch << "/q" << serve.streamSize();
-        if (serve.trace.empty())
+        if (serve.client_mode == serve::ClientMode::ClosedLoop)
+            oss << "/cl" << serve.concurrency;
+        else if (serve.trace.empty())
             oss << "/r" << serve.arrival_rate;
         else
             oss << "/trace";
+        if (serve.prompt_lengths.kind != serve::LengthDistKind::Fixed)
+            oss << "/p-"
+                << serve::lengthDistKindName(serve.prompt_lengths.kind);
+        else if (serve.prompt_tokens !=
+                 serve::ServeConfig{}.prompt_tokens)
+            oss << "/p" << serve.prompt_tokens;
+        if (serve.output_lengths.kind != serve::LengthDistKind::Fixed)
+            oss << "/o-"
+                << serve::lengthDistKindName(serve.output_lengths.kind);
+        else if (serve.output_tokens !=
+                 serve::ServeConfig{}.output_tokens)
+            oss << "/o" << serve.output_tokens;
+        if (serve.kv.enabled)
+            oss << "/kv" << serve.kv.hbm_budget / GiB(1.0) << "g";
     }
     return oss.str();
 }

@@ -24,6 +24,7 @@ registerBuiltinScenarios()
         scenarios::registerAblationCompression();
         scenarios::registerScaleout();
         scenarios::registerServeScenarios();
+        scenarios::registerServeKvScenarios();
         return true;
     }();
     (void)registered;

@@ -30,6 +30,7 @@ void registerAblationHandler();
 void registerAblationCompression();
 void registerScaleout();
 void registerServeScenarios();
+void registerServeKvScenarios();
 
 } // namespace smartinf::exp::scenarios
 

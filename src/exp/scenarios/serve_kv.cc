@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The serving-fidelity scenarios added with the KV-cache model — the
+ * three studies the flat-cost serving front could not express:
+ *
+ *  - serve_kv_pressure: latency vs generated sequence length at fixed
+ *    HBM budgets. With KV modeling on, decode steps re-read the whole
+ *    resident KV working set; past the HBM budget those reads are real
+ *    flows on the GPU link (and past the host budget they also cross the
+ *    storage substrate), so long sequences get superlinearly slower —
+ *    BASE vs SU+O+C shows quantized weight streaming freeing exactly the
+ *    wire the KV spill needs.
+ *  - serve_mixes: heterogeneous request mixes (lognormal prompt/output
+ *    lengths) under FIFO vs continuous batching. With every request the
+ *    same length the two policies barely separate; a heavy-tailed output
+ *    mix makes FIFO pay head-of-line blocking behind its longest request
+ *    while continuous batching backfills — the separation finally shows.
+ *  - serve_closed_loop: the throughput–concurrency curve. A fixed client
+ *    population with think time self-regulates offered load, so tok/s
+ *    rises with concurrency until the streaming substrate (or max_batch)
+ *    saturates, without the unbounded-queue artifacts of open loop.
+ */
+#include <string>
+
+#include "serve/metrics.h"
+#include "exp/experiment.h"
+#include "exp/scenarios/scenario_util.h"
+#include "exp/scenarios/scenarios.h"
+
+namespace smartinf::exp::scenarios {
+
+namespace {
+
+/** The shared stream shape of the KV/mix studies (mirrors serve.cc's
+ *  defaultServe but with fewer requests: long outputs multiply steps). */
+serve::ServeConfig
+kvServeBase()
+{
+    serve::ServeConfig config;
+    config.scheduler = serve::SchedulerPolicy::Continuous;
+    config.num_requests = 32;
+    config.arrival_rate = 0.25;
+    config.prompt_tokens = 256;
+    config.output_tokens = 16;
+    config.max_batch = 8;
+    return config;
+}
+
+// ---- serve_kv_pressure ------------------------------------------------------
+
+ScenarioResult
+runServeKvPressure(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const std::vector<int> outputs = {16, 48, 96};
+    const std::vector<double> budgets = {GiB(0.25), GiB(8.0)};
+
+    auto base = kvServeBase();
+    base.kv.enabled = true;
+    // Tight host tier so long sequences spill to the CSDs, whose reads
+    // cross the *shared* interconnect — the link the parameter stream
+    // already saturates. That is where the pressure shows.
+    base.kv.host_budget = GiB(0.25);
+
+    const auto specs = ExperimentBuilder()
+                           .model(model)
+                           .serving(base)
+                           .strategies({train::Strategy::Baseline,
+                                        train::Strategy::SmartUpdateOptComp})
+                           .devices(6)
+                           .outputTokenCounts(outputs)
+                           .hbmBudgets(budgets)
+                           .build();
+    auto records = ctx.runner.run(specs);
+    out.records = records;
+
+    Table table("KV-cache pressure, " + model.name +
+                " (1 node, continuous batching, host tier 0.25 GiB)");
+    table.setHeader({"strategy", "HBM budget (GiB)", "output tokens",
+                     "p50 (s)", "p95 (s)", "p99 (s)", "tok/s",
+                     "KV spill read (GB)"});
+    for (train::Strategy s : {train::Strategy::Baseline,
+                              train::Strategy::SmartUpdateOptComp}) {
+        for (const double budget : budgets) {
+            for (const int tokens : outputs) {
+                const auto &rec = pick(records, [&](const RunSpec &spec) {
+                    return spec.system.strategy == s &&
+                           spec.serve.kv.hbm_budget == budget &&
+                           spec.serve.output_tokens == tokens;
+                });
+                const serve::ServingMetrics m =
+                    serve::summarize(rec.result);
+                table.addRow(
+                    {train::strategyName(s),
+                     Table::num(budget / GiB(1.0), 2),
+                     std::to_string(tokens), Table::num(m.latency.p50, 2),
+                     Table::num(m.latency.p95, 2),
+                     Table::num(m.latency.p99, 2),
+                     Table::num(m.output_tokens_per_sec, 1),
+                     Table::num(rec.result.traffic.kv_spill_read / GB(1.0),
+                                1)});
+            }
+        }
+    }
+    out.tables.push_back(std::move(table));
+    out.notes.push_back(
+        "Every decode step re-reads the batch's resident KV; the share "
+        "beyond the HBM budget crosses the GPU link as a real flow and "
+        "the share beyond HBM+host also crosses the storage media, so "
+        "latency grows superlinearly with generated length at tight "
+        "budgets.");
+    out.notes.push_back(
+        "SU+O+C streams quantized weights (1/4 of the dense wire), which "
+        "frees GPU-link bandwidth for the KV spill — the gap to BASE "
+        "widens as sequences grow.");
+    return out;
+}
+
+// ---- serve_mixes ------------------------------------------------------------
+
+ScenarioResult
+runServeMixes(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+
+    auto base = kvServeBase();
+    base.num_requests = 48;
+    // Heavy-tailed production-style mix: median ~16 output tokens with a
+    // tail to 128; prompts spread 64..1024 around a ~256 median.
+    base.prompt_lengths.kind = serve::LengthDistKind::Lognormal;
+    base.prompt_lengths.log_mean = 5.55; // ln ~256
+    base.prompt_lengths.log_sigma = 0.5;
+    base.prompt_lengths.min_tokens = 64;
+    base.prompt_lengths.max_tokens = 1024;
+    base.output_lengths.kind = serve::LengthDistKind::Lognormal;
+    base.output_lengths.log_mean = 2.77; // ln ~16
+    base.output_lengths.log_sigma = 0.8;
+    base.output_lengths.min_tokens = 4;
+    base.output_lengths.max_tokens = 128;
+
+    const auto specs = ExperimentBuilder()
+                           .model(model)
+                           .serving(base)
+                           .strategies({train::Strategy::Baseline,
+                                        train::Strategy::SmartUpdateOptComp})
+                           .devices(6)
+                           .schedulers(serve::allSchedulerPolicies())
+                           .build();
+    auto records = ctx.runner.run(specs);
+    out.records = records;
+
+    Table table("Heterogeneous request mix (lognormal lengths), " +
+                model.name + " (1 node)");
+    table.setHeader({"strategy", "scheduler", "p50 (s)", "p95 (s)",
+                     "p99 (s)", "mean (s)", "req/s", "tok/s"});
+    for (train::Strategy s : {train::Strategy::Baseline,
+                              train::Strategy::SmartUpdateOptComp}) {
+        for (serve::SchedulerPolicy policy :
+             serve::allSchedulerPolicies()) {
+            const auto &rec = pick(records, [&](const RunSpec &spec) {
+                return spec.system.strategy == s &&
+                       spec.serve.scheduler == policy;
+            });
+            const serve::ServingMetrics m = serve::summarize(rec.result);
+            table.addRow({train::strategyName(s),
+                          serve::schedulerPolicyName(policy),
+                          Table::num(m.latency.p50, 2),
+                          Table::num(m.latency.p95, 2),
+                          Table::num(m.latency.p99, 2),
+                          Table::num(m.latency.mean, 2),
+                          Table::num(m.requests_per_sec, 3),
+                          Table::num(m.output_tokens_per_sec, 1)});
+        }
+    }
+    out.tables.push_back(std::move(table));
+    out.notes.push_back(
+        "With identical request lengths FIFO and continuous batching "
+        "barely separate; under a heavy-tailed output mix FIFO's "
+        "run-to-completion batches serialize behind their longest "
+        "request (head-of-line blocking in p95/p99) while continuous "
+        "batching retires short requests early and backfills.");
+    out.notes.push_back(
+        "All lengths are drawn before the simulation from the seeded "
+        "length stream — records stay bit-identical across repeats and "
+        "--jobs counts.");
+    return out;
+}
+
+// ---- serve_closed_loop ------------------------------------------------------
+
+ScenarioResult
+runServeClosedLoop(ScenarioContext &ctx)
+{
+    ScenarioResult out;
+    const auto model = train::ModelSpec::gpt2(4.0);
+    const std::vector<int> concurrencies = {1, 2, 4, 8, 16};
+
+    auto base = kvServeBase();
+    base.client_mode = serve::ClientMode::ClosedLoop;
+    base.num_requests = 48;
+    base.think_time = 0.5;
+
+    const auto specs = ExperimentBuilder()
+                           .model(model)
+                           .serving(base)
+                           .strategy(train::Strategy::SmartUpdateOptComp)
+                           .devices(6)
+                           .concurrencies(concurrencies)
+                           .build();
+    auto records = ctx.runner.run(specs);
+    out.records = records;
+
+    Table table("Closed-loop throughput vs concurrency, " + model.name +
+                " (SU+O+C, 1 node, think 0.5 s)");
+    table.setHeader({"clients", "req/s", "tok/s", "p50 (s)", "p95 (s)",
+                     "mean queue"});
+    for (const int clients : concurrencies) {
+        const auto &rec = pick(records, [&](const RunSpec &spec) {
+            return spec.serve.concurrency == clients;
+        });
+        const serve::ServingMetrics m = serve::summarize(rec.result);
+        table.addRow({std::to_string(clients),
+                      Table::num(m.requests_per_sec, 3),
+                      Table::num(m.output_tokens_per_sec, 1),
+                      Table::num(m.latency.p50, 2),
+                      Table::num(m.latency.p95, 2),
+                      Table::num(m.mean_queue_depth, 2)});
+    }
+    out.tables.push_back(std::move(table));
+    out.notes.push_back(
+        "Closed-loop clients hold exactly one request in flight each, so "
+        "offered load self-regulates: throughput rises with the client "
+        "population until the streaming substrate (or max_batch) "
+        "saturates, and latency grows only once batches fill — no "
+        "open-loop queue blowup.");
+    out.notes.push_back(
+        "Submissions are reactive (scheduled from the retirement event "
+        "through the dynamic task graph), yet fully deterministic: the "
+        "next issue time is finish + think_time, both pure functions of "
+        "the spec.");
+    return out;
+}
+
+} // namespace
+
+void
+registerServeKvScenarios()
+{
+    ScenarioRegistry::instance().add(
+        {"serve_kv_pressure",
+         "Serving: latency vs sequence length under KV-cache HBM budgets",
+         runServeKvPressure});
+    ScenarioRegistry::instance().add(
+        {"serve_mixes",
+         "Serving: lognormal request mixes, FIFO vs continuous batching",
+         runServeMixes});
+    ScenarioRegistry::instance().add(
+        {"serve_closed_loop",
+         "Serving: closed-loop throughput vs client concurrency",
+         runServeClosedLoop});
+}
+
+} // namespace smartinf::exp::scenarios

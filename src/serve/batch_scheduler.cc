@@ -71,17 +71,25 @@ BatchScheduler::beginStep()
     }
     SI_ASSERT(!running_.empty(), "beginStep with no admissible work");
 
-    // Step tokens: full prefill for the newly admitted, one decode token
-    // per already-running request.
-    double tokens = 0.0;
-    for (const Active &a : running_)
-        tokens += a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens);
+    // Step shape: full prefill for the newly admitted, one decode token
+    // per already-running request; the KV working set is the resident
+    // tokens before the step (all decode-owned — newly admitted requests
+    // hold no KV yet) plus what this step appends (prompt + first token
+    // for prefills, one token per decode).
+    StepShape shape;
+    for (const Active &a : running_) {
+        shape.compute_tokens +=
+            a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens);
+        shape.kv_resident_tokens += a.kvTokens();
+        shape.kv_new_tokens +=
+            a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens + 1);
+    }
 
     // Build the pass reactively into the running graph (dynamic mode),
     // with a sentinel task that re-enters the scheduler on completion.
     const TaskId first = ctx_.graph.taskCount();
     const TaskId pass_done =
-        builder_.buildForwardPass(tokens, next_step_index_);
+        builder_.buildForwardPass(shape, next_step_index_);
     const TaskId sentinel = ctx_.graph.add(
         [this](std::function<void()> done) {
             onStepDone();
@@ -113,7 +121,8 @@ BatchScheduler::onStepDone()
         }
     }
 
-    // Retire finished requests (stable order keeps records deterministic).
+    // Retire finished requests (stable order keeps records — and the
+    // retire hook's firing order — deterministic).
     auto finished = [](const Active &a) {
         return a.produced >= a.spec.output_tokens;
     };
@@ -130,6 +139,8 @@ BatchScheduler::onStepDone()
         record.first_token = a.first_token;
         record.finish = now;
         records_.push_back(record);
+        if (retire_hook_)
+            retire_hook_(records_.back());
     }
     running_.erase(std::remove_if(running_.begin(), running_.end(), finished),
                    running_.end());

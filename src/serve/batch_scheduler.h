@@ -7,17 +7,24 @@
  * one decode token per running request); when a step's tasks complete, the
  * scheduler records token progress, retires finished requests, and —
  * depending on the policy — admits queued requests before building the
- * next step.
+ * next step. Requests complete individually (per-request output lengths,
+ * so sampled mixes produce ragged batches), and every step's KV working
+ * set is declared to the builder as a StepShape (admission-order layout:
+ * decode-owned KV always precedes the just-admitted prefills' empty KV).
  *
  * Determinism: every decision happens in an event callback of the
  * deterministic simulator, on state derived only from the (seeded) request
  * stream and the spec — so request latency records are bit-identical
- * across repeated runs, thread counts, and build types.
+ * across repeated runs, thread counts, and build types. The retire hook
+ * fires inside the same deterministic callback, in stable (admission)
+ * order; closed-loop clients rely on this to schedule their next
+ * submission reproducibly.
  */
 #ifndef SMARTINF_SERVE_BATCH_SCHEDULER_H
 #define SMARTINF_SERVE_BATCH_SCHEDULER_H
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "serve/inference_builder.h"
@@ -30,12 +37,21 @@ namespace smartinf::serve {
 class BatchScheduler
 {
   public:
+    /** Called once per retired request, inside the retirement event
+     *  callback, in stable admission order. */
+    using RetireHook = std::function<void(const train::RequestRecord &)>;
+
     /** @p node is this replica's index (stamped into the records). */
     BatchScheduler(train::SimContext &ctx, InferenceBuilder &builder,
                    const ServeConfig &config, int node);
 
-    /** Hand a request to the scheduler at its (current) arrival time. */
+    /** Hand a request to the scheduler at its (current) arrival time.
+     *  Must be called from a simulator event at request.arrival. */
     void submit(const RequestSpec &request);
+
+    /** Install the per-request retirement hook (closed-loop clients).
+     *  Must be set before the simulation starts, or never. */
+    void setRetireHook(RetireHook hook) { retire_hook_ = std::move(hook); }
 
     /** Close the queue-depth integral at the workload's end time. */
     void finalize(Seconds end_time);
@@ -61,6 +77,15 @@ class BatchScheduler
         Seconds first_token = 0.0; ///< set when its prefill step completes
         bool prefilled = false;
         int produced = 0; ///< tokens emitted so far
+
+        /** KV tokens this request holds resident (prompt + generated;
+         *  nothing before its prefill step completes). */
+        double kvTokens() const
+        {
+            return prefilled
+                       ? static_cast<double>(spec.prompt_tokens + produced)
+                       : 0.0;
+        }
     };
 
     void maybeBeginStep();
@@ -74,11 +99,12 @@ class BatchScheduler
     int node_;
 
     std::deque<RequestSpec> queue_; ///< arrived, not yet admitted
-    std::vector<Active> running_;   ///< admitted into the current batch
+    std::vector<Active> running_;   ///< admitted, in admission order
     bool step_in_flight_ = false;
     int next_step_index_ = 0;
     int steps_executed_ = 0;
 
+    RetireHook retire_hook_;
     std::vector<train::RequestRecord> records_;
     double queue_depth_integral_ = 0.0;
     Seconds last_depth_change_ = 0.0;

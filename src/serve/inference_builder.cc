@@ -46,9 +46,105 @@ InferenceBuilder::prefetchWindow() const
     return std::max(2, std::min(system_.num_devices, 4));
 }
 
-TaskId
-InferenceBuilder::buildForwardPass(double tokens, int step_index)
+Bytes
+InferenceBuilder::kvBytesPerToken() const
 {
+    if (serve_.kv.bytes_per_token > 0.0)
+        return serve_.kv.bytes_per_token;
+    // K and V, one fp16 hidden vector each, per layer.
+    return 2.0 * model_.num_layers * model_.hidden_dim * kBytesFp16;
+}
+
+InferenceBuilder::KvTierSplit
+InferenceBuilder::splitKvRange(Bytes lo, Bytes hi) const
+{
+    // Tiers fill strictly in order: [0, H) is HBM, [H, H+M) host memory,
+    // [H+M, inf) CSD storage. The split of any contiguous byte range is
+    // its overlap with each interval.
+    const Bytes hbm_end = serve_.kv.hbm_budget;
+    const Bytes host_end = hbm_end + serve_.kv.host_budget;
+    KvTierSplit split;
+    split.hbm = std::max(0.0, std::min(hi, hbm_end) - lo);
+    split.host =
+        std::max(0.0, std::min(hi, host_end) - std::max(lo, hbm_end));
+    split.csd = std::max(0.0, hi - std::max(lo, host_end));
+    return split;
+}
+
+void
+InferenceBuilder::buildKvFlows(const StepShape &shape, int step_index,
+                               TaskId after, std::vector<TaskId> &kv_tasks)
+{
+    const Bytes per_token = kvBytesPerToken();
+    const Bytes resident = shape.kv_resident_tokens * per_token;
+    const Bytes appended = shape.kv_new_tokens * per_token;
+    const int devices = system_.num_devices;
+
+    // Decode attention re-reads every resident KV byte; the resident
+    // range is [0, resident) by the scheduler's admission-order layout.
+    const KvTierSplit reads = splitKvRange(0.0, resident);
+    // HBM-tier KV is read at on-package bandwidth — not a modeled
+    // bottleneck, so no task. Spilled tiers become real flows that start
+    // with the step and contend with the parameter stream.
+    if (reads.host > 0.0) {
+        kv_tasks.push_back(ctx_.transfer(gpuDown(), reads.host,
+                                         {"srv.kvread.host", step_index, 0}));
+        ctx_.traffic.kv_spill_read += reads.host;
+    }
+    if (reads.csd > 0.0) {
+        // Spilled KV stages through host memory: striped 1/D over every
+        // device (RAID0-style, media rates aggregate into the shared
+        // interconnect), then one GPU-link transfer once the stripes
+        // land. The staging keeps the CSD tier a strict superset of the
+        // host tier's cost — storage can never be cheaper than DRAM.
+        const TaskId landed =
+            ctx_.graph.barrier({"srv.kvread.csd", step_index, devices});
+        const Bytes per_dev = reads.csd / devices;
+        for (int d = 0; d < devices; ++d) {
+            const TaskId stripe = ctx_.transfer(
+                ssdReadRoute(d), per_dev, {"srv.kvread.csd", step_index, d});
+            ctx_.graph.dependsOn(landed, stripe);
+        }
+        const TaskId up = ctx_.transfer(
+            gpuDown(), reads.csd, {"srv.kvread.csdup", step_index, 0});
+        ctx_.graph.dependsOn(up, landed);
+        kv_tasks.push_back(up);
+        ctx_.traffic.kv_spill_read += reads.csd;
+    }
+
+    // The step's new KV lands at [resident, resident + appended); bytes
+    // crossing a tier boundary are written through to that tier. Writes
+    // carry data produced by the pass, so they depend on its last compute.
+    const KvTierSplit writes = splitKvRange(resident, resident + appended);
+    if (writes.host > 0.0) {
+        const TaskId w = ctx_.transfer(gpuUp(), writes.host,
+                                       {"srv.kvwrite.host", step_index, 0});
+        ctx_.graph.dependsOn(w, after);
+        kv_tasks.push_back(w);
+        ctx_.traffic.kv_spill_write += writes.host;
+    }
+    if (writes.csd > 0.0) {
+        // Mirror of the staged read: GPU -> host memory first, then the
+        // striped write-through to the devices' media.
+        const TaskId down = ctx_.transfer(
+            gpuUp(), writes.csd, {"srv.kvwrite.csdup", step_index, 0});
+        ctx_.graph.dependsOn(down, after);
+        const Bytes per_dev = writes.csd / devices;
+        for (int d = 0; d < devices; ++d) {
+            const TaskId stripe = ctx_.transfer(
+                ssdWriteRoute(d), per_dev,
+                {"srv.kvwrite.csd", step_index, d});
+            ctx_.graph.dependsOn(stripe, down);
+            kv_tasks.push_back(stripe);
+        }
+        ctx_.traffic.kv_spill_write += writes.csd;
+    }
+}
+
+TaskId
+InferenceBuilder::buildForwardPass(const StepShape &shape, int step_index)
+{
+    const double tokens = shape.compute_tokens;
     SI_ASSERT(tokens > 0.0, "empty forward pass");
     const int layers = model_.num_layers;
     const Bytes wire = paramWireBytesPerBlock();
@@ -103,7 +199,21 @@ InferenceBuilder::buildForwardPass(double tokens, int step_index)
         computes[l] = compute;
         prev_compute = compute;
     }
-    return computes[layers - 1];
+
+    // KV-cache flows (opt-in). When none are issued — kv disabled, or a
+    // fully HBM-resident step — the pass completion is the last layer's
+    // compute, exactly the pre-KV task structure.
+    std::vector<TaskId> kv_tasks;
+    if (serve_.kv.enabled)
+        buildKvFlows(shape, step_index, computes[layers - 1], kv_tasks);
+    if (kv_tasks.empty())
+        return computes[layers - 1];
+
+    const TaskId done = ctx_.graph.barrier({"srv.kvdone", step_index, 0});
+    ctx_.graph.dependsOn(done, computes[layers - 1]);
+    for (const TaskId t : kv_tasks)
+        ctx_.graph.dependsOn(done, t);
+    return done;
 }
 
 } // namespace smartinf::serve

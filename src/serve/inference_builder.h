@@ -23,6 +23,19 @@
  *    dense FP16) and dequantized on the GPU, shrinking every wire hop —
  *    decode steps are bandwidth-bound, so this is the serving analog of
  *    SmartComp.
+ *
+ * KV-cache model (opt-in via ServeConfig::kv): each step declares its KV
+ * working set as a StepShape; resident KV beyond the HBM budget turns
+ * into real flows — host-tier KV crosses the GPU link (contending with
+ * the parameter stream on the same fluid-flow links), CSD-tier KV
+ * additionally crosses the storage media and shared interconnect, striped
+ * 1/D over all devices. With kv disabled, buildForwardPass creates
+ * exactly the pre-KV task structure (bit-identical schedules).
+ *
+ * Determinism: the builder is called only from deterministic scheduler
+ * event callbacks, and every byte/tier computation here is a pure
+ * function of (StepShape, ServeConfig, SystemConfig, ModelSpec) — no
+ * randomness, no iteration over unordered containers.
  */
 #ifndef SMARTINF_SERVE_INFERENCE_BUILDER_H
 #define SMARTINF_SERVE_INFERENCE_BUILDER_H
@@ -33,6 +46,28 @@
 #include "train/phase_builders.h"
 
 namespace smartinf::serve {
+
+/**
+ * The aggregate shape of one scheduler step, in tokens. The scheduler
+ * derives it from per-request state (admission-ordered, so resident KV
+ * lays out as one contiguous range with decode-owned KV first); the
+ * builder turns it into bytes, splits it over the KV tiers, and issues
+ * the flows. KV fields are zero whenever KV modeling is disabled.
+ */
+struct StepShape {
+    /** Forward-pass tokens: full prompts of newly admitted requests + one
+     *  decode token per already-running request. */
+    double compute_tokens = 0.0;
+    /**
+     * KV tokens resident *before* the step — all of it owned by
+     * already-prefilled requests, whose decode attention re-reads it this
+     * step. Placement: the resident range starts at tier offset 0 (HBM
+     * fills first). */
+    double kv_resident_tokens = 0.0;
+    /** KV tokens this step appends (prompt + first token for prefills,
+     *  one per decode). Lands at [resident, resident + new). */
+    double kv_new_tokens = 0.0;
+};
 
 /** Builds one node's batched forward passes into a shared SimContext. */
 class InferenceBuilder : public train::PhaseBuilder
@@ -45,15 +80,18 @@ class InferenceBuilder : public train::PhaseBuilder
 
     /**
      * Build one scheduler step: a forward pass over every layer
-     * processing @p tokens (prefill tokens of newly admitted requests +
-     * one decode token per running request), with strategy-dependent
-     * parameter streaming. Returns the pass's completion task.
+     * processing shape.compute_tokens, with strategy-dependent parameter
+     * streaming, plus (when ServeConfig::kv.enabled) the step's KV-cache
+     * read/write flows on the spill tiers. Returns the pass's completion
+     * task: the last layer's compute when no KV flows were issued
+     * (bit-identical to the pre-KV builder), otherwise a barrier that
+     * also gates on every KV flow.
      *
      * Dynamic-mode contract: when called after the graph started (the
      * normal case — the batch scheduler builds steps reactively), the
      * caller must releaseRange() the tasks created by this call.
      */
-    TaskId buildForwardPass(double tokens, int step_index);
+    TaskId buildForwardPass(const StepShape &shape, int step_index);
 
     /** Wire bytes one layer's stored parameters occupy. */
     Bytes paramWireBytesPerBlock() const;
@@ -68,7 +106,28 @@ class InferenceBuilder : public train::PhaseBuilder
      */
     int prefetchWindow() const;
 
+    /**
+     * KV bytes appended per processed token: the configured
+     * kv.bytes_per_token, or (when 0) the transformer-derived
+     * 2 * num_layers * hidden_dim * sizeof(fp16).
+     */
+    Bytes kvBytesPerToken() const;
+
   private:
+    /** A byte range's overlap with the three KV tiers (HBM fills first,
+     *  then host, then CSD). */
+    struct KvTierSplit {
+        Bytes hbm = 0.0;  ///< free (on-package bandwidth not modeled)
+        Bytes host = 0.0; ///< crosses the GPU link
+        Bytes csd = 0.0;  ///< crosses storage media + shared interconnect
+    };
+    KvTierSplit splitKvRange(Bytes lo, Bytes hi) const;
+
+    /** Issue the step's KV spill flows; appends their task ids (reads
+     *  gate nothing, writes depend on @p after) to @p kv_tasks. */
+    void buildKvFlows(const StepShape &shape, int step_index, TaskId after,
+                      std::vector<TaskId> &kv_tasks);
+
     const ServeConfig &serve_;
 };
 

@@ -18,6 +18,33 @@ InferenceWorkload::InferenceWorkload(const train::ModelSpec &model,
 }
 
 void
+InferenceWorkload::issueAt(train::SimContext &ctx, std::size_t index,
+                           Seconds at)
+{
+    // Stamp the actual issue time (for closed loop it is reactive) so the
+    // record's queueDelay/latency measure from submission.
+    stream_[index].arrival = at;
+    const RequestSpec request = stream_[index];
+    BatchScheduler *scheduler =
+        schedulers_[request.id % schedulers_.size()].get();
+    ctx.sim.at(at, [scheduler, request] { scheduler->submit(request); });
+}
+
+void
+InferenceWorkload::onRetire(train::SimContext &ctx,
+                            const train::RequestRecord &record)
+{
+    const std::size_t clients = client_next_.size();
+    const std::size_t client =
+        static_cast<std::size_t>(record.id) % clients;
+    const std::size_t next = client_next_[client];
+    if (next >= stream_.size())
+        return; // this client's slice is exhausted
+    client_next_[client] = next + clients;
+    issueAt(ctx, next, record.finish + config_.think_time);
+}
+
+void
 InferenceWorkload::build(train::SimContext &ctx)
 {
     SI_ASSERT(builders_.empty(), "InferenceWorkload::build called twice");
@@ -32,13 +59,30 @@ InferenceWorkload::build(train::SimContext &ctx)
             ctx, *builders_.back(), config_, i));
     }
 
-    // Deterministic front door: request i goes to replica i % N. Arrivals
-    // are timed events that grow the task graph reactively (the graph
-    // itself starts empty for this workload).
-    for (const RequestSpec &request : stream_) {
-        BatchScheduler *scheduler = schedulers_[request.id % nodes].get();
-        ctx.sim.at(request.arrival,
-                   [scheduler, request] { scheduler->submit(request); });
+    // Deterministic front door: request i goes to replica i % N. The
+    // graph itself starts empty for this workload and grows reactively.
+    if (config_.client_mode == ClientMode::ClosedLoop) {
+        // Client c owns requests {i : i ≡ c (mod concurrency)}, in id
+        // order; each issues its first request at t = 0 and its next one
+        // think_time after the previous finished (via the retire hook,
+        // which fires inside the deterministic retirement event).
+        const std::size_t clients = static_cast<std::size_t>(
+            std::min<int>(config_.concurrency,
+                          static_cast<int>(stream_.size())));
+        client_next_.assign(clients, 0);
+        for (auto &scheduler : schedulers_)
+            scheduler->setRetireHook(
+                [this, &ctx](const train::RequestRecord &record) {
+                    onRetire(ctx, record);
+                });
+        for (std::size_t c = 0; c < clients; ++c) {
+            client_next_[c] = c + clients;
+            issueAt(ctx, c, 0.0);
+        }
+    } else {
+        // Open loop / trace: arrivals are pre-computed timed events.
+        for (std::size_t i = 0; i < stream_.size(); ++i)
+            issueAt(ctx, i, stream_[i].arrival);
     }
 }
 

@@ -8,6 +8,17 @@
  * true replica contention-free scaling while every node's internal PCIe
  * contention is still modeled. Runs on any engine via Engine::run() —
  * makeEngine's num_nodes dispatch works unchanged.
+ *
+ * Client modes:
+ *  - OpenLoop: every request's arrival is pre-computed by
+ *    generateRequestStream (seeded Poisson or trace); arrivals are timed
+ *    events that submit into the schedulers regardless of server state.
+ *  - ClosedLoop: a fixed population of config.concurrency clients, each
+ *    owning the requests whose id ≡ client (mod concurrency), issues one
+ *    request at a time: the scheduler's retire hook (which fires inside
+ *    the deterministic retirement event) schedules the client's next
+ *    submission think_time later through the simulator — the reactive-
+ *    graph protocol described in DESIGN.md "The Workload API".
  */
 #ifndef SMARTINF_SERVE_INFERENCE_WORKLOAD_H
 #define SMARTINF_SERVE_INFERENCE_WORKLOAD_H
@@ -40,11 +51,21 @@ class InferenceWorkload final : public train::Workload
     const ServeConfig &config() const { return config_; }
 
   private:
+    /** Issue stream_[index] at simulated time @p at (stamps the record's
+     *  arrival and routes to the round-robin replica). */
+    void issueAt(train::SimContext &ctx, std::size_t index, Seconds at);
+    /** Closed-loop retirement: schedule the owning client's next request
+     *  think_time after @p record.finish. */
+    void onRetire(train::SimContext &ctx,
+                  const train::RequestRecord &record);
+
     train::ModelSpec model_;
     ServeConfig config_;
     std::vector<RequestSpec> stream_;
     std::vector<std::unique_ptr<InferenceBuilder>> builders_;
     std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
+    /** Closed loop: per-client cursor into its id-strided request slice. */
+    std::vector<std::size_t> client_next_;
 };
 
 } // namespace smartinf::serve

@@ -7,15 +7,24 @@ namespace smartinf::serve {
 
 namespace {
 
-/** Nearest-rank percentile of a sorted population. */
+/**
+ * Nearest-rank percentile of a sorted population. Edge cases are part of
+ * the contract (pinned by tests/test_serve_metrics.cc): an empty
+ * population yields 0.0, and a single-element population yields that
+ * element for every percentile. The rank is clamped into [1, size] so
+ * tiny populations and floating rounding at the extremes (pct near 0 or
+ * 100) can never index out of range.
+ */
 double
 percentileSorted(const std::vector<double> &sorted, double pct)
 {
     if (sorted.empty())
         return 0.0;
-    const std::size_t rank = static_cast<std::size_t>(
-        std::ceil(pct / 100.0 * static_cast<double>(sorted.size())));
-    return sorted[std::max<std::size_t>(rank, 1) - 1];
+    const double raw =
+        std::ceil(pct / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t rank = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::max(raw, 1.0)), 1, sorted.size());
+    return sorted[rank - 1];
 }
 
 } // namespace

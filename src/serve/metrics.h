@@ -25,7 +25,14 @@ struct LatencySummary {
     double max = 0.0;
 };
 
-/** Nearest-rank percentile summary of @p values (empty => all zeros). */
+/**
+ * Nearest-rank percentile summary of @p values. Well-defined for every
+ * population size: empty => all zeros; a single element => every field is
+ * that element (a 1-request run reports its one latency as p50 = p95 =
+ * p99 = mean = max, never an out-of-range read or a spurious zero).
+ * Deterministic: nearest-rank selects an actual sample, so the summary is
+ * an exact function of the (bit-identical) records — no interpolation.
+ */
 LatencySummary summarizeLatencies(std::vector<double> values);
 
 /** Everything a serving table reports about one run. */
@@ -41,7 +48,12 @@ struct ServingMetrics {
     int peak_queue_depth = 0;
 };
 
-/** Derive the serving metrics from @p result's request records. */
+/**
+ * Derive the serving metrics from @p result's request records. A pure
+ * function of the records (which are themselves bit-identical across
+ * repeats, `--jobs` counts, and build types), so the derived metrics are
+ * jobs-invariant too. Zero-request results produce all-zero metrics.
+ */
 ServingMetrics summarize(const train::WorkloadResult &result);
 
 } // namespace smartinf::serve

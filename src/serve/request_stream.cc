@@ -1,11 +1,48 @@
 #include "serve/request_stream.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/random.h"
 
 namespace smartinf::serve {
+
+std::uint64_t
+lengthSeed(std::uint64_t seed)
+{
+    // Any fixed non-zero perturbation works; golden-ratio increment keeps
+    // the derived stream decorrelated from the arrival stream even for
+    // adjacent user seeds.
+    return seed ^ 0x9e3779b97f4a7c15ull;
+}
+
+int
+sampleLength(Rng &rng, const LengthDistribution &dist, int fixed_tokens)
+{
+    switch (dist.kind) {
+      case LengthDistKind::Fixed:
+        return fixed_tokens;
+      case LengthDistKind::Uniform: {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(dist.max_tokens - dist.min_tokens) + 1;
+        return dist.min_tokens + static_cast<int>(rng.uniformInt(span));
+      }
+      case LengthDistKind::Lognormal: {
+        const double raw =
+            std::exp(rng.normal(dist.log_mean, dist.log_sigma));
+        // Clamp in double space first: extreme tail draws can exceed
+        // INT_MAX, and a narrowing cast before the clamp would wrap them
+        // to the *minimum* instead of the ceiling.
+        const double bounded =
+            std::min(raw, static_cast<double>(dist.max_tokens));
+        const int rounded = static_cast<int>(std::lround(bounded));
+        return std::clamp(rounded, dist.min_tokens, dist.max_tokens);
+      }
+    }
+    SI_ASSERT(false, "unknown length distribution kind");
+    return fixed_tokens;
+}
 
 std::vector<RequestSpec>
 generateRequestStream(const ServeConfig &config)
@@ -14,21 +51,38 @@ generateRequestStream(const ServeConfig &config)
     const int n = config.streamSize();
     stream.reserve(n);
 
-    if (!config.trace.empty()) {
+    // Arrivals first, from the arrival stream only — bit-identical to the
+    // fixed-length-era generator for any length configuration.
+    if (config.client_mode == ClientMode::ClosedLoop) {
+        for (int i = 0; i < n; ++i)
+            stream.push_back({i, 0.0, config.prompt_tokens,
+                              config.output_tokens});
+    } else if (!config.trace.empty()) {
         for (int i = 0; i < n; ++i)
             stream.push_back({i, config.trace[i], config.prompt_tokens,
                               config.output_tokens});
-        return stream;
+    } else {
+        Rng rng(config.seed);
+        Seconds t = 0.0;
+        for (int i = 0; i < n; ++i) {
+            // Exponential interarrival; 1 - uniform() is in (0, 1] so the
+            // log is finite.
+            t += -std::log(1.0 - rng.uniform()) / config.arrival_rate;
+            stream.push_back({i, t, config.prompt_tokens,
+                              config.output_tokens});
+        }
     }
 
-    Rng rng(config.seed);
-    Seconds t = 0.0;
-    for (int i = 0; i < n; ++i) {
-        // Exponential interarrival; 1 - uniform() is in (0, 1] so the log
-        // is finite.
-        t += -std::log(1.0 - rng.uniform()) / config.arrival_rate;
-        stream.push_back({i, t, config.prompt_tokens,
-                          config.output_tokens});
+    // Lengths second, from the independent length stream; Fixed configs
+    // skip the PRNG entirely (and already hold the scalar values).
+    if (config.samplesLengths()) {
+        Rng rng(lengthSeed(config.seed));
+        for (RequestSpec &request : stream) {
+            request.prompt_tokens = sampleLength(
+                rng, config.prompt_lengths, config.prompt_tokens);
+            request.output_tokens = sampleLength(
+                rng, config.output_lengths, config.output_tokens);
+        }
     }
     return stream;
 }

@@ -1,33 +1,62 @@
 /**
  * @file
- * Deterministic request-arrival generation. A RequestStream expands a
- * ServeConfig into the concrete request list *before* the simulation runs
- * — all randomness comes from the config's seeded xoshiro PRNG (open-loop
- * exponential interarrivals) or from the explicit trace, which is what
- * makes serving runs a pure function of their spec: same seed + spec =>
- * bit-identical arrivals => bit-identical latency records.
+ * Deterministic request generation. A request stream expands a ServeConfig
+ * into the concrete request list *before* the simulation runs — all
+ * randomness comes from the config's seeded xoshiro PRNGs (open-loop
+ * exponential interarrivals; sampled prompt/output lengths) or from the
+ * explicit trace, which is what makes serving runs a pure function of
+ * their spec: same seed + spec => bit-identical request list =>
+ * bit-identical latency records.
+ *
+ * Two independent PRNG streams derive from ServeConfig::seed: arrivals
+ * draw from Rng(seed) (exactly the pre-mix behavior), lengths from
+ * Rng(lengthSeed(seed)). Consequences, pinned by tests: enabling sampled
+ * lengths never perturbs arrival times, and Fixed-length configs draw no
+ * length randomness at all.
  */
 #ifndef SMARTINF_SERVE_REQUEST_STREAM_H
 #define SMARTINF_SERVE_REQUEST_STREAM_H
 
+#include <cstdint>
 #include <vector>
 
 #include "serve/serve_config.h"
+
+namespace smartinf {
+class Rng;
+}
 
 namespace smartinf::serve {
 
 /** One request to serve. */
 struct RequestSpec {
     int id = 0;            ///< stream position (global across nodes)
-    Seconds arrival = 0.0; ///< open-loop/trace arrival time
+    /** Open-loop/trace arrival time. Closed-loop streams leave it 0; the
+     *  workload stamps the reactive issue time before submission. */
+    Seconds arrival = 0.0;
     int prompt_tokens = 0;
     int output_tokens = 0;
 };
 
+/** The length-stream seed derived from @p seed (distinct from the arrival
+ *  stream so sampling lengths never changes arrivals). */
+std::uint64_t lengthSeed(std::uint64_t seed);
+
 /**
- * Expand @p config into its request list: trace arrivals verbatim, or
- * num_requests open-loop arrivals with exponential interarrival times at
- * arrival_rate, drawn from a PRNG seeded with config.seed. Arrivals are
+ * One sample from @p dist: the @p fixed_tokens scalar for Fixed (drawing
+ * nothing from @p rng), otherwise an integer in
+ * [dist.min_tokens, dist.max_tokens]. Pre-sim randomness only — callers
+ * are generateRequestStream() and tests.
+ */
+int sampleLength(Rng &rng, const LengthDistribution &dist, int fixed_tokens);
+
+/**
+ * Expand @p config into its request list. Arrivals: trace verbatim;
+ * open-loop: num_requests exponential interarrivals at arrival_rate from
+ * Rng(config.seed); closed-loop: all zero (the workload issues reactively,
+ * see ClientMode::ClosedLoop). Lengths: per-request samples from the
+ * prompt/output distributions (prompt drawn before output for each id, in
+ * id order, from Rng(lengthSeed(config.seed))). Arrivals are
  * non-decreasing; ids are stream positions.
  */
 std::vector<RequestSpec> generateRequestStream(const ServeConfig &config);

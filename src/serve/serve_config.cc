@@ -27,11 +27,111 @@ allSchedulerPolicies()
     return {SchedulerPolicy::Fifo, SchedulerPolicy::Continuous};
 }
 
+const char *
+clientModeName(ClientMode mode)
+{
+    switch (mode) {
+      case ClientMode::OpenLoop: return "open-loop";
+      case ClientMode::ClosedLoop: return "closed-loop";
+    }
+    return "?";
+}
+
+std::optional<ClientMode>
+clientModeFromName(const std::string &name)
+{
+    return enumFromName(allClientModes(), clientModeName, name);
+}
+
+std::vector<ClientMode>
+allClientModes()
+{
+    return {ClientMode::OpenLoop, ClientMode::ClosedLoop};
+}
+
+const char *
+lengthDistKindName(LengthDistKind kind)
+{
+    switch (kind) {
+      case LengthDistKind::Fixed: return "fixed";
+      case LengthDistKind::Uniform: return "uniform";
+      case LengthDistKind::Lognormal: return "lognormal";
+    }
+    return "?";
+}
+
+std::optional<LengthDistKind>
+lengthDistKindFromName(const std::string &name)
+{
+    return enumFromName(allLengthDistKinds(), lengthDistKindName, name);
+}
+
+std::vector<LengthDistKind>
+allLengthDistKinds()
+{
+    return {LengthDistKind::Fixed, LengthDistKind::Uniform,
+            LengthDistKind::Lognormal};
+}
+
+std::vector<std::string>
+LengthDistribution::validate(const std::string &prefix) const
+{
+    std::vector<std::string> errors;
+    if (kind == LengthDistKind::Fixed)
+        return errors; // the scalar field is validated by ServeConfig
+    requireField(errors, min_tokens >= 1,
+                 (prefix + "_lengths.min_tokens must be >= 1").c_str(),
+                 min_tokens);
+    requireField(errors, max_tokens >= min_tokens,
+                 (prefix + "_lengths.max_tokens must be >= min_tokens")
+                     .c_str(),
+                 max_tokens);
+    if (kind == LengthDistKind::Lognormal)
+        requireField(errors, log_sigma >= 0.0,
+                     (prefix + "_lengths.log_sigma must be >= 0").c_str(),
+                     log_sigma);
+    return errors;
+}
+
+std::vector<std::string>
+KvCacheConfig::validate() const
+{
+    std::vector<std::string> errors;
+    if (!enabled)
+        return errors; // inert fields; nothing to reject
+    requireField(errors, bytes_per_token >= 0.0,
+                 "kv.bytes_per_token must be >= 0 (0 derives it from the "
+                 "model)",
+                 bytes_per_token);
+    requireField(errors, hbm_budget > 0.0,
+                 "kv.hbm_budget must be positive when KV modeling is "
+                 "enabled: a zero budget cannot hold even one decode "
+                 "step's working set (disable kv instead)",
+                 hbm_budget);
+    requireField(errors, host_budget > 0.0,
+                 "kv.host_budget must be positive when KV modeling is "
+                 "enabled (use a large budget to disable CSD spill)",
+                 host_budget);
+    return errors;
+}
+
 std::vector<std::string>
 ServeConfig::validate() const
 {
     std::vector<std::string> errors;
-    if (trace.empty()) {
+    if (client_mode == ClientMode::ClosedLoop) {
+        requireField(errors, num_requests >= 1,
+                     "num_requests must be >= 1", num_requests);
+        requireField(errors, concurrency >= 1,
+                     "concurrency must be >= 1 in closed-loop mode",
+                     concurrency);
+        requireField(errors, think_time >= 0.0,
+                     "think_time must be >= 0", think_time);
+        requireField(errors, trace.empty(),
+                     "a trace cannot drive closed-loop clients (arrivals "
+                     "are reactive); clear trace or use open-loop mode",
+                     trace.size());
+    } else if (trace.empty()) {
         requireField(errors, num_requests >= 1,
                      "num_requests must be >= 1", num_requests);
         requireField(errors, arrival_rate > 0.0,
@@ -46,16 +146,24 @@ ServeConfig::validate() const
             }
         }
     }
-    requireField(errors, prompt_tokens >= 1, "prompt_tokens must be >= 1",
-                 prompt_tokens);
-    requireField(errors, output_tokens >= 1, "output_tokens must be >= 1",
-                 output_tokens);
+    if (prompt_lengths.kind == LengthDistKind::Fixed)
+        requireField(errors, prompt_tokens >= 1,
+                     "prompt_tokens must be >= 1", prompt_tokens);
+    if (output_lengths.kind == LengthDistKind::Fixed)
+        requireField(errors, output_tokens >= 1,
+                     "output_tokens must be >= 1", output_tokens);
+    for (auto &e : prompt_lengths.validate("prompt"))
+        errors.push_back(std::move(e));
+    for (auto &e : output_lengths.validate("output"))
+        errors.push_back(std::move(e));
     requireField(errors, max_batch >= 1, "max_batch must be >= 1",
                  max_batch);
     requireField(errors,
                  weight_wire_fraction > 0.0 && weight_wire_fraction <= 1.0,
                  "weight_wire_fraction must be in (0, 1]",
                  weight_wire_fraction);
+    for (auto &e : kv.validate())
+        errors.push_back(std::move(e));
     return errors;
 }
 

@@ -1,11 +1,21 @@
 /**
  * @file
- * Configuration of one inference-serving experiment: the request stream
- * shape (open-loop Poisson arrivals or an explicit trace), per-request
- * token counts, and the batch-scheduling policy. Every field here affects
- * the simulated result and therefore participates in the RunSpec hash
- * (src/exp/run_spec.cc) — add new knobs there too, or cached results
- * alias.
+ * Configuration of one inference-serving experiment: the client model
+ * (open-loop Poisson arrivals, an explicit trace, or closed-loop clients
+ * with think time), per-request token counts (fixed or sampled from seeded
+ * length distributions), the batch-scheduling policy, and the KV-cache
+ * tiering model. Every field here affects the simulated result and
+ * therefore participates in the RunSpec hash (src/exp/run_spec.cc) — add
+ * new knobs there too, or cached results alias.
+ *
+ * Determinism contract (applies to every knob in this file): configs are
+ * consumed only (a) before the simulation starts, by
+ * generateRequestStream() — which draws *all* randomness up front from the
+ * seeded PRNG — or (b) inside deterministic event callbacks, on state that
+ * is a pure function of the stream and the spec. Nothing here may read
+ * wall-clock time, thread ids, or any other run-environment state, which
+ * is what keeps serving records bit-identical across repeats, `--jobs`
+ * counts, and build types.
  */
 #ifndef SMARTINF_SERVE_SERVE_CONFIG_H
 #define SMARTINF_SERVE_SERVE_CONFIG_H
@@ -31,6 +41,7 @@ enum class SchedulerPolicy {
     Continuous
 };
 
+/** Stable lowercase name ("fifo"/"continuous"); never allocates. */
 const char *schedulerPolicyName(SchedulerPolicy policy);
 
 /**
@@ -43,19 +54,147 @@ schedulerPolicyFromName(const std::string &name);
 /** Every policy, in declaration order (sweep axes, exhaustive tests). */
 std::vector<SchedulerPolicy> allSchedulerPolicies();
 
+/** How requests are offered to the cluster. */
+enum class ClientMode {
+    /**
+     * Arrivals are independent of service: a finite Poisson stream (or an
+     * explicit trace) submits at pre-computed times no matter how far the
+     * servers have fallen behind. Overload shows up as unbounded queue
+     * delay — the right model for measuring saturation.
+     */
+    OpenLoop,
+    /**
+     * A fixed population of @c concurrency clients, each holding exactly
+     * one request in flight: submit, wait for the last token, think for
+     * @c think_time simulated seconds, submit the next. Offered load
+     * self-regulates to service capacity — the right model for
+     * throughput–concurrency curves. Issue times are *reactive* (they
+     * depend on simulated completions), but they are still a deterministic
+     * function of the spec: all randomness (lengths) is pre-drawn, and the
+     * next submission is scheduled from the retirement event callback.
+     */
+    ClosedLoop
+};
+
+/** Stable lowercase name ("open-loop"/"closed-loop"); never allocates. */
+const char *clientModeName(ClientMode mode);
+
+/**
+ * Inverse of clientModeName() ("open-loop"/"closed-loop",
+ * case-insensitive). Returns nullopt for unknown names.
+ */
+std::optional<ClientMode> clientModeFromName(const std::string &name);
+
+/** Every client mode, in declaration order (sweep axes, tests). */
+std::vector<ClientMode> allClientModes();
+
+/** Family of a per-request token-length distribution. */
+enum class LengthDistKind {
+    /** Every request uses the ServeConfig scalar (prompt_tokens /
+     *  output_tokens). Draws nothing from the PRNG. */
+    Fixed,
+    /** Uniform integer in [min_tokens, max_tokens]. */
+    Uniform,
+    /** round(exp(N(log_mean, log_sigma))) clamped to
+     *  [min_tokens, max_tokens] — the heavy-tailed shape of production
+     *  request mixes (a few very long outputs among many short ones). */
+    Lognormal
+};
+
+/** Stable lowercase name ("fixed"/"uniform"/"lognormal"). */
+const char *lengthDistKindName(LengthDistKind kind);
+
+/** Inverse of lengthDistKindName() (case-insensitive); nullopt when
+ *  unknown. */
+std::optional<LengthDistKind> lengthDistKindFromName(const std::string &name);
+
+/** Every kind, in declaration order (sweep axes, exhaustive tests). */
+std::vector<LengthDistKind> allLengthDistKinds();
+
+/**
+ * A per-request token-length distribution (prompt or output). All samples
+ * are drawn *before* the simulation by generateRequestStream(), from a
+ * PRNG stream derived from ServeConfig::seed that is separate from the
+ * arrival stream — so enabling sampled lengths never perturbs the arrival
+ * times, and Fixed (the default) draws nothing at all, keeping default
+ * configs bit-identical to the pre-distribution behavior.
+ */
+struct LengthDistribution {
+    LengthDistKind kind = LengthDistKind::Fixed;
+    /** Inclusive lower bound (Uniform) / clamp floor (Lognormal). */
+    int min_tokens = 1;
+    /** Inclusive upper bound (Uniform) / clamp ceiling (Lognormal). */
+    int max_tokens = 8192;
+    /** Mean of the underlying normal, in ln(tokens) (Lognormal only). */
+    double log_mean = 5.0;
+    /** Stddev of the underlying normal, in ln-space (Lognormal only). */
+    double log_sigma = 1.0;
+
+    /** Actionable error list (prefix names the field, e.g. "prompt"). */
+    std::vector<std::string> validate(const std::string &prefix) const;
+};
+
+/**
+ * The KV-cache model: per-request key/value state grows with every
+ * processed token and must live *somewhere*. Tiers fill strictly in order
+ * HBM -> host memory -> CSD storage; KV resident beyond hbm_budget is read
+ * back through the GPU link every decode step (a real flow, contending
+ * with parameter streaming), and KV beyond hbm_budget + host_budget
+ * additionally crosses the storage substrate. Disabled by default:
+ * existing configs simulate bit-identically to the pre-KV model.
+ * See DESIGN.md "The Workload API" for the exact tiering/flow rules.
+ */
+struct KvCacheConfig {
+    /** Master switch. When false every other field is inert (and the
+     *  RunSpec hash normalizes them out). */
+    bool enabled = false;
+    /**
+     * KV bytes appended per processed token, summed over all layers.
+     * 0 (the default) derives the transformer value from the model:
+     * 2 (K+V) * num_layers * hidden_dim * sizeof(fp16).
+     */
+    Bytes bytes_per_token = 0.0;
+    /**
+     * GPU HBM available for KV state (weights are streamed, not resident,
+     * so most of HBM is KV budget). KV within this budget is read for
+     * free — on-package bandwidth is not the bottleneck this model cares
+     * about. Must be > 0 when enabled: a zero budget cannot hold even the
+     * current decode step's working set.
+     */
+    Bytes hbm_budget = GiB(4.0);
+    /**
+     * Host-memory tier capacity for spilled KV. Resident KV in
+     * (hbm_budget, hbm_budget + host_budget] is re-read over the GPU link
+     * each decode step; beyond that it spills to the CSDs and each read
+     * additionally crosses the storage media + shared interconnect.
+     */
+    Bytes host_budget = GiB(64.0);
+
+    /** Actionable error list; empty means usable. Skipped when disabled. */
+    std::vector<std::string> validate() const;
+};
+
 /** Full configuration of one serving experiment. */
 struct ServeConfig {
     SchedulerPolicy scheduler = SchedulerPolicy::Continuous;
     /** Requests in the (finite) stream. Ignored when @c trace is set. */
     int num_requests = 16;
-    /** Open-loop Poisson arrival rate (requests/s of *simulated* time). */
+    /** Open-loop Poisson arrival rate (requests/s of *simulated* time).
+     *  Ignored in closed-loop mode, where arrivals are reactive. */
     double arrival_rate = 0.05;
-    /** Seed of the deterministic arrival stream. */
+    /** Seed of the deterministic arrival *and* length streams (the two
+     *  draw from independently derived PRNGs, so adding sampled lengths
+     *  never changes the arrival times). */
     std::uint64_t seed = 0x5eedu;
-    /** Prefill length per request. */
+    /** Prefill length per request (the Fixed value; see prompt_lengths). */
     int prompt_tokens = 256;
-    /** Tokens each request generates (incl. the prefill's first token). */
+    /** Tokens each request generates, incl. the prefill's first token
+     *  (the Fixed value; see output_lengths). */
     int output_tokens = 16;
+    /** Sampled prompt-length distribution; Fixed = use prompt_tokens. */
+    LengthDistribution prompt_lengths;
+    /** Sampled output-length distribution; Fixed = use output_tokens. */
+    LengthDistribution output_lengths;
     /** Most requests a node's scheduler runs in one batch. */
     int max_batch = 8;
     /**
@@ -65,18 +204,37 @@ struct ServeConfig {
      * training-side compression_wire_fraction.
      */
     double weight_wire_fraction = 0.25;
+    /** Open-loop stream vs fixed-concurrency closed-loop clients. */
+    ClientMode client_mode = ClientMode::OpenLoop;
+    /** Closed-loop client population (requests in flight at most this;
+     *  ClosedLoop only). */
+    int concurrency = 8;
+    /** Simulated seconds a closed-loop client waits between receiving a
+     *  request's last token and submitting its next (ClosedLoop only). */
+    Seconds think_time = 0.0;
+    /** KV-cache growth/tiering model (disabled by default). */
+    KvCacheConfig kv;
     /**
      * Explicit arrival times (simulated seconds, non-decreasing). When
      * non-empty this trace *is* the request stream (num_requests,
-     * arrival_rate, and seed are ignored).
+     * arrival_rate, and seed-driven arrivals are ignored; sampled lengths
+     * still apply). OpenLoop only.
      */
     std::vector<Seconds> trace;
 
     /** Requests the stream will contain (trace size or num_requests). */
     int streamSize() const
     {
-        return trace.empty() ? num_requests
-                             : static_cast<int>(trace.size());
+        return trace.empty() || client_mode == ClientMode::ClosedLoop
+                   ? num_requests
+                   : static_cast<int>(trace.size());
+    }
+
+    /** True when any per-request length is sampled (non-Fixed). */
+    bool samplesLengths() const
+    {
+        return prompt_lengths.kind != LengthDistKind::Fixed ||
+               output_lengths.kind != LengthDistKind::Fixed;
     }
 
     /** Actionable error list; empty means the config is usable. */

@@ -19,6 +19,8 @@ TrafficLedger::operator+=(const TrafficLedger &other)
     internal_write += other.internal_write;
     internode_tx += other.internode_tx;
     internode_rx += other.internode_rx;
+    kv_spill_read += other.kv_spill_read;
+    kv_spill_write += other.kv_spill_write;
     return *this;
 }
 

@@ -32,6 +32,12 @@ struct TrafficLedger {
     Bytes internode_rx = 0.0; ///< fabric -> node (sum over all nodes)
     /** @} */
 
+    /** @name Serving KV-cache spill traffic (serve/ KV model; 0 when KV
+     *  modeling is off or the working set stays HBM-resident). @{ */
+    Bytes kv_spill_read = 0.0;  ///< host/CSD tiers -> GPU (decode reads)
+    Bytes kv_spill_write = 0.0; ///< GPU -> host/CSD tiers (KV appends)
+    /** @} */
+
     Bytes internodeTotal() const { return internode_tx + internode_rx; }
 
     Bytes

@@ -194,6 +194,46 @@ TEST(ExperimentBuilder, ServingAxesOnATrainingSweepAreFatal)
     EXPECT_THROW(builder.build(), std::runtime_error);
 }
 
+TEST(ExperimentBuilder, ModeGatedAxesNeedTheirModeEnabled)
+{
+    // Same duplicate-hash failure mode per axis: concurrency is
+    // normalized out of open-loop specs and the KV budgets out of
+    // kv-disabled specs, so sweeping them without the enabling mode
+    // would hand back one aliased cached result per row.
+    serve::ServeConfig open_loop;
+    auto closed_axis = ExperimentBuilder()
+                           .model(ModelSpec::gpt2(0.5))
+                           .serving(open_loop)
+                           .concurrencies({1, 2, 4});
+    EXPECT_THROW(closed_axis.build(), std::runtime_error);
+
+    auto kv_axis = ExperimentBuilder()
+                       .model(ModelSpec::gpt2(0.5))
+                       .serving(open_loop)
+                       .hbmBudgets({GiB(1.0), GiB(4.0)});
+    EXPECT_THROW(kv_axis.build(), std::runtime_error);
+
+    // With the modes enabled both axes expand normally.
+    serve::ServeConfig closed = open_loop;
+    closed.client_mode = serve::ClientMode::ClosedLoop;
+    EXPECT_EQ(ExperimentBuilder()
+                  .model(ModelSpec::gpt2(0.5))
+                  .serving(closed)
+                  .concurrencies({1, 2, 4})
+                  .build()
+                  .size(),
+              3u);
+    serve::ServeConfig kv = open_loop;
+    kv.kv.enabled = true;
+    EXPECT_EQ(ExperimentBuilder()
+                  .model(ModelSpec::gpt2(0.5))
+                  .serving(kv)
+                  .hbmBudgets({GiB(1.0), GiB(4.0)})
+                  .build()
+                  .size(),
+              2u);
+}
+
 TEST(RunSpec, DescribeNamesTheInterestingFields)
 {
     RunSpec spec;

@@ -186,6 +186,127 @@ TEST(InferenceWorkload, TraceDrivenArrivalsAreHonored)
     EXPECT_GE(result.requests[2].start, 10.0);
 }
 
+TEST(InferenceWorkload, ClosedLoopHoldsConcurrencyAndThinkTime)
+{
+    auto config = smallServe();
+    config.client_mode = serve::ClientMode::ClosedLoop;
+    config.concurrency = 2;
+    config.think_time = 0.25;
+    const auto result = runServe(config, train::Strategy::SmartUpdateOpt);
+    ASSERT_EQ(result.requests.size(), 8u);
+
+    // Client c owns ids {c, c+2, ...}: each next request is issued
+    // exactly think_time after the previous one finished (bit-exact —
+    // the issue time is computed as finish + think in the retire hook).
+    for (int c = 0; c < 2; ++c) {
+        EXPECT_EQ(result.requests[c].arrival, 0.0);
+        for (std::size_t i = c + 2; i < result.requests.size(); i += 2) {
+            const auto &prev = result.requests[i - 2];
+            const auto &next = result.requests[i];
+            EXPECT_EQ(next.arrival, prev.finish + 0.25);
+        }
+    }
+
+    // Never more than `concurrency` requests in flight: sort by arrival
+    // and check every request's arrival is >= the finish of its client's
+    // predecessor (implied above) and that at any arrival at most one
+    // other client's request is unfinished.
+    for (const auto &a : result.requests) {
+        int in_flight = 0;
+        for (const auto &b : result.requests)
+            if (b.arrival <= a.arrival && b.finish > a.arrival)
+                ++in_flight;
+        EXPECT_LE(in_flight, 2);
+    }
+}
+
+TEST(InferenceWorkload, ClosedLoopThroughputGrowsWithClients)
+{
+    auto config = smallServe();
+    config.client_mode = serve::ClientMode::ClosedLoop;
+    config.think_time = 0.0;
+    config.concurrency = 1;
+    const auto serial = runServe(config, train::Strategy::SmartUpdateOpt);
+    config.concurrency = 4;
+    const auto batched = runServe(config, train::Strategy::SmartUpdateOpt);
+
+    // Four clients keep the batch non-trivially full; the same request
+    // population drains strictly faster than one-at-a-time serving.
+    EXPECT_LT(batched.iteration_time, serial.iteration_time);
+}
+
+TEST(InferenceWorkload, ClosedLoopMoreClientsThanRequestsIsFine)
+{
+    auto config = smallServe();
+    config.client_mode = serve::ClientMode::ClosedLoop;
+    config.num_requests = 3;
+    config.concurrency = 16; // only 3 clients materialize
+    const auto result = runServe(config, train::Strategy::Baseline);
+    ASSERT_EQ(result.requests.size(), 3u);
+    for (const auto &r : result.requests)
+        EXPECT_EQ(r.arrival, 0.0);
+}
+
+TEST(InferenceWorkload, FullFidelitySweepIsJobsInvariant)
+{
+    // The tentpole determinism guarantee: KV modeling + sampled length
+    // mixes + closed-loop clients together still produce bit-identical
+    // records across --jobs 1 and --jobs N sweep execution.
+    const auto build = [] {
+        auto serve = smallServe();
+        serve.kv.enabled = true;
+        serve.kv.hbm_budget = MiB(16.0);
+        serve.kv.host_budget = MiB(32.0);
+        serve.output_lengths.kind = serve::LengthDistKind::Lognormal;
+        serve.output_lengths.log_mean = 1.5;
+        serve.output_lengths.log_sigma = 0.6;
+        serve.output_lengths.min_tokens = 2;
+        serve.output_lengths.max_tokens = 24;
+
+        auto closed = serve;
+        closed.client_mode = serve::ClientMode::ClosedLoop;
+        closed.concurrency = 3;
+        closed.think_time = 0.1;
+
+        auto specs = exp::ExperimentBuilder()
+                         .model(smallModel())
+                         .serving(serve)
+                         .strategies({train::Strategy::Baseline,
+                                      train::Strategy::SmartUpdateOptComp})
+                         .devices(4)
+                         .nodes({1, 2})
+                         .build();
+        const auto closed_specs =
+            exp::ExperimentBuilder()
+                .model(smallModel())
+                .serving(closed)
+                .strategy(train::Strategy::SmartUpdateOpt)
+                .devices(4)
+                .build();
+        specs.insert(specs.end(), closed_specs.begin(),
+                     closed_specs.end());
+        return specs;
+    };
+
+    exp::SweepRunner serial({/*jobs=*/1, /*cache=*/true});
+    exp::SweepRunner parallel({/*jobs=*/8, /*cache=*/true});
+    const auto serial_records = serial.run(build());
+    const auto parallel_records = parallel.run(build());
+
+    ASSERT_EQ(serial_records.size(), 5u);
+    ASSERT_EQ(serial_records.size(), parallel_records.size());
+    for (std::size_t i = 0; i < serial_records.size(); ++i) {
+        const auto &a = serial_records[i];
+        const auto &b = parallel_records[i];
+        EXPECT_EQ(a.spec_hash, b.spec_hash);
+        EXPECT_EQ(a.result.iteration_time, b.result.iteration_time);
+        EXPECT_EQ(a.result.events_executed, b.result.events_executed);
+        EXPECT_EQ(a.result.traffic.kv_spill_read,
+                  b.result.traffic.kv_spill_read);
+        expectRecordsBitIdentical(a.result.requests, b.result.requests);
+    }
+}
+
 TEST(InferenceWorkload, QueueDepthStatisticsAreConsistent)
 {
     auto config = smallServe();

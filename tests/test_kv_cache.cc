@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests of the serving KV-cache model: the opt-in contract (disabled or
+ * fully HBM-resident KV produces the exact pre-KV schedule), the tiering
+ * rules (tight budgets spill to host then CSD, as real flows that slow
+ * decode), the derived bytes-per-token default, and config validation.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/inference_workload.h"
+#include "serve/metrics.h"
+#include "train/engine.h"
+#include "train/sim_context.h"
+
+namespace smartinf {
+namespace {
+
+train::ModelSpec
+smallModel()
+{
+    return train::ModelSpec::gpt2(0.5);
+}
+
+serve::ServeConfig
+kvServe()
+{
+    serve::ServeConfig config;
+    config.num_requests = 8;
+    config.arrival_rate = 0.5;
+    config.prompt_tokens = 64;
+    config.output_tokens = 12;
+    config.max_batch = 4;
+    return config;
+}
+
+train::WorkloadResult
+runServe(const serve::ServeConfig &config, train::Strategy strategy)
+{
+    train::SystemConfig system;
+    system.strategy = strategy;
+    system.num_devices = 4;
+    auto engine = train::makeEngine(smallModel(), {}, system);
+    serve::InferenceWorkload workload(smallModel(), config);
+    return engine->run(workload);
+}
+
+void
+expectRecordsBitIdentical(const std::vector<train::RequestRecord> &a,
+                          const std::vector<train::RequestRecord> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].start, b[i].start);
+        EXPECT_EQ(a[i].first_token, b[i].first_token);
+        EXPECT_EQ(a[i].finish, b[i].finish);
+    }
+}
+
+TEST(KvCache, HbmResidentKvMatchesDisabledKvBitForBit)
+{
+    // The opt-in contract: with every KV byte inside the HBM budget no
+    // flow is issued, so the schedule — and every record — must be
+    // exactly what a KV-disabled run produces.
+    const auto off = runServe(kvServe(), train::Strategy::SmartUpdateOpt);
+
+    auto config = kvServe();
+    config.kv.enabled = true;
+    config.kv.hbm_budget = GiB(256.0); // working set trivially fits
+    const auto on = runServe(config, train::Strategy::SmartUpdateOpt);
+
+    expectRecordsBitIdentical(off.requests, on.requests);
+    EXPECT_EQ(off.iteration_time, on.iteration_time);
+    EXPECT_EQ(off.events_executed, on.events_executed);
+    EXPECT_EQ(on.traffic.kv_spill_read, 0.0);
+    EXPECT_EQ(on.traffic.kv_spill_write, 0.0);
+}
+
+TEST(KvCache, TightHbmBudgetSpillsAndSlowsDecode)
+{
+    auto ample = kvServe();
+    ample.kv.enabled = true;
+    ample.kv.hbm_budget = GiB(256.0);
+    const auto fast = runServe(ample, train::Strategy::SmartUpdateOpt);
+
+    auto tight = ample;
+    tight.kv.hbm_budget = MiB(16.0); // a few requests' KV at most
+    const auto slow = runServe(tight, train::Strategy::SmartUpdateOpt);
+
+    EXPECT_GT(slow.traffic.kv_spill_read, 0.0);
+    EXPECT_GT(slow.traffic.kv_spill_write, 0.0);
+    // Spilled KV reads are real flows on the GPU link: decode steps take
+    // strictly longer, so the workload drains strictly later.
+    EXPECT_GT(slow.iteration_time, fast.iteration_time);
+    EXPECT_GT(serve::summarize(slow).latency.p95,
+              serve::summarize(fast).latency.p95);
+}
+
+TEST(KvCache, CsdTierCostsMoreThanHostTier)
+{
+    // Same spill volume, pushed one tier further down: KV past the host
+    // budget stages through host memory AND crosses the storage media +
+    // shared interconnect, so it can never be cheaper than host-resident
+    // KV. (SU+O+C leaves the shared links unsaturated enough for the
+    // tier difference to reach the makespan.)
+    auto host_spill = kvServe();
+    host_spill.output_tokens = 24; // enough decode steps to accumulate KV
+    host_spill.kv.enabled = true;
+    host_spill.kv.hbm_budget = MiB(4.0);
+    host_spill.kv.host_budget = GiB(256.0); // spill stays in host memory
+    const auto host_run =
+        runServe(host_spill, train::Strategy::SmartUpdateOptComp);
+
+    auto csd_spill = host_spill;
+    csd_spill.kv.host_budget = MiB(4.0); // most spill reaches the CSDs
+    const auto csd_run =
+        runServe(csd_spill, train::Strategy::SmartUpdateOptComp);
+
+    EXPECT_GT(csd_run.iteration_time, host_run.iteration_time);
+}
+
+TEST(KvCache, LongerOutputsGrowSpillTraffic)
+{
+    auto config = kvServe();
+    config.kv.enabled = true;
+    config.kv.hbm_budget = MiB(16.0);
+    const auto short_run = runServe(config, train::Strategy::SmartUpdateOpt);
+    config.output_tokens = 24;
+    const auto long_run = runServe(config, train::Strategy::SmartUpdateOpt);
+
+    // Twice the decode steps re-reading an ever-larger resident set:
+    // spill traffic must grow superlinearly in the output length.
+    EXPECT_GT(long_run.traffic.kv_spill_read,
+              2.0 * short_run.traffic.kv_spill_read);
+}
+
+TEST(KvCache, RepeatedKvRunsAreBitIdentical)
+{
+    auto config = kvServe();
+    config.kv.enabled = true;
+    config.kv.hbm_budget = MiB(16.0);
+    config.kv.host_budget = MiB(32.0);
+    const auto a = runServe(config, train::Strategy::SmartUpdateOptComp);
+    const auto b = runServe(config, train::Strategy::SmartUpdateOptComp);
+    expectRecordsBitIdentical(a.requests, b.requests);
+    EXPECT_EQ(a.iteration_time, b.iteration_time);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.traffic.kv_spill_read, b.traffic.kv_spill_read);
+}
+
+TEST(KvCache, BytesPerTokenDerivesFromTheModel)
+{
+    const auto model = smallModel();
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOpt;
+    system.num_devices = 4;
+    train::SimContext ctx(system);
+    serve::ServeConfig config = kvServe();
+    config.kv.enabled = true;
+    serve::InferenceBuilder builder(model, system, config, ctx);
+
+    // Default: K and V, one fp16 hidden vector per layer.
+    EXPECT_EQ(builder.kvBytesPerToken(),
+              2.0 * model.num_layers * model.hidden_dim * kBytesFp16);
+
+    serve::ServeConfig custom = config;
+    custom.kv.bytes_per_token = 12345.0;
+    serve::InferenceBuilder builder2(model, system, custom, ctx, "x.");
+    EXPECT_EQ(builder2.kvBytesPerToken(), 12345.0);
+}
+
+TEST(KvCache, ValidateRejectsNonsensicalConfigs)
+{
+    serve::ServeConfig config = kvServe();
+    config.kv.enabled = true;
+    EXPECT_TRUE(config.validate().empty());
+
+    // A zero HBM budget cannot hold even one step's working set.
+    config.kv.hbm_budget = 0.0;
+    EXPECT_FALSE(config.validate().empty());
+
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.host_budget = 0.0;
+    EXPECT_FALSE(config.validate().empty());
+
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.bytes_per_token = -1.0;
+    EXPECT_FALSE(config.validate().empty());
+
+    // Disabled KV leaves the other fields inert: no rejection.
+    config = kvServe();
+    config.kv.enabled = false;
+    config.kv.hbm_budget = 0.0;
+    EXPECT_TRUE(config.validate().empty());
+}
+
+} // namespace
+} // namespace smartinf

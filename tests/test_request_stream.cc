@@ -94,5 +94,152 @@ TEST(RequestStream, ValidationCatchesBadConfigs)
     EXPECT_FALSE(bad_fraction.validate().empty());
 }
 
+TEST(RequestStream, SampledLengthsAreSeededAndBounded)
+{
+    ServeConfig config;
+    config.num_requests = 256;
+    config.prompt_lengths.kind = LengthDistKind::Uniform;
+    config.prompt_lengths.min_tokens = 10;
+    config.prompt_lengths.max_tokens = 20;
+    config.output_lengths.kind = LengthDistKind::Lognormal;
+    config.output_lengths.log_mean = 2.0;
+    config.output_lengths.log_sigma = 1.0;
+    config.output_lengths.min_tokens = 2;
+    config.output_lengths.max_tokens = 64;
+
+    const auto a = generateRequestStream(config);
+    const auto b = generateRequestStream(config);
+    ASSERT_EQ(a.size(), 256u);
+    bool prompt_varies = false, output_varies = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Bit-identical across repeats.
+        EXPECT_EQ(a[i].prompt_tokens, b[i].prompt_tokens);
+        EXPECT_EQ(a[i].output_tokens, b[i].output_tokens);
+        // Within the declared bounds.
+        EXPECT_GE(a[i].prompt_tokens, 10);
+        EXPECT_LE(a[i].prompt_tokens, 20);
+        EXPECT_GE(a[i].output_tokens, 2);
+        EXPECT_LE(a[i].output_tokens, 64);
+        prompt_varies |= a[i].prompt_tokens != a[0].prompt_tokens;
+        output_varies |= a[i].output_tokens != a[0].output_tokens;
+    }
+    EXPECT_TRUE(prompt_varies);
+    EXPECT_TRUE(output_varies);
+}
+
+TEST(RequestStream, SamplingLengthsNeverPerturbsArrivals)
+{
+    // Lengths draw from an independently derived PRNG stream, so turning
+    // a distribution on must leave the arrival times bit-identical —
+    // the guarantee that keeps default configs comparable across PRs.
+    ServeConfig fixed;
+    fixed.num_requests = 64;
+    fixed.arrival_rate = 2.0;
+
+    ServeConfig mixed = fixed;
+    mixed.output_lengths.kind = LengthDistKind::Lognormal;
+    mixed.prompt_lengths.kind = LengthDistKind::Uniform;
+    mixed.prompt_lengths.min_tokens = 1;
+    mixed.prompt_lengths.max_tokens = 512;
+
+    const auto a = generateRequestStream(fixed);
+    const auto b = generateRequestStream(mixed);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+}
+
+TEST(RequestStream, FixedDistributionsUseTheScalarsExactly)
+{
+    ServeConfig config;
+    config.num_requests = 16;
+    config.prompt_tokens = 77;
+    config.output_tokens = 9;
+    for (const RequestSpec &r : generateRequestStream(config)) {
+        EXPECT_EQ(r.prompt_tokens, 77);
+        EXPECT_EQ(r.output_tokens, 9);
+    }
+}
+
+TEST(RequestStream, ClosedLoopStreamsHaveReactiveArrivals)
+{
+    ServeConfig config;
+    config.client_mode = ClientMode::ClosedLoop;
+    config.num_requests = 12;
+    config.concurrency = 3;
+    const auto stream = generateRequestStream(config);
+    ASSERT_EQ(stream.size(), 12u);
+    for (const RequestSpec &r : stream)
+        EXPECT_EQ(r.arrival, 0.0); // the workload stamps issue times
+}
+
+TEST(RequestStream, LengthDistributionValidation)
+{
+    ServeConfig config;
+    config.prompt_lengths.kind = LengthDistKind::Uniform;
+    config.prompt_lengths.min_tokens = 20;
+    config.prompt_lengths.max_tokens = 10; // inverted bounds
+    EXPECT_FALSE(config.validate().empty());
+
+    config = ServeConfig{};
+    config.output_lengths.kind = LengthDistKind::Lognormal;
+    config.output_lengths.log_sigma = -0.5;
+    EXPECT_FALSE(config.validate().empty());
+
+    // A non-Fixed distribution makes the scalar irrelevant: a zero
+    // scalar must not be rejected.
+    config = ServeConfig{};
+    config.output_lengths.kind = LengthDistKind::Uniform;
+    config.output_lengths.min_tokens = 1;
+    config.output_lengths.max_tokens = 8;
+    config.output_tokens = 0;
+    EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(RequestStream, ClosedLoopValidation)
+{
+    ServeConfig config;
+    config.client_mode = ClientMode::ClosedLoop;
+    EXPECT_TRUE(config.validate().empty());
+
+    config.concurrency = 0;
+    EXPECT_FALSE(config.validate().empty());
+
+    config = ServeConfig{};
+    config.client_mode = ClientMode::ClosedLoop;
+    config.think_time = -1.0;
+    EXPECT_FALSE(config.validate().empty());
+
+    config = ServeConfig{};
+    config.client_mode = ClientMode::ClosedLoop;
+    config.trace = {0.0, 1.0}; // arrivals are reactive; trace is senseless
+    EXPECT_FALSE(config.validate().empty());
+}
+
+TEST(RequestStream, ExtremeLognormalTailClampsToTheCeiling)
+{
+    // Tail draws can exceed INT_MAX; they must clamp to max_tokens, not
+    // wrap through the int cast and land on min_tokens.
+    ServeConfig config;
+    config.num_requests = 32;
+    config.output_lengths.kind = LengthDistKind::Lognormal;
+    config.output_lengths.log_mean = 40.0; // e^40 >> INT_MAX, every draw
+    config.output_lengths.log_sigma = 1.0;
+    config.output_lengths.min_tokens = 4;
+    config.output_lengths.max_tokens = 8192;
+    for (const RequestSpec &r : generateRequestStream(config))
+        EXPECT_EQ(r.output_tokens, 8192);
+}
+
+TEST(RequestStream, EnumNamesRoundTrip)
+{
+    for (const ClientMode mode : allClientModes())
+        EXPECT_EQ(clientModeFromName(clientModeName(mode)), mode);
+    EXPECT_FALSE(clientModeFromName("nope").has_value());
+    for (const LengthDistKind kind : allLengthDistKinds())
+        EXPECT_EQ(lengthDistKindFromName(lengthDistKindName(kind)), kind);
+    EXPECT_FALSE(lengthDistKindFromName("gaussianish").has_value());
+}
+
 } // namespace
 } // namespace smartinf::serve

@@ -58,6 +58,21 @@ TEST(RunSpecHash, EveryNewServingFieldChangesTheHash)
         {"serve.weight_wire_fraction",
          [](RunSpec &s) { s.serve.weight_wire_fraction = 0.125; }},
         {"serve.trace", [](RunSpec &s) { s.serve.trace = {0.0, 1.0}; }},
+        {"serve.prompt_lengths.kind",
+         [](RunSpec &s) {
+             s.serve.prompt_lengths.kind = serve::LengthDistKind::Uniform;
+         }},
+        {"serve.output_lengths.kind",
+         [](RunSpec &s) {
+             s.serve.output_lengths.kind =
+                 serve::LengthDistKind::Lognormal;
+         }},
+        {"serve.kv.enabled",
+         [](RunSpec &s) { s.serve.kv.enabled = true; }},
+        {"serve.client_mode",
+         [](RunSpec &s) {
+             s.serve.client_mode = serve::ClientMode::ClosedLoop;
+         }},
     };
 
     // Every single-field mutation must produce a distinct hash — distinct
@@ -159,6 +174,108 @@ TEST(RunSpecHash, OpenLoopKnobsAreNormalizedUnderATrace)
     EXPECT_EQ(a.hash(), b.hash());
 }
 
+TEST(RunSpecHash, KvKnobsKeyOnlyWhenEnabled)
+{
+    // Disabled KV leaves every budget inert — one cache entry.
+    RunSpec off = servingSpec();
+    RunSpec off2 = off;
+    off2.serve.kv.hbm_budget *= 2.0;
+    off2.serve.kv.host_budget *= 2.0;
+    off2.serve.kv.bytes_per_token = 1e6;
+    EXPECT_EQ(off.hash(), off2.hash());
+
+    // Enabled KV keys on every budget knob, each one separately.
+    RunSpec on = servingSpec();
+    on.serve.kv.enabled = true;
+    std::set<std::uint64_t> hashes{on.hash()};
+    RunSpec mutated = on;
+    mutated.serve.kv.hbm_budget *= 2.0;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+    mutated = on;
+    mutated.serve.kv.host_budget *= 2.0;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+    mutated = on;
+    mutated.serve.kv.bytes_per_token = 1e6;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+}
+
+TEST(RunSpecHash, LengthDistParamsKeyOnlyForTheirKind)
+{
+    // Fixed: the lognormal shape is inert; the scalar keys (covered by
+    // the mutation sweep above).
+    RunSpec fixed = servingSpec();
+    RunSpec fixed2 = fixed;
+    fixed2.serve.output_lengths.log_mean = 9.0;
+    fixed2.serve.output_lengths.min_tokens = 3;
+    EXPECT_EQ(fixed.hash(), fixed2.hash());
+
+    // Uniform: bounds key, lognormal shape stays inert, and the now-dead
+    // scalar stops keying.
+    RunSpec uni = servingSpec();
+    uni.serve.output_lengths.kind = serve::LengthDistKind::Uniform;
+    RunSpec uni2 = uni;
+    uni2.serve.output_lengths.max_tokens += 8;
+    EXPECT_NE(uni.hash(), uni2.hash());
+    RunSpec uni3 = uni;
+    uni3.serve.output_lengths.log_sigma = 7.0;
+    uni3.serve.output_tokens += 100;
+    EXPECT_EQ(uni.hash(), uni3.hash());
+
+    // Lognormal: the ln-space shape keys.
+    RunSpec log = servingSpec();
+    log.serve.output_lengths.kind = serve::LengthDistKind::Lognormal;
+    RunSpec log2 = log;
+    log2.serve.output_lengths.log_sigma *= 2.0;
+    EXPECT_NE(log.hash(), log2.hash());
+}
+
+TEST(RunSpecHash, ClosedLoopNormalizesOpenLoopKnobsAndViceVersa)
+{
+    RunSpec closed = servingSpec();
+    closed.serve.client_mode = serve::ClientMode::ClosedLoop;
+
+    // Arrivals are reactive: the open-loop rate cannot matter, and with
+    // Fixed lengths neither can the seed.
+    RunSpec closed2 = closed;
+    closed2.serve.arrival_rate *= 4.0;
+    closed2.serve.seed += 3;
+    EXPECT_EQ(closed.hash(), closed2.hash());
+
+    // The closed-loop shape keys: population and think time.
+    RunSpec closed3 = closed;
+    closed3.serve.concurrency += 1;
+    EXPECT_NE(closed.hash(), closed3.hash());
+    RunSpec closed4 = closed;
+    closed4.serve.think_time += 0.5;
+    EXPECT_NE(closed.hash(), closed4.hash());
+
+    // Sampled lengths revive the seed (it feeds the length stream).
+    RunSpec sampled = closed;
+    sampled.serve.output_lengths.kind = serve::LengthDistKind::Lognormal;
+    RunSpec sampled2 = sampled;
+    sampled2.serve.seed += 1;
+    EXPECT_NE(sampled.hash(), sampled2.hash());
+
+    // Open loop: the closed-loop shape is inert.
+    RunSpec open = servingSpec();
+    RunSpec open2 = open;
+    open2.serve.concurrency += 5;
+    open2.serve.think_time += 1.0;
+    EXPECT_EQ(open.hash(), open2.hash());
+}
+
+TEST(RunSpecHash, TraceWithSampledLengthsKeysOnTheSeed)
+{
+    RunSpec a = servingSpec();
+    a.serve.trace = {0.0, 1.0};
+    a.serve.output_lengths.kind = serve::LengthDistKind::Uniform;
+    a.serve.output_lengths.min_tokens = 1;
+    a.serve.output_lengths.max_tokens = 32;
+    RunSpec b = a;
+    b.serve.seed += 1;
+    EXPECT_NE(a.hash(), b.hash());
+}
+
 TEST(RunSpecHash, DescribeDistinguishesServingSpecs)
 {
     const RunSpec spec = servingSpec();
@@ -169,6 +286,22 @@ TEST(RunSpecHash, DescribeDistinguishesServingSpecs)
     RunSpec training = spec;
     training.workload = train::WorkloadKind::Training;
     EXPECT_EQ(training.describe().find("serve"), std::string::npos);
+
+    RunSpec closed = spec;
+    closed.serve.client_mode = serve::ClientMode::ClosedLoop;
+    closed.serve.concurrency = 12;
+    EXPECT_NE(closed.describe().find("/cl12"), std::string::npos)
+        << closed.describe();
+
+    RunSpec kv = spec;
+    kv.serve.kv.enabled = true;
+    EXPECT_NE(kv.describe().find("/kv"), std::string::npos)
+        << kv.describe();
+
+    RunSpec mixed = spec;
+    mixed.serve.output_lengths.kind = serve::LengthDistKind::Lognormal;
+    EXPECT_NE(mixed.describe().find("/o-lognormal"), std::string::npos)
+        << mixed.describe();
 }
 
 } // namespace

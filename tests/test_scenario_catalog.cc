@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Keeps docs/SCENARIOS.md honest: the catalog's scenario-name list must
+ * exactly match the process registry — a scenario added without a catalog
+ * entry (or a stale entry for a removed/renamed scenario) fails this
+ * test, so the document cannot rot. Catalog entries are the lines of the
+ * form "### `name`" (see docs/SCENARIOS.md's header comment).
+ *
+ * SMARTINF_SOURCE_DIR is injected by CMake so the test finds the
+ * document regardless of the build directory it runs from.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "exp/scenario.h"
+
+#ifndef SMARTINF_SOURCE_DIR
+#error "CMake must define SMARTINF_SOURCE_DIR for this test"
+#endif
+
+namespace smartinf::exp {
+namespace {
+
+std::set<std::string>
+catalogNames(std::istream &is)
+{
+    // An entry heading is exactly: ### `scenario_name`
+    std::set<std::string> names;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string prefix = "### `";
+        if (line.rfind(prefix, 0) != 0)
+            continue;
+        const std::size_t end = line.find('`', prefix.size());
+        if (end == std::string::npos)
+            continue;
+        const std::string name =
+            line.substr(prefix.size(), end - prefix.size());
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate catalog entry: " << name;
+    }
+    return names;
+}
+
+TEST(ScenarioCatalog, DocMatchesRegistryExactly)
+{
+    const std::string path =
+        std::string(SMARTINF_SOURCE_DIR) + "/docs/SCENARIOS.md";
+    std::ifstream doc(path);
+    ASSERT_TRUE(doc.is_open()) << "cannot open " << path;
+    const std::set<std::string> documented = catalogNames(doc);
+
+    registerBuiltinScenarios();
+    std::set<std::string> registered;
+    for (const Scenario *s : ScenarioRegistry::instance().all())
+        registered.insert(s->name);
+
+    for (const std::string &name : registered)
+        EXPECT_TRUE(documented.count(name))
+            << "scenario `" << name
+            << "` is registered but missing from docs/SCENARIOS.md — add "
+               "a \"### `"
+            << name << "`\" entry";
+    for (const std::string &name : documented)
+        EXPECT_TRUE(registered.count(name))
+            << "docs/SCENARIOS.md documents `" << name
+            << "` but no such scenario is registered — remove or rename "
+               "the entry";
+    EXPECT_EQ(documented.size(), registered.size());
+    EXPECT_FALSE(registered.empty());
+}
+
+} // namespace
+} // namespace smartinf::exp

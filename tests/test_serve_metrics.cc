@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Regression tests for serve::summarize / summarizeLatencies edge cases:
+ * nearest-rank percentiles must be well-defined for 0-, 1-, and
+ * 2-element populations (a 1-request run reports its one latency as
+ * every percentile; an empty result is all zeros, never a crash or an
+ * out-of-range read).
+ */
+#include <gtest/gtest.h>
+
+#include "serve/metrics.h"
+
+namespace smartinf::serve {
+namespace {
+
+TEST(ServeMetrics, EmptyPopulationIsAllZeros)
+{
+    const LatencySummary s = summarizeLatencies({});
+    EXPECT_EQ(s.p50, 0.0);
+    EXPECT_EQ(s.p95, 0.0);
+    EXPECT_EQ(s.p99, 0.0);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(ServeMetrics, SingleElementIsEveryPercentile)
+{
+    const LatencySummary s = summarizeLatencies({3.25});
+    EXPECT_EQ(s.p50, 3.25);
+    EXPECT_EQ(s.p95, 3.25);
+    EXPECT_EQ(s.p99, 3.25);
+    EXPECT_EQ(s.mean, 3.25);
+    EXPECT_EQ(s.max, 3.25);
+}
+
+TEST(ServeMetrics, TwoElementsSplitAtTheMedianRank)
+{
+    // Nearest-rank: p50 of {1, 9} is rank ceil(0.5*2) = 1 => the smaller
+    // sample; p95/p99 are rank 2 => the larger.
+    const LatencySummary s = summarizeLatencies({9.0, 1.0});
+    EXPECT_EQ(s.p50, 1.0);
+    EXPECT_EQ(s.p95, 9.0);
+    EXPECT_EQ(s.p99, 9.0);
+    EXPECT_EQ(s.mean, 5.0);
+    EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(ServeMetrics, PercentilesSelectActualSamples)
+{
+    std::vector<double> values;
+    for (int i = 100; i >= 1; --i)
+        values.push_back(static_cast<double>(i));
+    const LatencySummary s = summarizeLatencies(std::move(values));
+    EXPECT_EQ(s.p50, 50.0);
+    EXPECT_EQ(s.p95, 95.0);
+    EXPECT_EQ(s.p99, 99.0);
+    EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(ServeMetrics, ZeroRequestResultSummarizesToZeros)
+{
+    train::WorkloadResult result;
+    result.kind = train::WorkloadKind::Serving;
+    const ServingMetrics m = summarize(result);
+    EXPECT_EQ(m.num_requests, 0);
+    EXPECT_EQ(m.latency.p99, 0.0);
+    EXPECT_EQ(m.requests_per_sec, 0.0);
+    EXPECT_EQ(m.output_tokens_per_sec, 0.0);
+    EXPECT_EQ(m.mean_queue_depth, 0.0);
+}
+
+TEST(ServeMetrics, OneRequestResultIsWellDefined)
+{
+    train::WorkloadResult result;
+    result.kind = train::WorkloadKind::Serving;
+    result.iteration_time = 4.0;
+    train::RequestRecord r;
+    r.arrival = 1.0;
+    r.start = 1.5;
+    r.first_token = 2.0;
+    r.finish = 4.0;
+    r.output_tokens = 8;
+    result.requests.push_back(r);
+
+    const ServingMetrics m = summarize(result);
+    EXPECT_EQ(m.num_requests, 1);
+    EXPECT_EQ(m.latency.p50, 3.0);
+    EXPECT_EQ(m.latency.p99, 3.0);
+    EXPECT_EQ(m.ttft.p95, 1.0);
+    EXPECT_EQ(m.queue_delay.p50, 0.5);
+    EXPECT_EQ(m.requests_per_sec, 0.25);
+    EXPECT_EQ(m.output_tokens_per_sec, 2.0);
+}
+
+} // namespace
+} // namespace smartinf::serve
