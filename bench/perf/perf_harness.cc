@@ -1,6 +1,7 @@
 #include "perf/perf_harness.h"
 
 #include <chrono>
+#include <functional>
 #include <iomanip>
 #include <ostream>
 
@@ -32,10 +33,65 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Time one scenario end to end with a cold, serial, cache-less runner so
- *  the measurement is the engine work, not the cache. */
+/** What one execution of a case's workload produced. */
+struct CaseStats {
+    std::uint64_t events = 0;
+    double sim_seconds = 0.0;
+    int engine_runs = 0;
+};
+
+/**
+ * Time one case: a clean probe-free pass for the trajectory numbers, then
+ * (unless wall_only) a second pass under the subsystem profiler for the
+ * breakdown. Engines are deterministic, so both passes do identical work.
+ */
 PerfSample
-scenarioCase(const std::string &name)
+timedCase(const std::string &name, bool wall_only,
+          const std::function<CaseStats()> &body)
+{
+    PerfSample sample;
+    sample.name = name;
+    sample.wall_only = wall_only;
+
+    const long rss_before = peakRssKb();
+    const auto start = Clock::now();
+    const CaseStats stats = body();
+    sample.wall_s = secondsSince(start);
+    sample.events = stats.events;
+    sample.sim_seconds = stats.sim_seconds;
+    sample.engine_runs = stats.engine_runs;
+    sample.events_per_sec =
+        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
+    sample.peak_rss_kb = peakRssKb();
+    sample.rss_delta_kb = sample.peak_rss_kb - rss_before;
+
+    if (wall_only)
+        return sample;
+
+    auto &prof = obs::Profiler::instance();
+    prof.enable(true);
+    prof.reset();
+    const CaseStats again = body();
+    prof.enable(false);
+    SI_ASSERT(again.events == stats.events,
+              "profiled re-run diverged for case ", name);
+    sample.profile.collected = true;
+    for (int s = 0; s < static_cast<int>(obs::Section::kCount); ++s) {
+        sample.profile.seconds[s] =
+            prof.seconds(static_cast<obs::Section>(s));
+        sample.profile.calls[s] = prof.calls(static_cast<obs::Section>(s));
+    }
+    sample.profile.flows_touched = prof.flowsTouched();
+    sample.profile.links_touched = prof.linksTouched();
+    sample.profile.task_launches = prof.taskLaunches();
+    sample.profile.flow_retires = prof.flowRetires();
+    return sample;
+}
+
+/** Run one scenario end to end with a cold, serial, cache-less runner so
+ *  the measurement is the engine work, not the cache. */
+CaseStats
+runScenario(const std::string &name)
 {
     const auto *scenario = exp::ScenarioRegistry::instance().find(name);
     SI_REQUIRE(scenario != nullptr, "perf case references unknown scenario ",
@@ -46,94 +102,77 @@ scenarioCase(const std::string &name)
     exp::SweepRunner runner(options);
     exp::ScenarioContext ctx{runner};
 
-    PerfSample sample;
-    sample.name = name;
-    const auto start = Clock::now();
     const exp::ScenarioResult result = scenario->run(ctx);
-    sample.wall_s = secondsSince(start);
+    CaseStats stats;
     for (const auto &rec : result.records) {
-        sample.events += rec.result.events_executed;
-        sample.sim_seconds += rec.result.iteration_time;
-        ++sample.engine_runs;
+        stats.events += rec.result.events_executed;
+        stats.sim_seconds += rec.result.iteration_time;
+        ++stats.engine_runs;
     }
-    sample.events_per_sec =
-        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
-    sample.peak_rss_kb = peakRssKb();
-    return sample;
+    return stats;
+}
+
+PerfSample
+scenarioCase(const std::string &name, bool wall_only = false)
+{
+    return timedCase(name, wall_only, [&] { return runScenario(name); });
 }
 
 /** Time one direct engine run (the scale-out acceptance points). */
 PerfSample
 engineCase(const std::string &name, int nodes)
 {
-    const auto model = train::ModelSpec::gpt2(4.0);
-    train::TrainConfig train;
-    train::SystemConfig system;
-    system.strategy = train::Strategy::SmartUpdateOpt;
-    system.num_devices = 8;
-    system.num_nodes = nodes;
+    return timedCase(name, /*wall_only=*/false, [nodes] {
+        const auto model = train::ModelSpec::gpt2(4.0);
+        train::TrainConfig train;
+        train::SystemConfig system;
+        system.strategy = train::Strategy::SmartUpdateOpt;
+        system.num_devices = 8;
+        system.num_nodes = nodes;
 
-    PerfSample sample;
-    sample.name = name;
-    const auto start = Clock::now();
-    auto engine = train::makeEngine(model, train, system);
-    const train::IterationResult result = engine->runIteration();
-    sample.wall_s = secondsSince(start);
-    sample.events = result.events_executed;
-    sample.sim_seconds = result.iteration_time;
-    sample.engine_runs = 1;
-    sample.events_per_sec =
-        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
-    sample.peak_rss_kb = peakRssKb();
-    return sample;
+        auto engine = train::makeEngine(model, train, system);
+        const train::IterationResult result = engine->runIteration();
+        return CaseStats{result.events_executed, result.iteration_time, 1};
+    });
 }
 
 /** Time one direct serving run (the dynamic-task-graph hot path). */
 PerfSample
-serveCase(const std::string &name, int num_requests,
-          bool kv_heavy = false)
+serveCase(const std::string &name, int num_requests, bool kv_heavy = false)
 {
-    const auto model = train::ModelSpec::gpt2(4.0);
-    train::SystemConfig system;
-    system.strategy = train::Strategy::SmartUpdateOptComp;
-    system.num_devices = 6;
+    return timedCase(name, /*wall_only=*/false, [num_requests, kv_heavy] {
+        const auto model = train::ModelSpec::gpt2(4.0);
+        train::SystemConfig system;
+        system.strategy = train::Strategy::SmartUpdateOptComp;
+        system.num_devices = 6;
 
-    serve::ServeConfig config;
-    config.scheduler = serve::SchedulerPolicy::Continuous;
-    config.num_requests = num_requests;
-    config.arrival_rate = 0.25;
-    config.prompt_tokens = 256;
-    config.output_tokens = 16;
-    config.max_batch = 8;
-    if (kv_heavy) {
-        // The KV-heavy tracked case: sampled output lengths (ragged
-        // batches) + tight KV budgets so every decode step issues spill
-        // flows on top of the parameter stream — the serving-fidelity
-        // hot path added in PR 5.
-        config.output_lengths.kind = serve::LengthDistKind::Lognormal;
-        config.output_lengths.log_mean = 3.5; // median ~33 tokens
-        config.output_lengths.log_sigma = 0.7;
-        config.output_lengths.min_tokens = 8;
-        config.output_lengths.max_tokens = 128;
-        config.kv.enabled = true;
-        config.kv.hbm_budget = GiB(0.25);
-        config.kv.host_budget = GiB(0.5);
-    }
+        serve::ServeConfig config;
+        config.scheduler = serve::SchedulerPolicy::Continuous;
+        config.num_requests = num_requests;
+        config.arrival_rate = 0.25;
+        config.prompt_tokens = 256;
+        config.output_tokens = 16;
+        config.max_batch = 8;
+        if (kv_heavy) {
+            // The KV-heavy tracked case: sampled output lengths (ragged
+            // batches) + tight KV budgets so every decode step issues
+            // spill flows on top of the parameter stream — the
+            // serving-fidelity hot path added in PR 5.
+            config.output_lengths.kind = serve::LengthDistKind::Lognormal;
+            config.output_lengths.log_mean = 3.5; // median ~33 tokens
+            config.output_lengths.log_sigma = 0.7;
+            config.output_lengths.min_tokens = 8;
+            config.output_lengths.max_tokens = 128;
+            config.kv.enabled = true;
+            config.kv.hbm_budget = GiB(0.25);
+            config.kv.host_budget = GiB(0.5);
+        }
 
-    PerfSample sample;
-    sample.name = name;
-    const auto start = Clock::now();
-    auto engine = train::makeEngine(model, {}, system);
-    serve::InferenceWorkload workload(model, config);
-    const train::WorkloadResult result = engine->run(workload);
-    sample.wall_s = secondsSince(start);
-    sample.events = result.events_executed;
-    sample.sim_seconds = result.iteration_time;
-    sample.engine_runs = 1;
-    sample.events_per_sec =
-        sample.wall_s > 0.0 ? sample.events / sample.wall_s : 0.0;
-    sample.peak_rss_kb = peakRssKb();
-    return sample;
+        auto engine = train::makeEngine(model, {}, system);
+        serve::InferenceWorkload workload(model, config);
+        const train::WorkloadResult result = engine->run(workload);
+        return CaseStats{result.events_executed, result.iteration_time, 1};
+    });
 }
 
 } // namespace
@@ -145,8 +184,10 @@ runPerfCases()
     samples.push_back(scenarioCase("fig09"));
     samples.push_back(scenarioCase("fig11"));
     // Functional-layer only (no engine records): events/sim_seconds stay 0
-    // by construction — this case tracks wall_s and RSS, nothing else.
-    samples.push_back(scenarioCase("ablation_compression"));
+    // by construction — this case tracks wall_s and RSS, nothing else
+    // (wall_only in the JSON).
+    samples.push_back(scenarioCase("ablation_compression",
+                                   /*wall_only=*/true));
     samples.push_back(engineCase("scaleout_n4", 4));
     samples.push_back(engineCase("scaleout_n16", 16));
     samples.push_back(serveCase("serve_smart_16req", 16));
@@ -157,7 +198,18 @@ runPerfCases()
 void
 writePerfJson(std::ostream &os, const std::vector<PerfSample> &samples)
 {
-    os << "{\n  \"bench\": \"smartinf_perf\",\n  \"schema\": 1,\n"
+    os << "{\n  \"bench\": \"smartinf_perf\",\n  \"schema\": 2,\n"
+       << "  \"notes\": {\n"
+       << "    \"peak_rss_kb\": \"process-lifetime RSS high-water mark "
+          "after the case; monotonic across cases by construction\",\n"
+       << "    \"rss_delta_kb\": \"growth of the high-water mark during "
+          "the case (0 = an earlier case already peaked higher)\",\n"
+       << "    \"wall_only\": \"case runs no engines; events and "
+          "sim_seconds are 0 by construction\",\n"
+       << "    \"profile\": \"host wall-time breakdown from a second, "
+          "profiled identical run; sections overlap (event_dispatch "
+          "contains the others)\"\n"
+       << "  },\n"
        << "  \"cases\": [\n";
     const auto flags = os.flags();
     os << std::setprecision(6) << std::fixed;
@@ -170,8 +222,25 @@ writePerfJson(std::ostream &os, const std::vector<PerfSample> &samples)
            << std::setprecision(6)
            << ", \"sim_seconds\": " << s.sim_seconds
            << ", \"engine_runs\": " << s.engine_runs
-           << ", \"peak_rss_kb\": " << s.peak_rss_kb << "}"
-           << (i + 1 < samples.size() ? "," : "") << "\n";
+           << ", \"peak_rss_kb\": " << s.peak_rss_kb
+           << ", \"rss_delta_kb\": " << s.rss_delta_kb
+           << ", \"wall_only\": " << (s.wall_only ? "true" : "false");
+        if (s.profile.collected) {
+            os << ",\n     \"profile\": {";
+            for (int sec = 0; sec < static_cast<int>(obs::Section::kCount);
+                 ++sec) {
+                const char *key =
+                    obs::sectionName(static_cast<obs::Section>(sec));
+                os << "\"" << key << "_s\": " << s.profile.seconds[sec]
+                   << ", \"" << key << "_calls\": " << s.profile.calls[sec]
+                   << ", ";
+            }
+            os << "\"flows_touched\": " << s.profile.flows_touched
+               << ", \"links_touched\": " << s.profile.links_touched
+               << ", \"task_launches\": " << s.profile.task_launches
+               << ", \"flow_retires\": " << s.profile.flow_retires << "}";
+        }
+        os << "}" << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     os.flags(flags);
     os << "  ]\n}\n";
@@ -185,7 +254,17 @@ writePerfText(std::ostream &os, const std::vector<PerfSample> &samples)
            << std::setprecision(3) << s.wall_s << " s wall, " << s.events
            << " events (" << std::setprecision(0) << s.events_per_sec
            << "/s), " << s.engine_runs << " runs, peak RSS "
-           << s.peak_rss_kb << " KiB\n";
+           << s.peak_rss_kb << " KiB (+" << s.rss_delta_kb << ")";
+        if (s.profile.collected) {
+            os << std::setprecision(3) << " | dispatch "
+               << s.profile.seconds[static_cast<int>(
+                      obs::Section::EventDispatch)]
+               << " s, recompute "
+               << s.profile.seconds[static_cast<int>(
+                      obs::Section::FlowRecompute)]
+               << " s, " << s.profile.flows_touched << " flows touched";
+        }
+        os << "\n";
         os.unsetf(std::ios_base::floatfield);
     }
 }

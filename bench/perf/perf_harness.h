@@ -8,6 +8,23 @@
  * every PR that touches the hot path appends a point, CI uploads it as an
  * artifact, and regressions show up as a drop in events/sec on the same
  * case names. See ROADMAP.md ("perf trajectory") for how to read/extend it.
+ *
+ * Schema 2 additions:
+ *  - rss_delta_kb: per-case growth of the process RSS high-water mark
+ *    (peak_rss_kb is inherently monotonic across cases — getrusage reports
+ *    the process-lifetime peak — so the delta, not the absolute value, is
+ *    the per-case memory signal; 0 means an earlier case already peaked
+ *    higher).
+ *  - wall_only: cases that execute no engine runs (ablation_compression is
+ *    a functional-layer sweep) keep events/sim_seconds at 0 by
+ *    construction; the flag marks that explicitly instead of leaving the
+ *    zeros ambiguous.
+ *  - profile: per-subsystem host wall-time breakdown (obs/profiler.h)
+ *    from a second, profiled execution of the same case — engines are
+ *    deterministic, so the re-run performs identical work while the timed
+ *    pass stays probe-free. Sections overlap (event_dispatch contains the
+ *    others); the activity counters (flows/links touched per recompute)
+ *    explain the events/sec gap between training and serving cases.
  */
 #ifndef SMARTINF_BENCH_PERF_HARNESS_H
 #define SMARTINF_BENCH_PERF_HARNESS_H
@@ -17,7 +34,22 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace smartinf::bench {
+
+/** Per-subsystem wall-time breakdown of one case's profiled re-run. */
+struct PerfProfile {
+    bool collected = false;
+    /** Outermost wall seconds and entry counts per profiled section,
+     *  indexed by obs::Section. */
+    double seconds[static_cast<int>(obs::Section::kCount)] = {};
+    std::uint64_t calls[static_cast<int>(obs::Section::kCount)] = {};
+    std::uint64_t flows_touched = 0; ///< sum of recomputed component sizes
+    std::uint64_t links_touched = 0;
+    std::uint64_t task_launches = 0;
+    std::uint64_t flow_retires = 0;
+};
 
 /** One timed case of the perf benchmark. */
 struct PerfSample {
@@ -29,6 +61,9 @@ struct PerfSample {
     int engine_runs = 0;       ///< engine iterations the case executed
     long peak_rss_kb = 0;      ///< process high-water RSS after the case
                                ///< (monotonic across cases by construction)
+    long rss_delta_kb = 0;     ///< high-water growth during this case
+    bool wall_only = false;    ///< no engine runs: only wall_s/RSS tracked
+    PerfProfile profile;       ///< subsystem breakdown (profiled re-run)
 };
 
 /**

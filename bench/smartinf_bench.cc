@@ -15,12 +15,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "exp/result_io.h"
 #include "exp/scenario.h"
+#include "obs/observation.h"
 #include "perf/perf_harness.h"
 
 using namespace smartinf;
@@ -45,7 +47,18 @@ usage(std::ostream &os, int code)
           "                    concurrency)\n"
           "  --out FILE        write output to FILE (default: stdout)\n"
           "  --no-cache        disable the sweep result cache\n"
-          "  --quiet           suppress run-count stats on stderr\n";
+          "  --quiet           suppress run-count stats on stderr\n"
+          "  --trace FILE      record every engine run's simulation\n"
+          "                    timeline and write Chrome-trace/Perfetto\n"
+          "                    JSON to FILE (open in ui.perfetto.dev);\n"
+          "                    forces --jobs 1 and disables the cache so\n"
+          "                    every selected run is traced\n"
+          "  --metrics FILE    write windowed counter time-series (link\n"
+          "                    utilization, queue depth, KV occupancy,\n"
+          "                    ...) as CSV to FILE; same forcing as\n"
+          "                    --trace\n"
+          "  --metrics-window S  counter window width in simulated\n"
+          "                    seconds (default: 1.0)\n";
     return code;
 }
 
@@ -75,6 +88,7 @@ main(int argc, char **argv)
     bool list = false, all = false, no_cache = false, quiet = false;
     bool perf = false;
     std::string format = "text", out_path;
+    obs::ObservationOptions obs_options;
     std::vector<std::string> names;
     int jobs = static_cast<int>(std::thread::hardware_concurrency());
     if (jobs < 1)
@@ -113,6 +127,21 @@ main(int argc, char **argv)
             no_cache = true;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (arg == "--trace") {
+            obs_options.trace_path = value("--trace");
+        } else if (arg == "--metrics") {
+            obs_options.metrics_path = value("--metrics");
+        } else if (arg == "--metrics-window") {
+            const std::string v = value("--metrics-window");
+            try {
+                obs_options.metrics_window = std::stod(v);
+            } catch (const std::exception &) {
+                obs_options.metrics_window = 0.0;
+            }
+            if (obs_options.metrics_window <= 0.0) {
+                std::cerr << "bad --metrics-window value: " << v << "\n";
+                return usage(std::cerr, 2);
+            }
         } else if (arg == "--help" || arg == "-h") {
             return usage(std::cout, 0);
         } else {
@@ -124,6 +153,23 @@ main(int argc, char **argv)
         format != "records-csv") {
         std::cerr << "unknown format: " << format << "\n";
         return usage(std::cerr, 2);
+    }
+
+    // Opt-in observability: install the session before anything runs.
+    // Tracing serializes runs (one merge order, no cross-run interleaving
+    // races) and disables the cache (a cache hit would skip the run —
+    // and its timeline — entirely). Never affects simulated results.
+    const bool observing = !obs_options.trace_path.empty() ||
+                           !obs_options.metrics_path.empty();
+    std::unique_ptr<obs::Observation> observation;
+    if (observing) {
+        observation = std::make_unique<obs::Observation>(obs_options);
+        observation->install();
+        if (jobs != 1 && !quiet)
+            std::cerr << "[smartinf_bench] --trace/--metrics force "
+                         "--jobs 1\n";
+        jobs = 1;
+        no_cache = true;
     }
 
     exp::registerBuiltinScenarios();
@@ -148,6 +194,10 @@ main(int argc, char **argv)
                              samples);
         if (!quiet)
             bench::writePerfText(std::cerr, samples);
+        if (observation && !observation->writeOutputs()) {
+            std::cerr << "cannot write --trace/--metrics output\n";
+            return 1;
+        }
         return 0;
     }
     if (all)
@@ -212,6 +262,22 @@ main(int argc, char **argv)
         os << "]\n";
     else if (format == "records-csv")
         exp::writeRecordsCsv(os, all_records);
+
+    if (observation) {
+        if (!observation->writeOutputs()) {
+            std::cerr << "cannot write --trace/--metrics output\n";
+            return 1;
+        }
+        if (!quiet) {
+            std::cerr << "[smartinf_bench] observed "
+                      << observation->runsRecorded() << " runs";
+            if (!obs_options.trace_path.empty())
+                std::cerr << ", trace -> " << obs_options.trace_path;
+            if (!obs_options.metrics_path.empty())
+                std::cerr << ", metrics -> " << obs_options.metrics_path;
+            std::cerr << "\n";
+        }
+    }
 
     if (!quiet)
         std::cerr << "[smartinf_bench] " << runner.executedRuns()

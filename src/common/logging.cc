@@ -1,15 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <stdexcept>
+#include <utility>
 
 namespace smartinf {
 
 namespace {
 
 std::atomic<bool> g_verbose{true};
+
+LogSink g_sink; ///< empty = defaultLogSink (install before threads spawn)
+
+thread_local LogClock t_log_clock;
+
+/** Apply the thread's sim-time prefix, if a clock is installed. */
+std::string
+stamped(const std::string &msg)
+{
+    if (!t_log_clock)
+        return msg;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%.6fs] ", t_log_clock());
+    return buf + msg;
+}
 
 const char *
 prefix(LogLevel level)
@@ -24,6 +41,27 @@ prefix(LogLevel level)
 }
 
 } // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    g_sink = std::move(sink);
+}
+
+void
+defaultLogSink(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !verbose())
+        return;
+    std::ostream &os = (level == LogLevel::Inform) ? std::cout : std::cerr;
+    os << prefix(level) << msg << '\n';
+}
+
+LogClock
+exchangeLogClock(LogClock clock)
+{
+    return std::exchange(t_log_clock, std::move(clock));
+}
 
 void
 setVerbose(bool verbose)
@@ -42,18 +80,21 @@ namespace detail {
 void
 emit(LogLevel level, const std::string &msg)
 {
-    if (level == LogLevel::Inform && !verbose())
-        return;
-    std::ostream &os = (level == LogLevel::Inform) ? std::cout : std::cerr;
-    os << prefix(level) << msg << '\n';
+    const std::string line = stamped(msg);
+    if (g_sink)
+        g_sink(level, line);
+    else
+        defaultLogSink(level, line);
 }
 
 void
 emitFatal(LogLevel level, const std::string &msg)
 {
-    std::cerr << prefix(level) << msg << std::endl;
+    emit(level, msg);
     // Throw instead of aborting so unit tests can assert on failure paths;
     // uncaught, the exception still terminates the process with the message.
+    // The exception text never carries the sim-time prefix: tests and
+    // callers match on the stable "fatal:/panic: <msg>" form.
     if (level == LogLevel::Panic)
         throw std::logic_error("panic: " + msg);
     throw std::runtime_error("fatal: " + msg);

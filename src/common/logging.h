@@ -7,6 +7,7 @@
 #ifndef SMARTINF_COMMON_LOGGING_H
 #define SMARTINF_COMMON_LOGGING_H
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,37 @@ namespace smartinf {
 
 /** Severity classes used by the logging sink. */
 enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Pluggable message sink. Receives every emitted message (including
+ * inform() while verbosity is off — filtering is the sink's decision) with
+ * any sim-time prefix already applied, but without the severity prefix or
+ * trailing newline. Install with setLogSink(); an empty sink restores the
+ * default stream behaviour, which defaultLogSink() also exposes directly
+ * so custom sinks can tee into it.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/** Install @p sink process-wide (empty = default streams). Not
+ *  thread-safe against concurrent emission: install before spawning
+ *  worker threads. */
+void setLogSink(LogSink sink);
+
+/** The built-in behaviour: verbosity gate for Inform, severity prefix,
+ *  stdout for Inform / stderr otherwise, trailing newline. */
+void defaultLogSink(LogLevel level, const std::string &msg);
+
+/**
+ * Thread-local simulated-time source for log prefixes. While a clock is
+ * installed, every message emitted on this thread is prefixed with
+ * "[t=<now>s] " (printed output only — fatal()/panic() exception text is
+ * never prefixed). Returns the previously installed clock so scopes nest:
+ * install on entry, restore the returned value on exit. An engine run
+ * under observation (obs::RunObservation) installs its simulator's clock
+ * for the duration of the run.
+ */
+using LogClock = std::function<double()>;
+LogClock exchangeLogClock(LogClock clock);
 
 namespace detail {
 

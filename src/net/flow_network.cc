@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace smartinf::net {
 
@@ -126,6 +127,9 @@ FlowNetwork::beginBulk(uint32_t slot)
         lf.insert(std::lower_bound(lf.begin(), lf.end(), id, by_id), slot);
     }
 
+    if (observer_)
+        observer_->flowStarted(id, f.route, f.remaining, now);
+
     markComponent({slot});
     recomputeComponent(now);
     rescheduleCompletionEvent();
@@ -213,6 +217,8 @@ FlowNetwork::markComponent(const std::vector<uint32_t> &seeds)
 void
 FlowNetwork::recomputeComponent(Seconds now)
 {
+    const obs::Profiler::Scoped probe(obs::Section::FlowRecompute);
+
     // Per-link statistics must be flushed against the rates that held since
     // the last account point, before any rate in the component changes.
     // Then zero every closure link's aggregate: links whose last flow just
@@ -221,6 +227,10 @@ FlowNetwork::recomputeComponent(Seconds now)
     for (uint32_t li : comp_links_) {
         flushLink(link_states_[li], now);
         link_states_[li].agg_rate = 0.0;
+        // A link whose last flow just retired never re-enters the re-keyed
+        // set below, so its rate drop is only visible here.
+        if (observer_)
+            observer_->linkRateChanged(*link_states_[li].link, 0.0, now);
     }
 
     // Order the component's surviving flows by ascending id (markComponent
@@ -318,6 +328,17 @@ FlowNetwork::recomputeComponent(Seconds now)
         ++flow.stamp;
         pushCompletion(s, now + flow.remaining / flow.rate);
     }
+
+    if (observer_) {
+        for (uint32_t li : comp_links_)
+            observer_->linkRateChanged(*link_states_[li].link,
+                                       link_states_[li].agg_rate, now);
+        for (uint32_t s : comp_flows_)
+            observer_->flowRateChanged(slots_[s].id, slots_[s].rate, now);
+    }
+    auto &profiler = obs::Profiler::instance();
+    profiler.addFlowsTouched(comp_flows_.size());
+    profiler.addLinksTouched(comp_links_.size());
 }
 
 // ---- completion heap --------------------------------------------------------
@@ -414,6 +435,9 @@ FlowNetwork::onCompletionEvent()
         total_delivered_ += f.remaining;
         f.remaining = 0.0;
         f.rate = 0.0;
+        if (observer_)
+            observer_->flowFinished(f.id, now);
+        obs::Profiler::instance().countFlowRetire();
         callbacks_.push_back(std::move(f.done));
         for (uint32_t li : f.links) {
             auto &lf = link_states_[li].flows;
@@ -434,6 +458,7 @@ FlowNetwork::onCompletionEvent()
 
     // Callbacks run last: they may start new flows, which re-enter
     // startFlow() and recompute rates consistently.
+    const obs::Profiler::Scoped probe(obs::Section::FlowCallbacks);
     for (auto &callback : callbacks_) {
         if (callback)
             callback();

@@ -45,11 +45,63 @@ using Route = std::vector<Link *>;
 /** Handle to an in-flight transfer. */
 using FlowId = uint64_t;
 
+/**
+ * Read-only witness of flow lifecycle and rate changes. Same determinism
+ * contract as sim::SimObserver (see sim/observer.h): hooks fire
+ * synchronously from inside the network's own event handling and must not
+ * start flows or schedule events. Degenerate flows (zero bytes or empty
+ * route) complete without ever entering the contention set and are not
+ * reported.
+ */
+class FlowObserver
+{
+  public:
+    virtual ~FlowObserver() = default;
+
+    /** A flow entered its bulk (contending) phase. */
+    virtual void flowStarted(FlowId id, const Route &route, Bytes bytes,
+                             Seconds now)
+    {
+        (void)id;
+        (void)route;
+        (void)bytes;
+        (void)now;
+    }
+    /** A flow's max-min rate was (re)assigned. Reported for every flow of
+     *  a recomputed contention component, changed or not. */
+    virtual void flowRateChanged(FlowId id, BytesPerSec rate, Seconds now)
+    {
+        (void)id;
+        (void)rate;
+        (void)now;
+    }
+    /** A link's aggregate rate was refreshed (0 when its last flow left). */
+    virtual void linkRateChanged(const Link &link, BytesPerSec aggregate,
+                                 Seconds now)
+    {
+        (void)link;
+        (void)aggregate;
+        (void)now;
+    }
+    /** A flow delivered its last byte (fires before its completion
+     *  callback runs). */
+    virtual void flowFinished(FlowId id, Seconds now)
+    {
+        (void)id;
+        (void)now;
+    }
+};
+
 /** Max-min fair fluid-flow transfer engine driven by the event queue. */
 class FlowNetwork
 {
   public:
     explicit FlowNetwork(sim::Simulator &sim) : sim_(sim) {}
+
+    /** Attach/detach a passive observer (nullptr = none; observers add
+     *  no events and never change rates or completion times). */
+    void setObserver(FlowObserver *observer) { observer_ = observer; }
+    FlowObserver *observer() const { return observer_; }
 
     /**
      * Begin transferring @p bytes along @p route; @p done fires on
@@ -163,6 +215,7 @@ class FlowNetwork
     void onCompletionEvent();
 
     sim::Simulator &sim_;
+    FlowObserver *observer_ = nullptr;
     std::vector<FlowSlot> slots_;
     std::vector<uint32_t> free_slots_;
     std::unordered_map<FlowId, uint32_t> id_to_slot_;

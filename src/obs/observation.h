@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The observability umbrella that ties the passive recording pieces
+ * (TraceSink, CounterSampler) to the simulation's observer hooks
+ * (sim::SimObserver, net::FlowObserver) and to the serve layer's semantic
+ * events. Strictly opt-in: nothing here runs unless the CLI installs an
+ * Observation, and an installed Observation never feeds back into the
+ * simulation (see the determinism contract in sim/observer.h and DESIGN.md
+ * "Observability").
+ *
+ * Structure:
+ *  - Observation is the process-wide session installed by `smartinf_bench
+ *    --trace/--metrics`. It owns the merged trace document and counter
+ *    series and hands out one RunObservation per engine run, labelled
+ *    "r<k>: <engine> / <workload>" so runs of a sweep stay distinguishable.
+ *  - RunObservation is the per-run recorder: Engine::run() creates it
+ *    before build() and destroys it after the simulator drains. It
+ *    registers itself as the run's SimObserver + FlowObserver, exposes the
+ *    serve-facing hooks (scheduler steps, queue depth, KV occupancy) via
+ *    SimContext::obs, and — for the run's duration — installs a
+ *    thread-local log clock so inform()/warn() lines carry [t=...s]
+ *    sim-time prefixes.
+ *
+ * Deliberately NOT a RunSpec axis: observation cannot change any simulated
+ * result (pinned by tests), so it must never enter the result hash — a
+ * traced run and an untraced run are the same experiment.
+ */
+#ifndef SMARTINF_OBS_OBSERVATION_H
+#define SMARTINF_OBS_OBSERVATION_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/flow_network.h"
+#include "obs/counter_sampler.h"
+#include "obs/trace_sink.h"
+#include "sim/observer.h"
+
+namespace smartinf::obs {
+
+/** What an Observation records; empty paths disable that output. */
+struct ObservationOptions {
+    std::string trace_path;   ///< Chrome-trace JSON out; "" = no timeline
+    std::string metrics_path; ///< counter CSV out; "" = no time-series
+    Seconds metrics_window = 1.0; ///< counter window width (sim seconds)
+    /**
+     * Minimum simulated-time spacing between successive *timeline* samples
+     * of one high-churn counter (link utilization, per-flow rate). Every
+     * max-min recompute re-reports the whole contention component, so an
+     * unthrottled timeline is O(events × component size); throttling bounds
+     * it to O(duration / dt) per counter, with sampled-counter semantics
+     * (sub-quantum churn aliases). The metrics CSV sees every exact sample
+     * regardless.
+     */
+    Seconds trace_sample_dt = 0.05;
+};
+
+class Observation;
+
+/**
+ * Per-run recorder (one engine run = one Perfetto process group). Created
+ * by Observation::beginRun(); records into its own private sink/sampler so
+ * concurrent runs never contend; merged back under the session lock by
+ * Observation::finishRun().
+ */
+class RunObservation final : public sim::SimObserver,
+                             public net::FlowObserver
+{
+  public:
+    RunObservation(std::string label, const ObservationOptions &opts,
+                   sim::Simulator &sim, net::FlowNetwork &net);
+    ~RunObservation() override;
+
+    RunObservation(const RunObservation &) = delete;
+    RunObservation &operator=(const RunObservation &) = delete;
+
+    /** @name sim::SimObserver (task graph + resources). @{ */
+    void taskStarted(std::size_t id, const sim::TaskLabel &label,
+                     Seconds now) override;
+    void taskFinished(std::size_t id, const sim::TaskLabel &label,
+                      Seconds now) override;
+    void jobStarted(const sim::Resource &resource, double work,
+                    Seconds now) override;
+    void jobFinished(const sim::Resource &resource, double work,
+                     Seconds now) override;
+    /** @} */
+
+    /** @name net::FlowObserver (flow lifecycle + link rates). @{ */
+    void flowStarted(net::FlowId id, const net::Route &route, Bytes bytes,
+                     Seconds now) override;
+    void flowRateChanged(net::FlowId id, BytesPerSec rate,
+                         Seconds now) override;
+    void linkRateChanged(const net::Link &link, BytesPerSec aggregate,
+                         Seconds now) override;
+    void flowFinished(net::FlowId id, Seconds now) override;
+    /** @} */
+
+    /**
+     * @name Serve-layer hooks (called through SimContext::obs).
+     * Scalar-only signatures keep obs/ below serve/ in the layering.
+     * @{
+     */
+    void schedulerStepBegun(int node, int step, int batch_size,
+                            int prefills, Seconds now);
+    void schedulerStepFinished(int node, Seconds now);
+    void queueDepth(int node, int depth, Seconds now);
+    void runningBatch(int node, int size, Seconds now);
+    void requestRetired(int node, int request_id, Seconds arrival,
+                        Seconds finish, Seconds now);
+    /** KV bytes resident per tier after a step's working set is laid out;
+     *  @p scope is the builder prefix ("" or "n<k>."). */
+    void kvOccupancy(const std::string &scope, Bytes hbm, Bytes host,
+                     Bytes csd, Seconds now);
+    /** @} */
+
+    const std::string &label() const { return label_; }
+    const TraceSink &trace() const { return trace_; }
+    const CounterSampler &counters() const { return counters_; }
+
+  private:
+    /** Last emitted state of one throttled timeline series. */
+    struct Throttle {
+        std::string args;     ///< rendered args of the last emission
+        Seconds t = 0.0;      ///< time of the last emission
+        bool emitted = false; ///< false until the first sample
+    };
+
+    /** Intern a per-resource / per-scheduler duration track. */
+    uint32_t track(const std::string &name);
+    /**
+     * Emit a trace counter iff its rendered args changed AND at least
+     * trace_sample_dt passed since the series' last emission — sampled-
+     * counter semantics: fast 0<->busy toggling (a media link fetching one
+     * layer per step) aliases to ~1/dt points, and the displayed value can
+     * lag the true one by up to one quantum. The metrics sampler still
+     * sees every exact sample; this throttle only bounds *timeline*
+     * volume (see ObservationOptions).
+     */
+    void traceCounter(const std::string &name, Seconds t,
+                      std::string args_json);
+    void metric(const std::string &name, Seconds t, double value);
+
+    std::string label_;
+    sim::Simulator &sim_;
+    net::FlowNetwork &net_;
+
+    TraceSink trace_;
+    CounterSampler counters_;
+    uint32_t pid_ = 0;
+    Seconds trace_sample_dt_;
+
+    std::unordered_map<std::string, uint32_t> track_by_name_;
+    std::unordered_map<net::FlowId, std::string> flow_names_;
+    std::unordered_map<net::FlowId, Throttle> flow_rate_throttle_;
+    std::unordered_map<std::string, Throttle> counter_throttle_;
+
+    std::function<Seconds()> prev_log_clock_;
+};
+
+/**
+ * Process-wide observability session (see file comment). Install one with
+ * install(); Engine::run() picks it up via current(). Thread-safe across
+ * concurrent engine runs: per-run state is private to each
+ * RunObservation, and begin/finish merge under a mutex.
+ */
+class Observation
+{
+  public:
+    explicit Observation(ObservationOptions options);
+    ~Observation();
+
+    Observation(const Observation &) = delete;
+    Observation &operator=(const Observation &) = delete;
+
+    /** The installed session, or nullptr (the common case). */
+    static Observation *current();
+    /** Make this the process-wide session (pass nullptr via uninstall). */
+    void install();
+    void uninstall();
+
+    const ObservationOptions &options() const { return options_; }
+
+    /** Start recording one engine run; @p label is "<engine> / <workload>"
+     *  (the session prepends a unique "r<k>: " run tag). */
+    std::unique_ptr<RunObservation> beginRun(const std::string &label,
+                                             sim::Simulator &sim,
+                                             net::FlowNetwork &net);
+    /** Merge a finished run's recordings into the session document. */
+    void finishRun(std::unique_ptr<RunObservation> run);
+
+    /** Number of runs recorded so far. */
+    int runsRecorded() const { return runs_finished_; }
+
+    /** Write the configured outputs (trace JSON and/or metrics CSV).
+     *  @return false if any configured file could not be opened. */
+    bool writeOutputs() const;
+
+    /** @name Direct access for tests. @{ */
+    const TraceSink &trace() const { return trace_; }
+    const CounterSampler &counters() const { return counters_; }
+    /** @} */
+
+  private:
+    ObservationOptions options_;
+    mutable std::mutex mutex_;
+    int runs_started_ = 0;
+    int runs_finished_ = 0;
+    TraceSink trace_;
+    CounterSampler counters_;
+};
+
+} // namespace smartinf::obs
+
+#endif // SMARTINF_OBS_OBSERVATION_H

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/observation.h"
+#include "obs/profiler.h"
+#include "train/sim_context.h"
 
 namespace smartinf::serve {
 
@@ -32,6 +35,9 @@ BatchScheduler::submit(const RequestSpec &request)
     queue_.push_back(request);
     peak_queue_depth_ =
         std::max(peak_queue_depth_, static_cast<int>(queue_.size()));
+    if (ctx_.obs)
+        ctx_.obs->queueDepth(node_, static_cast<int>(queue_.size()),
+                             ctx_.sim.now());
     maybeBeginStep();
 }
 
@@ -51,6 +57,7 @@ void
 BatchScheduler::beginStep()
 {
     SI_ASSERT(!step_in_flight_, "overlapping scheduler steps");
+    const obs::Profiler::Scoped probe(obs::Section::SchedulerStep);
     const Seconds now = ctx_.sim.now();
 
     // Admission. FIFO: only into an empty batch (run-to-completion);
@@ -70,6 +77,15 @@ BatchScheduler::beginStep()
         }
     }
     SI_ASSERT(!running_.empty(), "beginStep with no admissible work");
+    if (ctx_.obs) {
+        int prefills = 0;
+        for (const Active &a : running_)
+            prefills += a.prefilled ? 0 : 1;
+        ctx_.obs->queueDepth(node_, static_cast<int>(queue_.size()), now);
+        ctx_.obs->schedulerStepBegun(node_, next_step_index_,
+                                     static_cast<int>(running_.size()),
+                                     prefills, now);
+    }
 
     // Step shape: full prefill for the newly admitted, one decode token
     // per already-running request; the KV working set is the resident
@@ -109,6 +125,8 @@ BatchScheduler::onStepDone()
     const Seconds now = ctx_.sim.now();
     ++steps_executed_;
     step_in_flight_ = false;
+    if (ctx_.obs)
+        ctx_.obs->schedulerStepFinished(node_, now);
 
     // Token progress: prefill emits the first token, decode one more.
     for (Active &a : running_) {
@@ -139,11 +157,17 @@ BatchScheduler::onStepDone()
         record.first_token = a.first_token;
         record.finish = now;
         records_.push_back(record);
+        if (ctx_.obs)
+            ctx_.obs->requestRetired(node_, record.id, record.arrival,
+                                     record.finish, now);
         if (retire_hook_)
             retire_hook_(records_.back());
     }
     running_.erase(std::remove_if(running_.begin(), running_.end(), finished),
                    running_.end());
+    if (ctx_.obs)
+        ctx_.obs->runningBatch(node_, static_cast<int>(running_.size()),
+                               now);
 
     maybeBeginStep();
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/observation.h"
+#include "train/sim_context.h"
 
 namespace smartinf::serve {
 
@@ -204,8 +206,19 @@ InferenceBuilder::buildForwardPass(const StepShape &shape, int step_index)
     // fully HBM-resident step — the pass completion is the last layer's
     // compute, exactly the pre-KV task structure.
     std::vector<TaskId> kv_tasks;
-    if (serve_.kv.enabled)
+    if (serve_.kv.enabled) {
         buildKvFlows(shape, step_index, computes[layers - 1], kv_tasks);
+        if (ctx_.obs) {
+            // Occupancy after this step's appends land: the tier split of
+            // the full resident range [0, resident + new).
+            const Bytes total =
+                (shape.kv_resident_tokens + shape.kv_new_tokens) *
+                kvBytesPerToken();
+            const KvTierSplit occ = splitKvRange(0.0, total);
+            ctx_.obs->kvOccupancy(prefix_, occ.hbm, occ.host, occ.csd,
+                                  ctx_.sim.now());
+        }
+    }
     if (kv_tasks.empty())
         return computes[layers - 1];
 

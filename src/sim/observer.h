@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Passive observation hooks for the discrete-event substrate. A SimObserver
+ * registered on a Simulator is notified of task-graph and resource activity
+ * as it happens; the obs/ layer implements it to build timelines and
+ * counter time-series.
+ *
+ * Determinism contract (see DESIGN.md "Observability"): observers are
+ * *read-only* witnesses. They must not schedule events, start flows, add
+ * tasks, or otherwise feed back into the simulation — the event count,
+ * event ordering, and every simulated timestamp of a run must be
+ * bit-identical with and without an observer attached. All hooks fire
+ * synchronously inside already-scheduled work, never from new events.
+ */
+#ifndef SMARTINF_SIM_OBSERVER_H
+#define SMARTINF_SIM_OBSERVER_H
+
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace smartinf::sim {
+
+struct TaskLabel;
+class Resource;
+
+/** Read-only witness of task and resource activity (see file comment). */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** A task graph task launched (dependencies satisfied + released). */
+    virtual void taskStarted(std::size_t id, const TaskLabel &label,
+                             Seconds now)
+    {
+        (void)id;
+        (void)label;
+        (void)now;
+    }
+    /** A task graph task completed. */
+    virtual void taskFinished(std::size_t id, const TaskLabel &label,
+                              Seconds now)
+    {
+        (void)id;
+        (void)label;
+        (void)now;
+    }
+    /** A resource began executing a job (left its FIFO queue). */
+    virtual void jobStarted(const Resource &resource, double work,
+                            Seconds now)
+    {
+        (void)resource;
+        (void)work;
+        (void)now;
+    }
+    /** A resource finished a job. */
+    virtual void jobFinished(const Resource &resource, double work,
+                             Seconds now)
+    {
+        (void)resource;
+        (void)work;
+        (void)now;
+    }
+};
+
+} // namespace smartinf::sim
+
+#endif // SMARTINF_SIM_OBSERVER_H

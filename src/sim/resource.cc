@@ -1,6 +1,7 @@
 #include "sim/resource.h"
 
 #include "common/logging.h"
+#include "sim/observer.h"
 
 namespace smartinf::sim {
 
@@ -33,10 +34,16 @@ Resource::startNext()
     Job job = std::move(queue_.front());
     queue_.pop_front();
     const Seconds duration = job_latency_ + job.work / rate_;
+    if (SimObserver *observer = sim_.observer())
+        observer->jobStarted(*this, job.work, sim_.now());
     sim_.after(duration, [this, job = std::move(job), duration]() mutable {
         work_done_.add(job.work);
         busy_time_.add(duration);
         ++jobs_done_;
+        // Report completion before the next job starts so observers see
+        // this occupancy slice closed before the next one opens.
+        if (SimObserver *observer = sim_.observer())
+            observer->jobFinished(*this, job.work, sim_.now());
         // Complete before starting the next job so dependents observing
         // idle() see a consistent state.
         auto done = std::move(job.done);

@@ -1,10 +1,23 @@
 #include "sim/simulator.h"
 
+#include "obs/profiler.h"
+
 namespace smartinf::sim {
 
 Seconds
 Simulator::run()
 {
+    // The profiled loop exists so `smartinf_bench --perf` can attribute
+    // host wall time to event dispatch; checking enablement once per run
+    // keeps the common (unprofiled) loop free of clock reads.
+    if (obs::Profiler::instance().enabled()) {
+        while (!queue_.empty()) {
+            const obs::Profiler::Scoped probe(obs::Section::EventDispatch);
+            queue_.runNext(now_);
+            ++events_executed_;
+        }
+        return now_;
+    }
     while (queue_.runNext(now_))
         ++events_executed_;
     return now_;

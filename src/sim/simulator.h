@@ -12,10 +12,20 @@
 
 namespace smartinf::sim {
 
+class SimObserver;
+
 /** Central simulation context: clock + event queue. */
 class Simulator
 {
   public:
+    /**
+     * Attach/detach a passive observer (see sim/observer.h); the task
+     * graph and resources built on this simulator report through it.
+     * Observers add no events and never perturb the schedule.
+     */
+    void setObserver(SimObserver *observer) { observer_ = observer; }
+    SimObserver *observer() const { return observer_; }
+
     /** Current simulated time in seconds. */
     Seconds now() const { return now_; }
 
@@ -49,6 +59,7 @@ class Simulator
 
   private:
     EventQueue queue_;
+    SimObserver *observer_ = nullptr;
     Seconds now_ = 0.0;
     uint64_t events_executed_ = 0;
 };

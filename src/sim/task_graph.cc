@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
+#include "sim/observer.h"
 
 namespace smartinf::sim {
 
@@ -130,6 +132,9 @@ TaskGraph::launch(TaskId id)
     SI_ASSERT(!tasks_[id].launched, "task ", id, " launched twice");
     tasks_[id].launched = true;
     tasks_[id].start_time = sim_.now();
+    obs::Profiler::instance().countTaskLaunch();
+    if (SimObserver *observer = sim_.observer())
+        observer->taskStarted(id, tasks_[id].label, sim_.now());
     if (!tasks_[id].action) {
         complete(id);
         return;
@@ -145,8 +150,11 @@ void
 TaskGraph::complete(TaskId id)
 {
     SI_ASSERT(!tasks_[id].completed, "task ", id, " completed twice");
+    const obs::Profiler::Scoped probe(obs::Section::TaskComplete);
     tasks_[id].completed = true;
     tasks_[id].finish_time = sim_.now();
+    if (SimObserver *observer = sim_.observer())
+        observer->taskFinished(id, tasks_[id].label, sim_.now());
     ++completed_;
     // A completed task's dependent list is frozen (dependsOn on a
     // completed dep is a no-op), but launching a dependent may append

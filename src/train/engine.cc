@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "dist/distributed_engine.h"
+#include "obs/observation.h"
 #include "train/sim_context.h"
 #include "train/training_workload.h"
 
@@ -39,6 +40,19 @@ WorkloadResult
 Engine::run(Workload &workload)
 {
     SimContext ctx(system_);
+
+    // Opt-in observability: when a session is installed (smartinf_bench
+    // --trace/--metrics), record this run. Purely passive — the observers
+    // schedule nothing, so events_executed and every simulated timestamp
+    // are bit-identical with and without a session (pinned by tests).
+    obs::Observation *session = obs::Observation::current();
+    std::unique_ptr<obs::RunObservation> watch;
+    if (session) {
+        watch = session->beginRun(name() + " / " + workload.name(), ctx.sim,
+                                  ctx.net);
+        ctx.obs = watch.get();
+    }
+
     workload.build(ctx);
     ctx.graph.start();
     ctx.sim.run();
@@ -49,6 +63,11 @@ Engine::run(Workload &workload)
     workload.collect(ctx, result);
     result.traffic = ctx.traffic;
     result.events_executed = ctx.sim.eventsExecuted();
+
+    if (watch) {
+        ctx.obs = nullptr;
+        session->finishRun(std::move(watch));
+    }
     return result;
 }
 

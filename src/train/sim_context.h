@@ -15,6 +15,10 @@
 #include "train/system_config.h"
 #include "train/traffic_ledger.h"
 
+namespace smartinf::obs {
+class RunObservation;
+}
+
 namespace smartinf::train {
 
 /** Shared simulation substrate for one workload run. */
@@ -30,6 +34,15 @@ struct SimContext {
     net::Topology topo;
     sim::TaskGraph graph;
     TrafficLedger traffic;
+
+    /**
+     * Per-run observability recorder, or nullptr (the default — engines
+     * only set it while an obs::Observation session is installed). Layers
+     * with semantic events the sim/net hooks cannot see (the serve
+     * scheduler and builders) report through it when non-null. Purely
+     * passive: never affects tasks, flows, or timing.
+     */
+    obs::RunObservation *obs = nullptr;
 
     /** Add a flow-transfer task. */
     sim::TaskGraph::TaskId transfer(net::Route route, Bytes bytes,

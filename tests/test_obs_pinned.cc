@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pins the tracked perf-harness workloads to their pre-observability
+ * (BENCH_PR5.json) event counts and makespans. The observability layer is
+ * witnesses-only: if a probe, observer hook, or log-clock ever schedules
+ * or reorders simulated work, these exact-count pins fail before the perf
+ * trajectory does. The configs below intentionally mirror
+ * bench/perf/perf_harness.cc's engineCase/serveCase — keep them in sync.
+ */
+#include <gtest/gtest.h>
+
+#include "obs/observation.h"
+#include "serve/inference_workload.h"
+#include "train/engine.h"
+
+namespace smartinf {
+namespace {
+
+/** scaleout_n<nodes>: one training iteration, 8 devices per node. */
+train::IterationResult
+scaleoutCase(int nodes)
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    train::TrainConfig train;
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOpt;
+    system.num_devices = 8;
+    system.num_nodes = nodes;
+    auto engine = train::makeEngine(model, train, system);
+    return engine->runIteration();
+}
+
+/** serve_smart_16req / serve_kv_24req: the tracked serving cases. */
+train::WorkloadResult
+serveCase(int num_requests, bool kv_heavy)
+{
+    const auto model = train::ModelSpec::gpt2(4.0);
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOptComp;
+    system.num_devices = 6;
+
+    serve::ServeConfig config;
+    config.scheduler = serve::SchedulerPolicy::Continuous;
+    config.num_requests = num_requests;
+    config.arrival_rate = 0.25;
+    config.prompt_tokens = 256;
+    config.output_tokens = 16;
+    config.max_batch = 8;
+    if (kv_heavy) {
+        config.output_lengths.kind = serve::LengthDistKind::Lognormal;
+        config.output_lengths.log_mean = 3.5;
+        config.output_lengths.log_sigma = 0.7;
+        config.output_lengths.min_tokens = 8;
+        config.output_lengths.max_tokens = 128;
+        config.kv.enabled = true;
+        config.kv.hbm_budget = GiB(0.25);
+        config.kv.host_budget = GiB(0.5);
+    }
+
+    auto engine = train::makeEngine(model, {}, system);
+    serve::InferenceWorkload workload(model, config);
+    return engine->run(workload);
+}
+
+// The PR 5 trajectory values (BENCH_PR5.json): events exactly,
+// sim_seconds to the trajectory's printed precision.
+constexpr double kSimTolerance = 1e-6;
+
+TEST(ObsPinned, ScaleoutN4MatchesPreObservabilityTrajectory)
+{
+    const auto result = scaleoutCase(4);
+    EXPECT_EQ(result.events_executed, 4589u);
+    EXPECT_NEAR(result.iteration_time, 15.118796, kSimTolerance);
+}
+
+TEST(ObsPinned, ServeSmart16reqMatchesPreObservabilityTrajectory)
+{
+    const auto result = serveCase(16, /*kv_heavy=*/false);
+    EXPECT_EQ(result.events_executed, 46498u);
+    EXPECT_NEAR(result.iteration_time, 88.857308, kSimTolerance);
+}
+
+TEST(ObsPinned, ServeKv24reqMatchesPreObservabilityTrajectory)
+{
+    const auto result = serveCase(24, /*kv_heavy=*/true);
+    EXPECT_EQ(result.events_executed, 87760u);
+    EXPECT_NEAR(result.iteration_time, 149.436001, kSimTolerance);
+}
+
+TEST(ObsPinned, PinsHoldIdenticallyUnderFullObservation)
+{
+    // Belt and braces for the acceptance bar: the same pinned workload,
+    // now traced + sampled, must land on the same numbers exactly.
+    obs::Observation observation({});
+    observation.install();
+    const auto result = serveCase(24, /*kv_heavy=*/true);
+    observation.uninstall();
+
+    EXPECT_EQ(result.events_executed, 87760u);
+    EXPECT_NEAR(result.iteration_time, 149.436001, kSimTolerance);
+    EXPECT_EQ(observation.runsRecorded(), 1);
+    EXPECT_GT(observation.trace().eventCount(), 0u);
+}
+
+} // namespace
+} // namespace smartinf
