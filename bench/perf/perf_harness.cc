@@ -138,9 +138,11 @@ engineCase(const std::string &name, int nodes)
 
 /** Time one direct serving run (the dynamic-task-graph hot path). */
 PerfSample
-serveCase(const std::string &name, int num_requests, bool kv_heavy = false)
+serveCase(const std::string &name, int num_requests, bool kv_heavy = false,
+          bool paged = false)
 {
-    return timedCase(name, /*wall_only=*/false, [num_requests, kv_heavy] {
+    return timedCase(name, /*wall_only=*/false, [num_requests, kv_heavy,
+                                                 paged] {
         const auto model = train::ModelSpec::gpt2(4.0);
         train::SystemConfig system;
         system.strategy = train::Strategy::SmartUpdateOptComp;
@@ -167,6 +169,18 @@ serveCase(const std::string &name, int num_requests, bool kv_heavy = false)
             config.kv.hbm_budget = GiB(0.25);
             config.kv.host_budget = GiB(0.5);
         }
+        if (paged) {
+            // The paged-allocator tracked case (PR 7): same stream as the
+            // KV-heavy case, but the arena is 16-token pages and half the
+            // requests share one of two 200-token prefixes — block-table
+            // bookkeeping, range merging, and the prefix cache all on the
+            // timed path.
+            config.kv.layout = serve::KvLayout::Paged;
+            config.kv.block_tokens = 16;
+            config.kv.prefix.share_fraction = 0.5;
+            config.kv.prefix.num_prefixes = 2;
+            config.kv.prefix.prefix_tokens = 200;
+        }
 
         auto engine = train::makeEngine(model, {}, system);
         serve::InferenceWorkload workload(model, config);
@@ -192,6 +206,8 @@ runPerfCases()
     samples.push_back(engineCase("scaleout_n16", 16));
     samples.push_back(serveCase("serve_smart_16req", 16));
     samples.push_back(serveCase("serve_kv_24req", 24, /*kv_heavy=*/true));
+    samples.push_back(serveCase("serve_paged_24req", 24, /*kv_heavy=*/true,
+                                /*paged=*/true));
     return samples;
 }
 

@@ -210,6 +210,20 @@ ExperimentBuilder::concurrencies(std::vector<int> cs)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::blockTokens(std::vector<int> ts)
+{
+    block_tokens_ = std::move(ts);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::prefixShareFractions(std::vector<double> fs)
+{
+    prefix_share_fractions_ = std::move(fs);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::congested(bool on)
 {
     congested_ = on;
@@ -240,7 +254,8 @@ ExperimentBuilder::size() const
            axisSize(schedulers_) * axisSize(arrival_rates_) *
            axisSize(max_batches_) * axisSize(weight_fractions_) *
            axisSize(output_token_counts_) * axisSize(hbm_budgets_) *
-           axisSize(concurrencies_);
+           axisSize(concurrencies_) * axisSize(block_tokens_) *
+           axisSize(prefix_share_fractions_);
 }
 
 std::vector<RunSpec>
@@ -254,7 +269,8 @@ ExperimentBuilder::build() const
                    (schedulers_.empty() && arrival_rates_.empty() &&
                     max_batches_.empty() && weight_fractions_.empty() &&
                     output_token_counts_.empty() && hbm_budgets_.empty() &&
-                    concurrencies_.empty()),
+                    concurrencies_.empty() && block_tokens_.empty() &&
+                    prefix_share_fractions_.empty()),
                "serving axes set on a training sweep; call serving() (or "
                "workload(WorkloadKind::Serving)) first");
     // Same duplicate-hash failure mode, per axis: the hash normalizes
@@ -269,6 +285,14 @@ ExperimentBuilder::build() const
     SI_REQUIRE(hbm_budgets_.empty() || serve_base_.kv.enabled,
                "hbmBudgets() axis needs KV modeling enabled on the "
                "serving() base config (set kv.enabled = true)");
+    SI_REQUIRE(block_tokens_.empty() || serve_base_.kv.paged(),
+               "blockTokens() axis needs the paged KV layout on the "
+               "serving() base config (set kv.enabled = true and "
+               "kv.layout = KvLayout::Paged)");
+    SI_REQUIRE(prefix_share_fractions_.empty() || serve_base_.kv.paged(),
+               "prefixShareFractions() axis needs the paged KV layout on "
+               "the serving() base config (set kv.enabled = true and "
+               "kv.layout = KvLayout::Paged)");
 
     const std::vector<train::TrainConfig> trains =
         trains_.empty() ? std::vector<train::TrainConfig>{{}} : trains_;
@@ -323,6 +347,14 @@ ExperimentBuilder::build() const
     const std::vector<int> concurrencies =
         concurrencies_.empty() ? std::vector<int>{serve_base_.concurrency}
                                : concurrencies_;
+    const std::vector<int> block_tokens =
+        block_tokens_.empty()
+            ? std::vector<int>{serve_base_.kv.block_tokens}
+            : block_tokens_;
+    const std::vector<double> prefix_shares =
+        prefix_share_fractions_.empty()
+            ? std::vector<double>{serve_base_.kv.prefix.share_fraction}
+            : prefix_share_fractions_;
 
     // Odometer expansion: decompose the flat index with the last axis
     // fastest, which fixes the deterministic nesting order documented in
@@ -333,7 +365,8 @@ ExperimentBuilder::build() const
         optimizers.size(), fractions.size(), nodes.size(),
         overlaps.size(),   calibs.size(),    schedulers.size(),
         rates.size(),      batches.size(),   weight_fractions.size(),
-        output_tokens.size(), hbm_budgets.size(), concurrencies.size()};
+        output_tokens.size(), hbm_budgets.size(), concurrencies.size(),
+        block_tokens.size(),  prefix_shares.size()};
     constexpr int kAxes = static_cast<int>(std::size(sizes));
     std::size_t total = 1;
     for (const std::size_t s : sizes)
@@ -372,6 +405,8 @@ ExperimentBuilder::build() const
         spec.serve.output_tokens = output_tokens[idx[15]];
         spec.serve.kv.hbm_budget = hbm_budgets[idx[16]];
         spec.serve.concurrency = concurrencies[idx[17]];
+        spec.serve.kv.block_tokens = block_tokens[idx[18]];
+        spec.serve.kv.prefix.share_fraction = prefix_shares[idx[19]];
         spec.label = spec.describe();
         specs.push_back(std::move(spec));
     }

@@ -78,6 +78,12 @@ class ExperimentBuilder
     /** Sweep serve.concurrency (closed-loop client population). The
      *  serving() base config must be in ClosedLoop mode. */
     ExperimentBuilder &concurrencies(std::vector<int> cs);
+    /** Sweep serve.kv.block_tokens (paged-KV page size). The serving()
+     *  base config must use kv.layout = Paged, or the axis is inert. */
+    ExperimentBuilder &blockTokens(std::vector<int> ts);
+    /** Sweep serve.kv.prefix.share_fraction (shared-prompt mix). The
+     *  serving() base config must use kv.layout = Paged. */
+    ExperimentBuilder &prefixShareFractions(std::vector<double> fs);
     /** @} */
     /** @} */
 
@@ -94,8 +100,9 @@ class ExperimentBuilder
      * innermost): models, trains, strategies, devices, gpus, numGpus,
      * optimizers, compressionFractions, nodes, overlapGradSync,
      * calibrations, schedulers, arrivalRates, maxBatches,
-     * weightWireFractions, outputTokenCounts, hbmBudgets, concurrencies.
-     * Labels default to RunSpec::describe().
+     * weightWireFractions, outputTokenCounts, hbmBudgets, concurrencies,
+     * blockTokens, prefixShareFractions. Labels default to
+     * RunSpec::describe().
      */
     std::vector<RunSpec> build() const;
 
@@ -121,6 +128,8 @@ class ExperimentBuilder
     std::vector<int> output_token_counts_;
     std::vector<double> hbm_budgets_;
     std::vector<int> concurrencies_;
+    std::vector<int> block_tokens_;
+    std::vector<double> prefix_share_fractions_;
     std::optional<bool> congested_;
 };
 

@@ -103,10 +103,21 @@ writeServeConfigJson(std::ostream &os, const serve::ServeConfig &c)
        << ",\"concurrency\":" << c.concurrency
        << ",\"think_time_s\":" << jsonNumber(c.think_time)
        << ",\"kv\":{\"enabled\":" << (c.kv.enabled ? "true" : "false");
-    if (c.kv.enabled)
+    if (c.kv.enabled) {
         os << ",\"bytes_per_token\":" << jsonNumber(c.kv.bytes_per_token)
            << ",\"hbm_budget\":" << jsonNumber(c.kv.hbm_budget)
-           << ",\"host_budget\":" << jsonNumber(c.kv.host_budget);
+           << ",\"host_budget\":" << jsonNumber(c.kv.host_budget)
+           << ",\"layout\":\"" << serve::kvLayoutName(c.kv.layout) << "\"";
+        if (c.kv.paged()) {
+            os << ",\"block_tokens\":" << c.kv.block_tokens
+               << ",\"prefix\":{\"share_fraction\":"
+               << jsonNumber(c.kv.prefix.share_fraction);
+            if (c.kv.prefix.enabled())
+                os << ",\"num_prefixes\":" << c.kv.prefix.num_prefixes
+                   << ",\"prefix_tokens\":" << c.kv.prefix.prefix_tokens;
+            os << "}";
+        }
+    }
     os << "},\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
        << "}";
 }
@@ -191,8 +202,22 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
            << ",\"output_tokens_per_s\":"
            << jsonNumber(m.output_tokens_per_sec)
            << ",\"mean_queue_depth\":" << jsonNumber(m.mean_queue_depth)
-           << ",\"peak_queue_depth\":" << m.peak_queue_depth
-           << ",\"requests\":[";
+           << ",\"peak_queue_depth\":" << m.peak_queue_depth;
+        if (record.spec.serve.kv.paged()) {
+            const train::KvCacheStats &kv = record.result.kv;
+            os << ",\"kv_cache\":{\"prefix_hits\":" << kv.prefix_hits
+               << ",\"prefix_misses\":" << kv.prefix_misses
+               << ",\"prefix_hit_rate\":" << jsonNumber(kv.hitRate())
+               << ",\"prefix_evictions\":" << kv.prefix_evictions
+               << ",\"cow_copies\":" << kv.cow_copies
+               << ",\"peak_used_blocks\":" << kv.peak_used_blocks
+               << ",\"peak_span_blocks\":" << kv.peak_span_blocks
+               << ",\"peak_fragmentation\":"
+               << jsonNumber(kv.peak_fragmentation)
+               << ",\"peak_block_table_bytes\":"
+               << jsonNumber(kv.peak_block_table_bytes) << "}";
+        }
+        os << ",\"requests\":[";
         const auto &reqs = record.result.requests;
         for (std::size_t i = 0; i < reqs.size(); ++i) {
             const auto &r = reqs[i];

@@ -131,19 +131,32 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
     // stored-weight quantization ratio only shapes SU+O+C runs.
     if (strategy == train::Strategy::SmartUpdateOptComp)
         hs << c.weight_wire_fraction;
-    // KV model: when disabled every knob is inert and stays out.
+    // KV model: when disabled every knob is inert and stays out. Within
+    // the model the same normalization recurses: the contiguous layout
+    // ignores the paged allocator's shape (block size, prefix mix), and a
+    // paged run without prefix sharing ignores the prefix-pool shape.
     hs << c.kv.enabled;
-    if (c.kv.enabled)
-        hs << c.kv.bytes_per_token << c.kv.hbm_budget << c.kv.host_budget;
-    // Client model. The seed feeds two independent streams: arrivals
-    // (open-loop, non-trace only) and sampled lengths (any mode with a
-    // non-Fixed distribution) — it is hashed iff at least one consumes it.
+    if (c.kv.enabled) {
+        hs << c.kv.bytes_per_token << c.kv.hbm_budget << c.kv.host_budget
+           << c.kv.layout;
+        if (c.kv.layout == serve::KvLayout::Paged) {
+            hs << c.kv.block_tokens << c.kv.prefix.share_fraction;
+            if (c.kv.prefix.enabled())
+                hs << c.kv.prefix.num_prefixes << c.kv.prefix.prefix_tokens;
+        }
+    }
+    // Client model. The seed feeds three independent streams: arrivals
+    // (open-loop, non-trace only), sampled lengths (any mode with a
+    // non-Fixed distribution), and prefix assignment (paged KV with a
+    // shared-prefix mix) — it is hashed iff at least one consumes it.
+    const bool seed_shapes_requests =
+        c.samplesLengths() || c.sharesPrefixes();
     hs << c.client_mode;
     if (c.client_mode == serve::ClientMode::ClosedLoop) {
         // Arrivals are reactive: arrival_rate and the trace are ignored
         // by generation and stay out of the hash.
         hs << c.num_requests << c.concurrency << c.think_time;
-        if (c.samplesLengths())
+        if (seed_shapes_requests)
             hs << static_cast<std::int64_t>(c.seed);
     } else if (c.trace.empty()) {
         hs << c.num_requests << c.arrival_rate
@@ -151,11 +164,11 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
     } else {
         // A trace fully determines the arrivals; the open-loop knobs are
         // ignored by generation and stay out of the hash — but the seed
-        // still shapes sampled lengths.
+        // still shapes sampled lengths and prefix assignment.
         hs << static_cast<std::int64_t>(c.trace.size());
         for (const double arrival : c.trace)
             hs << arrival;
-        if (c.samplesLengths())
+        if (seed_shapes_requests)
             hs << static_cast<std::int64_t>(c.seed);
     }
 }
@@ -262,8 +275,14 @@ RunSpec::describe() const
         else if (serve.output_tokens !=
                  serve::ServeConfig{}.output_tokens)
             oss << "/o" << serve.output_tokens;
-        if (serve.kv.enabled)
+        if (serve.kv.enabled) {
             oss << "/kv" << serve.kv.hbm_budget / GiB(1.0) << "g";
+            if (serve.kv.paged()) {
+                oss << "/paged" << serve.kv.block_tokens;
+                if (serve.kv.prefix.enabled())
+                    oss << "/px" << serve.kv.prefix.share_fraction;
+            }
+        }
     }
     return oss.str();
 }

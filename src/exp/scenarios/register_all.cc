@@ -25,6 +25,7 @@ registerBuiltinScenarios()
         scenarios::registerScaleout();
         scenarios::registerServeScenarios();
         scenarios::registerServeKvScenarios();
+        scenarios::registerServePagedScenarios();
         return true;
     }();
     (void)registered;

@@ -31,6 +31,7 @@ void registerAblationCompression();
 void registerScaleout();
 void registerServeScenarios();
 void registerServeKvScenarios();
+void registerServePagedScenarios();
 
 } // namespace smartinf::exp::scenarios
 

@@ -1,0 +1,287 @@
+#include "kv/kv_space.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace smartinf::kv {
+
+namespace {
+
+int
+ceilDiv(std::int64_t tokens, int block_tokens)
+{
+    return static_cast<int>((tokens + block_tokens - 1) / block_tokens);
+}
+
+} // namespace
+
+KvSpace::KvSpace(const KvSpaceConfig &config) : config_(config)
+{
+    SI_REQUIRE(config_.block_tokens >= 1,
+               "KvSpace needs block_tokens >= 1, got ",
+               config_.block_tokens);
+    SI_REQUIRE(config_.bytes_per_token > 0.0,
+               "KvSpace needs resolved bytes_per_token");
+    SI_REQUIRE(config_.hbm_blocks >= 0 && config_.host_blocks >= 0,
+               "negative tier capacity");
+}
+
+BlockId
+KvSpace::allocateBlock()
+{
+    // Reuse a hole when one exists. Otherwise, before the arena grows past
+    // the HBM tier (every further slot spills), evict cold refcount-0
+    // prefixes, coldest first, until a slot frees or nothing is evictable.
+    if (!alloc_.hasFreeSlot()) {
+        while (alloc_.spanBlocks() >= config_.hbm_blocks) {
+            auto freed = prefix_.evictLru();
+            if (!freed)
+                break;
+            for (const BlockId block : *freed)
+                alloc_.free(block);
+            if (alloc_.hasFreeSlot())
+                break;
+        }
+    }
+    return alloc_.allocate();
+}
+
+int
+KvSpace::admit(int request_id, int prefix_id, int prefix_tokens)
+{
+    SI_ASSERT(tables_.find(request_id) == tables_.end(),
+              "request admitted twice");
+    Table table;
+    int shared = 0;
+    if (prefix_id >= 0 && prefix_tokens > 0) {
+        table.prefix_id = prefix_id;
+        if (const PrefixCache::Entry *entry = prefix_.acquire(prefix_id)) {
+            // Hit: map the shared pages; this request's prompt may be
+            // shorter than the cached prefix, in which case it shares
+            // only its own leading tokens of the entry.
+            shared = static_cast<int>(
+                std::min<std::int64_t>(entry->tokens, prefix_tokens));
+            const int pages = ceilDiv(shared, config_.block_tokens);
+            table.blocks.assign(entry->blocks.begin(),
+                                entry->blocks.begin() + pages);
+            table.shared_blocks = pages;
+            table.prefix_boundary = shared;
+            table.tokens = shared;
+        } else {
+            // Miss: this request produces the prefix. The entry's pages
+            // are allocated now (in admission order, so placement is
+            // deterministic) and filled by this request's own prefill.
+            const int pages = ceilDiv(prefix_tokens, config_.block_tokens);
+            std::vector<BlockId> blocks;
+            blocks.reserve(pages);
+            for (int i = 0; i < pages; ++i)
+                blocks.push_back(allocateBlock());
+            table.blocks = blocks;
+            table.shared_blocks = pages;
+            table.prefix_boundary = prefix_tokens;
+            prefix_.insert(prefix_id, prefix_tokens, std::move(blocks));
+        }
+    }
+    table_entries_ += static_cast<std::int64_t>(table.blocks.size());
+    peak_table_bytes_ =
+        std::max(peak_table_bytes_,
+                 static_cast<Bytes>(table_entries_) * kBlockTableEntryBytes);
+    tables_.emplace(request_id, std::move(table));
+    return shared;
+}
+
+void
+KvSpace::beginStep()
+{
+    SI_ASSERT(!step_open_, "overlapping KvSpace steps");
+    step_open_ = true;
+    step_reads_.clear();
+    step_writes_.clear();
+}
+
+void
+KvSpace::noteRead(int request_id)
+{
+    SI_ASSERT(step_open_, "noteRead outside a step");
+    const Table &table = tables_.at(request_id);
+    const int bt = config_.block_tokens;
+    for (std::size_t i = 0; i < table.blocks.size(); ++i) {
+        const std::int64_t page_lo = static_cast<std::int64_t>(i) * bt;
+        if (page_lo >= table.tokens)
+            break;
+        const std::int64_t extent =
+            std::min<std::int64_t>(bt, table.tokens - page_lo);
+        const std::int64_t slot_lo =
+            static_cast<std::int64_t>(table.blocks[i]) * bt;
+        step_reads_.push_back({slot_lo, slot_lo + extent});
+    }
+}
+
+void
+KvSpace::pushWrite(std::int64_t lo, std::int64_t hi)
+{
+    if (!step_writes_.empty() && step_writes_.back().hi == lo)
+        step_writes_.back().hi = hi; // contiguous slots coalesce
+    else
+        step_writes_.push_back({lo, hi});
+}
+
+void
+KvSpace::noteAppend(int request_id, int tokens)
+{
+    SI_ASSERT(step_open_, "noteAppend outside a step");
+    SI_ASSERT(tokens > 0, "empty append");
+    Table &table = tables_.at(request_id);
+    const int bt = config_.block_tokens;
+    std::int64_t remaining = tokens;
+    while (remaining > 0) {
+        const std::int64_t pos = table.tokens;
+        const int page = static_cast<int>(pos / bt);
+        const int off = static_cast<int>(pos % bt);
+        if (page < table.shared_blocks && pos >= table.prefix_boundary) {
+            // First divergent append lands inside a partial shared page:
+            // copy-on-write. The copy duplicates the page's prefix fill
+            // (an on-device copy — counted, never a flow) and the table
+            // diverges from the cache entry from this page on.
+            table.blocks[page] = allocateBlock();
+            table.shared_blocks = page;
+            ++cow_copies_;
+        }
+        if (page == static_cast<int>(table.blocks.size())) {
+            table.blocks.push_back(allocateBlock());
+            ++table_entries_;
+            peak_table_bytes_ = std::max(
+                peak_table_bytes_, static_cast<Bytes>(table_entries_) *
+                                       kBlockTableEntryBytes);
+        }
+        const std::int64_t take =
+            std::min<std::int64_t>(remaining, bt - off);
+        const std::int64_t slot_lo =
+            static_cast<std::int64_t>(table.blocks[page]) * bt + off;
+        // The producing request writes its shared pages too (it creates
+        // the cached KV); hit requests never append below their boundary,
+        // which is exactly the "no write flows for shared blocks" saving.
+        pushWrite(slot_lo, slot_lo + take);
+        table.tokens += take;
+        remaining -= take;
+    }
+}
+
+KvStepPlan
+KvSpace::finishStep()
+{
+    SI_ASSERT(step_open_, "finishStep outside a step");
+    step_open_ = false;
+    KvStepPlan plan;
+    // Reads from different requests may overlap on shared pages (and two
+    // hit requests of different prompt lengths overlap partially); merge
+    // sorted overlapping/adjacent ranges so every arena token is read at
+    // most once per step.
+    std::sort(step_reads_.begin(), step_reads_.end(),
+              [](const KvTokenRange &a, const KvTokenRange &b) {
+                  return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+              });
+    for (const KvTokenRange &r : step_reads_) {
+        if (!plan.reads.empty() && r.lo <= plan.reads.back().hi)
+            plan.reads.back().hi = std::max(plan.reads.back().hi, r.hi);
+        else
+            plan.reads.push_back(r);
+    }
+    // Writes are disjoint by construction (every arena token is appended
+    // exactly once); sort and coalesce adjacency across requests.
+    std::sort(step_writes_.begin(), step_writes_.end(),
+              [](const KvTokenRange &a, const KvTokenRange &b) {
+                  return a.lo < b.lo;
+              });
+    for (const KvTokenRange &r : step_writes_) {
+        if (!plan.writes.empty() && r.lo == plan.writes.back().hi)
+            plan.writes.back().hi = r.hi;
+        else
+            plan.writes.push_back(r);
+    }
+    step_reads_.clear();
+    step_writes_.clear();
+    return plan;
+}
+
+void
+KvSpace::retire(int request_id)
+{
+    auto it = tables_.find(request_id);
+    SI_ASSERT(it != tables_.end(), "retiring an unknown request");
+    Table &table = it->second;
+    for (std::size_t i = static_cast<std::size_t>(table.shared_blocks);
+         i < table.blocks.size(); ++i)
+        alloc_.free(table.blocks[i]);
+    table_entries_ -= static_cast<std::int64_t>(table.blocks.size());
+    if (table.prefix_id >= 0)
+        prefix_.release(table.prefix_id);
+    tables_.erase(it);
+}
+
+KvGauges
+KvSpace::gauges() const
+{
+    KvGauges g;
+    g.used_blocks = alloc_.usedBlocks();
+    g.span_blocks = alloc_.spanBlocks();
+    g.fragmentation = alloc_.fragmentationRatio();
+    g.block_table_bytes =
+        static_cast<Bytes>(table_entries_) * kBlockTableEntryBytes;
+    g.prefix_hit_rate = prefix_.hitRate();
+    g.prefix_hits = prefix_.hits();
+    g.prefix_misses = prefix_.misses();
+    g.prefix_evictions = prefix_.evictions();
+    g.cow_copies = cow_copies_;
+
+    // Valid tokens per live slot: private pages take their table's fill,
+    // cache-owned pages their entry's (the producer's in-flight prefill
+    // rounds up to the entry extent — gauges are witnesses, not flows).
+    const int bt = config_.block_tokens;
+    std::vector<std::int64_t> extent(
+        static_cast<std::size_t>(alloc_.spanBlocks()), -1);
+    auto mark = [&](BlockId slot, std::int64_t tokens) {
+        if (slot < static_cast<int>(extent.size()))
+            extent[static_cast<std::size_t>(slot)] =
+                std::max(extent[static_cast<std::size_t>(slot)], tokens);
+    };
+    for (const auto &[id, table] : tables_) {
+        for (std::size_t i = static_cast<std::size_t>(table.shared_blocks);
+             i < table.blocks.size(); ++i) {
+            const std::int64_t page_lo = static_cast<std::int64_t>(i) * bt;
+            mark(table.blocks[i],
+                 std::clamp<std::int64_t>(table.tokens - page_lo, 0, bt));
+        }
+    }
+    for (const auto &[id, entry] : prefix_.entries()) {
+        for (std::size_t i = 0; i < entry.blocks.size(); ++i) {
+            const std::int64_t page_lo = static_cast<std::int64_t>(i) * bt;
+            mark(entry.blocks[i],
+                 std::clamp<std::int64_t>(entry.tokens - page_lo, 0, bt));
+        }
+    }
+    for (std::size_t slot = 0; slot < extent.size(); ++slot) {
+        if (extent[slot] < 0)
+            continue; // a hole
+        const int s = static_cast<int>(slot);
+        const Bytes bytes =
+            static_cast<Bytes>(extent[slot]) * config_.bytes_per_token;
+        if (s < config_.hbm_blocks) {
+            ++g.used_hbm;
+            g.hbm_bytes += bytes;
+        } else if (s < config_.hbm_blocks + config_.host_blocks) {
+            ++g.used_host;
+            g.host_bytes += bytes;
+        } else {
+            ++g.used_csd;
+            g.csd_bytes += bytes;
+        }
+    }
+    g.free_hbm = std::max(0, config_.hbm_blocks - g.used_hbm);
+    g.free_host = std::max(0, config_.host_blocks - g.used_host);
+    return g;
+}
+
+} // namespace smartinf::kv

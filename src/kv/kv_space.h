@@ -1,0 +1,160 @@
+/**
+ * @file
+ * KvSpace: one serving node's paged KV-cache state — the glue between the
+ * BatchScheduler (which drives it from deterministic event callbacks) and
+ * the BlockAllocator + PrefixCache primitives. It owns the per-request
+ * block tables and turns each scheduler step into *token ranges* of the
+ * global KV arena (slot s covers arena tokens [s*block_tokens,
+ * (s+1)*block_tokens)), which the InferenceBuilder then splits over the
+ * HBM → host → CSD tiers exactly like the contiguous layout's byte
+ * offsets. Only token-valid bytes travel (a partial tail page moves its
+ * fill, not the whole page), so paged mode with a compact arena
+ * reproduces the contiguous flow volumes bit-identically — fragmentation
+ * costs appear purely through *placement*: holes push live pages to high
+ * slots, past the tier boundaries.
+ *
+ * Step protocol (all calls from the scheduler, in admission order):
+ *   admit(id, prefix_id, prefix_tokens)  -> shared tokens (prefix hit)
+ *   beginStep(); { noteRead(id); noteAppend(id, n); }*  -> finishStep()
+ *   retire(id)   // frees private pages, releases the prefix reference
+ *
+ * Shared-prefix semantics: a hit maps the entry's pages into the new
+ * request's table (refcounted; the hit request neither re-computes nor
+ * re-writes those tokens). A miss makes the request the *producer*: the
+ * entry's pages are allocated up front and the request's own prefill
+ * appends fill them. The first append past the shared boundary into a
+ * partial shared page triggers copy-on-write: the page's prefix fill is
+ * copied to a fresh private page (counted, not a flow) and the table
+ * diverges; page-aligned prefixes append into fresh pages with no COW.
+ * Eviction (refcount 0 only, LRU by sim-time order) triggers when an
+ * allocation would otherwise grow the arena past the HBM tier.
+ */
+#ifndef SMARTINF_KV_KV_SPACE_H
+#define SMARTINF_KV_KV_SPACE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+#include "kv/block_allocator.h"
+#include "kv/prefix_cache.h"
+
+namespace smartinf::kv {
+
+/** Half-open range of global arena token positions [lo, hi). */
+struct KvTokenRange {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+};
+
+/** One scheduler step's KV working set, in arena token ranges (sorted,
+ *  disjoint, overlap-merged). Reads are the pre-append resident state;
+ *  writes are the step's appended tokens. */
+struct KvStepPlan {
+    std::vector<KvTokenRange> reads;
+    std::vector<KvTokenRange> writes;
+};
+
+/** Static shape of one node's paged KV arena. */
+struct KvSpaceConfig {
+    int block_tokens = 0;      ///< tokens per page (> 0)
+    Bytes bytes_per_token = 0; ///< resolved KV bytes per token (> 0)
+    int hbm_blocks = 0;        ///< slots that fit the HBM budget
+    int host_blocks = 0;       ///< slots that fit the host budget
+};
+
+/** Witness-only gauges for the obs layer (never feed back into results). */
+struct KvGauges {
+    int used_blocks = 0; ///< live pages
+    int span_blocks = 0; ///< arena extent (used + holes)
+    int used_hbm = 0, free_hbm = 0;   ///< live / free slots in the HBM tier
+    int used_host = 0, free_host = 0; ///< live / free slots in the host tier
+    int used_csd = 0;                 ///< live slots past HBM+host
+    double fragmentation = 1.0;       ///< span / used (1.0 = compact)
+    Bytes block_table_bytes = 0;      ///< mapping-metadata footprint
+    Bytes hbm_bytes = 0, host_bytes = 0, csd_bytes = 0; ///< valid KV per tier
+    double prefix_hit_rate = 1.0;
+    std::uint64_t prefix_hits = 0, prefix_misses = 0;
+    std::uint64_t prefix_evictions = 0, cow_copies = 0;
+};
+
+/** Bytes of mapping metadata per block-table entry (one 64-bit physical
+ *  page number per logical page, vLLM-style). */
+constexpr Bytes kBlockTableEntryBytes = 8.0;
+
+/** One node's paged KV-cache state (see file comment). */
+class KvSpace
+{
+  public:
+    explicit KvSpace(const KvSpaceConfig &config);
+
+    /**
+     * Create the request's block table at admission. When @p prefix_id
+     * >= 0 and the prefix is cached, the entry's pages are mapped shared
+     * and the hit count of tokens is returned (the request skips their
+     * prefill compute and writes). On a miss the request becomes the
+     * producer (entry inserted, 0 returned).
+     */
+    int admit(int request_id, int prefix_id, int prefix_tokens);
+
+    /** @name One scheduler step (admission-order calls between begin and
+     *  finish; reads must precede the same request's append). @{ */
+    void beginStep();
+    /** Declare the request's resident (pre-append) KV as read this step. */
+    void noteRead(int request_id);
+    /** Append @p tokens to the request's KV (allocates pages / COWs). */
+    void noteAppend(int request_id, int tokens);
+    /** Merge and return the step's ranges; resets the step scratch. */
+    KvStepPlan finishStep();
+    /** @} */
+
+    /** Free the request's private pages and release its prefix. */
+    void retire(int request_id);
+
+    /** Current gauges (tier usage, fragmentation, table bytes, hits). */
+    KvGauges gauges() const;
+
+    /** @name Peak statistics for the workload result. @{ */
+    int peakUsedBlocks() const { return alloc_.peakUsedBlocks(); }
+    int peakSpanBlocks() const { return alloc_.peakSpanBlocks(); }
+    double peakFragmentation() const { return alloc_.peakFragmentation(); }
+    Bytes peakBlockTableBytes() const { return peak_table_bytes_; }
+    /** @} */
+
+    const BlockAllocator &allocator() const { return alloc_; }
+    const PrefixCache &prefixes() const { return prefix_; }
+
+  private:
+    /** Per-request block table. Pages [0, shared_blocks) belong to the
+     *  prefix cache; the rest are private. */
+    struct Table {
+        std::vector<BlockId> blocks;
+        std::int64_t tokens = 0; ///< resident tokens (incl. shared)
+        int shared_blocks = 0;
+        std::int64_t prefix_boundary = 0; ///< first token past the prefix
+        int prefix_id = -1;               ///< held reference (-1 = none)
+    };
+
+    /** Free-list first; evicts cold prefixes before the arena would grow
+     *  past the HBM tier. */
+    BlockId allocateBlock();
+    void pushWrite(std::int64_t lo, std::int64_t hi);
+
+    KvSpaceConfig config_;
+    BlockAllocator alloc_;
+    PrefixCache prefix_;
+    std::map<int, Table> tables_; ///< ordered => deterministic gauges
+
+    std::int64_t table_entries_ = 0; ///< live block-table entries
+    Bytes peak_table_bytes_ = 0;
+    std::uint64_t cow_copies_ = 0;
+
+    bool step_open_ = false;
+    std::vector<KvTokenRange> step_reads_;
+    std::vector<KvTokenRange> step_writes_;
+};
+
+} // namespace smartinf::kv
+
+#endif // SMARTINF_KV_KV_SPACE_H

@@ -271,6 +271,32 @@ RunObservation::kvOccupancy(const std::string &scope, Bytes hbm, Bytes host,
     metric(name + ".csd_bytes", now, csd);
 }
 
+void
+RunObservation::kvAllocator(const std::string &scope, int used_hbm,
+                            int free_hbm, int used_host, int free_host,
+                            int used_csd, double fragmentation,
+                            Bytes block_table_bytes, double prefix_hit_rate,
+                            Seconds now)
+{
+    const std::string name =
+        scope.empty() ? "kvalloc" : "kvalloc " + scope;
+    traceCounter(name, now,
+                 "\"hbm_used\": " + std::to_string(used_hbm) +
+                     ", \"hbm_free\": " + std::to_string(free_hbm) +
+                     ", \"host_used\": " + std::to_string(used_host) +
+                     ", \"csd_used\": " + std::to_string(used_csd) +
+                     ", \"frag\": " + coarse(fragmentation) +
+                     ", \"hit_rate\": " + coarse(prefix_hit_rate));
+    metric(name + ".hbm_used_blocks", now, static_cast<double>(used_hbm));
+    metric(name + ".hbm_free_blocks", now, static_cast<double>(free_hbm));
+    metric(name + ".host_used_blocks", now, static_cast<double>(used_host));
+    metric(name + ".host_free_blocks", now, static_cast<double>(free_host));
+    metric(name + ".csd_used_blocks", now, static_cast<double>(used_csd));
+    metric(name + ".fragmentation", now, fragmentation);
+    metric(name + ".block_table_bytes", now, block_table_bytes);
+    metric(name + ".prefix_hit_rate", now, prefix_hit_rate);
+}
+
 // ---------------------------------------------------------------------------
 // Observation
 

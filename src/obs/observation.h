@@ -115,6 +115,13 @@ class RunObservation final : public sim::SimObserver,
      *  @p scope is the builder prefix ("" or "n<k>."). */
     void kvOccupancy(const std::string &scope, Bytes hbm, Bytes host,
                      Bytes csd, Seconds now);
+    /** Paged KV allocator gauges (per scheduler step, paged layout only):
+     *  live/free page slots per tier, span/used fragmentation ratio, the
+     *  block-table metadata footprint, and the prefix-cache hit rate. */
+    void kvAllocator(const std::string &scope, int used_hbm, int free_hbm,
+                     int used_host, int free_host, int used_csd,
+                     double fragmentation, Bytes block_table_bytes,
+                     double prefix_hit_rate, Seconds now);
     /** @} */
 
     const std::string &label() const { return label_; }

@@ -1,6 +1,8 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/observation.h"
@@ -17,6 +19,39 @@ BatchScheduler::BatchScheduler(train::SimContext &ctx,
                                const ServeConfig &config, int node)
     : ctx_(ctx), builder_(builder), config_(config), node_(node)
 {
+    if (config_.kv.paged()) {
+        // Tier capacities in whole pages, rounded down: a page that only
+        // partially fits a budget is treated as spilled (conservative,
+        // and keeps slot -> tier a pure function of the slot index).
+        kv::KvSpaceConfig kcfg;
+        kcfg.block_tokens = config_.kv.block_tokens;
+        kcfg.bytes_per_token = builder_.kvBytesPerToken();
+        const Bytes block_bytes =
+            static_cast<Bytes>(kcfg.block_tokens) * kcfg.bytes_per_token;
+        kcfg.hbm_blocks =
+            static_cast<int>(config_.kv.hbm_budget / block_bytes);
+        kcfg.host_blocks =
+            static_cast<int>(config_.kv.host_budget / block_bytes);
+        kv_ = std::make_unique<kv::KvSpace>(kcfg);
+    }
+}
+
+train::KvCacheStats
+BatchScheduler::kvStats() const
+{
+    train::KvCacheStats stats;
+    if (!kv_)
+        return stats;
+    const kv::KvGauges g = kv_->gauges();
+    stats.prefix_hits = g.prefix_hits;
+    stats.prefix_misses = g.prefix_misses;
+    stats.prefix_evictions = g.prefix_evictions;
+    stats.cow_copies = g.cow_copies;
+    stats.peak_used_blocks = kv_->peakUsedBlocks();
+    stats.peak_span_blocks = kv_->peakSpanBlocks();
+    stats.peak_fragmentation = kv_->peakFragmentation();
+    stats.peak_block_table_bytes = kv_->peakBlockTableBytes();
+    return stats;
 }
 
 void
@@ -73,6 +108,13 @@ BatchScheduler::beginStep()
             a.spec = queue_.front();
             a.start = now;
             queue_.pop_front();
+            // Paged layout: create the block table now. A prefix hit maps
+            // the cached pages and shrinks this request's prefill; a miss
+            // makes it the producer (pages allocated here, in admission
+            // order, so placement is deterministic).
+            if (kv_)
+                a.shared_tokens = kv_->admit(a.spec.id, a.spec.prefix_id,
+                                             a.spec.prefix_tokens);
             running_.push_back(a);
         }
     }
@@ -92,13 +134,57 @@ BatchScheduler::beginStep()
     // tokens before the step (all decode-owned — newly admitted requests
     // hold no KV yet) plus what this step appends (prompt + first token
     // for prefills, one token per decode).
+    //
+    // Paged layout: the same walk additionally drives the KvSpace step
+    // protocol — reads declare each request's pre-append resident pages
+    // (a prefill reads only when a prefix hit mapped shared pages), and
+    // appends allocate. A full-prefix hit still computes one token (the
+    // attention query over the shared KV that emits its first token).
     StepShape shape;
+    if (kv_)
+        kv_->beginStep();
     for (const Active &a : running_) {
+        if (kv_) {
+            if (a.prefilled) {
+                shape.compute_tokens += 1.0;
+                kv_->noteRead(a.spec.id);
+                kv_->noteAppend(a.spec.id, 1);
+            } else {
+                shape.compute_tokens += std::max(
+                    static_cast<double>(a.spec.prompt_tokens -
+                                        a.shared_tokens),
+                    1.0);
+                if (a.shared_tokens > 0)
+                    kv_->noteRead(a.spec.id);
+                kv_->noteAppend(a.spec.id,
+                                a.spec.prompt_tokens + 1 - a.shared_tokens);
+            }
+            continue;
+        }
         shape.compute_tokens +=
             a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens);
         shape.kv_resident_tokens += a.kvTokens();
         shape.kv_new_tokens +=
             a.prefilled ? 1.0 : static_cast<double>(a.spec.prompt_tokens + 1);
+    }
+    if (kv_) {
+        kv::KvStepPlan plan = kv_->finishStep();
+        shape.paged = true;
+        shape.kv_reads = std::move(plan.reads);
+        shape.kv_writes = std::move(plan.writes);
+        if (ctx_.obs) {
+            // Allocator truth (witnesses only): tier occupancy from real
+            // page placement, plus the gauges the contiguous layout has
+            // no notion of — fragmentation, table bytes, prefix hits.
+            const kv::KvGauges g = kv_->gauges();
+            const std::string scope = "n" + std::to_string(node_);
+            ctx_.obs->kvOccupancy(scope, g.hbm_bytes, g.host_bytes,
+                                  g.csd_bytes, now);
+            ctx_.obs->kvAllocator(scope, g.used_hbm, g.free_hbm,
+                                  g.used_host, g.free_host, g.used_csd,
+                                  g.fragmentation, g.block_table_bytes,
+                                  g.prefix_hit_rate, now);
+        }
     }
 
     // Build the pass reactively into the running graph (dynamic mode),
@@ -160,6 +246,10 @@ BatchScheduler::onStepDone()
         if (ctx_.obs)
             ctx_.obs->requestRetired(node_, record.id, record.arrival,
                                      record.finish, now);
+        // Paged layout: the pages come back before the hook fires, so a
+        // closed-loop client's next submission sees the freed arena.
+        if (kv_)
+            kv_->retire(a.spec.id);
         if (retire_hook_)
             retire_hook_(records_.back());
     }

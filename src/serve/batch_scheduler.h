@@ -19,14 +19,24 @@
  * fires inside the same deterministic callback, in stable (admission)
  * order; closed-loop clients rely on this to schedule their next
  * submission reproducibly.
+ *
+ * Paged layout (kv.layout=paged): the scheduler additionally drives a
+ * kv::KvSpace — admission creates the request's block table (and resolves
+ * its shared prefix, shrinking the prefill), each step's noteRead /
+ * noteAppend calls happen in admission order, and the resulting KvStepPlan
+ * rides to the builder inside the StepShape as arena token ranges.
+ * Retirement returns the request's private pages to the allocator, so
+ * ragged completions punch reusable holes into the arena.
  */
 #ifndef SMARTINF_SERVE_BATCH_SCHEDULER_H
 #define SMARTINF_SERVE_BATCH_SCHEDULER_H
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "kv/kv_space.h"
 #include "serve/inference_builder.h"
 #include "serve/request_stream.h"
 #include "train/workload.h"
@@ -69,6 +79,10 @@ class BatchScheduler
     /** Forward-pass steps executed. */
     int stepsExecuted() const { return steps_executed_; }
 
+    /** This node's paged-KV statistics (all-zero under the contiguous
+     *  layout, where no KvSpace exists). */
+    train::KvCacheStats kvStats() const;
+
   private:
     /** A request admitted into the running batch. */
     struct Active {
@@ -77,6 +91,10 @@ class BatchScheduler
         Seconds first_token = 0.0; ///< set when its prefill step completes
         bool prefilled = false;
         int produced = 0; ///< tokens emitted so far
+        /** Prefix tokens a KvSpace admit() shared into this request's
+         *  table (0 under the contiguous layout / on a prefix miss); the
+         *  prefill step skips their compute and KV writes. */
+        int shared_tokens = 0;
 
         /** KV tokens this request holds resident (prompt + generated;
          *  nothing before its prefill step completes). */
@@ -97,6 +115,8 @@ class BatchScheduler
     InferenceBuilder &builder_;
     const ServeConfig &config_;
     int node_;
+    /** Paged-layout KV state (null under the contiguous layout). */
+    std::unique_ptr<kv::KvSpace> kv_;
 
     std::deque<RequestSpec> queue_; ///< arrived, not yet admitted
     std::vector<Active> running_;   ///< admitted, in admission order

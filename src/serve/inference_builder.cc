@@ -78,13 +78,37 @@ InferenceBuilder::buildKvFlows(const StepShape &shape, int step_index,
                                TaskId after, std::vector<TaskId> &kv_tasks)
 {
     const Bytes per_token = kvBytesPerToken();
-    const Bytes resident = shape.kv_resident_tokens * per_token;
-    const Bytes appended = shape.kv_new_tokens * per_token;
     const int devices = system_.num_devices;
 
-    // Decode attention re-reads every resident KV byte; the resident
-    // range is [0, resident) by the scheduler's admission-order layout.
-    const KvTierSplit reads = splitKvRange(0.0, resident);
+    // Token ranges -> bytes. The conversion mirrors the contiguous
+    // scalar path expression-for-expression (lo scaled, extent scaled
+    // and *added*) so a paged plan whose merged ranges equal the
+    // contiguous layout's [0, resident) / [resident, resident+new)
+    // yields bit-identical split arguments — the oracle anchor.
+    const auto splitRanges =
+        [&](const std::vector<kv::KvTokenRange> &ranges) {
+            KvTierSplit total;
+            for (const kv::KvTokenRange &r : ranges) {
+                const Bytes lo = static_cast<double>(r.lo) * per_token;
+                const Bytes hi =
+                    lo + static_cast<double>(r.hi - r.lo) * per_token;
+                const KvTierSplit s = splitKvRange(lo, hi);
+                total.hbm += s.hbm;
+                total.host += s.host;
+                total.csd += s.csd;
+            }
+            return total;
+        };
+
+    // Decode attention re-reads every resident KV byte. Contiguous: the
+    // resident range is [0, resident) by the scheduler's admission-order
+    // layout. Paged: the working set is the step plan's read ranges —
+    // page positions encode placement, so holes left by retired requests
+    // (fragmentation) keep live pages in the spill tiers.
+    const KvTierSplit reads =
+        shape.paged
+            ? splitRanges(shape.kv_reads)
+            : splitKvRange(0.0, shape.kv_resident_tokens * per_token);
     // HBM-tier KV is read at on-package bandwidth — not a modeled
     // bottleneck, so no task. Spilled tiers become real flows that start
     // with the step and contend with the parameter stream.
@@ -114,10 +138,17 @@ InferenceBuilder::buildKvFlows(const StepShape &shape, int step_index,
         ctx_.traffic.kv_spill_read += reads.csd;
     }
 
-    // The step's new KV lands at [resident, resident + appended); bytes
-    // crossing a tier boundary are written through to that tier. Writes
-    // carry data produced by the pass, so they depend on its last compute.
-    const KvTierSplit writes = splitKvRange(resident, resident + appended);
+    // The step's new KV: contiguous appends land at
+    // [resident, resident + appended); paged appends land wherever the
+    // allocator placed the written pages. Bytes crossing a tier boundary
+    // are written through to that tier. Writes carry data produced by
+    // the pass, so they depend on its last compute.
+    const Bytes resident = shape.kv_resident_tokens * per_token;
+    const KvTierSplit writes =
+        shape.paged
+            ? splitRanges(shape.kv_writes)
+            : splitKvRange(resident,
+                           resident + shape.kv_new_tokens * per_token);
     if (writes.host > 0.0) {
         const TaskId w = ctx_.transfer(gpuUp(), writes.host,
                                        {"srv.kvwrite.host", step_index, 0});
@@ -208,9 +239,11 @@ InferenceBuilder::buildForwardPass(const StepShape &shape, int step_index)
     std::vector<TaskId> kv_tasks;
     if (serve_.kv.enabled) {
         buildKvFlows(shape, step_index, computes[layers - 1], kv_tasks);
-        if (ctx_.obs) {
+        if (ctx_.obs && !shape.paged) {
             // Occupancy after this step's appends land: the tier split of
-            // the full resident range [0, resident + new).
+            // the full resident range [0, resident + new). Paged steps
+            // skip this — the scheduler reports occupancy (and allocator
+            // gauges) straight from KvSpace, which knows true placement.
             const Bytes total =
                 (shape.kv_resident_tokens + shape.kv_new_tokens) *
                 kvBytesPerToken();

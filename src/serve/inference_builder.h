@@ -41,7 +41,9 @@
 #define SMARTINF_SERVE_INFERENCE_BUILDER_H
 
 #include <string>
+#include <vector>
 
+#include "kv/kv_space.h"
 #include "serve/serve_config.h"
 #include "train/phase_builders.h"
 
@@ -49,24 +51,40 @@ namespace smartinf::serve {
 
 /**
  * The aggregate shape of one scheduler step, in tokens. The scheduler
- * derives it from per-request state (admission-ordered, so resident KV
- * lays out as one contiguous range with decode-owned KV first); the
- * builder turns it into bytes, splits it over the KV tiers, and issues
- * the flows. KV fields are zero whenever KV modeling is disabled.
+ * derives it from per-request state; the builder turns it into bytes,
+ * splits it over the KV tiers, and issues the flows. Two declaration
+ * forms, selected by @c paged:
+ *  - contiguous (legacy, default): the scalar fields — resident KV is one
+ *    admission-order range from offset 0;
+ *  - paged: kv_reads/kv_writes carry the KvSpace step plan, arena token
+ *    ranges whose *positions* (page slots) encode placement, so the same
+ *    tier split rules price fragmentation and spill.
+ * KV fields are zero/empty whenever KV modeling is disabled.
  */
 struct StepShape {
-    /** Forward-pass tokens: full prompts of newly admitted requests + one
-     *  decode token per already-running request. */
+    /** Forward-pass tokens: full prompts of newly admitted requests
+     *  (minus any shared-prefix hit) + one decode token per already-
+     *  running request. */
     double compute_tokens = 0.0;
     /**
      * KV tokens resident *before* the step — all of it owned by
      * already-prefilled requests, whose decode attention re-reads it this
      * step. Placement: the resident range starts at tier offset 0 (HBM
-     * fills first). */
+     * fills first). Contiguous layout only. */
     double kv_resident_tokens = 0.0;
     /** KV tokens this step appends (prompt + first token for prefills,
-     *  one per decode). Lands at [resident, resident + new). */
+     *  one per decode). Lands at [resident, resident + new).
+     *  Contiguous layout only. */
     double kv_new_tokens = 0.0;
+
+    /** True when the kv range lists below describe the step (paged
+     *  layout); the scalar fields above are then unused. */
+    bool paged = false;
+    /** Pre-append resident working set, in arena token ranges (merged:
+     *  shared pages read once per step). */
+    std::vector<kv::KvTokenRange> kv_reads;
+    /** This step's appended tokens, in arena token ranges. */
+    std::vector<kv::KvTokenRange> kv_writes;
 };
 
 /** Builds one node's batched forward passes into a shared SimContext. */

@@ -101,6 +101,21 @@ InferenceWorkload::collect(const train::SimContext &ctx,
         out.queue_depth_time_integral += scheduler->queueDepthIntegral();
         out.peak_queue_depth =
             std::max(out.peak_queue_depth, scheduler->peakQueueDepth());
+        // Paged-KV stats: counters sum across nodes, peaks take the max
+        // (each node owns an independent arena).
+        const train::KvCacheStats kv = scheduler->kvStats();
+        out.kv.prefix_hits += kv.prefix_hits;
+        out.kv.prefix_misses += kv.prefix_misses;
+        out.kv.prefix_evictions += kv.prefix_evictions;
+        out.kv.cow_copies += kv.cow_copies;
+        out.kv.peak_used_blocks =
+            std::max(out.kv.peak_used_blocks, kv.peak_used_blocks);
+        out.kv.peak_span_blocks =
+            std::max(out.kv.peak_span_blocks, kv.peak_span_blocks);
+        out.kv.peak_fragmentation =
+            std::max(out.kv.peak_fragmentation, kv.peak_fragmentation);
+        out.kv.peak_block_table_bytes = std::max(
+            out.kv.peak_block_table_bytes, kv.peak_block_table_bytes);
     }
     std::sort(out.requests.begin(), out.requests.end(),
               [](const train::RequestRecord &a,

@@ -17,6 +17,14 @@ lengthSeed(std::uint64_t seed)
     return seed ^ 0x9e3779b97f4a7c15ull;
 }
 
+std::uint64_t
+prefixSeed(std::uint64_t seed)
+{
+    // Distinct fixed perturbation (byte-swapped golden ratio) so the
+    // prefix stream is independent of both the arrival and length streams.
+    return seed ^ 0x7c159e3779b94a7full;
+}
+
 int
 sampleLength(Rng &rng, const LengthDistribution &dist, int fixed_tokens)
 {
@@ -82,6 +90,26 @@ generateRequestStream(const ServeConfig &config)
                 rng, config.prompt_lengths, config.prompt_tokens);
             request.output_tokens = sampleLength(
                 rng, config.output_lengths, config.output_tokens);
+        }
+    }
+
+    // Prefix assignment third, from its own stream, after lengths are
+    // final (the shared span clamps to the request's sampled prompt). One
+    // uniform per request decides participation; the prefix pick draws
+    // only for participants, in id order — stable per position.
+    if (config.sharesPrefixes()) {
+        Rng rng(prefixSeed(config.seed));
+        const auto &prefix = config.kv.prefix;
+        for (RequestSpec &request : stream) {
+            if (rng.uniform() >= prefix.share_fraction)
+                continue;
+            request.prefix_id =
+                prefix.num_prefixes == 1
+                    ? 0
+                    : static_cast<int>(rng.uniformInt(
+                          static_cast<std::uint64_t>(prefix.num_prefixes)));
+            request.prefix_tokens =
+                std::min(prefix.prefix_tokens, request.prompt_tokens);
         }
     }
     return stream;

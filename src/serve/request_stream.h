@@ -36,11 +36,22 @@ struct RequestSpec {
     Seconds arrival = 0.0;
     int prompt_tokens = 0;
     int output_tokens = 0;
+    /** Shared system prompt this request carries (-1 = none). Assigned
+     *  pre-sim from the prefix stream when the config shares prefixes. */
+    int prefix_id = -1;
+    /** Leading prompt tokens the shared prefix covers (already clamped
+     *  to prompt_tokens; 0 when prefix_id is -1). */
+    int prefix_tokens = 0;
 };
 
 /** The length-stream seed derived from @p seed (distinct from the arrival
  *  stream so sampling lengths never changes arrivals). */
 std::uint64_t lengthSeed(std::uint64_t seed);
+
+/** The prefix-assignment seed derived from @p seed (third independent
+ *  stream: enabling prefix sharing perturbs neither arrivals nor
+ *  lengths). */
+std::uint64_t prefixSeed(std::uint64_t seed);
 
 /**
  * One sample from @p dist: the @p fixed_tokens scalar for Fixed (drawing

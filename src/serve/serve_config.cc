@@ -73,6 +73,28 @@ allLengthDistKinds()
             LengthDistKind::Lognormal};
 }
 
+const char *
+kvLayoutName(KvLayout layout)
+{
+    switch (layout) {
+      case KvLayout::Contiguous: return "contiguous";
+      case KvLayout::Paged: return "paged";
+    }
+    return "?";
+}
+
+std::optional<KvLayout>
+kvLayoutFromName(const std::string &name)
+{
+    return enumFromName(allKvLayouts(), kvLayoutName, name);
+}
+
+std::vector<KvLayout>
+allKvLayouts()
+{
+    return {KvLayout::Contiguous, KvLayout::Paged};
+}
+
 std::vector<std::string>
 LengthDistribution::validate(const std::string &prefix) const
 {
@@ -97,8 +119,46 @@ std::vector<std::string>
 KvCacheConfig::validate() const
 {
     std::vector<std::string> errors;
-    if (!enabled)
-        return errors; // inert fields; nothing to reject
+    if (!enabled) {
+        // The layout is the one knob that is *not* inert when disabled:
+        // asking for paged allocation with no KV model is a contradiction,
+        // not a normalizable no-op.
+        requireField(errors, layout == KvLayout::Contiguous,
+                     "kv.layout=paged requires kv.enabled (the paged "
+                     "allocator models KV placement; enable the KV model "
+                     "or drop the layout override)",
+                     kvLayoutName(layout));
+        return errors; // remaining fields are inert
+    }
+    if (layout == KvLayout::Paged)
+        requireField(errors, block_tokens >= 1,
+                     "kv.block_tokens must be >= 1 under the paged layout "
+                     "(tokens per KV page)",
+                     block_tokens);
+    requireField(errors, !(prefix.enabled() && layout == KvLayout::Contiguous),
+                 "kv.prefix sharing requires kv.layout=paged (only "
+                 "per-request block tables can map shared pages; set "
+                 "kv.layout = KvLayout::Paged or clear "
+                 "kv.prefix.share_fraction)",
+                 prefix.share_fraction);
+    if (layout == KvLayout::Paged) {
+        requireField(errors,
+                     prefix.share_fraction >= 0.0 &&
+                         prefix.share_fraction <= 1.0,
+                     "kv.prefix.share_fraction must be in [0, 1] (the "
+                     "probability a request carries a shared prefix)",
+                     prefix.share_fraction);
+        if (prefix.enabled()) {
+            requireField(errors, prefix.num_prefixes >= 1,
+                         "kv.prefix.num_prefixes must be >= 1 when prefix "
+                         "sharing is enabled",
+                         prefix.num_prefixes);
+            requireField(errors, prefix.prefix_tokens >= 1,
+                         "kv.prefix.prefix_tokens must be >= 1 when prefix "
+                         "sharing is enabled",
+                         prefix.prefix_tokens);
+        }
+    }
     requireField(errors, bytes_per_token >= 0.0,
                  "kv.bytes_per_token must be >= 0 (0 derives it from the "
                  "model)",

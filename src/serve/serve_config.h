@@ -134,6 +134,56 @@ struct LengthDistribution {
     std::vector<std::string> validate(const std::string &prefix) const;
 };
 
+/** How resident KV is laid out across the tiered byte space. */
+enum class KvLayout {
+    /**
+     * The legacy admission-order layout (the default): every step's
+     * resident KV is one contiguous range from offset 0, so retirement
+     * never frees reusable holes and the HBM budget acts as a watermark.
+     * Bit-identical to the pre-paging model.
+     */
+    Contiguous,
+    /**
+     * vLLM-style paged allocation (src/kv/): fixed block_tokens pages
+     * with free-list reuse and per-request block tables. Retirement
+     * returns pages, fragmentation and block-table overhead become
+     * measurable, and shared-prefix caching becomes possible.
+     */
+    Paged
+};
+
+/** Stable lowercase name ("contiguous"/"paged"); never allocates. */
+const char *kvLayoutName(KvLayout layout);
+
+/** Inverse of kvLayoutName() (case-insensitive); nullopt when unknown. */
+std::optional<KvLayout> kvLayoutFromName(const std::string &name);
+
+/** Every layout, in declaration order (sweep axes, exhaustive tests). */
+std::vector<KvLayout> allKvLayouts();
+
+/**
+ * The shared-prompt mix: which requests carry a shared system prompt
+ * (LengthDistribution-style, sampled *before* the simulation from a PRNG
+ * stream derived from ServeConfig::seed — independent of both the arrival
+ * and the length streams, so enabling prefix sharing never perturbs
+ * either). Requires the paged KV layout: only per-request block tables
+ * can map the same physical pages twice.
+ */
+struct SharedPrefixConfig {
+    /** Probability a request carries a shared prefix (0 disables the
+     *  mix; every field below is then inert). */
+    double share_fraction = 0.0;
+    /** Distinct shared prompts; each sharing request picks one uniformly
+     *  (its prefix_id in [0, num_prefixes)). */
+    int num_prefixes = 1;
+    /** Tokens of the shared prompt, clamped per request to its own
+     *  prompt length. */
+    int prefix_tokens = 128;
+
+    /** True when the mix draws anything (share_fraction > 0). */
+    bool enabled() const { return share_fraction > 0.0; }
+};
+
 /**
  * The KV-cache model: per-request key/value state grows with every
  * processed token and must live *somewhere*. Tiers fill strictly in order
@@ -142,7 +192,7 @@ struct LengthDistribution {
  * with parameter streaming), and KV beyond hbm_budget + host_budget
  * additionally crosses the storage substrate. Disabled by default:
  * existing configs simulate bit-identically to the pre-KV model.
- * See DESIGN.md "The Workload API" for the exact tiering/flow rules.
+ * See DESIGN.md "The KV-cache model" for the exact tiering/flow rules.
  */
 struct KvCacheConfig {
     /** Master switch. When false every other field is inert (and the
@@ -169,8 +219,19 @@ struct KvCacheConfig {
      * additionally crosses the storage media + shared interconnect.
      */
     Bytes host_budget = GiB(64.0);
+    /** Byte-space layout; Paged swaps in the src/kv/ allocator. */
+    KvLayout layout = KvLayout::Contiguous;
+    /** Tokens per KV page (Paged only; inert — and normalized out of the
+     *  RunSpec hash — under the contiguous layout). */
+    int block_tokens = 32;
+    /** Shared-prompt mix (Paged only; disabled by default). */
+    SharedPrefixConfig prefix;
 
-    /** Actionable error list; empty means usable. Skipped when disabled. */
+    /** True when the paged allocator is active. */
+    bool paged() const { return enabled && layout == KvLayout::Paged; }
+
+    /** Actionable error list; empty means usable. Mostly skipped when
+     *  disabled — but a paged layout on disabled KV is itself rejected. */
     std::vector<std::string> validate() const;
 };
 
@@ -236,6 +297,10 @@ struct ServeConfig {
         return prompt_lengths.kind != LengthDistKind::Fixed ||
                output_lengths.kind != LengthDistKind::Fixed;
     }
+
+    /** True when the request stream draws shared-prefix assignments (the
+     *  third seed consumer, after arrivals and lengths). */
+    bool sharesPrefixes() const { return kv.paged() && kv.prefix.enabled(); }
 
     /** Actionable error list; empty means the config is usable. */
     std::vector<std::string> validate() const;

@@ -74,6 +74,33 @@ struct RequestRecord {
 };
 
 /**
+ * Aggregate paged-KV statistics of one serving run (summed across node
+ * schedulers; zero unless kv.layout=paged). Part of the deterministic
+ * result contract — these count simulation decisions, not observability.
+ */
+struct KvCacheStats {
+    std::uint64_t prefix_hits = 0;   ///< admissions that mapped cached pages
+    std::uint64_t prefix_misses = 0; ///< admissions that produced a prefix
+    std::uint64_t prefix_evictions = 0; ///< cold entries reclaimed
+    std::uint64_t cow_copies = 0; ///< divergent appends into shared pages
+    int peak_used_blocks = 0;     ///< max live pages on any one node
+    int peak_span_blocks = 0;     ///< max arena extent (incl. holes)
+    /** Max instantaneous span/used ratio (1.0 = always compact; holes
+     *  from ragged retirement push it above 1). */
+    double peak_fragmentation = 1.0;
+    Bytes peak_block_table_bytes = 0; ///< max mapping-metadata footprint
+
+    double hitRate() const
+    {
+        const std::uint64_t lookups = prefix_hits + prefix_misses;
+        return lookups == 0
+                   ? 1.0
+                   : static_cast<double>(prefix_hits) /
+                         static_cast<double>(lookups);
+    }
+};
+
+/**
  * Result of simulating one workload. Training populates phases; serving
  * populates the per-request records and queue statistics. iteration_time
  * keeps its historic name and always holds the workload makespan.
@@ -96,6 +123,8 @@ struct WorkloadResult {
     double queue_depth_time_integral = 0.0;
     /** Largest instantaneous per-node queue depth observed. */
     int peak_queue_depth = 0;
+    /** Paged KV-cache statistics (all-zero unless kv.layout=paged). */
+    KvCacheStats kv;
     /** @} */
 
     /** Output tokens generated across all requests (0 for training). */

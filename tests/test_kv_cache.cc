@@ -194,6 +194,161 @@ TEST(KvCache, ValidateRejectsNonsensicalConfigs)
     config.kv.enabled = false;
     config.kv.hbm_budget = 0.0;
     EXPECT_TRUE(config.validate().empty());
+
+    // ... except the layout, which contradicts a disabled model outright.
+    config = kvServe();
+    config.kv.enabled = false;
+    config.kv.layout = serve::KvLayout::Paged;
+    EXPECT_FALSE(config.validate().empty());
+
+    // The paged allocator needs a positive page size.
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.block_tokens = 0;
+    EXPECT_FALSE(config.validate().empty());
+
+    // Prefix sharing needs per-request block tables: contiguous KV has
+    // nowhere to map shared pages.
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.prefix.share_fraction = 0.5;
+    EXPECT_FALSE(config.validate().empty());
+
+    // The share fraction is a probability.
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.prefix.share_fraction = 1.5;
+    EXPECT_FALSE(config.validate().empty());
+
+    // Enabled sharing needs a sane prefix pool.
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.prefix.share_fraction = 0.5;
+    config.kv.prefix.num_prefixes = 0;
+    EXPECT_FALSE(config.validate().empty());
+
+    // And the well-formed paged + prefix config passes.
+    config = kvServe();
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.prefix.share_fraction = 0.5;
+    EXPECT_TRUE(config.validate().empty());
+}
+
+// ---- paged layout ----------------------------------------------------------
+
+TEST(PagedKv, AmpleHbmPagedMatchesContiguousAndDisabledBitForBit)
+{
+    // With every page inside the HBM tier and no prefixes, the paged
+    // planner's merged ranges stay below the budget, no flow is issued,
+    // and the schedule is exactly the contiguous — and pre-KV — one.
+    const auto off = runServe(kvServe(), train::Strategy::SmartUpdateOpt);
+
+    auto contiguous = kvServe();
+    contiguous.kv.enabled = true;
+    contiguous.kv.hbm_budget = GiB(256.0);
+    const auto cont = runServe(contiguous, train::Strategy::SmartUpdateOpt);
+
+    auto paged = contiguous;
+    paged.kv.layout = serve::KvLayout::Paged;
+    paged.kv.block_tokens = 16;
+    const auto pg = runServe(paged, train::Strategy::SmartUpdateOpt);
+
+    expectRecordsBitIdentical(off.requests, pg.requests);
+    expectRecordsBitIdentical(cont.requests, pg.requests);
+    EXPECT_EQ(off.iteration_time, pg.iteration_time);
+    EXPECT_EQ(off.events_executed, pg.events_executed);
+    EXPECT_EQ(pg.traffic.kv_spill_read, 0.0);
+    EXPECT_EQ(pg.traffic.kv_spill_write, 0.0);
+}
+
+TEST(PagedKv, SerialRequestsUnderSpillMatchContiguousBitForBit)
+{
+    // The oracle anchor under REAL spill: with one request in flight at a
+    // time (max_batch = 1) and block_tokens covering the whole working
+    // set, every request occupies slot 0 of a drained arena, so its
+    // resident range is [0, fill) and its appends [fill, fill + n) — the
+    // exact splitKvRange() arguments of the contiguous layout, hence
+    // bit-identical flows even while KV crosses the host and CSD tiers.
+    auto contiguous = kvServe();
+    contiguous.max_batch = 1;
+    contiguous.output_tokens = 24;
+    contiguous.kv.enabled = true;
+    contiguous.kv.hbm_budget = MiB(2.0);
+    contiguous.kv.host_budget = MiB(2.0);
+    const auto cont =
+        runServe(contiguous, train::Strategy::SmartUpdateOptComp);
+    EXPECT_GT(cont.traffic.kv_spill_read, 0.0); // the anchor has teeth
+
+    auto paged = contiguous;
+    paged.kv.layout = serve::KvLayout::Paged;
+    paged.kv.block_tokens = 4096; // one page >= any request's KV
+    const auto pg = runServe(paged, train::Strategy::SmartUpdateOptComp);
+
+    expectRecordsBitIdentical(cont.requests, pg.requests);
+    EXPECT_EQ(cont.iteration_time, pg.iteration_time);
+    EXPECT_EQ(cont.events_executed, pg.events_executed);
+    EXPECT_EQ(cont.traffic.kv_spill_read, pg.traffic.kv_spill_read);
+    EXPECT_EQ(cont.traffic.kv_spill_write, pg.traffic.kv_spill_write);
+}
+
+TEST(PagedKv, RepeatedPagedRunsAreBitIdentical)
+{
+    auto config = kvServe();
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.block_tokens = 16;
+    config.kv.hbm_budget = MiB(16.0);
+    config.kv.host_budget = MiB(32.0);
+    config.kv.prefix.share_fraction = 0.75;
+    config.kv.prefix.num_prefixes = 2;
+    config.kv.prefix.prefix_tokens = 40;
+    const auto a = runServe(config, train::Strategy::SmartUpdateOptComp);
+    const auto b = runServe(config, train::Strategy::SmartUpdateOptComp);
+    expectRecordsBitIdentical(a.requests, b.requests);
+    EXPECT_EQ(a.iteration_time, b.iteration_time);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.traffic.kv_spill_read, b.traffic.kv_spill_read);
+    EXPECT_EQ(a.kv.prefix_hits, b.kv.prefix_hits);
+    EXPECT_EQ(a.kv.cow_copies, b.kv.cow_copies);
+    EXPECT_EQ(a.kv.peak_span_blocks, b.kv.peak_span_blocks);
+}
+
+TEST(PagedKv, PrefixSharingShrinksKvWritesAndPrefillCompute)
+{
+    auto config = kvServe();
+    config.num_requests = 16;
+    config.kv.enabled = true;
+    config.kv.layout = serve::KvLayout::Paged;
+    config.kv.block_tokens = 16;
+    config.kv.hbm_budget = MiB(4.0); // tight: writes become spill flows
+    config.kv.host_budget = MiB(8.0);
+    const auto solo = runServe(config, train::Strategy::SmartUpdateOptComp);
+
+    auto shared = config;
+    shared.kv.prefix.share_fraction = 1.0;
+    shared.kv.prefix.num_prefixes = 1;
+    shared.kv.prefix.prefix_tokens = 48; // of the 64-token prompts
+    const auto hit = runServe(shared, train::Strategy::SmartUpdateOptComp);
+
+    // Every request past the first maps the cached prefix instead of
+    // rewriting it, so spill writes shrink; the skipped prefill compute
+    // and writes also finish the workload no later.
+    EXPECT_GT(hit.kv.prefix_hits, 0u);
+    EXPECT_LT(hit.traffic.kv_spill_write, solo.traffic.kv_spill_write);
+    EXPECT_LE(hit.iteration_time, solo.iteration_time);
+
+    // 48 tokens end on a 16-token page boundary: no COW. A misaligned
+    // prefix COWs once per hit request.
+    EXPECT_EQ(hit.kv.cow_copies, 0u);
+    auto misaligned = shared;
+    misaligned.kv.prefix.prefix_tokens = 40;
+    const auto cow =
+        runServe(misaligned, train::Strategy::SmartUpdateOptComp);
+    EXPECT_EQ(cow.kv.cow_copies, cow.kv.prefix_hits);
 }
 
 } // namespace

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests of the src/kv/ primitives below the serve layer: the
+ * deterministic free-list BlockAllocator (lowest-slot reuse, span trim,
+ * fragmentation accounting), the refcounted PrefixCache (hit/miss,
+ * LRU-by-tick eviction of cold entries only), and KvSpace's step planner
+ * (token-range merging, COW, retirement holes, gauges).
+ */
+#include <gtest/gtest.h>
+
+#include "kv/kv_space.h"
+
+namespace smartinf::kv {
+namespace {
+
+// ---- BlockAllocator --------------------------------------------------------
+
+TEST(BlockAllocator, AllocatesLowestFreeSlotFirst)
+{
+    BlockAllocator a;
+    EXPECT_EQ(a.allocate(), 0);
+    EXPECT_EQ(a.allocate(), 1);
+    EXPECT_EQ(a.allocate(), 2);
+    a.free(1);
+    a.free(0);
+    // Ordered free list: slot 0 is reused before slot 1, and the span
+    // never grows while holes remain.
+    EXPECT_EQ(a.allocate(), 0);
+    EXPECT_EQ(a.allocate(), 1);
+    EXPECT_EQ(a.allocate(), 3);
+    EXPECT_EQ(a.spanBlocks(), 4);
+    EXPECT_EQ(a.usedBlocks(), 4);
+}
+
+TEST(BlockAllocator, TrailingFreesTrimTheSpan)
+{
+    BlockAllocator a;
+    for (int i = 0; i < 4; ++i)
+        a.allocate();
+    a.free(3);
+    EXPECT_EQ(a.spanBlocks(), 3);
+    // Interior holes do not trim...
+    a.free(1);
+    EXPECT_EQ(a.spanBlocks(), 3);
+    EXPECT_EQ(a.freeBlocksInSpan(), 1);
+    // ...until the span end drains past them; a fully drained arena is
+    // indistinguishable from a fresh one (serial-reuse anchor).
+    a.free(2);
+    EXPECT_EQ(a.spanBlocks(), 1);
+    a.free(0);
+    EXPECT_EQ(a.spanBlocks(), 0);
+    EXPECT_EQ(a.allocate(), 0);
+}
+
+TEST(BlockAllocator, FragmentationPeaksWhileHolesAreOpen)
+{
+    BlockAllocator a;
+    for (int i = 0; i < 6; ++i)
+        a.allocate();
+    EXPECT_EQ(a.fragmentationRatio(), 1.0);
+    // Retire out of order: holes open, span stays (slot 5 is live).
+    a.free(0);
+    a.free(1);
+    a.free(2);
+    EXPECT_EQ(a.spanBlocks(), 6);
+    EXPECT_EQ(a.usedBlocks(), 3);
+    EXPECT_EQ(a.fragmentationRatio(), 2.0);
+    EXPECT_EQ(a.peakFragmentation(), 2.0);
+    // Refilling the holes compacts the current ratio but not the peak.
+    a.allocate();
+    a.allocate();
+    a.allocate();
+    EXPECT_EQ(a.fragmentationRatio(), 1.0);
+    EXPECT_EQ(a.peakFragmentation(), 2.0);
+    // Peak span only ever grows when the arena is full, so span/used
+    // peaks must be read as the ratio above, not peak_span / peak_used.
+    EXPECT_EQ(a.peakSpanBlocks(), 6);
+    EXPECT_EQ(a.peakUsedBlocks(), 6);
+}
+
+// ---- PrefixCache -----------------------------------------------------------
+
+TEST(PrefixCache, HitRefcountsAndMissReturnsNull)
+{
+    PrefixCache cache;
+    EXPECT_EQ(cache.acquire(7), nullptr); // miss
+    cache.insert(7, 40, {0, 1, 2});
+    const PrefixCache::Entry *entry = cache.acquire(7);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->tokens, 40);
+    EXPECT_EQ(entry->refcount, 2); // insert held 1, acquire added 1
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(PrefixCache, EvictsOnlyColdEntriesInLruOrder)
+{
+    PrefixCache cache;
+    cache.insert(1, 16, {0});
+    cache.insert(2, 16, {1});
+    cache.insert(3, 16, {2});
+    // All referenced: nothing evictable.
+    EXPECT_FALSE(cache.evictLru().has_value());
+    // Release 2 then 1: both cold, 2 is colder (released first).
+    cache.release(2);
+    cache.release(1);
+    auto freed = cache.evictLru();
+    ASSERT_TRUE(freed.has_value());
+    EXPECT_EQ(*freed, std::vector<BlockId>{1}); // entry 2's block
+    freed = cache.evictLru();
+    ASSERT_TRUE(freed.has_value());
+    EXPECT_EQ(*freed, std::vector<BlockId>{0}); // then entry 1's
+    EXPECT_FALSE(cache.evictLru().has_value()); // 3 is still referenced
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_EQ(cache.entryCount(), 1);
+}
+
+// ---- KvSpace ---------------------------------------------------------------
+
+KvSpaceConfig
+smallSpace(int block_tokens = 8, int hbm_blocks = 4, int host_blocks = 4)
+{
+    KvSpaceConfig config;
+    config.block_tokens = block_tokens;
+    config.bytes_per_token = 1.0;
+    config.hbm_blocks = hbm_blocks;
+    config.host_blocks = host_blocks;
+    return config;
+}
+
+TEST(KvSpace, SingleRequestPlansContiguousRanges)
+{
+    KvSpace kv(smallSpace());
+    EXPECT_EQ(kv.admit(0, -1, 0), 0);
+
+    // Prefill: 20 tokens appended into pages 0..2, coalesced to [0, 20).
+    kv.beginStep();
+    kv.noteAppend(0, 20);
+    KvStepPlan plan = kv.finishStep();
+    EXPECT_TRUE(plan.reads.empty());
+    ASSERT_EQ(plan.writes.size(), 1u);
+    EXPECT_EQ(plan.writes[0].lo, 0);
+    EXPECT_EQ(plan.writes[0].hi, 20);
+
+    // Decode: reads the pre-append resident [0, 20), appends [20, 21).
+    kv.beginStep();
+    kv.noteRead(0);
+    kv.noteAppend(0, 1);
+    plan = kv.finishStep();
+    ASSERT_EQ(plan.reads.size(), 1u);
+    EXPECT_EQ(plan.reads[0].lo, 0);
+    EXPECT_EQ(plan.reads[0].hi, 20);
+    ASSERT_EQ(plan.writes.size(), 1u);
+    EXPECT_EQ(plan.writes[0].lo, 20);
+    EXPECT_EQ(plan.writes[0].hi, 21);
+}
+
+TEST(KvSpace, RetirementHolesRelocateLaterRequests)
+{
+    KvSpace kv(smallSpace(8, 64, 64));
+    kv.admit(0, -1, 0);
+    kv.admit(1, -1, 0);
+    kv.beginStep();
+    kv.noteAppend(0, 8);  // slot 0
+    kv.noteAppend(1, 16); // slots 1, 2
+    kv.finishStep();
+
+    // Request 0 retires; its slot-0 hole is reused by the next admit,
+    // while request 1 keeps its slots — placement is sticky.
+    kv.retire(0);
+    kv.admit(2, -1, 0);
+    kv.beginStep();
+    kv.noteRead(1);
+    kv.noteAppend(2, 12); // slot 0 (reused) then slot 3
+    KvStepPlan plan = kv.finishStep();
+    ASSERT_EQ(plan.reads.size(), 1u);
+    EXPECT_EQ(plan.reads[0].lo, 8); // request 1 still at [8, 24)
+    EXPECT_EQ(plan.reads[0].hi, 24);
+    ASSERT_EQ(plan.writes.size(), 2u);
+    EXPECT_EQ(plan.writes[0].lo, 0); // hole refilled first
+    EXPECT_EQ(plan.writes[0].hi, 8);
+    EXPECT_EQ(plan.writes[1].lo, 24); // overflow extends the span
+    EXPECT_EQ(plan.writes[1].hi, 28);
+}
+
+TEST(KvSpace, SharedPrefixSkipsWritesAndMergesReads)
+{
+    KvSpace kv(smallSpace(8, 64, 64));
+    // Producer: miss, then its prefill fills the entry's pages.
+    EXPECT_EQ(kv.admit(0, 5, 16), 0);
+    kv.beginStep();
+    kv.noteAppend(0, 20); // 16 shared + 4 private
+    kv.finishStep();
+
+    // Hitter: maps the 16 shared tokens, skips their writes.
+    EXPECT_EQ(kv.admit(1, 5, 16), 16);
+    kv.beginStep();
+    kv.noteRead(0);
+    kv.noteAppend(0, 1);
+    kv.noteRead(1); // shared pages — overlaps request 0's read
+    kv.noteAppend(1, 5);
+    KvStepPlan plan = kv.finishStep();
+    // Reads merge: the pre-append resident [0, 20) once, not the shared
+    // [0, 16) twice on top of it.
+    ASSERT_EQ(plan.reads.size(), 1u);
+    EXPECT_EQ(plan.reads[0].lo, 0);
+    EXPECT_EQ(plan.reads[0].hi, 20);
+    // Request 1 appends only its own tokens: 16 is page-aligned, so no
+    // COW — a fresh page at the next free slot.
+    EXPECT_EQ(kv.gauges().cow_copies, 0u);
+
+    // Misaligned prefix: the first divergent append COWs the partial
+    // shared page.
+    EXPECT_EQ(kv.admit(2, 6, 12), 0); // miss, produces prefix 6
+    kv.beginStep();
+    kv.noteAppend(2, 12);
+    kv.finishStep();
+    EXPECT_EQ(kv.admit(3, 6, 12), 12);
+    kv.beginStep();
+    kv.noteAppend(3, 4); // lands at token 12, inside shared page 1
+    kv.finishStep();
+    EXPECT_EQ(kv.gauges().cow_copies, 1u);
+}
+
+TEST(KvSpace, EvictionTriggersOnlyPastTheHbmTier)
+{
+    // 4 HBM slots. Prefix entries hold pages; once their requests retire
+    // the entries are cold, and the allocation that would grow the span
+    // past HBM evicts them (coldest first) instead.
+    KvSpace kv(smallSpace(8, 4, 4));
+    kv.admit(0, 1, 8); // producer, slot 0
+    kv.beginStep();
+    kv.noteAppend(0, 9); // slot 0 shared, slot 1 private
+    kv.finishStep();
+    kv.retire(0); // frees slot 1; entry 1 (slot 0) cold but cached
+
+    kv.admit(1, 2, 8); // producer of prefix 2, reuses slot 1
+    kv.beginStep();
+    kv.noteAppend(1, 9); // slot 1 shared, slot 2 private
+    kv.finishStep();
+
+    // Arena: slot 0 = cold entry 1, slots 1-2 live. A 2-page request
+    // fits slot 3 (inside HBM) without eviction, then must evict entry 1
+    // for its second page instead of spilling to slot 4.
+    kv.admit(2, -1, 0);
+    kv.beginStep();
+    kv.noteAppend(2, 16);
+    KvStepPlan plan = kv.finishStep();
+    EXPECT_EQ(kv.prefixes().evictions(), 1u);
+    EXPECT_EQ(kv.allocator().spanBlocks(), 4); // never grew past HBM
+    ASSERT_EQ(plan.writes.size(), 2u);
+    EXPECT_EQ(plan.writes[0].lo, 0); // evicted slot 0, reused
+    EXPECT_EQ(plan.writes[1].lo, 24);
+}
+
+TEST(KvSpace, GaugesCountValidTokensPerTier)
+{
+    KvSpace kv(smallSpace(8, 2, 1));
+    kv.admit(0, -1, 0);
+    kv.beginStep();
+    kv.noteAppend(0, 20); // slots 0-2: 8 + 8 + 4 valid tokens
+    kv.finishStep();
+    const KvGauges g = kv.gauges();
+    EXPECT_EQ(g.used_blocks, 3);
+    EXPECT_EQ(g.span_blocks, 3);
+    EXPECT_EQ(g.used_hbm, 2);
+    EXPECT_EQ(g.free_hbm, 0);
+    EXPECT_EQ(g.used_host, 1);
+    EXPECT_EQ(g.used_csd, 0);
+    EXPECT_EQ(g.hbm_bytes, 16.0); // bytes_per_token = 1
+    EXPECT_EQ(g.host_bytes, 4.0); // the partial tail page's fill only
+    EXPECT_EQ(g.block_table_bytes, 3 * kBlockTableEntryBytes);
+}
+
+TEST(KvSpace, StatsAreDeterministicAcrossIdenticalRuns)
+{
+    auto drive = [] {
+        KvSpace kv(smallSpace(8, 8, 8));
+        for (int r = 0; r < 6; ++r) {
+            kv.admit(r, r % 2, 12);
+            kv.beginStep();
+            kv.noteAppend(r, 13);
+            kv.finishStep();
+            if (r >= 2)
+                kv.retire(r - 2);
+        }
+        return kv.gauges();
+    };
+    const KvGauges a = drive();
+    const KvGauges b = drive();
+    EXPECT_EQ(a.used_blocks, b.used_blocks);
+    EXPECT_EQ(a.span_blocks, b.span_blocks);
+    EXPECT_EQ(a.prefix_hits, b.prefix_hits);
+    EXPECT_EQ(a.prefix_evictions, b.prefix_evictions);
+    EXPECT_EQ(a.cow_copies, b.cow_copies);
+    EXPECT_EQ(a.hbm_bytes, b.hbm_bytes);
+}
+
+} // namespace
+} // namespace smartinf::kv

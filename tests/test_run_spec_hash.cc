@@ -199,6 +199,80 @@ TEST(RunSpecHash, KvKnobsKeyOnlyWhenEnabled)
     EXPECT_TRUE(hashes.insert(mutated.hash()).second);
 }
 
+TEST(RunSpecHash, PagedKvKnobsKeyOnlyForThePagedLayout)
+{
+    // Contiguous KV ignores the page size and every prefix knob, so they
+    // must normalize out of its cache entry...
+    RunSpec contig = servingSpec();
+    contig.serve.kv.enabled = true;
+    RunSpec contig2 = contig;
+    contig2.serve.kv.block_tokens = 64;
+    contig2.serve.kv.prefix.share_fraction = 0.9;
+    contig2.serve.kv.prefix.num_prefixes = 7;
+    contig2.serve.kv.prefix.prefix_tokens = 123;
+    EXPECT_EQ(contig.hash(), contig2.hash());
+
+    // ...while the paged layout keys on the layout itself and the page
+    // size, each separately.
+    RunSpec paged = contig;
+    paged.serve.kv.layout = serve::KvLayout::Paged;
+    EXPECT_NE(contig.hash(), paged.hash());
+    RunSpec paged2 = paged;
+    paged2.serve.kv.block_tokens *= 2;
+    EXPECT_NE(paged.hash(), paged2.hash());
+
+    // share_fraction = 0 disables sharing, leaving the prefix mix shape
+    // inert; a nonzero share revives it knob by knob.
+    RunSpec noshare = paged;
+    RunSpec noshare2 = paged;
+    noshare2.serve.kv.prefix.num_prefixes = 9;
+    noshare2.serve.kv.prefix.prefix_tokens = 77;
+    EXPECT_EQ(noshare.hash(), noshare2.hash());
+
+    RunSpec shared = paged;
+    shared.serve.kv.prefix.share_fraction = 0.5;
+    EXPECT_NE(paged.hash(), shared.hash());
+    RunSpec shared2 = shared;
+    shared2.serve.kv.prefix.num_prefixes += 1;
+    EXPECT_NE(shared.hash(), shared2.hash());
+    RunSpec shared3 = shared;
+    shared3.serve.kv.prefix.prefix_tokens += 16;
+    EXPECT_NE(shared.hash(), shared3.hash());
+}
+
+TEST(RunSpecHash, PrefixSharingRevivesTheSeedLikeSampledLengths)
+{
+    // Closed loop + Fixed lengths: the seed is normally dead (arrivals
+    // are reactive, lengths constant) — but prefix sharing draws the
+    // per-request prefix assignment from the seed's prefix stream, so it
+    // must key again.
+    RunSpec base = servingSpec();
+    base.serve.client_mode = serve::ClientMode::ClosedLoop;
+    base.serve.kv.enabled = true;
+    base.serve.kv.layout = serve::KvLayout::Paged;
+    base.serve.kv.block_tokens = 16;
+
+    RunSpec dead = base;
+    dead.serve.seed += 1;
+    EXPECT_EQ(base.hash(), dead.hash());
+
+    RunSpec sharing = base;
+    sharing.serve.kv.prefix.share_fraction = 0.5;
+    sharing.serve.kv.prefix.num_prefixes = 2;
+    sharing.serve.kv.prefix.prefix_tokens = 32;
+    RunSpec sharing2 = sharing;
+    sharing2.serve.seed += 1;
+    EXPECT_NE(sharing.hash(), sharing2.hash());
+
+    // Same rule under a trace: arrivals come from the trace, but the
+    // prefix stream still consumes the seed.
+    RunSpec traced = sharing;
+    traced.serve.trace = {0.0, 1.0};
+    RunSpec traced2 = traced;
+    traced2.serve.seed += 1;
+    EXPECT_NE(traced.hash(), traced2.hash());
+}
+
 TEST(RunSpecHash, LengthDistParamsKeyOnlyForTheirKind)
 {
     // Fixed: the lognormal shape is inert; the scalar keys (covered by
@@ -297,6 +371,19 @@ TEST(RunSpecHash, DescribeDistinguishesServingSpecs)
     kv.serve.kv.enabled = true;
     EXPECT_NE(kv.describe().find("/kv"), std::string::npos)
         << kv.describe();
+    EXPECT_EQ(kv.describe().find("/paged"), std::string::npos)
+        << kv.describe();
+
+    RunSpec paged = kv;
+    paged.serve.kv.layout = serve::KvLayout::Paged;
+    paged.serve.kv.block_tokens = 16;
+    EXPECT_NE(paged.describe().find("/paged16"), std::string::npos)
+        << paged.describe();
+    paged.serve.kv.prefix.share_fraction = 0.5;
+    paged.serve.kv.prefix.num_prefixes = 2;
+    paged.serve.kv.prefix.prefix_tokens = 64;
+    EXPECT_NE(paged.describe().find("/px0.5"), std::string::npos)
+        << paged.describe();
 
     RunSpec mixed = spec;
     mixed.serve.output_lengths.kind = serve::LengthDistKind::Lognormal;

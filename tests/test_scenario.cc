@@ -15,8 +15,9 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
     registerBuiltinScenarios(); // second call must not duplicate
     const auto all = ScenarioRegistry::instance().all();
     // 17 migrated bench binaries + the 3 serving studies + the 3
-    // KV/mix/closed-loop serving-fidelity studies.
-    EXPECT_EQ(all.size(), 23u);
+    // KV/mix/closed-loop serving-fidelity studies + the 2 paged-KV
+    // studies.
+    EXPECT_EQ(all.size(), 25u);
 
     // Sorted by name, every paper artifact present.
     for (std::size_t i = 1; i < all.size(); ++i)
@@ -26,7 +27,8 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
           "fig14", "fig15", "fig16", "fig17", "table1", "table3", "table4",
           "ablation_handler", "ablation_compression", "scaleout",
           "serve_smart", "serve_baseline", "serve_batching",
-          "serve_kv_pressure", "serve_mixes", "serve_closed_loop"})
+          "serve_kv_pressure", "serve_mixes", "serve_closed_loop",
+          "serve_paged_kv", "serve_prefix_cache"})
         EXPECT_NE(ScenarioRegistry::instance().find(name), nullptr)
             << name;
     EXPECT_EQ(ScenarioRegistry::instance().find("nope"), nullptr);
