@@ -189,6 +189,40 @@ serveCase(const std::string &name, int num_requests, bool kv_heavy = false,
     });
 }
 
+/** Time one serving run under fault injection (PR 8): replica crashes,
+ *  drain/retry/shed and link-degradation recompute all on the timed
+ *  path — the revocation-domain and canceller bookkeeping is free only
+ *  when faults are off, and this case is what tracks its real cost. */
+PerfSample
+failoverCase(const std::string &name, int num_requests)
+{
+    return timedCase(name, /*wall_only=*/false, [num_requests] {
+        const auto model = train::ModelSpec::gpt2(4.0);
+        train::SystemConfig system;
+        system.strategy = train::Strategy::SmartUpdateOptComp;
+        system.num_devices = 6;
+        system.num_nodes = 2;
+
+        serve::ServeConfig config;
+        config.scheduler = serve::SchedulerPolicy::Continuous;
+        config.num_requests = num_requests;
+        config.arrival_rate = 0.25;
+        config.prompt_tokens = 256;
+        config.output_tokens = 16;
+        config.max_batch = 8;
+        config.fault.enabled = true;
+        config.fault.node_mtbf = 20.0;
+        config.fault.degrade_mtbf = 40.0;
+        config.fault.repair_time = 15.0;
+        config.fault.horizon = 300.0;
+
+        auto engine = train::makeEngine(model, {}, system);
+        serve::InferenceWorkload workload(model, config);
+        const train::WorkloadResult result = engine->run(workload);
+        return CaseStats{result.events_executed, result.iteration_time, 1};
+    });
+}
+
 } // namespace
 
 std::vector<PerfSample>
@@ -208,6 +242,7 @@ runPerfCases()
     samples.push_back(serveCase("serve_kv_24req", 24, /*kv_heavy=*/true));
     samples.push_back(serveCase("serve_paged_24req", 24, /*kv_heavy=*/true,
                                 /*paged=*/true));
+    samples.push_back(failoverCase("serve_failover_24req", 24));
     return samples;
 }
 

@@ -224,6 +224,34 @@ ExperimentBuilder::prefixShareFractions(std::vector<double> fs)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::faults(const fault::FaultConfig &config)
+{
+    fault_base_ = config;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::mtbfs(std::vector<double> ms)
+{
+    mtbfs_ = std::move(ms);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::checkpointIntervals(std::vector<int> ks)
+{
+    checkpoint_intervals_ = std::move(ks);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::retryPolicies(std::vector<int> limits)
+{
+    retry_limits_ = std::move(limits);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::congested(bool on)
 {
     congested_ = on;
@@ -255,7 +283,8 @@ ExperimentBuilder::size() const
            axisSize(max_batches_) * axisSize(weight_fractions_) *
            axisSize(output_token_counts_) * axisSize(hbm_budgets_) *
            axisSize(concurrencies_) * axisSize(block_tokens_) *
-           axisSize(prefix_share_fractions_);
+           axisSize(prefix_share_fractions_) * axisSize(mtbfs_) *
+           axisSize(checkpoint_intervals_) * axisSize(retry_limits_);
 }
 
 std::vector<RunSpec>
@@ -293,6 +322,24 @@ ExperimentBuilder::build() const
                "prefixShareFractions() axis needs the paged KV layout on "
                "the serving() base config (set kv.enabled = true and "
                "kv.layout = KvLayout::Paged)");
+    // The fault axes are normalized out of the hash whenever their
+    // enabling condition is off — sweeping them would expand N
+    // identically-hashed (aliased) specs. Refuse early.
+    SI_REQUIRE((mtbfs_.empty() && checkpoint_intervals_.empty() &&
+                retry_limits_.empty()) ||
+                   fault_base_.enabled,
+               "fault axes (mtbfs/checkpointIntervals/retryPolicies) need "
+               "an enabled faults() base config (set enabled = true)");
+    SI_REQUIRE(checkpoint_intervals_.empty() ||
+                   workload_ == train::WorkloadKind::Training,
+               "checkpointIntervals() axis is training-only (checkpoint "
+               "knobs are normalized out of serving hashes)");
+    SI_REQUIRE(retry_limits_.empty() ||
+                   (workload_ == train::WorkloadKind::Serving &&
+                    (fault_base_.nodeFaults() || !mtbfs_.empty())),
+               "retryPolicies() axis needs a serving sweep with an armed "
+               "crash process (set faults().node_mtbf or the mtbfs() "
+               "axis) — the failover path is unreachable without one");
 
     const std::vector<train::TrainConfig> trains =
         trains_.empty() ? std::vector<train::TrainConfig>{{}} : trains_;
@@ -355,6 +402,16 @@ ExperimentBuilder::build() const
         prefix_share_fractions_.empty()
             ? std::vector<double>{serve_base_.kv.prefix.share_fraction}
             : prefix_share_fractions_;
+    const std::vector<double> mtbfs =
+        mtbfs_.empty() ? std::vector<double>{fault_base_.node_mtbf}
+                       : mtbfs_;
+    const std::vector<int> ckpt_intervals =
+        checkpoint_intervals_.empty()
+            ? std::vector<int>{fault_base_.checkpoint_interval}
+            : checkpoint_intervals_;
+    const std::vector<int> retry_limits =
+        retry_limits_.empty() ? std::vector<int>{fault_base_.retry_limit}
+                              : retry_limits_;
 
     // Odometer expansion: decompose the flat index with the last axis
     // fastest, which fixes the deterministic nesting order documented in
@@ -366,7 +423,8 @@ ExperimentBuilder::build() const
         overlaps.size(),   calibs.size(),    schedulers.size(),
         rates.size(),      batches.size(),   weight_fractions.size(),
         output_tokens.size(), hbm_budgets.size(), concurrencies.size(),
-        block_tokens.size(),  prefix_shares.size()};
+        block_tokens.size(),  prefix_shares.size(), mtbfs.size(),
+        ckpt_intervals.size(), retry_limits.size()};
     constexpr int kAxes = static_cast<int>(std::size(sizes));
     std::size_t total = 1;
     for (const std::size_t s : sizes)
@@ -407,6 +465,10 @@ ExperimentBuilder::build() const
         spec.serve.concurrency = concurrencies[idx[17]];
         spec.serve.kv.block_tokens = block_tokens[idx[18]];
         spec.serve.kv.prefix.share_fraction = prefix_shares[idx[19]];
+        spec.fault = fault_base_;
+        spec.fault.node_mtbf = mtbfs[idx[20]];
+        spec.fault.checkpoint_interval = ckpt_intervals[idx[21]];
+        spec.fault.retry_limit = retry_limits[idx[22]];
         spec.label = spec.describe();
         specs.push_back(std::move(spec));
     }

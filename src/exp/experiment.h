@@ -85,6 +85,22 @@ class ExperimentBuilder
      *  serving() base config must use kv.layout = Paged. */
     ExperimentBuilder &prefixShareFractions(std::vector<double> fs);
     /** @} */
+    /** @name Fault axes (sweep fields of the faults() base config). @{ */
+    /**
+     * Seed the fault/recovery model for every generated spec (the
+     * non-axis fields of RunSpec::fault). The fault axes below override
+     * their own field and require @p config to have enabled set, or the
+     * axis cannot affect results.
+     */
+    ExperimentBuilder &faults(const fault::FaultConfig &config);
+    /** Sweep fault.node_mtbf (mean time between node crashes, seconds). */
+    ExperimentBuilder &mtbfs(std::vector<double> ms);
+    /** Sweep fault.checkpoint_interval (training sweeps only). */
+    ExperimentBuilder &checkpointIntervals(std::vector<int> ks);
+    /** Sweep fault.retry_limit (serving sweeps only; needs an armed crash
+     *  process — the failover path is unreachable without one). */
+    ExperimentBuilder &retryPolicies(std::vector<int> limits);
+    /** @} */
     /** @} */
 
     /** Single-value override of base().congested_topology; like the axes,
@@ -101,8 +117,8 @@ class ExperimentBuilder
      * optimizers, compressionFractions, nodes, overlapGradSync,
      * calibrations, schedulers, arrivalRates, maxBatches,
      * weightWireFractions, outputTokenCounts, hbmBudgets, concurrencies,
-     * blockTokens, prefixShareFractions. Labels default to
-     * RunSpec::describe().
+     * blockTokens, prefixShareFractions, mtbfs, checkpointIntervals,
+     * retryPolicies. Labels default to RunSpec::describe().
      */
     std::vector<RunSpec> build() const;
 
@@ -130,6 +146,10 @@ class ExperimentBuilder
     std::vector<int> concurrencies_;
     std::vector<int> block_tokens_;
     std::vector<double> prefix_share_fractions_;
+    fault::FaultConfig fault_base_;
+    std::vector<double> mtbfs_;
+    std::vector<int> checkpoint_intervals_;
+    std::vector<int> retry_limits_;
     std::optional<bool> congested_;
 };
 

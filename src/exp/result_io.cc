@@ -188,6 +188,25 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
        << ",\"tokens_per_s\":" << jsonNumber(record.tokensPerSecond())
        << ",\"traffic\":";
     writeTrafficJson(os, record.result.traffic);
+    // Fault/recovery stats appear only when the run injected faults, so
+    // fault-free records keep their exact historic shape.
+    const train::FaultStats &f = record.result.fault;
+    if (f.enabled) {
+        os << ",\"fault\":{\"node_crashes\":" << f.node_crashes
+           << ",\"csd_failures\":" << f.csd_failures
+           << ",\"link_degrades\":" << f.link_degrades
+           << ",\"stalls\":" << f.stalls;
+        if (record.result.kind == train::WorkloadKind::Serving)
+            os << ",\"requests_displaced\":" << f.requests_displaced
+               << ",\"retries_dispatched\":" << f.retries_dispatched
+               << ",\"requests_shed\":" << f.requests_shed
+               << ",\"reprefills\":" << f.reprefills;
+        else
+            os << ",\"checkpoints_written\":" << f.checkpoints_written
+               << ",\"restarts\":" << f.restarts
+               << ",\"iterations_replayed\":" << f.iterations_replayed;
+        os << "}";
+    }
     if (record.result.kind == train::WorkloadKind::Serving) {
         const serve::ServingMetrics m = serve::summarize(record.result);
         os << ",\"serving\":{\"num_requests\":" << m.num_requests
@@ -202,7 +221,14 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
            << ",\"output_tokens_per_s\":"
            << jsonNumber(m.output_tokens_per_sec)
            << ",\"mean_queue_depth\":" << jsonNumber(m.mean_queue_depth)
-           << ",\"peak_queue_depth\":" << m.peak_queue_depth;
+           << ",\"peak_queue_depth\":" << m.peak_queue_depth
+           << ",\"num_served\":" << m.num_served
+           << ",\"num_shed\":" << m.num_shed
+           << ",\"num_retried\":" << m.num_retried
+           << ",\"total_retries\":" << m.total_retries
+           << ",\"success_rate\":" << jsonNumber(m.success_rate)
+           << ",\"goodput_per_s\":" << jsonNumber(m.goodput)
+           << ",\"shed_wait_p99_s\":" << jsonNumber(m.shed_wait.p99);
         if (record.spec.serve.kv.paged()) {
             const train::KvCacheStats &kv = record.result.kv;
             os << ",\"kv_cache\":{\"prefix_hits\":" << kv.prefix_hits
@@ -229,7 +255,9 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
                << ",\"first_token_s\":" << jsonNumber(r.first_token)
                << ",\"finish_s\":" << jsonNumber(r.finish)
                << ",\"prompt_tokens\":" << r.prompt_tokens
-               << ",\"output_tokens\":" << r.output_tokens << "}";
+               << ",\"output_tokens\":" << r.output_tokens
+               << ",\"retries\":" << r.retries
+               << ",\"shed\":" << (r.shed ? "true" : "false") << "}";
         }
         os << "]}";
     }

@@ -174,6 +174,51 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
 }
 
 void
+hashAppend(HashStream &hs, const fault::FaultConfig &f,
+           train::WorkloadKind workload)
+{
+    hs << f.enabled;
+    // Semantic normalization: a disabled fault model is one cache entry
+    // no matter how its knobs are set — nothing else is hashed.
+    if (!f.enabled)
+        return;
+    const bool training = workload == train::WorkloadKind::Training;
+    hs << f.horizon;
+    // The fault stream seed: training runs draw from FaultConfig::seed;
+    // serving runs derive it from ServeConfig::seed (already hashed), so
+    // f.seed is inert there. With no category armed no schedule is drawn
+    // and the seed is inert for both kinds.
+    if (training && f.anyFaults())
+        hs << static_cast<std::int64_t>(f.seed);
+    // Each category's episode parameters only while that category's MTBF
+    // is finite (an unarmed category draws no events and its shape knobs
+    // cannot affect the result).
+    hs << f.nodeFaults();
+    if (f.nodeFaults())
+        hs << f.node_mtbf << f.repair_time;
+    hs << f.csdFaults();
+    if (f.csdFaults())
+        hs << f.csd_mtbf << f.csd_fail_factor << f.repair_time;
+    hs << f.degradeFaults();
+    if (f.degradeFaults())
+        hs << f.degrade_mtbf << f.degrade_factor << f.degrade_duration;
+    hs << f.stallFaults();
+    if (f.stallFaults())
+        hs << f.stall_mtbf << f.stall_duration;
+    if (training) {
+        // Checkpoint knobs shape only the checkpointed training workload;
+        // the job length is part of the workload shape as well.
+        hs << f.num_iterations << f.checkpoint_interval;
+    } else if (f.nodeFaults()) {
+        // Retry/shed knobs shape only serving recovery, and only node
+        // crashes displace requests — with no crash process armed the
+        // whole failover path is unreachable.
+        hs << f.retry_limit << f.retry_backoff << f.retry_timeout
+           << f.shed_queue_depth;
+    }
+}
+
+void
 hashAppend(HashStream &hs, const train::SystemConfig &s,
            train::WorkloadKind workload)
 {
@@ -213,6 +258,7 @@ RunSpec::hash() const
     else
         hashAppend(hs, serve, system.strategy);
     hashAppend(hs, system, workload);
+    hashAppend(hs, fault, workload);
     return hs.value();
 }
 
@@ -283,6 +329,24 @@ RunSpec::describe() const
                     oss << "/px" << serve.kv.prefix.share_fraction;
             }
         }
+    }
+    // Fault tags mirror the hash normalization: only knobs that can shape
+    // this spec's result appear, so two specs with the same tag string
+    // genuinely alias.
+    if (fault.enabled) {
+        if (fault.nodeFaults())
+            oss << "/mtbf" << fault.node_mtbf;
+        if (fault.csdFaults())
+            oss << "/csd" << fault.csd_mtbf;
+        if (fault.degradeFaults())
+            oss << "/deg" << fault.degrade_mtbf;
+        if (fault.stallFaults())
+            oss << "/stall" << fault.stall_mtbf;
+        if (workload == train::WorkloadKind::Training)
+            oss << "/i" << fault.num_iterations << "/ckpt"
+                << fault.checkpoint_interval;
+        else if (fault.nodeFaults())
+            oss << "/retry" << fault.retry_limit;
     }
     return oss.str();
 }

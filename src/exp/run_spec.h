@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_config.h"
 #include "serve/serve_config.h"
 #include "train/engine.h"
 
@@ -34,6 +35,16 @@ struct RunSpec {
     /** Request stream + scheduling policy (serving specs only). */
     serve::ServeConfig serve;
     train::SystemConfig system;
+    /**
+     * Fault-injection + recovery model (both workload kinds; disabled by
+     * default). This is the *canonical* fault config of the experiment
+     * layer: the sweep runner injects it into the serving workload's
+     * ServeConfig at dispatch (any serve.fault value set directly on the
+     * spec is overwritten) and hands it to the checkpointed training
+     * workload for training specs, so one axis drives both kinds and the
+     * hash normalizes in exactly one place.
+     */
+    fault::FaultConfig fault;
 
     /**
      * Deterministic FNV-1a hash over every result-affecting field,

@@ -26,6 +26,7 @@ registerBuiltinScenarios()
         scenarios::registerServeScenarios();
         scenarios::registerServeKvScenarios();
         scenarios::registerServePagedScenarios();
+        scenarios::registerFaultScenarios();
         return true;
     }();
     (void)registered;

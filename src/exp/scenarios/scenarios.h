@@ -32,6 +32,7 @@ void registerScaleout();
 void registerServeScenarios();
 void registerServeKvScenarios();
 void registerServePagedScenarios();
+void registerFaultScenarios();
 
 } // namespace smartinf::exp::scenarios
 

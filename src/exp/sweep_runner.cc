@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "fault/checkpoint_workload.h"
 #include "serve/inference_workload.h"
 
 namespace smartinf::exp {
@@ -23,7 +24,17 @@ SweepRunner::execute(const RunSpec &spec, std::uint64_t hash)
     record.spec_hash = hash;
     record.engine_name = engine->name();
     if (spec.workload == train::WorkloadKind::Serving) {
-        serve::InferenceWorkload workload(spec.model, spec.serve);
+        // The spec's canonical fault config is injected here: serving
+        // recovery reads it from the ServeConfig (the fault stream derives
+        // from serve.seed), and whatever serve.fault held is overwritten
+        // so the hash's single normalization point stays authoritative.
+        serve::ServeConfig serve_config = spec.serve;
+        serve_config.fault = spec.fault;
+        serve::InferenceWorkload workload(spec.model, serve_config);
+        record.result = engine->run(workload);
+    } else if (spec.fault.enabled) {
+        fault::CheckpointedTrainingWorkload workload(spec.model, spec.train,
+                                                     spec.fault);
         record.result = engine->run(workload);
     } else {
         record.result = engine->runIteration();

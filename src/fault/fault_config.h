@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Configuration of the deterministic fault-injection + recovery model. One
+ * FaultConfig drives both workload kinds: the training side consumes the
+ * checkpoint/restart knobs (periodic checkpoint flows, crash → rewind to the
+ * last durable checkpoint and replay), the serving side the failover knobs
+ * (drain on replica failure, retry with backoff on survivors, admission
+ * shedding). Disabled by default — and inert by contract when disabled: no
+ * schedule is drawn, no sim event is armed, no canceller is registered, and
+ * every pinned scenario's output stays bit-identical to the fault-free
+ * build.
+ *
+ * Determinism contract: all fault randomness is drawn *pre-sim* from a
+ * fourth derived PRNG stream (fault_schedule.h faultSeed()), the same
+ * pattern as the arrival/length/prefix streams — enabling faults never
+ * perturbs what requests arrive or how long they are, only what happens to
+ * the cluster while they are served.
+ */
+#ifndef SMARTINF_FAULT_FAULT_CONFIG_H
+#define SMARTINF_FAULT_FAULT_CONFIG_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartinf::fault {
+
+/**
+ * Knobs of the fault process and of both recovery models. Every field here
+ * affects simulated results when enabled and therefore joins the RunSpec
+ * hash (src/exp/run_spec.cc) with semantic normalization: nothing is hashed
+ * while disabled, retry knobs only under serving, checkpoint knobs only
+ * under training, and each category's episode parameters only while that
+ * category's MTBF is finite.
+ */
+struct FaultConfig {
+    /** An MTBF of kNever (the default) disables that fault category. */
+    static constexpr Seconds kNever =
+        std::numeric_limits<double>::infinity();
+
+    /** Master switch. When false every other field is inert. */
+    bool enabled = false;
+
+    // -- fault process --------------------------------------------------------
+    /** Fault events are drawn over [0, horizon) simulated seconds. */
+    Seconds horizon = 600.0;
+    /**
+     * Base seed of the fault stream for *training* runs (which have no
+     * client seed). Serving runs derive their fault stream from
+     * ServeConfig::seed instead — faultSeed(serve.seed) — so sweeping the
+     * client seed moves the fault pattern with it, exactly like the
+     * arrival/length/prefix streams.
+     */
+    std::uint64_t seed = 0x5eedu;
+    /** Mean time between whole-node crashes (exponential gaps). */
+    Seconds node_mtbf = kNever;
+    /** Mean time between CSD/device failures. A failed CSD takes its
+     *  parameter shard and KV spill tier down for repair_time: its media
+     *  links degrade to csd_fail_factor and resident KV forces re-prefill. */
+    Seconds csd_mtbf = kNever;
+    /** Media-link capacity multiplier while a CSD is failed (rebuild /
+     *  degraded-replica reads), in (0, 1]. */
+    double csd_fail_factor = 0.1;
+    /** Mean time between NIC/link degradation episodes. */
+    Seconds degrade_mtbf = kNever;
+    /** Interconnect capacity multiplier during an episode, in (0, 1]. */
+    double degrade_factor = 0.5;
+    /** Length of one degradation episode. */
+    Seconds degrade_duration = 30.0;
+    /** Mean time between transient stalls (stragglers). */
+    Seconds stall_mtbf = kNever;
+    /** Length of one stall: the node defers its next step/iteration. */
+    Seconds stall_duration = 5.0;
+
+    // -- recovery: common -----------------------------------------------------
+    /** A crashed node / failed CSD is restored this long after the fault. */
+    Seconds repair_time = 30.0;
+
+    // -- recovery: serving ----------------------------------------------------
+    /** Re-dispatch attempts per displaced request before it is shed. */
+    int retry_limit = 3;
+    /** Linear backoff before re-dispatch: attempt k waits k * backoff. */
+    Seconds retry_backoff = 0.5;
+    /** A displaced request older than this (since original arrival) is
+     *  shed instead of retried. */
+    Seconds retry_timeout = 300.0;
+    /** Admission shedding: a retry routed to a replica whose queue is at
+     *  least this deep is shed (graceful degradation under recovery). */
+    int shed_queue_depth = 64;
+
+    // -- recovery: training ---------------------------------------------------
+    /** Iterations the checkpointed training workload runs to completion. */
+    int num_iterations = 8;
+    /** Iterations between durable checkpoints (checkpoint 0 is implicit:
+     *  the initial state is always durable). */
+    int checkpoint_interval = 2;
+
+    /** @name Category switches (finite MTBF = armed). @{ */
+    bool nodeFaults() const { return node_mtbf < kNever; }
+    bool csdFaults() const { return csd_mtbf < kNever; }
+    bool degradeFaults() const { return degrade_mtbf < kNever; }
+    bool stallFaults() const { return stall_mtbf < kNever; }
+    bool anyFaults() const
+    {
+        return nodeFaults() || csdFaults() || degradeFaults() ||
+               stallFaults();
+    }
+    /** @} */
+
+    /** Actionable error list; empty means usable. Skipped when disabled
+     *  (every field is then inert). */
+    std::vector<std::string> validate() const;
+};
+
+} // namespace smartinf::fault
+
+#endif // SMARTINF_FAULT_FAULT_CONFIG_H

@@ -1,0 +1,103 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace smartinf::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NodeCrash: return "node-crash";
+      case FaultKind::CsdFailure: return "csd-failure";
+      case FaultKind::LinkDegrade: return "link-degrade";
+      case FaultKind::Stall: return "stall";
+    }
+    return "?";
+}
+
+std::uint64_t
+faultSeed(std::uint64_t seed)
+{
+    // Fourth derived stream: another fixed permutation of the golden-ratio
+    // bytes, distinct from lengthSeed (^0x9e3779b97f4a7c15) and prefixSeed
+    // (^0x7c159e3779b94a7f).
+    return seed ^ 0x4a7f9e37c15579b9ull;
+}
+
+namespace {
+
+/** Arm one category: exponential gaps at @p mtbf until the horizon. Each
+ *  category draws from its own sub-derived stream so arming one never
+ *  moves another's events. */
+void
+drawCategory(std::vector<FaultEvent> &out, const FaultConfig &config,
+             std::uint64_t base, FaultKind kind, Seconds mtbf,
+             double factor, Seconds duration, int num_nodes, int num_devices)
+{
+    if (!(mtbf < FaultConfig::kNever))
+        return;
+    Rng rng(base ^
+            (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(kind) + 1)));
+    Seconds t = 0.0;
+    for (;;) {
+        t += -mtbf * std::log(1.0 - rng.uniform());
+        if (!(t < config.horizon))
+            break;
+        FaultEvent event;
+        event.time = t;
+        event.kind = kind;
+        event.node = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(num_nodes)));
+        if (kind == FaultKind::CsdFailure)
+            event.device = static_cast<int>(
+                rng.uniformInt(static_cast<std::uint64_t>(num_devices)));
+        event.factor = factor;
+        event.duration = duration;
+        out.push_back(event);
+    }
+}
+
+} // namespace
+
+std::vector<FaultEvent>
+generateFaultSchedule(const FaultConfig &config, std::uint64_t seed,
+                      int num_nodes, int num_devices)
+{
+    std::vector<FaultEvent> events;
+    if (!config.enabled || !config.anyFaults())
+        return events;
+    SI_REQUIRE(num_nodes >= 1, "fault schedule needs at least one node");
+    SI_REQUIRE(num_devices >= 1, "fault schedule needs at least one device");
+
+    const std::uint64_t base = faultSeed(seed);
+    drawCategory(events, config, base, FaultKind::NodeCrash,
+                 config.node_mtbf, 1.0, config.repair_time, num_nodes,
+                 num_devices);
+    drawCategory(events, config, base, FaultKind::CsdFailure,
+                 config.csd_mtbf, config.csd_fail_factor, config.repair_time,
+                 num_nodes, num_devices);
+    drawCategory(events, config, base, FaultKind::LinkDegrade,
+                 config.degrade_mtbf, config.degrade_factor,
+                 config.degrade_duration, num_nodes, num_devices);
+    drawCategory(events, config, base, FaultKind::Stall, config.stall_mtbf,
+                 1.0, config.stall_duration, num_nodes, num_devices);
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         if (a.time != b.time)
+                             return a.time < b.time;
+                         if (a.kind != b.kind)
+                             return a.kind < b.kind;
+                         if (a.node != b.node)
+                             return a.node < b.node;
+                         return a.device < b.device;
+                     });
+    return events;
+}
+
+} // namespace smartinf::fault

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pre-sim fault schedule generation. All fault randomness is drawn before
+ * the simulation starts, from the fourth derived PRNG stream
+ * (faultSeed()) — the same pattern as the arrival (Rng(seed)), length
+ * (lengthSeed) and prefix (prefixSeed) streams, pinned by the same kind of
+ * tests: enabling faults never moves an arrival, a sampled length, or a
+ * prefix assignment, and each fault *category* draws from its own derived
+ * sub-stream, so arming stalls never moves a node crash.
+ */
+#ifndef SMARTINF_FAULT_FAULT_SCHEDULE_H
+#define SMARTINF_FAULT_FAULT_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_config.h"
+
+namespace smartinf::fault {
+
+/** What failed (declaration order is the schedule's tie-break order). */
+enum class FaultKind {
+    NodeCrash,   ///< whole replica/node down for repair_time
+    CsdFailure,  ///< one CSD down: media links degraded, KV tier lost
+    LinkDegrade, ///< interconnect capacity × degrade_factor for a while
+    Stall        ///< transient straggler: next step/iteration deferred
+};
+
+/** Stable lowercase name ("node-crash"/"csd-failure"/...). */
+const char *faultKindName(FaultKind kind);
+
+/** One timed fault event, fully determined pre-sim. */
+struct FaultEvent {
+    Seconds time = 0.0;
+    FaultKind kind = FaultKind::NodeCrash;
+    int node = 0;    ///< target node in [0, num_nodes)
+    int device = -1; ///< target CSD on the node (CsdFailure only)
+    /** Capacity multiplier while the fault holds (LinkDegrade and
+     *  CsdFailure; 1.0 otherwise). */
+    double factor = 1.0;
+    /** How long the fault holds before the matching restore: episode
+     *  length for LinkDegrade/Stall, repair_time for crashes/failures. */
+    Seconds duration = 0.0;
+};
+
+/** The fault-stream seed derived from @p seed (fourth independent stream
+ *  after arrivals, lengths, and prefixes). */
+std::uint64_t faultSeed(std::uint64_t seed);
+
+/**
+ * Draw the full fault schedule for one run: per category (in FaultKind
+ * order, each from its own sub-derived stream) exponential inter-fault gaps
+ * at the category's MTBF until config.horizon, each event targeting a
+ * uniformly drawn node (and device, for CSD failures). The result is
+ * stable-sorted by (time, kind, node, device) — the deterministic order
+ * drivers arm their sim events in. Empty when disabled or no category is
+ * armed.
+ */
+std::vector<FaultEvent> generateFaultSchedule(const FaultConfig &config,
+                                              std::uint64_t seed,
+                                              int num_nodes, int num_devices);
+
+} // namespace smartinf::fault
+
+#endif // SMARTINF_FAULT_FAULT_SCHEDULE_H

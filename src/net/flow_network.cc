@@ -39,6 +39,7 @@ FlowNetwork::freeSlot(uint32_t slot)
     f.links.clear();
     f.done = nullptr;
     f.active = false;
+    f.cancelled = false;
     ++f.stamp; // Invalidate any heap entries still referencing the slot.
     free_slots_.push_back(slot);
 }
@@ -51,7 +52,7 @@ FlowNetwork::linkIndex(Link *link)
     if (inserted) {
         LinkState ls;
         ls.link = link;
-        ls.capacity = link->capacity();
+        ls.capacity = link->effectiveCapacity();
         ls.accounted_at = sim_.now();
         link_states_.push_back(std::move(ls));
     }
@@ -101,6 +102,12 @@ FlowNetwork::beginBulk(uint32_t slot)
     const Seconds now = sim_.now();
     FlowSlot &f = slots_[slot];
 
+    if (f.cancelled) {
+        // Revoked during its latency phase: the slot was kept alive so this
+        // delayed event could land somewhere valid. Drop the callback.
+        freeSlot(slot);
+        return;
+    }
     if (f.pending_bytes < kCompletionEpsilon || f.route.empty()) {
         total_delivered_ += f.pending_bytes;
         sim_.after(0.0, std::move(f.done));
@@ -131,6 +138,69 @@ FlowNetwork::beginBulk(uint32_t slot)
         observer_->flowStarted(id, f.route, f.remaining, now);
 
     markComponent({slot});
+    recomputeComponent(now);
+    rescheduleCompletionEvent();
+}
+
+bool
+FlowNetwork::cancelFlow(FlowId id)
+{
+    const auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end())
+        return false; // Completed (or degenerate): nothing to revoke.
+    const uint32_t slot = it->second;
+    FlowSlot &f = slots_[slot];
+    const Seconds now = sim_.now();
+
+    if (!f.active) {
+        // Latency phase: a delayed beginBulk event still references the
+        // slot, so keep it allocated and let beginBulk() reap it.
+        f.cancelled = true;
+        f.done = nullptr;
+        if (observer_)
+            observer_->flowCancelled(f.id, now);
+        return true;
+    }
+
+    // Bulk phase: settle what actually moved (aborted transfers keep their
+    // partial delivery), then retire the flow exactly like a completion —
+    // component marked before detaching — except the callback is dropped.
+    markComponent({slot});
+    settleFlow(f, now);
+    f.rate = 0.0;
+    if (observer_)
+        observer_->flowCancelled(f.id, now);
+    for (uint32_t li : f.links) {
+        auto &lf = link_states_[li].flows;
+        lf.erase(std::find(lf.begin(), lf.end(), slot));
+    }
+    f.active = false;
+    active_.erase(std::find(active_.begin(), active_.end(), slot));
+    freeSlot(slot);
+
+    recomputeComponent(now);
+    rescheduleCompletionEvent();
+    return true;
+}
+
+void
+FlowNetwork::linkCapacityChanged(Link *link)
+{
+    const auto it = link_index_.find(link);
+    if (it == link_index_.end())
+        return; // Never carried a flow; linkIndex() reads the new capacity.
+    LinkState &ls = link_states_[it->second];
+    const double effective = link->effectiveCapacity();
+    if (ls.capacity == effective)
+        return;
+    const Seconds now = sim_.now();
+    // Flush utilization while the old capacity is still the denominator,
+    // then re-waterfill everything that crosses the link under the new one.
+    flushLink(ls, now);
+    ls.capacity = effective;
+    if (ls.flows.empty())
+        return;
+    markComponent(ls.flows);
     recomputeComponent(now);
     rescheduleCompletionEvent();
 }
@@ -488,7 +558,7 @@ FlowNetwork::oracleRates() const
         if (it != links.end())
             return static_cast<std::size_t>(it - links.begin());
         links.push_back(link);
-        residual.push_back(link->capacity());
+        residual.push_back(link->effectiveCapacity());
         unfixed_count.push_back(0);
         return links.size() - 1;
     };

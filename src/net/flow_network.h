@@ -90,6 +90,13 @@ class FlowObserver
         (void)id;
         (void)now;
     }
+    /** A flow was revoked mid-transfer (fault injection); its completion
+     *  callback never runs. */
+    virtual void flowCancelled(FlowId id, Seconds now)
+    {
+        (void)id;
+        (void)now;
+    }
 };
 
 /** Max-min fair fluid-flow transfer engine driven by the event queue. */
@@ -112,6 +119,26 @@ class FlowNetwork
      */
     FlowId startFlow(Route route, Bytes bytes, std::function<void()> done,
                      Seconds latency = 0.0);
+
+    /**
+     * Revoke an in-flight transfer (fault injection). Progress up to now is
+     * settled, the flow leaves the contention set, survivors' rates are
+     * recomputed, and the completion callback is dropped — it never runs.
+     * Latency-phase flows are cancelled before ever contending. Returns
+     * false if the flow already completed (its callback ran or is already
+     * scheduled).
+     */
+    bool cancelFlow(FlowId id);
+
+    /**
+     * Notify the network that @p link's effective capacity changed (its
+     * capacity factor was adjusted mid-run). Utilization statistics are
+     * flushed at the old capacity, then the contention component crossing
+     * the link is recomputed under the new one — incremental rates must
+     * keep matching oracleRates() bit for bit after every such event. A
+     * link the network has never seen needs no notification.
+     */
+    void linkCapacityChanged(Link *link);
 
     /** Number of in-flight bulk-phase flows (latency-phase flows excluded,
      *  matching the contention set). */
@@ -163,6 +190,7 @@ class FlowNetwork
         uint32_t stamp = 0;   ///< bumped on rate change/retire; guards heap
         uint64_t mark = 0;    ///< closure-visit epoch
         bool active = false;  ///< in bulk phase (delayed/free slots: false)
+        bool cancelled = false; ///< revoked while in its latency phase
         Bytes pending_bytes = 0.0; ///< bulk size while in latency phase
     };
 

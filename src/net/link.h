@@ -26,6 +26,20 @@ class Link
     const std::string &name() const { return name_; }
     BytesPerSec capacity() const { return capacity_; }
 
+    /**
+     * @name Time-varying capacity (fault injection).
+     * The nominal capacity never changes; faults scale it by a factor in
+     * (0, 1]. The factor defaults to exactly 1.0, and `capacity * 1.0` is
+     * IEEE-exact, so fault-free runs are bit-identical to a build without
+     * this knob. After changing the factor mid-run the owner must call
+     * FlowNetwork::linkCapacityChanged() so in-flight rates are recomputed.
+     * @{
+     */
+    double capacityFactor() const { return factor_; }
+    void setCapacityFactor(double factor) { factor_ = factor; }
+    BytesPerSec effectiveCapacity() const { return capacity_ * factor_; }
+    /** @} */
+
     /** Total bytes carried so far. */
     Bytes bytesCarried() const { return bytes_carried_; }
     /** Integral of instantaneous utilization over time (busy-seconds). */
@@ -62,6 +76,7 @@ class Link
   private:
     std::string name_;
     BytesPerSec capacity_;
+    double factor_ = 1.0;
     Bytes bytes_carried_ = 0.0;
     Seconds busy_integral_ = 0.0;
 };

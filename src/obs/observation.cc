@@ -132,6 +132,17 @@ RunObservation::taskFinished(std::size_t id, const sim::TaskLabel &label,
 }
 
 void
+RunObservation::taskAbandoned(std::size_t id, const sim::TaskLabel &label,
+                              Seconds now)
+{
+    // Close the slice opened by taskStarted so the timeline stays
+    // well-formed; the "revoked" arg distinguishes it from a completion.
+    trace_.asyncInstant(pid_, "task", label.str(), id, now,
+                        "\"revoked\": true");
+    trace_.asyncEnd(pid_, "task", label.str(), id, now);
+}
+
+void
 RunObservation::jobStarted(const sim::Resource &resource, double work,
                            Seconds now)
 {
@@ -208,6 +219,44 @@ RunObservation::flowFinished(net::FlowId id, Seconds now)
     // retires), so subtract the one that just finished.
     metric("flows.active", now,
            static_cast<double>(net_.activeFlows()) - 1.0);
+}
+
+void
+RunObservation::flowCancelled(net::FlowId id, Seconds now)
+{
+    // Latency-phase cancellations never opened a slice (flowStarted only
+    // fires at bulk entry), so only close what was begun.
+    auto name = flow_names_.find(id);
+    if (name != flow_names_.end()) {
+        trace_.asyncEnd(pid_, "flow", name->second, id, now);
+        flow_names_.erase(name);
+    }
+    flow_rate_throttle_.erase(id);
+    metric("flows.cancelled", now, 1.0);
+}
+
+void
+RunObservation::faultInjected(const std::string &kind, int node, Seconds now)
+{
+    ++faults_seen_;
+    trace_.instant(pid_, track("faults"),
+                   kind + " n" + std::to_string(node), now,
+                   "\"kind\": \"" + kind + "\", \"node\": " +
+                       std::to_string(node));
+    traceCounter("faults", now,
+                 "\"injected\": " + std::to_string(faults_seen_));
+    metric("faults." + kind, now, 1.0);
+}
+
+void
+RunObservation::recoveryAction(const std::string &action, int node,
+                               Seconds now)
+{
+    trace_.instant(pid_, track("faults"),
+                   action + " n" + std::to_string(node), now,
+                   "\"action\": \"" + action + "\", \"node\": " +
+                       std::to_string(node));
+    metric("recovery." + action, now, 1.0);
 }
 
 void

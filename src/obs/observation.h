@@ -83,6 +83,8 @@ class RunObservation final : public sim::SimObserver,
                      Seconds now) override;
     void taskFinished(std::size_t id, const sim::TaskLabel &label,
                       Seconds now) override;
+    void taskAbandoned(std::size_t id, const sim::TaskLabel &label,
+                       Seconds now) override;
     void jobStarted(const sim::Resource &resource, double work,
                     Seconds now) override;
     void jobFinished(const sim::Resource &resource, double work,
@@ -97,6 +99,17 @@ class RunObservation final : public sim::SimObserver,
     void linkRateChanged(const net::Link &link, BytesPerSec aggregate,
                          Seconds now) override;
     void flowFinished(net::FlowId id, Seconds now) override;
+    void flowCancelled(net::FlowId id, Seconds now) override;
+    /** @} */
+
+    /**
+     * @name Fault/recovery hooks (called through SimContext::obs).
+     * One counter track ("faults") accumulates injections; each injection
+     * and each recovery action lands as a trace instant on the fault track.
+     * @{
+     */
+    void faultInjected(const std::string &kind, int node, Seconds now);
+    void recoveryAction(const std::string &action, int node, Seconds now);
     /** @} */
 
     /**
@@ -159,6 +172,8 @@ class RunObservation final : public sim::SimObserver,
     CounterSampler counters_;
     uint32_t pid_ = 0;
     Seconds trace_sample_dt_;
+
+    int faults_seen_ = 0; ///< running count behind the "faults" counter
 
     std::unordered_map<std::string, uint32_t> track_by_name_;
     std::unordered_map<net::FlowId, std::string> flow_names_;

@@ -81,6 +81,8 @@ BatchScheduler::maybeBeginStep()
 {
     if (step_in_flight_)
         return;
+    if (dead_ || ctx_.sim.now() < stalled_until_)
+        return; // crashed, or stalled (stallUntil armed the wake event)
     if (running_.empty() && queue_.empty())
         return; // idle until the next arrival
     // A non-empty batch always continues decoding under both policies;
@@ -189,6 +191,13 @@ BatchScheduler::beginStep()
 
     // Build the pass reactively into the running graph (dynamic mode),
     // with a sentinel task that re-enters the scheduler on completion.
+    // Under fault injection the whole step is one revocation domain: a
+    // node crash revokes it as a unit (the step's tasks form a closed
+    // subgraph — buildForwardPass keeps no cross-step task references).
+    if (ctx_.faults_armed) {
+        step_domain_ = ctx_.graph.openDomain();
+        ctx_.graph.setCurrentDomain(step_domain_);
+    }
     const TaskId first = ctx_.graph.taskCount();
     const TaskId pass_done =
         builder_.buildForwardPass(shape, next_step_index_);
@@ -199,6 +208,8 @@ BatchScheduler::beginStep()
         },
         {"srv.step", next_step_index_, node_});
     ctx_.graph.dependsOn(sentinel, pass_done);
+    if (ctx_.faults_armed)
+        ctx_.graph.setCurrentDomain(sim::TaskGraph::kNoDomain);
     ctx_.graph.releaseRange(first, ctx_.graph.taskCount());
 
     ++next_step_index_;
@@ -242,6 +253,7 @@ BatchScheduler::onStepDone()
         record.start = a.start;
         record.first_token = a.first_token;
         record.finish = now;
+        record.retries = a.spec.attempt;
         records_.push_back(record);
         if (ctx_.obs)
             ctx_.obs->requestRetired(node_, record.id, record.arrival,
@@ -262,15 +274,92 @@ BatchScheduler::onStepDone()
     maybeBeginStep();
 }
 
+std::vector<RequestSpec>
+BatchScheduler::failNode()
+{
+    SI_ASSERT(!dead_, "failNode on an already-dead replica");
+    dead_ = true;
+    if (step_in_flight_) {
+        ctx_.graph.revokeDomain(step_domain_);
+        step_in_flight_ = false;
+    }
+    std::vector<RequestSpec> displaced;
+    displaced.reserve(running_.size() + queue_.size());
+    for (const Active &a : running_) {
+        if (kv_)
+            kv_->retire(a.spec.id);
+        displaced.push_back(a.spec);
+    }
+    running_.clear();
+    noteQueueDepthChange();
+    for (const RequestSpec &r : queue_)
+        displaced.push_back(r);
+    queue_.clear();
+    if (ctx_.obs) {
+        const Seconds now = ctx_.sim.now();
+        ctx_.obs->queueDepth(node_, 0, now);
+        ctx_.obs->runningBatch(node_, 0, now);
+    }
+    return displaced;
+}
+
+void
+BatchScheduler::revive()
+{
+    dead_ = false;
+    maybeBeginStep();
+}
+
+void
+BatchScheduler::stallUntil(Seconds t)
+{
+    if (t <= stalled_until_)
+        return; // already stalled at least that long
+    stalled_until_ = t;
+    // Wake event: re-enter the scheduler when the stall lifts (no-op if a
+    // step is then already in flight or nothing is waiting).
+    ctx_.sim.at(t, [this]() { maybeBeginStep(); });
+}
+
+int
+BatchScheduler::forceReprefill()
+{
+    const bool step_was_in_flight = step_in_flight_;
+    if (step_in_flight_) {
+        ctx_.graph.revokeDomain(step_domain_);
+        step_in_flight_ = false;
+    }
+    int lost = 0;
+    for (Active &a : running_) {
+        // Progress lost: resident KV (prefilled), or a revoked in-flight
+        // step (its partial prefill/decode compute is discarded).
+        if (a.prefilled || a.produced > 0 || step_was_in_flight)
+            ++lost;
+        if (kv_) {
+            // The block table is gone with the tier; re-admit without a
+            // prefix (the cached prefix pages were lost too).
+            kv_->retire(a.spec.id);
+            kv_->admit(a.spec.id, -1, 0);
+        }
+        a.prefilled = false;
+        a.produced = 0;
+        a.shared_tokens = 0;
+    }
+    maybeBeginStep();
+    return lost;
+}
+
 void
 BatchScheduler::finalize(Seconds end_time)
 {
     // The queue drained before the graph did, so the depth integral is
     // already closed: the interval [last_depth_change_, end_time] is all
-    // at depth zero.
+    // at depth zero. Fault bookkeeping (crash/repair events) may touch the
+    // depth clock *after* the last task finished; the queue is empty by
+    // then, so the tail past end_time contributes zero either way.
     SI_ASSERT(queue_.empty() && running_.empty() && !step_in_flight_,
               "scheduler finalized with unserved requests");
-    SI_ASSERT(end_time >= last_depth_change_, "finalize before last event");
+    (void)end_time;
 }
 
 } // namespace smartinf::serve

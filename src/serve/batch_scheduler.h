@@ -83,6 +83,49 @@ class BatchScheduler
      *  layout, where no KvSpace exists). */
     train::KvCacheStats kvStats() const;
 
+    /** @name Fault seam (called only by fault-injecting workloads).
+     *
+     * All four entry points run inside deterministic simulator events
+     * armed from the pre-drawn fault schedule. Fault-free runs never call
+     * any of them (and beginStep opens no revocation domain unless
+     * ctx.faults_armed), so the scheduler's fault-free behavior is
+     * bit-identical to the pre-fault build.
+     * @{ */
+    /**
+     * Whole-replica crash: the in-flight step's domain is revoked (its
+     * flows are pulled out of the network by the cancellers; resource work
+     * drains as discarded no-ops), every running and queued request is
+     * displaced, and resident KV is retired. Returns the displaced specs —
+     * running requests first (admission order), then the queue — for the
+     * workload to retry on surviving replicas. The node stays dead()
+     * until revive().
+     */
+    std::vector<RequestSpec> failNode();
+    /** Repair done: resume admission (and restart stepping if work
+     *  queued up while dead — it cannot have, since dispatch skips dead
+     *  replicas, but the call is harmlessly idempotent). */
+    void revive();
+    /** Transient straggler: defer the *next* step until @p t (the
+     *  in-flight step, if any, completes normally). */
+    void stallUntil(Seconds t);
+    /**
+     * The node's KV spill tier was lost (CSD failure): revoke the
+     * in-flight step and reset every running request to the unprefilled
+     * state — its prompt must be recomputed from scratch (a real re-prefill
+     * step, contending like any other). Queued requests are unaffected.
+     * Returns how many requests lost progress.
+     */
+    int forceReprefill();
+    /** True while crashed (between failNode() and revive()). */
+    bool dead() const { return dead_; }
+    /** Requests on this node (queued + running) — the admission-shedding
+     *  load signal. */
+    int load() const
+    {
+        return static_cast<int>(queue_.size() + running_.size());
+    }
+    /** @} */
+
   private:
     /** A request admitted into the running batch. */
     struct Active {
@@ -123,6 +166,14 @@ class BatchScheduler
     bool step_in_flight_ = false;
     int next_step_index_ = 0;
     int steps_executed_ = 0;
+
+    /** @name Fault state (inert defaults in fault-free runs). @{ */
+    bool dead_ = false;
+    Seconds stalled_until_ = 0.0;
+    /** The in-flight step's revocation domain (kNoDomain unless
+     *  ctx.faults_armed). */
+    sim::TaskGraph::Domain step_domain_ = sim::TaskGraph::kNoDomain;
+    /** @} */
 
     RetireHook retire_hook_;
     std::vector<train::RequestRecord> records_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/observation.h"
 #include "train/system_builder.h"
 
 namespace smartinf::serve {
@@ -25,6 +26,14 @@ InferenceWorkload::issueAt(train::SimContext &ctx, std::size_t index,
     // record's queueDelay/latency measure from submission.
     stream_[index].arrival = at;
     const RequestSpec request = stream_[index];
+    if (config_.fault.enabled) {
+        // Failover front door: the replica choice must see the fleet's
+        // state *at submission time* (a pre-bound scheduler could be dead
+        // by then).
+        ctx.sim.at(at,
+                   [this, &ctx, request]() { dispatch(ctx, request); });
+        return;
+    }
     BatchScheduler *scheduler =
         schedulers_[request.id % schedulers_.size()].get();
     ctx.sim.at(at, [scheduler, request] { scheduler->submit(request); });
@@ -44,6 +53,190 @@ InferenceWorkload::onRetire(train::SimContext &ctx,
     issueAt(ctx, next, record.finish + config_.think_time);
 }
 
+net::Link &
+InferenceWorkload::nodeLink(train::SimContext &ctx, int node,
+                            const std::string &name) const
+{
+    const std::string prefix =
+        ctx.system.num_nodes > 1 ? train::nodePrefix(node) : "";
+    return ctx.topo.link(prefix + name);
+}
+
+void
+InferenceWorkload::applyLinkFactor(train::SimContext &ctx, net::Link &link,
+                                   double mult, bool restore)
+{
+    std::vector<double> &mults = link_mults_[&link];
+    if (restore) {
+        const auto it = std::find(mults.begin(), mults.end(), mult);
+        SI_ASSERT(it != mults.end(), "restoring an episode never applied");
+        mults.erase(it);
+    } else {
+        mults.push_back(mult);
+    }
+    // Recompute the factor as the exact product of the surviving episodes
+    // (never divide: x * f / f is not guaranteed to round-trip in IEEE).
+    double factor = 1.0;
+    for (const double m : mults)
+        factor *= m;
+    link.setCapacityFactor(factor);
+    ctx.net.linkCapacityChanged(&link);
+}
+
+void
+InferenceWorkload::shed(train::SimContext &ctx, const RequestSpec &request)
+{
+    const Seconds now = ctx.sim.now();
+    ++fault_stats_.requests_shed;
+    train::RequestRecord record;
+    record.id = request.id;
+    record.node = -1; // no replica served it
+    record.prompt_tokens = request.prompt_tokens;
+    record.output_tokens = 0; // nothing was delivered
+    record.arrival = request.arrival;
+    record.start = now;
+    record.first_token = now;
+    record.finish = now;
+    record.retries = request.attempt;
+    record.shed = true;
+    shed_.push_back(record);
+    if (ctx.obs)
+        ctx.obs->recoveryAction("shed", request.id, now);
+    // A closed-loop client moves on when its request is rejected, exactly
+    // as it would on completion — otherwise shedding would deadlock the
+    // population.
+    if (config_.client_mode == ClientMode::ClosedLoop)
+        onRetire(ctx, record);
+}
+
+void
+InferenceWorkload::redispatch(train::SimContext &ctx, RequestSpec request)
+{
+    request.attempt += 1;
+    ++fault_stats_.retries_dispatched;
+    const Seconds backoff =
+        static_cast<double>(request.attempt) * config_.fault.retry_backoff;
+    ctx.sim.at(ctx.sim.now() + backoff,
+               [this, &ctx, request]() { dispatch(ctx, request); });
+}
+
+void
+InferenceWorkload::dispatch(train::SimContext &ctx,
+                            const RequestSpec &request)
+{
+    const fault::FaultConfig &f = config_.fault;
+    const Seconds now = ctx.sim.now();
+    if (request.attempt > f.retry_limit)
+        return shed(ctx, request);
+    if (request.attempt > 0 && now - request.arrival > f.retry_timeout)
+        return shed(ctx, request);
+
+    // Deterministic skip-dead scan from the request's home replica; the
+    // attempt offsets the start so a retry prefers a *different* replica
+    // than the one that just failed it.
+    const std::size_t n = schedulers_.size();
+    std::size_t chosen = n;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t cand =
+            (static_cast<std::size_t>(request.id) + request.attempt + k) % n;
+        if (!schedulers_[cand]->dead()) {
+            chosen = cand;
+            break;
+        }
+    }
+    if (chosen == n)
+        return redispatch(ctx, request); // whole fleet down: back off again
+    // Admission shedding: a retry routed into a replica already drowning
+    // in recovered load is rejected (graceful degradation).
+    if (request.attempt > 0 &&
+        schedulers_[chosen]->load() >= f.shed_queue_depth)
+        return shed(ctx, request);
+    schedulers_[chosen]->submit(request);
+}
+
+void
+InferenceWorkload::onFault(train::SimContext &ctx,
+                           const fault::FaultEvent &event)
+{
+    const Seconds now = ctx.sim.now();
+    if (ctx.obs)
+        ctx.obs->faultInjected(fault::faultKindName(event.kind), event.node,
+                               now);
+    switch (event.kind) {
+      case fault::FaultKind::NodeCrash: {
+        if (schedulers_[event.node]->dead())
+            break; // already down (a second crash inside the repair window)
+        ++fault_stats_.node_crashes;
+        std::vector<RequestSpec> displaced =
+            schedulers_[event.node]->failNode();
+        fault_stats_.requests_displaced +=
+            static_cast<int>(displaced.size());
+        for (RequestSpec &spec : displaced)
+            redispatch(ctx, std::move(spec));
+        ctx.sim.at(now + event.duration, [this, &ctx, node = event.node]() {
+            schedulers_[node]->revive();
+            if (ctx.obs)
+                ctx.obs->recoveryAction("revive", node, ctx.sim.now());
+        });
+        break;
+      }
+      case fault::FaultKind::CsdFailure: {
+        ++fault_stats_.csd_failures;
+        // The failed device's media links degrade to the rebuild rate,
+        // and the KV pages resident on that tier are gone: the node's
+        // running batch re-prefills from scratch.
+        const std::string ssd = "ssd" + std::to_string(event.device);
+        net::Link *rd = &nodeLink(ctx, event.node, ssd + ".read");
+        net::Link *wr = &nodeLink(ctx, event.node, ssd + ".write");
+        applyLinkFactor(ctx, *rd, event.factor, false);
+        applyLinkFactor(ctx, *wr, event.factor, false);
+        fault_stats_.reprefills +=
+            schedulers_[event.node]->forceReprefill();
+        ctx.sim.at(now + event.duration, [this, &ctx, event, rd, wr]() {
+            applyLinkFactor(ctx, *rd, event.factor, true);
+            applyLinkFactor(ctx, *wr, event.factor, true);
+            if (ctx.obs)
+                ctx.obs->recoveryAction("csd-restore", event.node,
+                                        ctx.sim.now());
+        });
+        break;
+      }
+      case fault::FaultKind::LinkDegrade: {
+        ++fault_stats_.link_degrades;
+        // The node's host interconnect (the trunk every storage and KV
+        // flow crosses) runs at a fraction of its capacity for a while;
+        // the incremental max-min scheduler re-shares mid-flow.
+        net::Link *up = &nodeLink(ctx, event.node, "host.up");
+        net::Link *down = &nodeLink(ctx, event.node, "host.down");
+        applyLinkFactor(ctx, *up, event.factor, false);
+        applyLinkFactor(ctx, *down, event.factor, false);
+        ctx.sim.at(now + event.duration,
+                   [this, &ctx, event, up, down]() {
+                       applyLinkFactor(ctx, *up, event.factor, true);
+                       applyLinkFactor(ctx, *down, event.factor, true);
+                       if (ctx.obs)
+                           ctx.obs->recoveryAction("link-restore",
+                                                   event.node,
+                                                   ctx.sim.now());
+                   });
+        break;
+      }
+      case fault::FaultKind::Stall: {
+        ++fault_stats_.stalls;
+        schedulers_[event.node]->stallUntil(now + event.duration);
+        break;
+      }
+    }
+}
+
+void
+InferenceWorkload::armFault(train::SimContext &ctx,
+                            const fault::FaultEvent &event)
+{
+    ctx.sim.at(event.time,
+               [this, &ctx, event]() { onFault(ctx, event); });
+}
+
 void
 InferenceWorkload::build(train::SimContext &ctx)
 {
@@ -57,6 +250,20 @@ InferenceWorkload::build(train::SimContext &ctx)
             model_, ctx.system, config_, ctx, prefix));
         schedulers_.push_back(std::make_unique<BatchScheduler>(
             ctx, *builders_.back(), config_, i));
+    }
+
+    // Fault injection: the schedule is drawn pre-sim from the fourth
+    // derived stream of the *client* seed (enabling faults perturbs no
+    // arrival, length, or prefix), then armed as timed events. faults_armed
+    // makes every transfer task register a flow canceller so revoked steps
+    // pull their in-flight flows out of the network.
+    if (config_.fault.enabled) {
+        ctx.faults_armed = true;
+        fault_stats_.enabled = true;
+        fault_events_ = fault::generateFaultSchedule(
+            config_.fault, config_.seed, nodes, ctx.system.num_devices);
+        for (const fault::FaultEvent &event : fault_events_)
+            armFault(ctx, event);
     }
 
     // Deterministic front door: request i goes to replica i % N. The
@@ -117,12 +324,17 @@ InferenceWorkload::collect(const train::SimContext &ctx,
         out.kv.peak_block_table_bytes = std::max(
             out.kv.peak_block_table_bytes, kv.peak_block_table_bytes);
     }
+    // Shed requests are first-class records: every stream entry ends up
+    // either served (a scheduler record) or shed (a rejection record) —
+    // exactly once.
+    out.requests.insert(out.requests.end(), shed_.begin(), shed_.end());
     std::sort(out.requests.begin(), out.requests.end(),
               [](const train::RequestRecord &a,
                  const train::RequestRecord &b) { return a.id < b.id; });
     SI_ASSERT(static_cast<int>(out.requests.size()) ==
                   static_cast<int>(stream_.size()),
-              "not every request was served");
+              "not every request was served or shed");
+    out.fault = fault_stats_;
 }
 
 } // namespace smartinf::serve

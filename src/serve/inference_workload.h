@@ -23,10 +23,12 @@
 #ifndef SMARTINF_SERVE_INFERENCE_WORKLOAD_H
 #define SMARTINF_SERVE_INFERENCE_WORKLOAD_H
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fault/fault_schedule.h"
 #include "serve/batch_scheduler.h"
 #include "train/workload.h"
 
@@ -59,6 +61,35 @@ class InferenceWorkload final : public train::Workload
     void onRetire(train::SimContext &ctx,
                   const train::RequestRecord &record);
 
+    /** @name Failover path (config.fault.enabled only). @{ */
+    /** Arm one pre-drawn fault event as a timed simulator event. */
+    void armFault(train::SimContext &ctx, const fault::FaultEvent &event);
+    /** Apply @p event now: crash/degrade/stall, plus the matching restore
+     *  event at time + duration. */
+    void onFault(train::SimContext &ctx, const fault::FaultEvent &event);
+    /**
+     * Route @p request to a live replica: deterministic skip-dead scan
+     * from (id + attempt) % N, with retry-limit / retry-timeout /
+     * admission-depth shedding for retries. Whole-fleet-down falls back to
+     * another backoff round (bounded by the retry limit).
+     */
+    void dispatch(train::SimContext &ctx, const RequestSpec &request);
+    /** Re-dispatch a displaced request: bump attempt, wait the linear
+     *  backoff, then dispatch(). */
+    void redispatch(train::SimContext &ctx, RequestSpec request);
+    /** Reject @p request now: a first-class shed record (disposition,
+     *  retries, and the shed decision time). */
+    void shed(train::SimContext &ctx, const RequestSpec &request);
+    /** Multiply a link's capacity factor by @p mult (restore=false) or
+     *  take that multiplier back out (restore=true); overlapping episodes
+     *  compose exactly. */
+    void applyLinkFactor(train::SimContext &ctx, net::Link &link,
+                         double mult, bool restore);
+    /** The node-prefixed link (prefix empty on single-node runs). */
+    net::Link &nodeLink(train::SimContext &ctx, int node,
+                        const std::string &name) const;
+    /** @} */
+
     train::ModelSpec model_;
     ServeConfig config_;
     std::vector<RequestSpec> stream_;
@@ -66,6 +97,16 @@ class InferenceWorkload final : public train::Workload
     std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
     /** Closed loop: per-client cursor into its id-strided request slice. */
     std::vector<std::size_t> client_next_;
+
+    /** @name Failover state (empty/zero in fault-free runs). @{ */
+    std::vector<fault::FaultEvent> fault_events_;
+    std::vector<train::RequestRecord> shed_;
+    train::FaultStats fault_stats_;
+    /** Active capacity multipliers per degraded link (an episode pushes
+     *  its factor, the matching restore removes it; the link's factor is
+     *  always the exact product of the active episodes). */
+    std::map<net::Link *, std::vector<double>> link_mults_;
+    /** @} */
 };
 
 } // namespace smartinf::serve

@@ -57,12 +57,21 @@ summarize(const train::WorkloadResult &result)
     if (m.makespan > 0.0)
         m.mean_queue_depth = result.queue_depth_time_integral / m.makespan;
 
-    std::vector<double> latency, ttft, queue_delay;
+    std::vector<double> latency, ttft, queue_delay, shed_wait;
     latency.reserve(result.requests.size());
     ttft.reserve(result.requests.size());
     queue_delay.reserve(result.requests.size());
     double output_tokens = 0.0;
     for (const train::RequestRecord &r : result.requests) {
+        m.total_retries += r.retries;
+        if (r.shed) {
+            ++m.num_shed;
+            shed_wait.push_back(r.finish - r.arrival);
+            continue;
+        }
+        ++m.num_served;
+        if (r.retries > 0)
+            ++m.num_retried;
         latency.push_back(r.latency());
         ttft.push_back(r.timeToFirstToken());
         queue_delay.push_back(r.queueDelay());
@@ -71,9 +80,14 @@ summarize(const train::WorkloadResult &result)
     m.latency = summarizeLatencies(std::move(latency));
     m.ttft = summarizeLatencies(std::move(ttft));
     m.queue_delay = summarizeLatencies(std::move(queue_delay));
+    m.shed_wait = summarizeLatencies(std::move(shed_wait));
+    if (m.num_requests > 0)
+        m.success_rate = static_cast<double>(m.num_served) /
+                         static_cast<double>(m.num_requests);
     if (m.makespan > 0.0) {
         m.requests_per_sec = m.num_requests / m.makespan;
         m.output_tokens_per_sec = output_tokens / m.makespan;
+        m.goodput = m.num_served / m.makespan;
     }
     return m;
 }

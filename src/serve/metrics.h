@@ -37,15 +37,42 @@ LatencySummary summarizeLatencies(std::vector<double> values);
 
 /** Everything a serving table reports about one run. */
 struct ServingMetrics {
-    int num_requests = 0;
+    int num_requests = 0; ///< total records (served + shed)
     Seconds makespan = 0.0;
+    /** @name Successful-disposition populations.
+     *
+     * Latency/ttft/queue-delay summarize *successful* records only — a
+     * shed request has no meaningful completion latency, and mixing its
+     * rejection timestamp into p99 would reward shedding. With no shed
+     * records (every fault-free run) the populations are identical to
+     * summarizing everything. Each population is well-defined at 0 and 1
+     * elements (see summarizeLatencies).
+     * @{ */
     LatencySummary latency;     ///< request completion (arrival -> finish)
     LatencySummary ttft;        ///< time to first token
     LatencySummary queue_delay; ///< arrival -> batch admission
-    double requests_per_sec = 0.0;
+    /** @} */
+    double requests_per_sec = 0.0; ///< all records / makespan (offered)
     double output_tokens_per_sec = 0.0;
     double mean_queue_depth = 0.0;
     int peak_queue_depth = 0;
+
+    /** @name Disposition (failover) metrics. Fault-free runs report
+     *  num_served == num_requests, success_rate 1, goodput ==
+     *  requests_per_sec, and empty shed/retry populations. @{ */
+    int num_served = 0;  ///< successful records
+    int num_shed = 0;    ///< rejected records
+    int num_retried = 0; ///< served records with >= 1 failed attempt
+    int total_retries = 0; ///< failed attempts across all records
+    /** num_served / num_requests (0 for an empty result). */
+    double success_rate = 0.0;
+    /** Successful requests per second of makespan — the throughput that
+     *  actually counts under failures. */
+    double goodput = 0.0;
+    /** Shed-disposition population: arrival -> shed decision (how long a
+     *  rejected client waited to learn its fate). */
+    LatencySummary shed_wait;
+    /** @} */
 };
 
 /**

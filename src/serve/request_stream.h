@@ -42,6 +42,10 @@ struct RequestSpec {
     /** Leading prompt tokens the shared prefix covers (already clamped
      *  to prompt_tokens; 0 when prefix_id is -1). */
     int prefix_tokens = 0;
+    /** Dispatch attempt (0 = first try). Bumped by the failover path each
+     *  time a displaced request is re-dispatched; always 0 without
+     *  faults. */
+    int attempt = 0;
 };
 
 /** The length-stream seed derived from @p seed (distinct from the arrival

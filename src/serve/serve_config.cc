@@ -224,6 +224,8 @@ ServeConfig::validate() const
                  weight_wire_fraction);
     for (auto &e : kv.validate())
         errors.push_back(std::move(e));
+    for (auto &e : fault.validate())
+        errors.push_back(std::move(e));
     return errors;
 }
 

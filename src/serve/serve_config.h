@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "fault/fault_config.h"
 
 namespace smartinf::serve {
 
@@ -275,6 +276,14 @@ struct ServeConfig {
     Seconds think_time = 0.0;
     /** KV-cache growth/tiering model (disabled by default). */
     KvCacheConfig kv;
+    /**
+     * Fault injection + failover/retry/shedding model (disabled by
+     * default, and inert by contract when disabled). The fault stream is
+     * derived from this config's @c seed — faultSeed(seed), the fourth
+     * independent stream after arrivals, lengths, and prefixes — so
+     * FaultConfig::seed is ignored for serving runs.
+     */
+    fault::FaultConfig fault;
     /**
      * Explicit arrival times (simulated seconds, non-decreasing). When
      * non-empty this trace *is* the request stream (num_requests,

@@ -46,6 +46,15 @@ class SimObserver
         (void)label;
         (void)now;
     }
+    /** A launched task was revoked by fault injection (its completion will
+     *  never fire; the timeline slice ends here). */
+    virtual void taskAbandoned(std::size_t id, const TaskLabel &label,
+                               Seconds now)
+    {
+        (void)id;
+        (void)label;
+        (void)now;
+    }
     /** A resource began executing a job (left its FIFO queue). */
     virtual void jobStarted(const Resource &resource, double work,
                             Seconds now)

@@ -29,8 +29,8 @@ TaskGraph::add(Action action, TaskLabel label)
 {
     // Post-start additions stay dormant (released == false) until the
     // caller wires their dependencies and calls release().
-    tasks_.push_back(Task{std::move(action), label, {}, 0,
-                          false, false, false, -1.0, -1.0});
+    tasks_.push_back(Task{std::move(action), label, {}, 0, false, false,
+                          false, false, current_domain_, -1.0, -1.0});
     return tasks_.size() - 1;
 }
 
@@ -130,6 +130,7 @@ void
 TaskGraph::launch(TaskId id)
 {
     SI_ASSERT(!tasks_[id].launched, "task ", id, " launched twice");
+    SI_ASSERT(!tasks_[id].abandoned, "launching revoked task ", id);
     tasks_[id].launched = true;
     tasks_[id].start_time = sim_.now();
     obs::Profiler::instance().countTaskLaunch();
@@ -143,16 +144,23 @@ TaskGraph::launch(TaskId id)
     // add tasks and reallocate tasks_, which would otherwise move the
     // std::function out from under its own call frame.
     Action action = std::move(tasks_[id].action);
+    const TaskId prev_launching = launching_;
+    launching_ = id;
     action([this, id]() { complete(id); });
+    launching_ = prev_launching;
 }
 
 void
 TaskGraph::complete(TaskId id)
 {
+    if (tasks_[id].abandoned)
+        return; // A revoked task's work drains as a discarded no-op.
     SI_ASSERT(!tasks_[id].completed, "task ", id, " completed twice");
     const obs::Profiler::Scoped probe(obs::Section::TaskComplete);
     tasks_[id].completed = true;
     tasks_[id].finish_time = sim_.now();
+    if (!cancellers_.empty())
+        cancellers_.erase(id);
     if (SimObserver *observer = sim_.observer())
         observer->taskFinished(id, tasks_[id].label, sim_.now());
     ++completed_;
@@ -163,9 +171,66 @@ TaskGraph::complete(TaskId id)
     for (std::size_t i = 0; i < n; ++i) {
         const TaskId dep_id = tasks_[id].dependents[i];
         SI_ASSERT(tasks_[dep_id].pending_deps > 0, "dependency underflow");
-        if (--tasks_[dep_id].pending_deps == 0 && tasks_[dep_id].released)
+        if (--tasks_[dep_id].pending_deps == 0 && tasks_[dep_id].released &&
+            !tasks_[dep_id].abandoned)
             launch(dep_id);
     }
+}
+
+void
+TaskGraph::setCanceller(TaskId id, std::function<void()> cancel)
+{
+    SI_ASSERT(id < tasks_.size(), "bad task id");
+    SI_ASSERT(!tasks_[id].completed && !tasks_[id].abandoned,
+              "canceller on a finished task");
+    cancellers_[id] = std::move(cancel);
+}
+
+bool
+TaskGraph::abandoned(TaskId id) const
+{
+    SI_ASSERT(id < tasks_.size(), "bad task id");
+    return tasks_[id].abandoned;
+}
+
+std::size_t
+TaskGraph::revokeDomain(Domain d)
+{
+    SI_REQUIRE(d != kNoDomain, "cannot revoke the null domain");
+    const Seconds now = sim_.now();
+    std::size_t revoked = 0;
+    // Ascending id order is the determinism contract: cancellers (flow
+    // revocations) fire in the order the tasks were created.
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        if (tasks_[id].domain != d || tasks_[id].completed ||
+            tasks_[id].abandoned)
+            continue;
+        tasks_[id].abandoned = true;
+        tasks_[id].finish_time = now; // For makespan(); never "finished".
+        ++completed_;
+        ++revoked;
+        const auto it = cancellers_.find(id);
+        if (it != cancellers_.end()) {
+            std::function<void()> cancel = std::move(it->second);
+            cancellers_.erase(it);
+            if (tasks_[id].launched && cancel)
+                cancel();
+        }
+        if (SimObserver *observer = sim_.observer()) {
+            if (tasks_[id].launched)
+                observer->taskAbandoned(id, tasks_[id].label, now);
+        }
+    }
+    // A revocable unit must be a closed sub-graph: anything downstream of an
+    // abandoned task has to be gone too, or it would wait forever.
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+        if (tasks_[id].domain != d || !tasks_[id].abandoned)
+            continue;
+        for (TaskId dep_id : tasks_[id].dependents)
+            SI_ASSERT(tasks_[dep_id].abandoned || tasks_[dep_id].completed,
+                      "revoked domain leaves dangling dependent ", dep_id);
+    }
+    return revoked;
 }
 
 Seconds

@@ -8,8 +8,10 @@
 #ifndef SMARTINF_SIM_TASK_GRAPH_H
 #define SMARTINF_SIM_TASK_GRAPH_H
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/resource.h"
@@ -104,8 +106,53 @@ class TaskGraph
      */
     void start();
 
-    /** True once every task has completed. */
+    /** True once every task has completed (revoked tasks count as done). */
     bool done() const { return completed_ == tasks_.size() && started_; }
+
+    /**
+     * @name Revocation domains (fault injection).
+     *
+     * A *domain* groups the tasks of one revocable unit of work — a serving
+     * step, a training iteration, an in-flight checkpoint. Tasks added while
+     * a domain is current are stamped with it; revokeDomain() later abandons
+     * every uncompleted task in the domain: the task counts toward done(),
+     * its completion callback becomes a no-op (a resource job already
+     * running drains as discarded work), and its registered canceller — if
+     * any — runs so side effects (an in-flight flow, a timer) are revoked
+     * too. Ordering contract: tasks are abandoned in ascending id order, and
+     * every dependent of an abandoned task must itself be completed or
+     * abandoned by the end of the call (revocable units are closed
+     * sub-graphs). Fault-free runs never open a domain, never register a
+     * canceller, and pay nothing.
+     * @{
+     */
+    using Domain = std::uint32_t;
+    static constexpr Domain kNoDomain = 0;
+
+    /** Mint a fresh domain id (never reused). */
+    Domain openDomain() { return ++last_domain_; }
+
+    /** Tasks added from now on are stamped with @p d (kNoDomain = none). */
+    void setCurrentDomain(Domain d) { current_domain_ = d; }
+    Domain currentDomain() const { return current_domain_; }
+
+    /**
+     * Register a revocation hook for @p id, called (at most once) if the
+     * task is abandoned after launching. Typically called from inside the
+     * task's own action — launchingTask() names the task being launched.
+     */
+    void setCanceller(TaskId id, std::function<void()> cancel);
+
+    /** The task whose action is currently being invoked (kInvalidTask
+     *  outside launch). Lets an action register its own canceller. */
+    TaskId launchingTask() const { return launching_; }
+
+    /** Abandon every uncompleted task in @p d. @return tasks revoked. */
+    std::size_t revokeDomain(Domain d);
+
+    /** True if @p id was revoked. */
+    bool abandoned(TaskId id) const;
+    /** @} */
 
     /** Completion time of a task. @pre the task has completed. */
     Seconds finishTime(TaskId id) const;
@@ -131,6 +178,8 @@ class TaskGraph
         /** Armed to launch (start() arms the static graph; dynamic tasks
          *  are armed individually via release()). */
         bool released = false;
+        bool abandoned = false; ///< revoked; completion is a no-op
+        Domain domain = kNoDomain;
         Seconds start_time = -1.0;
         Seconds finish_time = -1.0;
     };
@@ -142,6 +191,11 @@ class TaskGraph
     std::vector<Task> tasks_;
     std::size_t completed_ = 0;
     bool started_ = false;
+    Domain current_domain_ = kNoDomain;
+    Domain last_domain_ = kNoDomain;
+    TaskId launching_ = kInvalidTask;
+    /** Sparse: only fault-armed tasks register (empty in fault-free runs). */
+    std::unordered_map<TaskId, std::function<void()>> cancellers_;
 };
 
 } // namespace smartinf::sim

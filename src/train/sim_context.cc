@@ -9,6 +9,17 @@ SimContext::transfer(net::Route route, Bytes bytes, sim::TaskLabel label)
     return graph.add(
         [this, route = std::move(route), bytes,
          latency](std::function<void()> done) {
+            if (faults_armed) {
+                // Revocation seam: remember how to pull this flow back
+                // out of the network if the launching task's domain is
+                // revoked (node crash mid-transfer).
+                const sim::TaskGraph::TaskId tid = graph.launchingTask();
+                const net::FlowId fid =
+                    net.startFlow(route, bytes, std::move(done), latency);
+                graph.setCanceller(tid,
+                                   [this, fid]() { net.cancelFlow(fid); });
+                return;
+            }
             net.startFlow(route, bytes, std::move(done), latency);
         },
         label);

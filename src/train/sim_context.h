@@ -44,6 +44,15 @@ struct SimContext {
      */
     obs::RunObservation *obs = nullptr;
 
+    /**
+     * True while a fault-injecting workload drives this context. When set,
+     * transfer() registers a canceller with the task graph for every flow
+     * it starts, so revoking a domain pulls its in-flight flows out of the
+     * network. Off by default: fault-free runs pay nothing (one branch per
+     * flow start, no canceller storage) and stay bit-identical.
+     */
+    bool faults_armed = false;
+
     /** Add a flow-transfer task. */
     sim::TaskGraph::TaskId transfer(net::Route route, Bytes bytes,
                                     sim::TaskLabel label = {});

@@ -67,10 +67,46 @@ struct RequestRecord {
     Seconds start = 0.0;    ///< admitted into a running batch
     Seconds first_token = 0.0; ///< prefill step completed
     Seconds finish = 0.0;      ///< last decode step completed
+    /** Failed dispatch attempts before this disposition (failover only;
+     *  always 0 in fault-free runs). */
+    int retries = 0;
+    /** True when the request was rejected (retries exhausted, timed out,
+     *  or admission-shed into an overloaded recovering fleet) instead of
+     *  served. Shed records keep their arrival and stamp finish with the
+     *  shed decision time; their token counts are what was *requested*,
+     *  not produced. */
+    bool shed = false;
 
     Seconds queueDelay() const { return start - arrival; }
     Seconds timeToFirstToken() const { return first_token - arrival; }
     Seconds latency() const { return finish - arrival; }
+    /** Disposition: the request produced all its tokens. */
+    bool successful() const { return !shed; }
+};
+
+/**
+ * What the fault-injection + recovery machinery did during one run.
+ * All-zero (enabled=false) without faults — part of the inert-by-default
+ * contract. Counts simulation decisions, so it is deterministic and
+ * jobs-invariant like the request records.
+ */
+struct FaultStats {
+    bool enabled = false;
+    int node_crashes = 0;  ///< whole-replica failures injected
+    int csd_failures = 0;  ///< device failures injected
+    int link_degrades = 0; ///< NIC/link degradation episodes injected
+    int stalls = 0;        ///< transient stalls injected
+    /** @name Serving recovery. @{ */
+    int requests_displaced = 0; ///< pulled off a failed replica mid-service
+    int retries_dispatched = 0; ///< re-dispatch attempts issued
+    int requests_shed = 0;      ///< rejected (limit/timeout/admission)
+    int reprefills = 0;         ///< re-prefills forced by lost KV tiers
+    /** @} */
+    /** @name Training recovery. @{ */
+    int checkpoints_written = 0; ///< durable checkpoints committed
+    int restarts = 0;            ///< crash -> rewind -> replay episodes
+    int iterations_replayed = 0; ///< redone iterations (lost progress)
+    /** @} */
 };
 
 /**
@@ -126,6 +162,10 @@ struct WorkloadResult {
     /** Paged KV-cache statistics (all-zero unless kv.layout=paged). */
     KvCacheStats kv;
     /** @} */
+
+    /** Fault/recovery statistics (enabled=false and all-zero unless the
+     *  run injected faults). */
+    FaultStats fault;
 
     /** Output tokens generated across all requests (0 for training). */
     double totalOutputTokens() const;

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Checkpoint/restart training under fault injection: the checkpoint stream
+ * writes on the configured cadence, a node crash rewinds to the last
+ * durable checkpoint and replays the lost iterations (restart latency
+ * includes the repair window and the read-back flows), stalls and link
+ * degradation only ever delay, and every fault-mode run is bit-identical
+ * across repeats. Also pins the inertness contract: arming the fault
+ * machinery with no fault category enabled changes nothing.
+ */
+#include <gtest/gtest.h>
+
+#include "fault/checkpoint_workload.h"
+#include "train/engine.h"
+
+namespace smartinf {
+namespace {
+
+train::ModelSpec
+smallModel()
+{
+    return train::ModelSpec::gpt2(0.5);
+}
+
+fault::FaultConfig
+baseFault()
+{
+    fault::FaultConfig config;
+    config.num_iterations = 4;
+    config.checkpoint_interval = 2;
+    return config;
+}
+
+train::WorkloadResult
+runJob(const fault::FaultConfig &config, int nodes = 1)
+{
+    train::SystemConfig system;
+    system.strategy = train::Strategy::SmartUpdateOptComp;
+    system.num_devices = 4;
+    system.num_nodes = nodes;
+    auto engine = train::makeEngine(smallModel(), {}, system);
+    fault::CheckpointedTrainingWorkload workload(smallModel(), {}, config);
+    return engine->run(workload);
+}
+
+TEST(CheckpointRestart, FaultFreeJobWritesCheckpointsOnCadence)
+{
+    // 4 iterations, interval 2 => durable snapshots after iterations 2 and
+    // 4. The checkpoint flows are real work overlapping the next
+    // iteration, not bookkeeping.
+    const auto result = runJob(baseFault());
+    EXPECT_FALSE(result.fault.enabled);
+    EXPECT_EQ(result.fault.checkpoints_written, 2);
+    EXPECT_EQ(result.fault.node_crashes, 0);
+    EXPECT_EQ(result.fault.restarts, 0);
+    EXPECT_EQ(result.fault.iterations_replayed, 0);
+    EXPECT_GT(result.iteration_time, 0.0);
+
+    fault::FaultConfig sparse = baseFault();
+    sparse.checkpoint_interval = 3; // snapshots after iteration 3 only
+    const auto r3 = runJob(sparse);
+    EXPECT_EQ(r3.fault.checkpoints_written, 1);
+}
+
+TEST(CheckpointRestart, ArmedButUnusedFaultMachineryIsInert)
+{
+    // fault.enabled=true with every MTBF at kNever draws no events but
+    // flips faults_armed (flow cancellers registered, one revocation
+    // domain per iteration/checkpoint). None of that may perturb a single
+    // timestamp or event count.
+    const auto off = runJob(baseFault());
+    fault::FaultConfig armed = baseFault();
+    armed.enabled = true; // all categories still kNever
+    const auto on = runJob(armed);
+    EXPECT_EQ(off.iteration_time, on.iteration_time);
+    EXPECT_EQ(off.events_executed, on.events_executed);
+    EXPECT_EQ(off.fault.checkpoints_written, on.fault.checkpoints_written);
+    EXPECT_FALSE(off.fault.enabled);
+    EXPECT_TRUE(on.fault.enabled);
+}
+
+TEST(CheckpointRestart, CrashRewindsToDurableCheckpointAndReplays)
+{
+    const auto clean = runJob(baseFault());
+    fault::FaultConfig config = baseFault();
+    config.enabled = true;
+    config.num_iterations = 8;
+    // A crash process dense on the job's own timescale: with this seed the
+    // first failures land inside the first few iterations. The horizon
+    // bounds the storm so the job always drains after it.
+    config.node_mtbf = clean.iteration_time / 4.0;
+    config.repair_time = clean.iteration_time / 8.0;
+    config.horizon = 4.0 * clean.iteration_time;
+    const auto result = runJob(config);
+
+    EXPECT_GE(result.fault.node_crashes, 1);
+    EXPECT_EQ(result.fault.restarts, result.fault.node_crashes);
+    // Lost progress was recomputed: with interval 2 a crash can lose at
+    // most 2 durable-to-crash iterations plus the one in flight.
+    EXPECT_GE(result.fault.iterations_replayed, 1);
+    // Replay re-crosses checkpoint boundaries, so at least the fault-free
+    // count of snapshots was committed.
+    EXPECT_GE(result.fault.checkpoints_written, 4);
+    // The job still completed all 8 iterations; everything it redid plus
+    // repair and read-back shows up as wall-clock.
+    const auto clean8 = [&] {
+        fault::FaultConfig c = baseFault();
+        c.num_iterations = 8;
+        return runJob(c);
+    }();
+    EXPECT_GT(result.iteration_time, clean8.iteration_time);
+}
+
+TEST(CheckpointRestart, RestartLatencyIncludesRepairAndReadBack)
+{
+    // The crash *times* come from the fault stream and repair_time is not
+    // part of the draw: two runs differing only in repair_time see the
+    // same crashes, so the longer repair strictly defers completion.
+    const auto clean = runJob(baseFault());
+    fault::FaultConfig config = baseFault();
+    config.enabled = true;
+    config.num_iterations = 8;
+    config.node_mtbf = clean.iteration_time / 4.0;
+    config.horizon = 4.0 * clean.iteration_time;
+    config.repair_time = clean.iteration_time / 8.0;
+    const auto quick = runJob(config);
+    ASSERT_GE(quick.fault.node_crashes, 1);
+
+    fault::FaultConfig slow = config;
+    slow.repair_time = clean.iteration_time; // 8x longer repair
+    const auto slow_result = runJob(slow);
+    // Longer dead windows can absorb crashes that hit the quick-repair run
+    // separately, so only the makespan ordering is pinned.
+    EXPECT_GE(slow_result.fault.node_crashes, 1);
+    EXPECT_GT(slow_result.iteration_time, quick.iteration_time);
+}
+
+TEST(CheckpointRestart, FaultRunsAreBitIdenticalAcrossRepeats)
+{
+    const auto clean = runJob(baseFault());
+    fault::FaultConfig config = baseFault();
+    config.enabled = true;
+    config.num_iterations = 6;
+    config.node_mtbf = clean.iteration_time / 2.0;
+    config.stall_mtbf = clean.iteration_time;
+    config.degrade_mtbf = clean.iteration_time;
+    config.horizon = 4.0 * clean.iteration_time;
+    const auto a = runJob(config);
+    const auto b = runJob(config);
+    EXPECT_EQ(a.iteration_time, b.iteration_time);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_EQ(a.fault.node_crashes, b.fault.node_crashes);
+    EXPECT_EQ(a.fault.stalls, b.fault.stalls);
+    EXPECT_EQ(a.fault.link_degrades, b.fault.link_degrades);
+    EXPECT_EQ(a.fault.checkpoints_written, b.fault.checkpoints_written);
+    EXPECT_EQ(a.fault.iterations_replayed, b.fault.iterations_replayed);
+}
+
+TEST(CheckpointRestart, StallsAndDegradationOnlyEverDelay)
+{
+    const auto clean = runJob(baseFault());
+    fault::FaultConfig config = baseFault();
+    config.enabled = true;
+    config.stall_mtbf = clean.iteration_time / 2.0;
+    config.stall_duration = clean.iteration_time / 4.0;
+    config.degrade_mtbf = clean.iteration_time / 2.0;
+    config.degrade_factor = 0.25;
+    config.degrade_duration = clean.iteration_time / 2.0;
+    config.horizon = 20.0 * clean.iteration_time;
+    const auto result = runJob(config);
+    EXPECT_GE(result.fault.stalls + result.fault.link_degrades, 1);
+    EXPECT_EQ(result.fault.restarts, 0);
+    EXPECT_EQ(result.fault.iterations_replayed, 0);
+    EXPECT_GT(result.iteration_time, clean.iteration_time);
+    // No work is ever lost to a stall or a slow link: same checkpoints.
+    EXPECT_EQ(result.fault.checkpoints_written,
+              clean.fault.checkpoints_written);
+}
+
+TEST(CheckpointRestart, DistributedJobSurvivesCrashes)
+{
+    // Multi-node: any node's crash takes the whole synchronous job down;
+    // every node replays from the shared durable snapshot and the ring
+    // all-reduce stitch is rebuilt per replayed iteration.
+    const auto clean = runJob(baseFault(), 2);
+    fault::FaultConfig config = baseFault();
+    config.enabled = true;
+    config.num_iterations = 6;
+    config.node_mtbf = clean.iteration_time / 4.0;
+    config.repair_time = clean.iteration_time / 8.0;
+    config.horizon = 4.0 * clean.iteration_time;
+    const auto result = runJob(config, 2);
+    EXPECT_GE(result.fault.node_crashes, 1);
+    EXPECT_EQ(result.fault.restarts, result.fault.node_crashes);
+    EXPECT_GT(result.iteration_time, clean.iteration_time);
+
+    const auto repeat = runJob(config, 2);
+    EXPECT_EQ(result.iteration_time, repeat.iteration_time);
+    EXPECT_EQ(result.events_executed, repeat.events_executed);
+}
+
+} // namespace
+} // namespace smartinf

@@ -234,6 +234,78 @@ TEST(ExperimentBuilder, ModeGatedAxesNeedTheirModeEnabled)
               2u);
 }
 
+TEST(ExperimentBuilder, FaultAxesSweepTheFaultConfig)
+{
+    fault::FaultConfig base;
+    base.enabled = true;
+    base.node_mtbf = 300.0;
+    const auto specs = ExperimentBuilder()
+                           .model(ModelSpec::gpt2(0.5))
+                           .faults(base)
+                           .mtbfs({120.0, 300.0})
+                           .checkpointIntervals({1, 2, 4})
+                           .build();
+    ASSERT_EQ(specs.size(), 6u);
+    // mtbfs outer, checkpointIntervals inner; the base survives.
+    EXPECT_DOUBLE_EQ(specs[0].fault.node_mtbf, 120.0);
+    EXPECT_EQ(specs[0].fault.checkpoint_interval, 1);
+    EXPECT_EQ(specs[2].fault.checkpoint_interval, 4);
+    EXPECT_DOUBLE_EQ(specs[3].fault.node_mtbf, 300.0);
+    for (const auto &spec : specs)
+        EXPECT_TRUE(spec.fault.enabled);
+
+    // Every combination lands on its own cache entry.
+    std::set<std::uint64_t> hashes;
+    for (const auto &spec : specs)
+        hashes.insert(spec.hash());
+    EXPECT_EQ(hashes.size(), specs.size());
+}
+
+TEST(ExperimentBuilder, FaultAxesNeedTheirModeEnabled)
+{
+    // Fault axes without an enabled fault base would expand to aliased
+    // duplicates (the hash normalizes everything out while disabled).
+    auto no_base = ExperimentBuilder()
+                       .model(ModelSpec::gpt2(0.5))
+                       .mtbfs({120.0, 300.0});
+    EXPECT_THROW(no_base.build(), std::runtime_error);
+
+    fault::FaultConfig enabled;
+    enabled.enabled = true;
+
+    // checkpointIntervals is training-only (serving normalizes it out).
+    auto ckpt_on_serving = ExperimentBuilder()
+                               .model(ModelSpec::gpt2(0.5))
+                               .serving(serve::ServeConfig{})
+                               .faults(enabled)
+                               .checkpointIntervals({1, 2});
+    EXPECT_THROW(ckpt_on_serving.build(), std::runtime_error);
+
+    // retryPolicies needs a serving sweep with an armed crash process.
+    auto retry_on_training = ExperimentBuilder()
+                                 .model(ModelSpec::gpt2(0.5))
+                                 .faults(enabled)
+                                 .retryPolicies({1, 3});
+    EXPECT_THROW(retry_on_training.build(), std::runtime_error);
+    auto retry_unarmed = ExperimentBuilder()
+                             .model(ModelSpec::gpt2(0.5))
+                             .serving(serve::ServeConfig{})
+                             .faults(enabled)
+                             .retryPolicies({1, 3});
+    EXPECT_THROW(retry_unarmed.build(), std::runtime_error);
+
+    // The mtbfs() axis itself arms the crash process for retryPolicies.
+    EXPECT_EQ(ExperimentBuilder()
+                  .model(ModelSpec::gpt2(0.5))
+                  .serving(serve::ServeConfig{})
+                  .faults(enabled)
+                  .mtbfs({120.0})
+                  .retryPolicies({1, 3})
+                  .build()
+                  .size(),
+              2u);
+}
+
 TEST(RunSpec, DescribeNamesTheInterestingFields)
 {
     RunSpec spec;

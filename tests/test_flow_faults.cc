@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Fault seams in the flow network: time-varying link capacity and flow
+ * revocation. The acceptance bar is the PR 3 oracle pattern — after EVERY
+ * event, including each mid-run capacity degrade/restore and each
+ * cancellation, the incremental scheduler must match oracleRates() bit for
+ * bit. A capacity factor of exactly 1.0 must be a perfect no-op.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "net/flow_network.h"
+#include "net/topology.h"
+
+namespace smartinf::net {
+namespace {
+
+bool
+stepOne(sim::Simulator &sim)
+{
+    int budget = 1;
+    sim.runUntil([&budget]() { return budget-- <= 0; });
+    return budget < 0;
+}
+
+void
+expectMatchesOracle(FlowNetwork &net)
+{
+    const auto snap = net.oracleRates();
+    ASSERT_EQ(snap.rates.size(), net.activeFlows());
+    for (const auto &[id, rate] : snap.rates)
+        EXPECT_EQ(net.currentRate(id), rate) << "flow " << id;
+    for (const auto &[link, agg] : snap.link_rates)
+        EXPECT_EQ(net.linkAggregateRate(link), agg) << "link " << link->name();
+}
+
+TEST(FlowFaults, CapacityChangeMatchesOracleAfterEveryEvent)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    std::vector<Link *> links;
+    for (int i = 0; i < 4; ++i)
+        links.push_back(&topo.addLink("l" + std::to_string(i), 80.0 + 30.0 * i));
+    Link &trunk = topo.addLink("trunk", 150.0);
+
+    Rng rng(20260808);
+    int completed = 0;
+    int churn = 120;
+    std::function<void(int)> launch = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            Route route{links[rng.uniformInt(4)]};
+            if (rng.uniform() < 0.5)
+                route.push_back(&trunk);
+            const double latency =
+                rng.uniform() < 0.2 ? rng.uniform(0.01, 1.0) : 0.0;
+            net.startFlow(std::move(route), rng.uniform(100.0, 3000.0),
+                          [&]() {
+                              ++completed;
+                              if (churn > 0) {
+                                  --churn;
+                                  launch(1);
+                              }
+                          },
+                          latency);
+        }
+    };
+    launch(30);
+
+    // A degrade/restore episode train on the trunk and one leaf link,
+    // interleaved with the flow churn. Each episode flips the factor and
+    // notifies the network mid-run.
+    auto episode = [&](Link *link, double factor, double at, double duration) {
+        sim.at(at, [&net, link, factor]() {
+            link->setCapacityFactor(factor);
+            net.linkCapacityChanged(link);
+        });
+        sim.at(at + duration, [&net, link]() {
+            link->setCapacityFactor(1.0);
+            net.linkCapacityChanged(link);
+        });
+    };
+    for (int e = 0; e < 6; ++e) {
+        episode(&trunk, 0.25 + 0.1 * e, 2.0 + 7.0 * e, 3.5);
+        episode(links[e % 4], 0.5, 4.0 + 6.0 * e, 2.0);
+    }
+
+    int events = 0;
+    while (stepOne(sim)) {
+        ++events;
+        expectMatchesOracle(net);
+        ASSERT_LT(events, 200000) << "simulation failed to drain";
+    }
+    EXPECT_EQ(net.activeFlows(), 0u);
+    EXPECT_EQ(completed, 30 + 120);
+}
+
+TEST(FlowFaults, UnityFactorIsExactNoOp)
+{
+    // factor = 1.0 must leave the cached capacity bit-identical, so a
+    // notification with an unchanged factor recomputes nothing.
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 123.456789);
+    EXPECT_EQ(link.effectiveCapacity(), link.capacity());
+    link.setCapacityFactor(1.0);
+    EXPECT_EQ(link.effectiveCapacity(), link.capacity());
+
+    bool done = false;
+    net.startFlow({&link}, 1000.0, [&]() { done = true; });
+    const double before = net.currentRate(0);
+    net.linkCapacityChanged(&link); // No-op: factor unchanged.
+    EXPECT_EQ(net.currentRate(0), before);
+    sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(FlowFaults, DegradeSlowsAndRestoreSpeedsCompletion)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+
+    double finish = -1.0;
+    net.startFlow({&link}, 1000.0, [&]() { finish = sim.now(); });
+    // Halve capacity over t=[2,6]: 2 s at 100 B/s + 4 s at 50 B/s moves
+    // 400 B; the remaining 600 B at 100 B/s lands at t = 12.
+    sim.at(2.0, [&]() {
+        link.setCapacityFactor(0.5);
+        net.linkCapacityChanged(&link);
+    });
+    sim.at(6.0, [&]() {
+        link.setCapacityFactor(1.0);
+        net.linkCapacityChanged(&link);
+    });
+    sim.run();
+    EXPECT_NEAR(finish, 12.0, 1e-9);
+    // Utilization integrates fraction-of-effective-capacity: busy the whole
+    // 12 s (the flow was always backlogged).
+    EXPECT_NEAR(link.busyIntegral(), 12.0, 1e-9);
+    EXPECT_NEAR(link.bytesCarried(), 1000.0, 1.0);
+}
+
+TEST(FlowFaults, CancelBulkFlowDropsCallbackAndSpeedsSurvivor)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+
+    bool cancelled_ran = false;
+    double survivor_finish = -1.0;
+    const FlowId victim =
+        net.startFlow({&link}, 1000.0, [&]() { cancelled_ran = true; });
+    net.startFlow({&link}, 1000.0, [&]() { survivor_finish = sim.now(); });
+
+    sim.at(4.0, [&]() {
+        EXPECT_TRUE(net.cancelFlow(victim));
+        expectMatchesOracle(net);
+        EXPECT_EQ(net.activeFlows(), 1u);
+        // Survivor inherits the full link.
+        EXPECT_EQ(net.currentRate(1), 100.0);
+    });
+    sim.run();
+    EXPECT_FALSE(cancelled_ran);
+    // Survivor: 4 s at 50 B/s (200 B) + 800 B at 100 B/s → t = 12.
+    EXPECT_NEAR(survivor_finish, 12.0, 1e-9);
+    // The victim's partial 200 B still count as delivered work.
+    EXPECT_NEAR(net.totalBytesDelivered(), 1200.0, 1.0);
+}
+
+TEST(FlowFaults, CancelLatencyPhaseFlowNeverContends)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+
+    bool ran = false;
+    const FlowId id =
+        net.startFlow({&link}, 500.0, [&]() { ran = true; }, /*latency=*/5.0);
+    sim.at(1.0, [&]() { EXPECT_TRUE(net.cancelFlow(id)); });
+    sim.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(net.activeFlows(), 0u);
+    EXPECT_EQ(net.totalBytesDelivered(), 0.0);
+}
+
+TEST(FlowFaults, CancelCompletedFlowReturnsFalse)
+{
+    sim::Simulator sim;
+    FlowNetwork net(sim);
+    Topology topo;
+    Link &link = topo.addLink("l", 100.0);
+
+    int done = 0;
+    const FlowId id = net.startFlow({&link}, 100.0, [&]() { ++done; });
+    sim.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_FALSE(net.cancelFlow(id));
+}
+
+} // namespace
+} // namespace smartinf::net

@@ -391,5 +391,181 @@ TEST(RunSpecHash, DescribeDistinguishesServingSpecs)
         << mixed.describe();
 }
 
+TEST(RunSpecHash, FaultKnobsAreInertWhileDisabled)
+{
+    // A disabled fault model is one cache entry no matter how its knobs
+    // are set — for both workload kinds.
+    for (const auto kind :
+         {train::WorkloadKind::Training, train::WorkloadKind::Serving}) {
+        RunSpec a = servingSpec();
+        a.workload = kind;
+        RunSpec b = a;
+        b.fault.horizon *= 2.0;
+        b.fault.seed += 1;
+        b.fault.node_mtbf = 100.0;
+        b.fault.csd_mtbf = 50.0;
+        b.fault.retry_limit += 2;
+        b.fault.checkpoint_interval += 1;
+        b.fault.num_iterations += 4;
+        EXPECT_EQ(a.hash(), b.hash()) << "workload kind "
+                                      << static_cast<int>(kind);
+    }
+
+    // Flipping the master switch splits the entry (the checkpointed
+    // training workload replaces runIteration even with no category
+    // armed).
+    RunSpec off = servingSpec();
+    off.workload = train::WorkloadKind::Training;
+    RunSpec on = off;
+    on.fault.enabled = true;
+    EXPECT_NE(off.hash(), on.hash());
+}
+
+TEST(RunSpecHash, TrainingFaultNormalization)
+{
+    RunSpec base = servingSpec();
+    base.workload = train::WorkloadKind::Training;
+    base.fault.enabled = true;
+
+    // Checkpoint knobs and job length shape the checkpointed workload —
+    // they key even with no fault category armed.
+    RunSpec ckpt = base;
+    ckpt.fault.checkpoint_interval += 1;
+    EXPECT_NE(base.hash(), ckpt.hash());
+    RunSpec iters = base;
+    iters.fault.num_iterations += 4;
+    EXPECT_NE(base.hash(), iters.hash());
+
+    // Retry/shed knobs are serving-only: inert under training even with a
+    // crash process armed.
+    RunSpec armed = base;
+    armed.fault.node_mtbf = 120.0;
+    RunSpec retry = armed;
+    retry.fault.retry_limit += 2;
+    retry.fault.retry_backoff *= 2.0;
+    retry.fault.retry_timeout *= 2.0;
+    retry.fault.shed_queue_depth += 8;
+    EXPECT_EQ(armed.hash(), retry.hash());
+
+    // The fault seed keys only once a category is armed (no category →
+    // no schedule drawn → the seed cannot matter).
+    RunSpec seeded = base;
+    seeded.fault.seed += 1;
+    EXPECT_EQ(base.hash(), seeded.hash());
+    RunSpec armed_seeded = armed;
+    armed_seeded.fault.seed += 1;
+    EXPECT_NE(armed.hash(), armed_seeded.hash());
+
+    // Each category's episode parameters key only while that category's
+    // MTBF is finite.
+    RunSpec stall_shape = base;
+    stall_shape.fault.stall_duration *= 2.0;
+    stall_shape.fault.degrade_factor = 0.25;
+    stall_shape.fault.degrade_duration *= 2.0;
+    stall_shape.fault.csd_fail_factor = 0.5;
+    stall_shape.fault.repair_time *= 2.0;
+    EXPECT_EQ(base.hash(), stall_shape.hash());
+
+    RunSpec stalls = base;
+    stalls.fault.stall_mtbf = 60.0;
+    RunSpec stalls2 = stalls;
+    stalls2.fault.stall_duration *= 2.0;
+    EXPECT_NE(stalls.hash(), stalls2.hash());
+
+    RunSpec degrade = base;
+    degrade.fault.degrade_mtbf = 60.0;
+    RunSpec degrade2 = degrade;
+    degrade2.fault.degrade_factor = 0.25;
+    EXPECT_NE(degrade.hash(), degrade2.hash());
+
+    RunSpec repair = armed;
+    repair.fault.repair_time *= 2.0;
+    EXPECT_NE(armed.hash(), repair.hash());
+}
+
+TEST(RunSpecHash, ServingFaultNormalization)
+{
+    RunSpec base = servingSpec();
+    base.fault.enabled = true;
+
+    // Checkpoint knobs are training-only; the fault seed is derived from
+    // serve.seed (already hashed), so FaultConfig::seed is inert too.
+    RunSpec armed = base;
+    armed.fault.node_mtbf = 120.0;
+    RunSpec inert = armed;
+    inert.fault.checkpoint_interval += 1;
+    inert.fault.num_iterations += 4;
+    inert.fault.seed += 1;
+    EXPECT_EQ(armed.hash(), inert.hash());
+
+    // Retry/shed knobs key only with a crash process armed — only node
+    // crashes displace requests.
+    RunSpec retry_unarmed = base;
+    retry_unarmed.fault.retry_limit += 2;
+    retry_unarmed.fault.shed_queue_depth += 8;
+    EXPECT_EQ(base.hash(), retry_unarmed.hash());
+
+    std::set<std::uint64_t> hashes{armed.hash()};
+    RunSpec mutated = armed;
+    mutated.fault.retry_limit += 2;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+    mutated = armed;
+    mutated.fault.retry_backoff *= 2.0;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+    mutated = armed;
+    mutated.fault.retry_timeout *= 2.0;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+    mutated = armed;
+    mutated.fault.shed_queue_depth += 8;
+    EXPECT_TRUE(hashes.insert(mutated.hash()).second);
+
+    // CSD episodes key on their shape only once armed.
+    RunSpec csd = base;
+    csd.fault.csd_fail_factor = 0.5;
+    EXPECT_EQ(base.hash(), csd.hash());
+    RunSpec csd_armed = base;
+    csd_armed.fault.csd_mtbf = 90.0;
+    RunSpec csd_armed2 = csd_armed;
+    csd_armed2.fault.csd_fail_factor = 0.5;
+    EXPECT_NE(csd_armed.hash(), csd_armed2.hash());
+}
+
+TEST(RunSpecHash, DescribeTagsFaultSpecs)
+{
+    RunSpec plain = servingSpec();
+    EXPECT_EQ(plain.describe().find("/mtbf"), std::string::npos)
+        << plain.describe();
+
+    RunSpec training = servingSpec();
+    training.workload = train::WorkloadKind::Training;
+    training.fault.enabled = true;
+    training.fault.node_mtbf = 300.0;
+    training.fault.num_iterations = 8;
+    training.fault.checkpoint_interval = 2;
+    const std::string tlabel = training.describe();
+    EXPECT_NE(tlabel.find("/mtbf300"), std::string::npos) << tlabel;
+    EXPECT_NE(tlabel.find("/i8/ckpt2"), std::string::npos) << tlabel;
+    EXPECT_EQ(tlabel.find("/retry"), std::string::npos) << tlabel;
+
+    RunSpec serving = servingSpec();
+    serving.fault.enabled = true;
+    serving.fault.node_mtbf = 120.0;
+    serving.fault.retry_limit = 5;
+    const std::string slabel = serving.describe();
+    EXPECT_NE(slabel.find("/mtbf120"), std::string::npos) << slabel;
+    EXPECT_NE(slabel.find("/retry5"), std::string::npos) << slabel;
+    EXPECT_EQ(slabel.find("/ckpt"), std::string::npos) << slabel;
+
+    RunSpec episodes = servingSpec();
+    episodes.fault.enabled = true;
+    episodes.fault.csd_mtbf = 90.0;
+    episodes.fault.degrade_mtbf = 60.0;
+    episodes.fault.stall_mtbf = 45.0;
+    const std::string elabel = episodes.describe();
+    EXPECT_NE(elabel.find("/csd90"), std::string::npos) << elabel;
+    EXPECT_NE(elabel.find("/deg60"), std::string::npos) << elabel;
+    EXPECT_NE(elabel.find("/stall45"), std::string::npos) << elabel;
+}
+
 } // namespace
 } // namespace smartinf::exp

@@ -16,8 +16,8 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
     const auto all = ScenarioRegistry::instance().all();
     // 17 migrated bench binaries + the 3 serving studies + the 3
     // KV/mix/closed-loop serving-fidelity studies + the 2 paged-KV
-    // studies.
-    EXPECT_EQ(all.size(), 25u);
+    // studies + the 2 fault/recovery studies.
+    EXPECT_EQ(all.size(), 27u);
 
     // Sorted by name, every paper artifact present.
     for (std::size_t i = 1; i < all.size(); ++i)

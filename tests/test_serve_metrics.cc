@@ -92,5 +92,104 @@ TEST(ServeMetrics, OneRequestResultIsWellDefined)
     EXPECT_EQ(m.output_tokens_per_sec, 2.0);
 }
 
+TEST(ServeMetrics, FaultFreeResultHasFullSuccessRate)
+{
+    // Regression anchor for the disposition split: with no shed records
+    // the success rate is exactly 1, goodput equals requests_per_sec, and
+    // the latency populations are the full record set — bit-identical to
+    // the pre-disposition summarize().
+    train::WorkloadResult result;
+    result.kind = train::WorkloadKind::Serving;
+    result.iteration_time = 10.0;
+    for (int i = 0; i < 4; ++i) {
+        train::RequestRecord r;
+        r.id = i;
+        r.arrival = static_cast<double>(i);
+        r.start = r.arrival + 0.5;
+        r.first_token = r.arrival + 1.0;
+        r.finish = r.arrival + 2.0;
+        r.output_tokens = 4;
+        result.requests.push_back(r);
+    }
+    const ServingMetrics m = summarize(result);
+    EXPECT_EQ(m.num_requests, 4);
+    EXPECT_EQ(m.num_served, 4);
+    EXPECT_EQ(m.num_shed, 0);
+    EXPECT_EQ(m.num_retried, 0);
+    EXPECT_EQ(m.total_retries, 0);
+    EXPECT_DOUBLE_EQ(m.success_rate, 1.0);
+    EXPECT_DOUBLE_EQ(m.goodput, m.requests_per_sec);
+    EXPECT_DOUBLE_EQ(m.requests_per_sec, 0.4);
+    // Empty shed-disposition population: all zeros, never a crash.
+    EXPECT_EQ(m.shed_wait.p99, 0.0);
+}
+
+TEST(ServeMetrics, ShedRecordsSplitTheDispositions)
+{
+    train::WorkloadResult result;
+    result.kind = train::WorkloadKind::Serving;
+    result.iteration_time = 10.0;
+    // Two served (one after a retry), two shed.
+    for (int i = 0; i < 4; ++i) {
+        train::RequestRecord r;
+        r.id = i;
+        r.arrival = 0.0;
+        r.start = 1.0;
+        r.first_token = 2.0;
+        r.finish = i < 2 ? 5.0 : 3.0; // shed decision at t=3
+        r.output_tokens = i < 2 ? 4 : 0;
+        r.retries = i == 1 ? 2 : 0;
+        r.shed = i >= 2;
+        if (r.shed)
+            r.retries = 3;
+        result.requests.push_back(r);
+    }
+    const ServingMetrics m = summarize(result);
+    EXPECT_EQ(m.num_requests, 4);
+    EXPECT_EQ(m.num_served, 2);
+    EXPECT_EQ(m.num_shed, 2);
+    EXPECT_EQ(m.num_retried, 1);
+    EXPECT_EQ(m.total_retries, 2 + 3 + 3);
+    EXPECT_DOUBLE_EQ(m.success_rate, 0.5);
+    EXPECT_DOUBLE_EQ(m.requests_per_sec, 0.4); // offered: all 4
+    EXPECT_DOUBLE_EQ(m.goodput, 0.2);          // delivered: the 2 served
+    // Latency population is the *served* records only: p99 is their 5s
+    // completion, not the 3s shed timestamp.
+    EXPECT_DOUBLE_EQ(m.latency.p99, 5.0);
+    EXPECT_DOUBLE_EQ(m.latency.p50, 5.0);
+    // Shed-disposition population (arrival -> shed decision).
+    EXPECT_DOUBLE_EQ(m.shed_wait.p50, 3.0);
+    EXPECT_DOUBLE_EQ(m.shed_wait.max, 3.0);
+    // Output tokens count only what was delivered.
+    EXPECT_DOUBLE_EQ(m.output_tokens_per_sec, 0.8);
+}
+
+TEST(ServeMetrics, SingleShedRecordIsWellDefined)
+{
+    // Disposition populations at size 1/0: one shed record, zero served —
+    // every served-population percentile is 0, the shed population is its
+    // one element, and the rates are exact.
+    train::WorkloadResult result;
+    result.kind = train::WorkloadKind::Serving;
+    result.iteration_time = 8.0;
+    train::RequestRecord r;
+    r.arrival = 1.0;
+    r.start = 2.0;
+    r.first_token = 2.0;
+    r.finish = 2.0;
+    r.shed = true;
+    r.retries = 1;
+    result.requests.push_back(r);
+    const ServingMetrics m = summarize(result);
+    EXPECT_EQ(m.num_served, 0);
+    EXPECT_EQ(m.num_shed, 1);
+    EXPECT_DOUBLE_EQ(m.success_rate, 0.0);
+    EXPECT_DOUBLE_EQ(m.goodput, 0.0);
+    EXPECT_EQ(m.latency.p50, 0.0); // empty served population
+    EXPECT_DOUBLE_EQ(m.shed_wait.p50, 1.0);
+    EXPECT_DOUBLE_EQ(m.shed_wait.p99, 1.0);
+    EXPECT_DOUBLE_EQ(m.shed_wait.mean, 1.0);
+}
+
 } // namespace
 } // namespace smartinf::serve

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Revocation-domain semantics in the task graph (the fault-injection seam):
+ * abandoned tasks count toward done(), late resource completions drain as
+ * no-ops, cancellers fire in ascending task-id order, and fault-free graphs
+ * never pay for any of it.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flow_network.h"
+#include "net/topology.h"
+#include "sim/task_graph.h"
+
+namespace smartinf::sim {
+namespace {
+
+TEST(TaskRevocation, RevokedDomainCountsTowardDone)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    g.start();
+
+    const TaskGraph::Domain d = g.openDomain();
+    g.setCurrentDomain(d);
+    const auto first = g.taskCount();
+    const auto a = g.delay(10.0, "a");
+    const auto b = g.delay(1.0, "b");
+    g.dependsOn(b, a);
+    g.setCurrentDomain(TaskGraph::kNoDomain);
+    g.releaseRange(first, g.taskCount());
+
+    sim.at(2.0, [&]() { EXPECT_EQ(g.revokeDomain(d), 2u); });
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_TRUE(g.abandoned(a));
+    EXPECT_TRUE(g.abandoned(b));
+    // The abandoned delay's timer still fires at t=10 as a discarded no-op,
+    // but makespan reflects the revocation time.
+    EXPECT_DOUBLE_EQ(g.makespan(), 2.0);
+}
+
+TEST(TaskRevocation, LateResourceCompletionIsNoOp)
+{
+    Simulator sim;
+    Resource r(sim, "r", 1.0);
+    TaskGraph g(sim);
+    g.start();
+
+    const TaskGraph::Domain d = g.openDomain();
+    g.setCurrentDomain(d);
+    const auto first = g.taskCount();
+    const auto job = g.compute(r, 8.0, "job"); // Runs until t=8.
+    g.setCurrentDomain(TaskGraph::kNoDomain);
+    g.releaseRange(first, g.taskCount());
+
+    // A live task outside the domain, sequenced after the revoked job on
+    // the same resource: the dead job drains first (discarded), then this
+    // one runs — "the GPU finishes its current kernel, results dropped".
+    bool survivor_done = false;
+    sim.at(3.0, [&]() {
+        g.revokeDomain(d);
+        const auto t = g.add(
+            [&r, &survivor_done](std::function<void()> done) {
+                r.submit(2.0, [&survivor_done, done = std::move(done)]() {
+                    survivor_done = true;
+                    done();
+                });
+            },
+            "survivor");
+        g.release(t);
+        EXPECT_TRUE(g.abandoned(job));
+        EXPECT_FALSE(g.done()); // survivor still pending
+    });
+    sim.run();
+    EXPECT_TRUE(survivor_done);
+    EXPECT_TRUE(g.done());
+    EXPECT_DOUBLE_EQ(g.makespan(), 10.0); // 8 (dead job drains) + 2.
+}
+
+TEST(TaskRevocation, CancellerRevokesInFlightFlow)
+{
+    Simulator sim;
+    net::FlowNetwork net(sim);
+    net::Topology topo;
+    net::Link &link = topo.addLink("l", 100.0);
+    TaskGraph g(sim);
+    g.start();
+
+    const TaskGraph::Domain d = g.openDomain();
+    g.setCurrentDomain(d);
+    const auto first = g.taskCount();
+    bool transfer_done = false;
+    g.add(
+        [&](std::function<void()> done) {
+            const TaskGraph::TaskId tid = g.launchingTask();
+            const net::FlowId fid = net.startFlow(
+                {&link}, 1000.0,
+                [&transfer_done, done = std::move(done)]() {
+                    transfer_done = true;
+                    done();
+                });
+            g.setCanceller(tid, [&net, fid]() { net.cancelFlow(fid); });
+        },
+        "xfer");
+    g.setCurrentDomain(TaskGraph::kNoDomain);
+    g.releaseRange(first, g.taskCount());
+
+    sim.at(4.0, [&]() {
+        EXPECT_EQ(net.activeFlows(), 1u);
+        g.revokeDomain(d);
+        EXPECT_EQ(net.activeFlows(), 0u); // Canceller pulled the flow.
+    });
+    sim.run();
+    EXPECT_FALSE(transfer_done);
+    EXPECT_TRUE(g.done());
+}
+
+TEST(TaskRevocation, CancellersFireInAscendingIdOrder)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    g.start();
+
+    const TaskGraph::Domain d = g.openDomain();
+    g.setCurrentDomain(d);
+    const auto first = g.taskCount();
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        g.add(
+            [&g, &order, i](std::function<void()>) {
+                // Never calls done (revoked before it would): register a
+                // canceller recording the revocation order.
+                g.setCanceller(g.launchingTask(),
+                               [&order, i]() { order.push_back(i); });
+            },
+            {"t", i});
+    }
+    g.setCurrentDomain(TaskGraph::kNoDomain);
+    g.releaseRange(first, g.taskCount());
+
+    sim.at(1.0, [&]() { g.revokeDomain(d); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_TRUE(g.done());
+}
+
+TEST(TaskRevocation, UnlaunchedTasksAbandonWithoutCancellers)
+{
+    Simulator sim;
+    TaskGraph g(sim);
+    g.start();
+
+    const TaskGraph::Domain d = g.openDomain();
+    g.setCurrentDomain(d);
+    const auto first = g.taskCount();
+    const auto gate = g.delay(100.0, "gate");
+    const auto blocked = g.barrier("blocked");
+    g.dependsOn(blocked, gate);
+    g.setCurrentDomain(TaskGraph::kNoDomain);
+    g.releaseRange(first, g.taskCount());
+
+    sim.at(1.0, [&]() {
+        EXPECT_EQ(g.revokeDomain(d), 2u);
+        // Re-revoking is idempotent: everything is already gone.
+        EXPECT_EQ(g.revokeDomain(d), 0u);
+    });
+    sim.run();
+    EXPECT_TRUE(g.done());
+    EXPECT_TRUE(g.abandoned(blocked));
+}
+
+TEST(TaskRevocation, DomainlessGraphUnaffectedByForeignRevocation)
+{
+    // A fault-free graph (no domains, no cancellers) must behave exactly as
+    // before; revoking an empty domain is a no-op.
+    Simulator sim;
+    TaskGraph g(sim);
+    const auto a = g.delay(1.0, "a");
+    const auto b = g.delay(2.0, "b");
+    g.dependsOn(b, a);
+    const TaskGraph::Domain d = g.openDomain(); // Never made current.
+    g.start();
+    sim.run();
+    EXPECT_EQ(g.revokeDomain(d), 0u);
+    EXPECT_TRUE(g.done());
+    EXPECT_FALSE(g.abandoned(a));
+    EXPECT_DOUBLE_EQ(g.makespan(), 3.0);
+}
+
+} // namespace
+} // namespace smartinf::sim
