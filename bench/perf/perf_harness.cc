@@ -223,6 +223,47 @@ failoverCase(const std::string &name, int num_requests)
     });
 }
 
+/** Time one serving run under the cluster control plane (PR 9): JSQ
+ *  dispatch, SLO admission, and queue-driven autoscaling with real
+ *  warm-up prefills all on the timed path — the controller's per-dispatch
+ *  load reads, admission predictions, and windowed autoscale ticks are
+ *  free only when ctrl is off, and this case tracks their real cost. */
+PerfSample
+autoscaleCase(const std::string &name, int num_requests)
+{
+    return timedCase(name, /*wall_only=*/false, [num_requests] {
+        const auto model = train::ModelSpec::gpt2(4.0);
+        train::SystemConfig system;
+        system.strategy = train::Strategy::SmartUpdateOptComp;
+        system.num_devices = 6;
+        system.num_nodes = 3;
+
+        serve::ServeConfig config;
+        config.scheduler = serve::SchedulerPolicy::Continuous;
+        config.num_requests = num_requests;
+        config.arrival_rate = 0.5; // bursty enough to trip the scaler
+        config.prompt_tokens = 256;
+        config.output_tokens = 16;
+        config.max_batch = 2;
+        config.ctrl.enabled = true;
+        config.ctrl.policy = ctrl::DispatchPolicy::JoinShortestQueue;
+        config.ctrl.slo.admission = ctrl::AdmissionMode::Reject;
+        config.ctrl.slo.target_p99_s = 120.0; // loose: admit everything
+        config.ctrl.autoscale.enabled = true;
+        config.ctrl.autoscale.min_replicas = 1;
+        config.ctrl.autoscale.max_replicas = 3;
+        config.ctrl.autoscale.window_s = 5.0;
+        config.ctrl.autoscale.cooldown_s = 10.0;
+        config.ctrl.autoscale.scale_up_depth = 1.5;
+        config.ctrl.autoscale.scale_down_depth = 0.25;
+
+        auto engine = train::makeEngine(model, {}, system);
+        serve::InferenceWorkload workload(model, config);
+        const train::WorkloadResult result = engine->run(workload);
+        return CaseStats{result.events_executed, result.iteration_time, 1};
+    });
+}
+
 } // namespace
 
 std::vector<PerfSample>
@@ -243,6 +284,7 @@ runPerfCases()
     samples.push_back(serveCase("serve_paged_24req", 24, /*kv_heavy=*/true,
                                 /*paged=*/true));
     samples.push_back(failoverCase("serve_failover_24req", 24));
+    samples.push_back(autoscaleCase("serve_autoscale_24req", 24));
     return samples;
 }
 

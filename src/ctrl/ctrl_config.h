@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Configuration of the cluster control plane: the policy layer that sits
+ * between the generated request stream and the per-replica batch schedulers
+ * inside serve::InferenceWorkload. Four orthogonal features share one
+ * master switch:
+ *
+ *  - dispatch policies  — which replica a request is routed to
+ *                          (round-robin / join-shortest-queue /
+ *                          power-of-two-choices),
+ *  - SLO admission      — reject or defer requests whose predicted
+ *                          completion misses a latency SLO,
+ *  - replica autoscaling — grow/shrink the active replica set on windowed
+ *                          queue-depth / SLO-attainment signals, paying a
+ *                          real warm-up (parameter prefill) cost per
+ *                          scale-up and draining before every retire,
+ *  - priority classes   — a two-class request mix with optional preemption
+ *                          of running decode batches.
+ *
+ * Disabled by default — and inert by contract when disabled: no fifth
+ * stream is drawn, no tick event is armed, requests shard exactly as
+ * `id % replicas`, and every pinned scenario's output stays bit-identical
+ * to the pre-control-plane build.
+ *
+ * Determinism contract: the control plane owns a fifth derived PRNG stream,
+ * Rng(ctrlSeed(seed)) — the arrival/length/prefix/fault streams never move
+ * when control-plane knobs change. Unlike those four, the fifth stream is
+ * consumed *lazily inside deterministic event callbacks* (a dispatch
+ * decision cannot be pre-drawn: it reads queue depths that exist only at
+ * dispatch time). Event order is deterministic, so the draw sequence — and
+ * every result — still is. RoundRobin and the all-zero priority mix draw
+ * nothing at all, which is why they leave the seed dead in the RunSpec hash
+ * (see drawsRandomness()).
+ */
+#ifndef SMARTINF_CTRL_CTRL_CONFIG_H
+#define SMARTINF_CTRL_CTRL_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smartinf::ctrl {
+
+/** Replica-selection policy applied to every dispatched request. */
+enum class DispatchPolicy {
+    RoundRobin,        ///< request id modulo active replicas (draw-free)
+    JoinShortestQueue, ///< least queued+running; ties drawn from ctrl stream
+    PowerOfTwoChoices, ///< probe two replicas from the ctrl stream, pick shorter
+};
+
+const char *dispatchPolicyName(DispatchPolicy policy);
+std::optional<DispatchPolicy> dispatchPolicyFromName(const std::string &name);
+std::vector<DispatchPolicy> allDispatchPolicies();
+
+/** What SLO admission control does with a predicted-miss request. */
+enum class AdmissionMode {
+    Off,    ///< admit everything (admission disabled)
+    Reject, ///< turn predicted misses away immediately
+    Defer,  ///< re-try admission after defer_delay, up to max_defers, then reject
+};
+
+const char *admissionModeName(AdmissionMode mode);
+std::optional<AdmissionMode> admissionModeFromName(const std::string &name);
+std::vector<AdmissionMode> allAdmissionModes();
+
+/**
+ * Latency-SLO admission control. The predictor is intentionally simple and
+ * observable-driven: service time is estimated from an EWMA of *observed*
+ * scheduler step times, and a request joining a replica with L requests
+ * ahead of it is predicted to finish at
+ *
+ *     now + (L + 1 + output_tokens) * step_estimate
+ *
+ * (L steps to drain the queue ahead, one prefill, one step per decoded
+ * token — a deliberate upper-bound model: continuous batching overlaps
+ * requests, so attained latency is usually better than predicted). Until
+ * the first step completes there is no estimate and everything is admitted
+ * (optimistic cold start).
+ */
+struct SloConfig {
+    AdmissionMode admission = AdmissionMode::Off;
+    /** The latency SLO: predicted completion beyond arrival + target is a
+     *  miss. Must be positive when admission is armed. Also the threshold
+     *  for the windowed SLO-attainment signal (autoscaling, metrics). */
+    Seconds target_p99_s = 0.0;
+    /** Defer mode: how long a deferred request waits before re-trying
+     *  admission (hashed only under Defer). */
+    Seconds defer_delay_s = 0.5;
+    /** Defer mode: defers allowed before the request is rejected. */
+    int max_defers = 4;
+
+    bool enabled() const { return admission != AdmissionMode::Off; }
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * Queue-driven replica autoscaling. The fleet is built at its maximum size
+ * (hardware exists for every replica); autoscaling governs which replicas
+ * are *active*. Every autoscale window the controller compares the
+ * windowed mean load per active replica (and, when an SLO target is set,
+ * the windowed attainment rate) against the thresholds:
+ *
+ *  - scale UP   when mean load/replica > scale_up_depth, or attainment
+ *               drops below min_attainment;
+ *  - scale DOWN when mean load/replica < scale_down_depth and attainment
+ *               is healthy.
+ *
+ * Scale-up is not free: the new replica streams its full parameter set
+ * (one warm-up prefill through serve::InferenceBuilder) before it joins
+ * the dispatch set. Scale-down drains first — the victim replica stops
+ * receiving dispatches and retires only once its queue and running batch
+ * are empty (the graceful mirror of the fault layer's crash drain).
+ * Decisions are separated by at least `cooldown_s`.
+ */
+struct AutoscaleConfig {
+    bool enabled = false;
+    int min_replicas = 1; ///< initial and minimum active replicas
+    int max_replicas = 1; ///< ceiling (clamped to the fleet size at build)
+    Seconds window_s = 5.0;   ///< signal window = evaluation period
+    Seconds cooldown_s = 10.0; ///< minimum time between scaling decisions
+    double scale_up_depth = 4.0;   ///< mean queued+running per active replica
+    double scale_down_depth = 1.0; ///< idle threshold for draining a replica
+    /** Scale up when windowed SLO attainment falls below this (0 disables;
+     *  requires slo.target_p99_s to define attainment). */
+    double min_attainment = 0.0;
+
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * Two-class priority mix. A fraction of requests (drawn from the ctrl
+ * stream, one uniform per request in id order, before any dispatch draw)
+ * is tagged high priority. The batch scheduler admits the highest-priority
+ * queued request first (FIFO among equals — with the default all-zero mix
+ * this degenerates to exactly the old front-of-queue order), and with
+ * `preempt` set a high-priority arrival at a full replica evicts the
+ * lowest-priority running request: the in-flight step is revoked through
+ * the TaskGraph revocation domain, the victim's KV is dropped, and it
+ * re-enters the queue to pay a full re-prefill.
+ */
+struct PriorityConfig {
+    double high_fraction = 0.0; ///< P(request is high priority), in [0, 1]
+    bool preempt = false;       ///< high arrivals may evict running low requests
+
+    bool enabled() const { return high_fraction > 0.0; }
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * The control-plane configuration carried by serve::ServeConfig. Every
+ * field affects simulated results when the master switch is on and
+ * therefore joins the RunSpec hash (src/exp/run_spec.cc) with semantic
+ * normalization: nothing is hashed while disabled, SLO knobs only while
+ * admission is armed (defer knobs only under Defer), autoscale knobs only
+ * while autoscaling is on, and the preempt flag only while the priority
+ * mix is non-degenerate.
+ */
+struct CtrlConfig {
+    /** Master switch. Off ⇒ byte-inert: dispatch is `id % replicas`. */
+    bool enabled = false;
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+    SloConfig slo;
+    AutoscaleConfig autoscale;
+    PriorityConfig priority;
+
+    /**
+     * Does this configuration consume the fifth PRNG stream? JSQ/P2C draw
+     * tie-breaks/probes and the priority mix draws per-request classes;
+     * RoundRobin with an all-zero mix draws nothing. Gates seed revival in
+     * the RunSpec hash exactly like samplesLengths()/sharesPrefixes().
+     */
+    bool drawsRandomness() const
+    {
+        return enabled && (policy != DispatchPolicy::RoundRobin ||
+                           priority.enabled());
+    }
+
+    std::vector<std::string> validate() const;
+};
+
+/**
+ * The fifth derived PRNG stream (after arrivals, lengths, prefixes,
+ * faults): every control-plane draw — priority classes pre-sim, dispatch
+ * tie-breaks/probes in-sim — comes from one Rng(ctrlSeed(seed)), so
+ * toggling control-plane knobs never moves the other four streams.
+ */
+inline std::uint64_t
+ctrlSeed(std::uint64_t seed)
+{
+    return seed ^ 0xb97f4a7c159e3779ull;
+}
+
+} // namespace smartinf::ctrl
+
+#endif // SMARTINF_CTRL_CTRL_CONFIG_H

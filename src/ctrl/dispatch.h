@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The replica-selection seam: a pure function from (policy, request id,
+ * candidate replicas + loads, ctrl stream) to a chosen replica. Pure on
+ * purpose — serve::ClusterController gathers the candidate set (active,
+ * alive replicas in ascending index order) and their instantaneous loads;
+ * this layer only decides, so every policy is unit-testable without a
+ * simulator.
+ *
+ * Determinism: RoundRobin is draw-free and, over a full candidate set
+ * {0..N-1}, reproduces the legacy `id % N` sharding bit for bit (pinned by
+ * the control-plane oracle test). JSQ draws one uniformInt only on a tie;
+ * P2C draws its two probes on every call with >= 2 candidates. All draws
+ * come from the caller's Rng(ctrlSeed(seed)) in dispatch-event order.
+ */
+#ifndef SMARTINF_CTRL_DISPATCH_H
+#define SMARTINF_CTRL_DISPATCH_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "ctrl/ctrl_config.h"
+
+namespace smartinf::ctrl {
+
+/**
+ * Choose a replica for one request.
+ *
+ * @param policy      the dispatch policy
+ * @param request_id  the request's stream id (round-robin key)
+ * @param candidates  eligible replica indices, ascending; must be non-empty
+ * @param loads       queued+running per candidate, parallel to `candidates`
+ * @param rng         the control plane's fifth-stream Rng
+ * @return the chosen replica index (an element of `candidates`)
+ */
+int pickReplica(DispatchPolicy policy, int request_id,
+                const std::vector<int> &candidates,
+                const std::vector<int> &loads, Rng &rng);
+
+} // namespace smartinf::ctrl
+
+#endif // SMARTINF_CTRL_DISPATCH_H

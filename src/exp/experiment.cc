@@ -224,6 +224,27 @@ ExperimentBuilder::prefixShareFractions(std::vector<double> fs)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::dispatchPolicies(std::vector<ctrl::DispatchPolicy> ps)
+{
+    dispatch_policies_ = std::move(ps);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::admissionModes(std::vector<ctrl::AdmissionMode> ms)
+{
+    admission_modes_ = std::move(ms);
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::sloTargets(std::vector<double> ts)
+{
+    slo_targets_ = std::move(ts);
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::faults(const fault::FaultConfig &config)
 {
     fault_base_ = config;
@@ -283,7 +304,9 @@ ExperimentBuilder::size() const
            axisSize(max_batches_) * axisSize(weight_fractions_) *
            axisSize(output_token_counts_) * axisSize(hbm_budgets_) *
            axisSize(concurrencies_) * axisSize(block_tokens_) *
-           axisSize(prefix_share_fractions_) * axisSize(mtbfs_) *
+           axisSize(prefix_share_fractions_) *
+           axisSize(dispatch_policies_) * axisSize(admission_modes_) *
+           axisSize(slo_targets_) * axisSize(mtbfs_) *
            axisSize(checkpoint_intervals_) * axisSize(retry_limits_);
 }
 
@@ -299,7 +322,9 @@ ExperimentBuilder::build() const
                     max_batches_.empty() && weight_fractions_.empty() &&
                     output_token_counts_.empty() && hbm_budgets_.empty() &&
                     concurrencies_.empty() && block_tokens_.empty() &&
-                    prefix_share_fractions_.empty()),
+                    prefix_share_fractions_.empty() &&
+                    dispatch_policies_.empty() &&
+                    admission_modes_.empty() && slo_targets_.empty()),
                "serving axes set on a training sweep; call serving() (or "
                "workload(WorkloadKind::Serving)) first");
     // Same duplicate-hash failure mode, per axis: the hash normalizes
@@ -322,6 +347,19 @@ ExperimentBuilder::build() const
                "prefixShareFractions() axis needs the paged KV layout on "
                "the serving() base config (set kv.enabled = true and "
                "kv.layout = KvLayout::Paged)");
+    SI_REQUIRE(dispatch_policies_.empty() || serve_base_.ctrl.enabled,
+               "dispatchPolicies() axis needs the control plane enabled "
+               "on the serving() base config (set ctrl.enabled = true)");
+    SI_REQUIRE(admission_modes_.empty() ||
+                   (serve_base_.ctrl.enabled &&
+                    serve_base_.ctrl.slo.target_p99_s > 0.0),
+               "admissionModes() axis needs the control plane enabled and "
+               "a positive ctrl.slo.target_p99_s on the serving() base "
+               "config (the non-Off modes cannot validate without one)");
+    SI_REQUIRE(slo_targets_.empty() || serve_base_.ctrl.slo.enabled(),
+               "sloTargets() axis needs SLO admission armed on the "
+               "serving() base config (set ctrl.slo.admission to Reject "
+               "or Defer) — the target is normalized out otherwise");
     // The fault axes are normalized out of the hash whenever their
     // enabling condition is off — sweeping them would expand N
     // identically-hashed (aliased) specs. Refuse early.
@@ -402,6 +440,19 @@ ExperimentBuilder::build() const
         prefix_share_fractions_.empty()
             ? std::vector<double>{serve_base_.kv.prefix.share_fraction}
             : prefix_share_fractions_;
+    const std::vector<ctrl::DispatchPolicy> dispatch_policies =
+        dispatch_policies_.empty()
+            ? std::vector<ctrl::DispatchPolicy>{serve_base_.ctrl.policy}
+            : dispatch_policies_;
+    const std::vector<ctrl::AdmissionMode> admission_modes =
+        admission_modes_.empty()
+            ? std::vector<ctrl::AdmissionMode>{serve_base_.ctrl.slo
+                                                   .admission}
+            : admission_modes_;
+    const std::vector<double> slo_targets =
+        slo_targets_.empty()
+            ? std::vector<double>{serve_base_.ctrl.slo.target_p99_s}
+            : slo_targets_;
     const std::vector<double> mtbfs =
         mtbfs_.empty() ? std::vector<double>{fault_base_.node_mtbf}
                        : mtbfs_;
@@ -423,7 +474,9 @@ ExperimentBuilder::build() const
         overlaps.size(),   calibs.size(),    schedulers.size(),
         rates.size(),      batches.size(),   weight_fractions.size(),
         output_tokens.size(), hbm_budgets.size(), concurrencies.size(),
-        block_tokens.size(),  prefix_shares.size(), mtbfs.size(),
+        block_tokens.size(),  prefix_shares.size(),
+        dispatch_policies.size(), admission_modes.size(),
+        slo_targets.size(), mtbfs.size(),
         ckpt_intervals.size(), retry_limits.size()};
     constexpr int kAxes = static_cast<int>(std::size(sizes));
     std::size_t total = 1;
@@ -465,10 +518,13 @@ ExperimentBuilder::build() const
         spec.serve.concurrency = concurrencies[idx[17]];
         spec.serve.kv.block_tokens = block_tokens[idx[18]];
         spec.serve.kv.prefix.share_fraction = prefix_shares[idx[19]];
+        spec.serve.ctrl.policy = dispatch_policies[idx[20]];
+        spec.serve.ctrl.slo.admission = admission_modes[idx[21]];
+        spec.serve.ctrl.slo.target_p99_s = slo_targets[idx[22]];
         spec.fault = fault_base_;
-        spec.fault.node_mtbf = mtbfs[idx[20]];
-        spec.fault.checkpoint_interval = ckpt_intervals[idx[21]];
-        spec.fault.retry_limit = retry_limits[idx[22]];
+        spec.fault.node_mtbf = mtbfs[idx[23]];
+        spec.fault.checkpoint_interval = ckpt_intervals[idx[24]];
+        spec.fault.retry_limit = retry_limits[idx[25]];
         spec.label = spec.describe();
         specs.push_back(std::move(spec));
     }

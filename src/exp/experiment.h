@@ -84,6 +84,18 @@ class ExperimentBuilder
     /** Sweep serve.kv.prefix.share_fraction (shared-prompt mix). The
      *  serving() base config must use kv.layout = Paged. */
     ExperimentBuilder &prefixShareFractions(std::vector<double> fs);
+    /** Sweep serve.ctrl.policy (request dispatch policy). The serving()
+     *  base config must have ctrl.enabled set, or the axis is inert. */
+    ExperimentBuilder &
+    dispatchPolicies(std::vector<ctrl::DispatchPolicy> ps);
+    /** Sweep serve.ctrl.slo.admission (SLO admission mode). The serving()
+     *  base config must have ctrl.enabled and a positive
+     *  ctrl.slo.target_p99_s, or the non-Off modes cannot validate. */
+    ExperimentBuilder &admissionModes(std::vector<ctrl::AdmissionMode> ms);
+    /** Sweep serve.ctrl.slo.target_p99_s (latency SLO, seconds). The
+     *  serving() base config must have SLO admission armed
+     *  (ctrl.slo.admission != Off), or the axis is inert. */
+    ExperimentBuilder &sloTargets(std::vector<double> ts);
     /** @} */
     /** @name Fault axes (sweep fields of the faults() base config). @{ */
     /**
@@ -117,7 +129,8 @@ class ExperimentBuilder
      * optimizers, compressionFractions, nodes, overlapGradSync,
      * calibrations, schedulers, arrivalRates, maxBatches,
      * weightWireFractions, outputTokenCounts, hbmBudgets, concurrencies,
-     * blockTokens, prefixShareFractions, mtbfs, checkpointIntervals,
+     * blockTokens, prefixShareFractions, dispatchPolicies,
+     * admissionModes, sloTargets, mtbfs, checkpointIntervals,
      * retryPolicies. Labels default to RunSpec::describe().
      */
     std::vector<RunSpec> build() const;
@@ -146,6 +159,9 @@ class ExperimentBuilder
     std::vector<int> concurrencies_;
     std::vector<int> block_tokens_;
     std::vector<double> prefix_share_fractions_;
+    std::vector<ctrl::DispatchPolicy> dispatch_policies_;
+    std::vector<ctrl::AdmissionMode> admission_modes_;
+    std::vector<double> slo_targets_;
     fault::FaultConfig fault_base_;
     std::vector<double> mtbfs_;
     std::vector<int> checkpoint_intervals_;

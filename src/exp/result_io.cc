@@ -118,6 +118,37 @@ writeServeConfigJson(std::ostream &os, const serve::ServeConfig &c)
             os << "}";
         }
     }
+    os << "},\"ctrl\":{\"enabled\":" << (c.ctrl.enabled ? "true" : "false");
+    if (c.ctrl.enabled) {
+        os << ",\"policy\":\"" << ctrl::dispatchPolicyName(c.ctrl.policy)
+           << "\",\"slo\":{\"admission\":\""
+           << ctrl::admissionModeName(c.ctrl.slo.admission) << "\"";
+        if (c.ctrl.slo.enabled()) {
+            os << ",\"target_p99_s\":" << jsonNumber(c.ctrl.slo.target_p99_s);
+            if (c.ctrl.slo.admission == ctrl::AdmissionMode::Defer)
+                os << ",\"defer_delay_s\":"
+                   << jsonNumber(c.ctrl.slo.defer_delay_s)
+                   << ",\"max_defers\":" << c.ctrl.slo.max_defers;
+        }
+        os << "},\"autoscale\":{\"enabled\":"
+           << (c.ctrl.autoscale.enabled ? "true" : "false");
+        if (c.ctrl.autoscale.enabled)
+            os << ",\"min_replicas\":" << c.ctrl.autoscale.min_replicas
+               << ",\"max_replicas\":" << c.ctrl.autoscale.max_replicas
+               << ",\"window_s\":" << jsonNumber(c.ctrl.autoscale.window_s)
+               << ",\"cooldown_s\":"
+               << jsonNumber(c.ctrl.autoscale.cooldown_s)
+               << ",\"scale_up_depth\":"
+               << jsonNumber(c.ctrl.autoscale.scale_up_depth)
+               << ",\"scale_down_depth\":"
+               << jsonNumber(c.ctrl.autoscale.scale_down_depth)
+               << ",\"min_attainment\":"
+               << jsonNumber(c.ctrl.autoscale.min_attainment);
+        os << "},\"priority\":{\"high_fraction\":"
+           << jsonNumber(c.ctrl.priority.high_fraction)
+           << ",\"preempt\":" << (c.ctrl.priority.preempt ? "true" : "false")
+           << "}";
+    }
     os << "},\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
        << "}";
 }
@@ -228,7 +259,29 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
            << ",\"total_retries\":" << m.total_retries
            << ",\"success_rate\":" << jsonNumber(m.success_rate)
            << ",\"goodput_per_s\":" << jsonNumber(m.goodput)
-           << ",\"shed_wait_p99_s\":" << jsonNumber(m.shed_wait.p99);
+           << ",\"shed_wait_p99_s\":" << jsonNumber(m.shed_wait.p99)
+           << ",\"num_rejected\":" << m.num_rejected
+           << ",\"num_deferred\":" << m.num_deferred
+           << ",\"total_deferrals\":" << m.total_deferrals
+           << ",\"reject_wait_p99_s\":" << jsonNumber(m.reject_wait.p99)
+           << ",\"load_imbalance\":" << jsonNumber(m.load_imbalance)
+           << ",\"replica_requests\":[";
+        for (std::size_t i = 0; i < m.replica_requests.size(); ++i) {
+            if (i)
+                os << ",";
+            os << m.replica_requests[i];
+        }
+        os << "]";
+        const train::CtrlStats &cs = record.result.ctrl;
+        if (cs.enabled)
+            os << ",\"ctrl\":{\"rejected\":" << cs.rejected
+               << ",\"deferrals\":" << cs.deferrals
+               << ",\"preemptions\":" << cs.preemptions
+               << ",\"scale_ups\":" << cs.scale_ups
+               << ",\"scale_downs\":" << cs.scale_downs
+               << ",\"warmups_completed\":" << cs.warmups_completed
+               << ",\"peak_active_replicas\":" << cs.peak_active_replicas
+               << "}";
         if (record.spec.serve.kv.paged()) {
             const train::KvCacheStats &kv = record.result.kv;
             os << ",\"kv_cache\":{\"prefix_hits\":" << kv.prefix_hits
@@ -257,7 +310,10 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
                << ",\"prompt_tokens\":" << r.prompt_tokens
                << ",\"output_tokens\":" << r.output_tokens
                << ",\"retries\":" << r.retries
-               << ",\"shed\":" << (r.shed ? "true" : "false") << "}";
+               << ",\"shed\":" << (r.shed ? "true" : "false")
+               << ",\"rejected\":" << (r.rejected ? "true" : "false")
+               << ",\"deferrals\":" << r.deferrals
+               << ",\"priority\":" << r.priority << "}";
         }
         os << "]}";
     }

@@ -145,12 +145,41 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
                 hs << c.kv.prefix.num_prefixes << c.kv.prefix.prefix_tokens;
         }
     }
-    // Client model. The seed feeds three independent streams: arrivals
+    // Control plane: when disabled every knob is inert and stays out.
+    // Within the plane the same normalization recurses: SLO knobs only
+    // under an armed admission mode (defer shape only under Defer), the
+    // p99 target also when autoscaling keys on attainment, autoscale
+    // knobs only when autoscaling, and the priority mix only when drawn.
+    hs << c.ctrl.enabled;
+    if (c.ctrl.enabled) {
+        hs << c.ctrl.policy;
+        hs << c.ctrl.slo.admission;
+        if (c.ctrl.slo.enabled() ||
+            (c.ctrl.autoscale.enabled &&
+             c.ctrl.autoscale.min_attainment > 0.0))
+            hs << c.ctrl.slo.target_p99_s;
+        if (c.ctrl.slo.admission == ctrl::AdmissionMode::Defer)
+            hs << c.ctrl.slo.defer_delay_s << c.ctrl.slo.max_defers;
+        hs << c.ctrl.autoscale.enabled;
+        if (c.ctrl.autoscale.enabled)
+            hs << c.ctrl.autoscale.min_replicas
+               << c.ctrl.autoscale.max_replicas << c.ctrl.autoscale.window_s
+               << c.ctrl.autoscale.cooldown_s
+               << c.ctrl.autoscale.scale_up_depth
+               << c.ctrl.autoscale.scale_down_depth
+               << c.ctrl.autoscale.min_attainment;
+        hs << c.ctrl.priority.high_fraction;
+        if (c.ctrl.priority.enabled())
+            hs << c.ctrl.priority.preempt;
+    }
+    // Client model. The seed feeds four independent streams: arrivals
     // (open-loop, non-trace only), sampled lengths (any mode with a
-    // non-Fixed distribution), and prefix assignment (paged KV with a
-    // shared-prefix mix) — it is hashed iff at least one consumes it.
+    // non-Fixed distribution), prefix assignment (paged KV with a
+    // shared-prefix mix), and the control plane's dispatch/priority draws
+    // (a policy that draws randomness) — it is hashed iff at least one
+    // consumes it.
     const bool seed_shapes_requests =
-        c.samplesLengths() || c.sharesPrefixes();
+        c.samplesLengths() || c.sharesPrefixes() || c.ctrl.drawsRandomness();
     hs << c.client_mode;
     if (c.client_mode == serve::ClientMode::ClosedLoop) {
         // Arrivals are reactive: arrival_rate and the trace are ignored
@@ -327,6 +356,24 @@ RunSpec::describe() const
                 oss << "/paged" << serve.kv.block_tokens;
                 if (serve.kv.prefix.enabled())
                     oss << "/px" << serve.kv.prefix.share_fraction;
+            }
+        }
+        // Control-plane tags mirror the hash normalization: only armed
+        // features appear.
+        if (serve.ctrl.enabled) {
+            oss << "/ctrl-"
+                << ctrl::dispatchPolicyName(serve.ctrl.policy);
+            if (serve.ctrl.slo.enabled())
+                oss << "/slo-"
+                    << ctrl::admissionModeName(serve.ctrl.slo.admission)
+                    << serve.ctrl.slo.target_p99_s;
+            if (serve.ctrl.autoscale.enabled)
+                oss << "/as" << serve.ctrl.autoscale.min_replicas << "-"
+                    << serve.ctrl.autoscale.max_replicas;
+            if (serve.ctrl.priority.enabled()) {
+                oss << "/prio" << serve.ctrl.priority.high_fraction;
+                if (serve.ctrl.priority.preempt)
+                    oss << "p";
             }
         }
     }

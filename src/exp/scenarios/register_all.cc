@@ -27,6 +27,7 @@ registerBuiltinScenarios()
         scenarios::registerServeKvScenarios();
         scenarios::registerServePagedScenarios();
         scenarios::registerFaultScenarios();
+        scenarios::registerCtrlScenarios();
         return true;
     }();
     (void)registered;

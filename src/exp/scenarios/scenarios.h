@@ -33,6 +33,7 @@ void registerServeScenarios();
 void registerServeKvScenarios();
 void registerServePagedScenarios();
 void registerFaultScenarios();
+void registerCtrlScenarios();
 
 } // namespace smartinf::exp::scenarios
 

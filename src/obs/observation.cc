@@ -346,6 +346,39 @@ RunObservation::kvAllocator(const std::string &scope, int used_hbm,
     metric(name + ".prefix_hit_rate", now, prefix_hit_rate);
 }
 
+void
+RunObservation::ctrlDecision(const std::string &kind, int node, Seconds now)
+{
+    trace_.instant(pid_, track("ctrl"),
+                   kind + " n" + std::to_string(node), now,
+                   "\"kind\": \"" + kind + "\", \"node\": " +
+                       std::to_string(node));
+    metric("ctrl." + kind, now, 1.0);
+}
+
+void
+RunObservation::ctrlReplicas(int active, int warming, int draining,
+                             Seconds now)
+{
+    traceCounter("ctrl replicas", now,
+                 "\"active\": " + std::to_string(active) +
+                     ", \"warming\": " + std::to_string(warming) +
+                     ", \"draining\": " + std::to_string(draining));
+    metric("ctrl.replicas_active", now, static_cast<double>(active));
+    metric("ctrl.replicas_warming", now, static_cast<double>(warming));
+    metric("ctrl.replicas_draining", now, static_cast<double>(draining));
+}
+
+void
+RunObservation::sloAttainment(int node, bool attained, Seconds now)
+{
+    // 0/1 samples: the CounterSampler's windowed mean is the windowed
+    // attainment rate, per replica — the satellite aggregation the whole-
+    // run record vectors cannot provide incrementally.
+    metric("slo_attained.n" + std::to_string(node), now,
+           attained ? 1.0 : 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Observation
 

@@ -137,6 +137,23 @@ class RunObservation final : public sim::SimObserver,
                      double prefix_hit_rate, Seconds now);
     /** @} */
 
+    /**
+     * @name Control-plane hooks (called through SimContext::obs).
+     * One counter track ("ctrl") accumulates replica-set state; each
+     * control decision (reject / defer / preempt / scale-up / scale-down /
+     * warmup-done / retire-replica) lands as a trace instant on the ctrl
+     * track and as a `ctrl.<kind>` metric sample.
+     * @{
+     */
+    void ctrlDecision(const std::string &kind, int node, Seconds now);
+    /** Replica-set composition after a control-plane transition or tick. */
+    void ctrlReplicas(int active, int warming, int draining, Seconds now);
+    /** Per-retirement SLO verdict; the windowed mean of the 0/1 samples in
+     *  the metrics CSV (`slo_attained.n<k>`) is the per-replica windowed
+     *  attainment rate. */
+    void sloAttainment(int node, bool attained, Seconds now);
+    /** @} */
+
     const std::string &label() const { return label_; }
     const TraceSink &trace() const { return trace_; }
     const CounterSampler &counters() const { return counters_; }

@@ -1,6 +1,7 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -66,6 +67,14 @@ BatchScheduler::noteQueueDepthChange()
 void
 BatchScheduler::submit(const RequestSpec &request)
 {
+    // Control-plane preemption: a high-priority arrival that would
+    // otherwise wait behind a full batch may evict a lower-priority
+    // running request first. Gated on the config so every other run
+    // never reaches the preemption path.
+    if (config_.ctrl.enabled && config_.ctrl.priority.preempt &&
+        request.priority > 0 &&
+        static_cast<int>(running_.size()) >= config_.max_batch)
+        maybePreemptFor(request);
     noteQueueDepthChange();
     queue_.push_back(request);
     peak_queue_depth_ =
@@ -106,10 +115,19 @@ BatchScheduler::beginStep()
         noteQueueDepthChange();
         while (!queue_.empty() &&
                static_cast<int>(running_.size()) < config_.max_batch) {
+            // Highest priority first, FIFO among equals: strict > keeps
+            // the first of a tie, so with the default all-zero priorities
+            // this selects queue_.front() — bit-identical to the
+            // pre-control-plane admission order.
+            auto pick = queue_.begin();
+            for (auto it = std::next(queue_.begin()); it != queue_.end();
+                 ++it)
+                if (it->priority > pick->priority)
+                    pick = it;
             Active a;
-            a.spec = queue_.front();
+            a.spec = *pick;
             a.start = now;
-            queue_.pop_front();
+            queue_.erase(pick);
             // Paged layout: create the block table now. A prefix hit maps
             // the cached pages and shrinks this request's prefill; a miss
             // makes it the producer (pages allocated here, in admission
@@ -214,6 +232,7 @@ BatchScheduler::beginStep()
 
     ++next_step_index_;
     step_in_flight_ = true;
+    step_began_ = now;
 }
 
 void
@@ -224,6 +243,11 @@ BatchScheduler::onStepDone()
     step_in_flight_ = false;
     if (ctx_.obs)
         ctx_.obs->schedulerStepFinished(node_, now);
+    // Observed service time: the control plane's SLO predictor feeds on
+    // it *before* any retirement fires, so a closed-loop client's next
+    // submission already sees the updated estimate.
+    if (step_time_hook_)
+        step_time_hook_(node_, now - step_began_);
 
     // Token progress: prefill emits the first token, decode one more.
     for (Active &a : running_) {
@@ -254,6 +278,8 @@ BatchScheduler::onStepDone()
         record.first_token = a.first_token;
         record.finish = now;
         record.retries = a.spec.attempt;
+        record.priority = a.spec.priority;
+        record.deferrals = a.spec.deferrals;
         records_.push_back(record);
         if (ctx_.obs)
             ctx_.obs->requestRetired(node_, record.id, record.arrival,
@@ -270,8 +296,59 @@ BatchScheduler::onStepDone()
     if (ctx_.obs)
         ctx_.obs->runningBatch(node_, static_cast<int>(running_.size()),
                                now);
+    // Fully drained: the control plane's drain-before-retire signal. The
+    // hook may retire this replica, but never schedules events or builds
+    // tasks, so firing before maybeBeginStep (a no-op when drained) is
+    // safe.
+    if (idle_hook_ && running_.empty() && queue_.empty())
+        idle_hook_(node_);
 
     maybeBeginStep();
+}
+
+void
+BatchScheduler::maybePreemptFor(const RequestSpec &incoming)
+{
+    // Victim: the lowest-priority running request; <= picks the latest
+    // admitted among ties (least sunk progress, deterministically).
+    auto victim = running_.end();
+    for (auto it = running_.begin(); it != running_.end(); ++it)
+        if (victim == running_.end() ||
+            it->spec.priority <= victim->spec.priority)
+            victim = it;
+    if (victim == running_.end() ||
+        victim->spec.priority >= incoming.priority)
+        return; // nobody outranked: the arrival waits its turn
+    ++preemptions_;
+    // Revoke the in-flight step as a unit (the same domain seam the crash
+    // path uses): every batch-mate redoes the current step, which is the
+    // collateral cost of preemption. The workload armed ctx.faults_armed
+    // when it enabled preemption, so the domain is always open here.
+    if (step_in_flight_) {
+        SI_ASSERT(step_domain_ != sim::TaskGraph::kNoDomain,
+                  "preempting an in-flight step without a revocation "
+                  "domain (preemption requires ctx.faults_armed)");
+        ctx_.graph.revokeDomain(step_domain_);
+        step_in_flight_ = false;
+    }
+    // The victim re-enters the queue with its KV evicted: it re-prefills
+    // from scratch when re-admitted (a real recomputation cost), and its
+    // priority keeps it behind the high class.
+    if (kv_)
+        kv_->retire(victim->spec.id);
+    RequestSpec spec = victim->spec;
+    running_.erase(victim);
+    noteQueueDepthChange();
+    queue_.push_back(spec);
+    peak_queue_depth_ =
+        std::max(peak_queue_depth_, static_cast<int>(queue_.size()));
+    if (ctx_.obs) {
+        const Seconds now = ctx_.sim.now();
+        ctx_.obs->ctrlDecision("preempt", node_, now);
+        ctx_.obs->queueDepth(node_, static_cast<int>(queue_.size()), now);
+        ctx_.obs->runningBatch(node_, static_cast<int>(running_.size()),
+                               now);
+    }
 }
 
 std::vector<RequestSpec>

@@ -50,6 +50,13 @@ class BatchScheduler
     /** Called once per retired request, inside the retirement event
      *  callback, in stable admission order. */
     using RetireHook = std::function<void(const train::RequestRecord &)>;
+    /** Called once per completed step with its simulated duration — the
+     *  control plane's observed-service-time feed (SLO admission). */
+    using StepTimeHook = std::function<void(int node, Seconds dt)>;
+    /** Called when a step completion leaves the replica fully drained
+     *  (no queue, no running batch) — the control plane's
+     *  drain-before-retire signal (autoscaling). */
+    using IdleHook = std::function<void(int node)>;
 
     /** @p node is this replica's index (stamped into the records). */
     BatchScheduler(train::SimContext &ctx, InferenceBuilder &builder,
@@ -59,9 +66,20 @@ class BatchScheduler
      *  Must be called from a simulator event at request.arrival. */
     void submit(const RequestSpec &request);
 
-    /** Install the per-request retirement hook (closed-loop clients).
-     *  Must be set before the simulation starts, or never. */
+    /** Install the per-request retirement hook (closed-loop clients,
+     *  control plane). Must be set before the simulation starts, or
+     *  never. */
     void setRetireHook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+    /** Install the step-duration hook (control plane only; unset in every
+     *  other run — installing it adds no events and changes no result). */
+    void setStepTimeHook(StepTimeHook hook)
+    {
+        step_time_hook_ = std::move(hook);
+    }
+
+    /** Install the drained hook (control-plane autoscaling only). */
+    void setIdleHook(IdleHook hook) { idle_hook_ = std::move(hook); }
 
     /** Close the queue-depth integral at the workload's end time. */
     void finalize(Seconds end_time);
@@ -119,12 +137,16 @@ class BatchScheduler
     /** True while crashed (between failNode() and revive()). */
     bool dead() const { return dead_; }
     /** Requests on this node (queued + running) — the admission-shedding
-     *  load signal. */
+     *  load signal, and the control plane's JSQ/P2C dispatch signal. */
     int load() const
     {
         return static_cast<int>(queue_.size() + running_.size());
     }
     /** @} */
+
+    /** Running requests evicted for a higher-priority arrival (control
+     *  plane preemption only; always 0 otherwise). */
+    int preemptions() const { return preemptions_; }
 
   private:
     /** A request admitted into the running batch. */
@@ -153,6 +175,12 @@ class BatchScheduler
     void beginStep();
     void onStepDone();
     void noteQueueDepthChange();
+    /** Control-plane preemption: a high-priority arrival at a full batch
+     *  evicts the lowest-priority running request (revoking the in-flight
+     *  step), sending it back to the queue with its KV dropped — it will
+     *  re-prefill from scratch. No-op when no running request outranks
+     *  @p incoming. */
+    void maybePreemptFor(const RequestSpec &incoming);
 
     train::SimContext &ctx_;
     InferenceBuilder &builder_;
@@ -164,8 +192,10 @@ class BatchScheduler
     std::deque<RequestSpec> queue_; ///< arrived, not yet admitted
     std::vector<Active> running_;   ///< admitted, in admission order
     bool step_in_flight_ = false;
+    Seconds step_began_ = 0.0; ///< begin time of the in-flight step
     int next_step_index_ = 0;
     int steps_executed_ = 0;
+    int preemptions_ = 0;
 
     /** @name Fault state (inert defaults in fault-free runs). @{ */
     bool dead_ = false;
@@ -176,6 +206,8 @@ class BatchScheduler
     /** @} */
 
     RetireHook retire_hook_;
+    StepTimeHook step_time_hook_;
+    IdleHook idle_hook_;
     std::vector<train::RequestRecord> records_;
     double queue_depth_integral_ = 0.0;
     Seconds last_depth_change_ = 0.0;

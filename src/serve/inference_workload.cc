@@ -26,10 +26,10 @@ InferenceWorkload::issueAt(train::SimContext &ctx, std::size_t index,
     // record's queueDelay/latency measure from submission.
     stream_[index].arrival = at;
     const RequestSpec request = stream_[index];
-    if (config_.fault.enabled) {
-        // Failover front door: the replica choice must see the fleet's
-        // state *at submission time* (a pre-bound scheduler could be dead
-        // by then).
+    if (config_.fault.enabled || ctrl_) {
+        // Failover / control-plane front door: the replica choice must see
+        // the fleet's state *at submission time* (a pre-bound scheduler
+        // could be dead, drained, or the longest queue by then).
         ctx.sim.at(at,
                    [this, &ctx, request]() { dispatch(ctx, request); });
         return;
@@ -98,13 +98,43 @@ InferenceWorkload::shed(train::SimContext &ctx, const RequestSpec &request)
     record.first_token = now;
     record.finish = now;
     record.retries = request.attempt;
+    record.priority = request.priority;
+    record.deferrals = request.deferrals;
     record.shed = true;
     shed_.push_back(record);
+    if (ctrl_)
+        ctrl_->noteShed();
     if (ctx.obs)
         ctx.obs->recoveryAction("shed", request.id, now);
     // A closed-loop client moves on when its request is rejected, exactly
     // as it would on completion — otherwise shedding would deadlock the
     // population.
+    if (config_.client_mode == ClientMode::ClosedLoop)
+        onRetire(ctx, record);
+}
+
+void
+InferenceWorkload::reject(train::SimContext &ctx,
+                          const RequestSpec &request)
+{
+    const Seconds now = ctx.sim.now();
+    train::RequestRecord record;
+    record.id = request.id;
+    record.node = -1; // no replica served it
+    record.prompt_tokens = request.prompt_tokens;
+    record.output_tokens = 0; // nothing was delivered
+    record.arrival = request.arrival;
+    record.start = now;
+    record.first_token = now;
+    record.finish = now;
+    record.retries = request.attempt;
+    record.priority = request.priority;
+    record.deferrals = request.deferrals;
+    record.rejected = true;
+    rejected_.push_back(record);
+    ctrl_->noteRejected(request, now);
+    // Like shedding, a rejection releases the closed-loop client — the
+    // population must not deadlock on a turned-away request.
     if (config_.client_mode == ClientMode::ClosedLoop)
         onRetire(ctx, record);
 }
@@ -126,31 +156,66 @@ InferenceWorkload::dispatch(train::SimContext &ctx,
 {
     const fault::FaultConfig &f = config_.fault;
     const Seconds now = ctx.sim.now();
-    if (request.attempt > f.retry_limit)
-        return shed(ctx, request);
-    if (request.attempt > 0 && now - request.arrival > f.retry_timeout)
-        return shed(ctx, request);
-
-    // Deterministic skip-dead scan from the request's home replica; the
-    // attempt offsets the start so a retry prefers a *different* replica
-    // than the one that just failed it.
-    const std::size_t n = schedulers_.size();
-    std::size_t chosen = n;
-    for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t cand =
-            (static_cast<std::size_t>(request.id) + request.attempt + k) % n;
-        if (!schedulers_[cand]->dead()) {
-            chosen = cand;
-            break;
-        }
+    if (config_.fault.enabled) {
+        if (request.attempt > f.retry_limit)
+            return shed(ctx, request);
+        if (request.attempt > 0 && now - request.arrival > f.retry_timeout)
+            return shed(ctx, request);
     }
-    if (chosen == n)
-        return redispatch(ctx, request); // whole fleet down: back off again
+
+    std::size_t chosen;
+    const std::size_t n = schedulers_.size();
+    if (ctrl_) {
+        // Control plane: dispatch policy over the active, live replicas
+        // (fifth-stream draws for JSQ ties and P2C probes).
+        const int picked = ctrl_->chooseReplica(request);
+        if (picked < 0) {
+            // Whole active set crashed — only reachable under fault
+            // injection (autoscaling never drains below min_replicas).
+            SI_ASSERT(config_.fault.enabled,
+                      "no eligible replica without fault injection");
+            return redispatch(ctx, request);
+        }
+        chosen = static_cast<std::size_t>(picked);
+    } else {
+        // Deterministic skip-dead scan from the request's home replica;
+        // the attempt offsets the start so a retry prefers a *different*
+        // replica than the one that just failed it.
+        chosen = n;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t cand =
+                (static_cast<std::size_t>(request.id) + request.attempt +
+                 k) %
+                n;
+            if (!schedulers_[cand]->dead()) {
+                chosen = cand;
+                break;
+            }
+        }
+        if (chosen == n)
+            return redispatch(ctx, request); // whole fleet down: back off
+    }
     // Admission shedding: a retry routed into a replica already drowning
     // in recovered load is rejected (graceful degradation).
-    if (request.attempt > 0 &&
+    if (config_.fault.enabled && request.attempt > 0 &&
         schedulers_[chosen]->load() >= f.shed_queue_depth)
         return shed(ctx, request);
+    // SLO admission (first attempts only — a retry already survived the
+    // failover path's own shedding rules).
+    if (ctrl_ && request.attempt == 0) {
+        const ctrl::AdmissionDecision verdict =
+            ctrl_->admit(now, request, static_cast<int>(chosen));
+        if (verdict == ctrl::AdmissionDecision::Reject)
+            return reject(ctx, request);
+        if (verdict == ctrl::AdmissionDecision::Defer) {
+            RequestSpec deferred = request;
+            deferred.deferrals += 1;
+            ctrl_->noteDeferred(deferred, now);
+            ctx.sim.at(now + config_.ctrl.slo.defer_delay_s,
+                       [this, &ctx, deferred]() { dispatch(ctx, deferred); });
+            return;
+        }
+    }
     schedulers_[chosen]->submit(request);
 }
 
@@ -266,9 +331,38 @@ InferenceWorkload::build(train::SimContext &ctx)
             armFault(ctx, event);
     }
 
+    // Control plane: built after the schedulers exist, started before any
+    // request is issued (priority classes are the first fifth-stream
+    // draws, assigned pre-sim in id order).
+    if (config_.ctrl.enabled) {
+        ctrl_ = std::make_unique<ClusterController>(ctx, config_, builders_,
+                                                    schedulers_);
+        // Preemption revokes in-flight decode steps through the same
+        // revocation-domain seam as node crashes; arming the flow
+        // cancellers is result-inert (pinned by the fault tests).
+        if (config_.ctrl.priority.preempt)
+            ctx.faults_armed = true;
+        ctrl_->start(stream_, static_cast<int>(stream_.size()));
+    }
+
+    // Retirement feeds: the control plane's SLO-attainment / drain
+    // tracking, and the closed loop's next-issue chaining. Both fire
+    // inside the deterministic retirement event.
+    const bool closed_loop = config_.client_mode == ClientMode::ClosedLoop;
+    if (ctrl_ || closed_loop)
+        for (auto &scheduler : schedulers_)
+            scheduler->setRetireHook(
+                [this, &ctx,
+                 closed_loop](const train::RequestRecord &record) {
+                    if (ctrl_)
+                        ctrl_->noteRetired(record, ctx.sim.now());
+                    if (closed_loop)
+                        onRetire(ctx, record);
+                });
+
     // Deterministic front door: request i goes to replica i % N. The
     // graph itself starts empty for this workload and grows reactively.
-    if (config_.client_mode == ClientMode::ClosedLoop) {
+    if (closed_loop) {
         // Client c owns requests {i : i ≡ c (mod concurrency)}, in id
         // order; each issues its first request at t = 0 and its next one
         // think_time after the previous finished (via the retire hook,
@@ -277,11 +371,6 @@ InferenceWorkload::build(train::SimContext &ctx)
             std::min<int>(config_.concurrency,
                           static_cast<int>(stream_.size())));
         client_next_.assign(clients, 0);
-        for (auto &scheduler : schedulers_)
-            scheduler->setRetireHook(
-                [this, &ctx](const train::RequestRecord &record) {
-                    onRetire(ctx, record);
-                });
         for (std::size_t c = 0; c < clients; ++c) {
             client_next_[c] = c + clients;
             issueAt(ctx, c, 0.0);
@@ -324,17 +413,24 @@ InferenceWorkload::collect(const train::SimContext &ctx,
         out.kv.peak_block_table_bytes = std::max(
             out.kv.peak_block_table_bytes, kv.peak_block_table_bytes);
     }
-    // Shed requests are first-class records: every stream entry ends up
-    // either served (a scheduler record) or shed (a rejection record) —
+    // Shed and rejected requests are first-class records: every stream
+    // entry ends up served (a scheduler record), shed, or rejected —
     // exactly once.
     out.requests.insert(out.requests.end(), shed_.begin(), shed_.end());
+    out.requests.insert(out.requests.end(), rejected_.begin(),
+                        rejected_.end());
     std::sort(out.requests.begin(), out.requests.end(),
               [](const train::RequestRecord &a,
                  const train::RequestRecord &b) { return a.id < b.id; });
     SI_ASSERT(static_cast<int>(out.requests.size()) ==
                   static_cast<int>(stream_.size()),
-              "not every request was served or shed");
+              "not every request was served, shed, or rejected");
     out.fault = fault_stats_;
+    if (ctrl_) {
+        out.ctrl = ctrl_->stats();
+        for (const auto &scheduler : schedulers_)
+            out.ctrl.preemptions += scheduler->preemptions();
+    }
 }
 
 } // namespace smartinf::serve

@@ -30,6 +30,7 @@
 
 #include "fault/fault_schedule.h"
 #include "serve/batch_scheduler.h"
+#include "serve/cluster_controller.h"
 #include "train/workload.h"
 
 namespace smartinf::serve {
@@ -54,12 +55,19 @@ class InferenceWorkload final : public train::Workload
 
   private:
     /** Issue stream_[index] at simulated time @p at (stamps the record's
-     *  arrival and routes to the round-robin replica). */
+     *  arrival and routes to the round-robin replica, or — with the
+     *  control plane or faults enabled — through dispatch()). */
     void issueAt(train::SimContext &ctx, std::size_t index, Seconds at);
     /** Closed-loop retirement: schedule the owning client's next request
      *  think_time after @p record.finish. */
     void onRetire(train::SimContext &ctx,
                   const train::RequestRecord &record);
+
+    /** @name Control plane (config.ctrl.enabled only). @{ */
+    /** SLO admission rejected @p request: a first-class rejection record
+     *  (disposition, deferrals, and the decision time). */
+    void reject(train::SimContext &ctx, const RequestSpec &request);
+    /** @} */
 
     /** @name Failover path (config.fault.enabled only). @{ */
     /** Arm one pre-drawn fault event as a timed simulator event. */
@@ -68,10 +76,13 @@ class InferenceWorkload final : public train::Workload
      *  event at time + duration. */
     void onFault(train::SimContext &ctx, const fault::FaultEvent &event);
     /**
-     * Route @p request to a live replica: deterministic skip-dead scan
-     * from (id + attempt) % N, with retry-limit / retry-timeout /
-     * admission-depth shedding for retries. Whole-fleet-down falls back to
-     * another backoff round (bounded by the retry limit).
+     * Route @p request to a live replica. Selection: the control plane's
+     * dispatch policy when enabled, else the deterministic skip-dead scan
+     * from (id + attempt) % N. Faults add retry-limit / retry-timeout /
+     * admission-depth shedding for retries; the control plane adds SLO
+     * admission (reject/defer) for first attempts. Whole-fleet-down falls
+     * back to another backoff round (bounded by the retry limit). Shared
+     * by both front doors — it is also the single dispatch seam.
      */
     void dispatch(train::SimContext &ctx, const RequestSpec &request);
     /** Re-dispatch a displaced request: bump attempt, wait the linear
@@ -95,6 +106,10 @@ class InferenceWorkload final : public train::Workload
     std::vector<RequestSpec> stream_;
     std::vector<std::unique_ptr<InferenceBuilder>> builders_;
     std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
+    /** The cluster control plane (null unless config.ctrl.enabled). */
+    std::unique_ptr<ClusterController> ctrl_;
+    /** Requests SLO admission rejected (first-class records). */
+    std::vector<train::RequestRecord> rejected_;
     /** Closed loop: per-client cursor into its id-strided request slice. */
     std::vector<std::size_t> client_next_;
 

@@ -57,30 +57,55 @@ summarize(const train::WorkloadResult &result)
     if (m.makespan > 0.0)
         m.mean_queue_depth = result.queue_depth_time_integral / m.makespan;
 
-    std::vector<double> latency, ttft, queue_delay, shed_wait;
+    std::vector<double> latency, ttft, queue_delay, shed_wait, reject_wait;
     latency.reserve(result.requests.size());
     ttft.reserve(result.requests.size());
     queue_delay.reserve(result.requests.size());
     double output_tokens = 0.0;
     for (const train::RequestRecord &r : result.requests) {
         m.total_retries += r.retries;
+        m.total_deferrals += r.deferrals;
+        if (r.deferrals > 0)
+            ++m.num_deferred;
         if (r.shed) {
             ++m.num_shed;
             shed_wait.push_back(r.finish - r.arrival);
             continue;
         }
+        if (r.rejected) {
+            ++m.num_rejected;
+            reject_wait.push_back(r.finish - r.arrival);
+            continue;
+        }
         ++m.num_served;
         if (r.retries > 0)
             ++m.num_retried;
+        if (r.node >= 0) {
+            if (static_cast<std::size_t>(r.node) >=
+                m.replica_requests.size())
+                m.replica_requests.resize(
+                    static_cast<std::size_t>(r.node) + 1, 0);
+            ++m.replica_requests[static_cast<std::size_t>(r.node)];
+        }
         latency.push_back(r.latency());
         ttft.push_back(r.timeToFirstToken());
         queue_delay.push_back(r.queueDelay());
         output_tokens += r.output_tokens;
     }
+    if (!m.replica_requests.empty()) {
+        const int peak = *std::max_element(m.replica_requests.begin(),
+                                           m.replica_requests.end());
+        const double mean =
+            static_cast<double>(m.num_served) /
+            static_cast<double>(m.replica_requests.size());
+        if (mean > 0.0)
+            m.load_imbalance = static_cast<double>(peak) / mean;
+    }
     m.latency = summarizeLatencies(std::move(latency));
     m.ttft = summarizeLatencies(std::move(ttft));
     m.queue_delay = summarizeLatencies(std::move(queue_delay));
     m.shed_wait = summarizeLatencies(std::move(shed_wait));
+    m.reject_wait = summarizeLatencies(std::move(reject_wait));
     if (m.num_requests > 0)
         m.success_rate = static_cast<double>(m.num_served) /
                          static_cast<double>(m.num_requests);

@@ -73,6 +73,24 @@ struct ServingMetrics {
      *  rejected client waited to learn its fate). */
     LatencySummary shed_wait;
     /** @} */
+
+    /** @name Control-plane disposition metrics. Ctrl-disabled runs report
+     *  zeros, an empty reject population, and (with >= 1 replica) the
+     *  round-robin imbalance of the id % N front door. @{ */
+    int num_rejected = 0; ///< SLO admission turned these away
+    int num_deferred = 0; ///< served/disposed records that were deferred
+    int total_deferrals = 0; ///< defer rounds across all records
+    /** Reject-disposition population: arrival -> reject decision. */
+    LatencySummary reject_wait;
+    /** Served requests per replica, indexed by node id and sized to the
+     *  highest node that served anything (shed/rejected records have node
+     *  -1 and are not counted). */
+    std::vector<int> replica_requests;
+    /** max(replica_requests) / mean(replica_requests), the mean taken
+     *  over the whole fleet — 1.0 is a perfectly balanced fleet, N means
+     *  one replica took everything (0 with no served requests). */
+    double load_imbalance = 0.0;
+    /** @} */
 };
 
 /**

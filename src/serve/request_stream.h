@@ -46,6 +46,13 @@ struct RequestSpec {
      *  time a displaced request is re-dispatched; always 0 without
      *  faults. */
     int attempt = 0;
+    /** Priority class (0 = normal, 1 = high). Assigned pre-sim by the
+     *  control plane from the ctrl stream when a priority mix is
+     *  configured; always 0 otherwise. */
+    int priority = 0;
+    /** SLO-admission defers this request has consumed (control plane
+     *  only; always 0 otherwise). */
+    int deferrals = 0;
 };
 
 /** The length-stream seed derived from @p seed (distinct from the arrival

@@ -226,6 +226,8 @@ ServeConfig::validate() const
         errors.push_back(std::move(e));
     for (auto &e : fault.validate())
         errors.push_back(std::move(e));
+    for (auto &e : ctrl.validate())
+        errors.push_back(std::move(e));
     return errors;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "ctrl/ctrl_config.h"
 #include "fault/fault_config.h"
 
 namespace smartinf::serve {
@@ -284,6 +285,14 @@ struct ServeConfig {
      * FaultConfig::seed is ignored for serving runs.
      */
     fault::FaultConfig fault;
+    /**
+     * Cluster control plane: dispatch policy, SLO admission, replica
+     * autoscaling, priority classes (disabled by default, and byte-inert
+     * when disabled — requests shard exactly as id % replicas). Its
+     * randomness comes from a fifth derived stream, ctrlSeed(seed), so
+     * enabling it never perturbs arrivals, lengths, prefixes, or faults.
+     */
+    ctrl::CtrlConfig ctrl;
     /**
      * Explicit arrival times (simulated seconds, non-decreasing). When
      * non-empty this trace *is* the request stream (num_requests,

@@ -76,12 +76,22 @@ struct RequestRecord {
      *  shed decision time; their token counts are what was *requested*,
      *  not produced. */
     bool shed = false;
+    /** Priority class (control-plane priority mix; 0 otherwise). */
+    int priority = 0;
+    /** SLO-admission defer rounds this request went through before its
+     *  disposition (control plane only; always 0 otherwise). */
+    int deferrals = 0;
+    /** True when SLO admission control turned the request away: its
+     *  predicted completion missed the latency target. Like shed records,
+     *  rejected records keep their arrival, stamp finish with the decision
+     *  time, and report requested (not produced) token counts. */
+    bool rejected = false;
 
     Seconds queueDelay() const { return start - arrival; }
     Seconds timeToFirstToken() const { return first_token - arrival; }
     Seconds latency() const { return finish - arrival; }
     /** Disposition: the request produced all its tokens. */
-    bool successful() const { return !shed; }
+    bool successful() const { return !shed && !rejected; }
 };
 
 /**
@@ -107,6 +117,23 @@ struct FaultStats {
     int restarts = 0;            ///< crash -> rewind -> replay episodes
     int iterations_replayed = 0; ///< redone iterations (lost progress)
     /** @} */
+};
+
+/**
+ * What the cluster control plane did during one serving run. All-zero
+ * (enabled=false) when the control plane is off — part of its
+ * inert-by-default contract. Counts simulation decisions, so it is
+ * deterministic and jobs-invariant like the request records.
+ */
+struct CtrlStats {
+    bool enabled = false;
+    int rejected = 0;    ///< requests SLO admission turned away
+    int deferrals = 0;   ///< defer rounds issued (one request may defer repeatedly)
+    int preemptions = 0; ///< running requests evicted for a higher priority
+    int scale_ups = 0;   ///< replica warm-ups initiated
+    int scale_downs = 0; ///< replica drains initiated
+    int warmups_completed = 0; ///< warm-up prefills that finished
+    int peak_active_replicas = 0; ///< max simultaneously active replicas
 };
 
 /**
@@ -161,6 +188,9 @@ struct WorkloadResult {
     int peak_queue_depth = 0;
     /** Paged KV-cache statistics (all-zero unless kv.layout=paged). */
     KvCacheStats kv;
+    /** Control-plane statistics (enabled=false and all-zero unless the
+     *  run enabled the control plane). */
+    CtrlStats ctrl;
     /** @} */
 
     /** Fault/recovery statistics (enabled=false and all-zero unless the

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Pure dispatch-policy unit tests (no simulator): round-robin is the id
+ * modulus over the candidate set, JSQ picks the unique minimum without
+ * consuming a draw (ties draw exactly one), and P2C probes two distinct
+ * replicas with the strictly-shorter queue winning (first probe on ties).
+ */
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ctrl/dispatch.h"
+
+namespace smartinf {
+namespace {
+
+using ctrl::DispatchPolicy;
+
+TEST(CtrlDispatch, RoundRobinIsIdModuloCandidates)
+{
+    Rng rng(1);
+    const std::vector<int> candidates = {0, 1, 2};
+    const std::vector<int> loads = {9, 9, 9}; // ignored by RR
+    for (int id = 0; id < 9; ++id)
+        EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::RoundRobin, id,
+                                    candidates, loads, rng),
+                  id % 3);
+    // RR never consumes the stream: the Rng is untouched.
+    Rng fresh(1);
+    EXPECT_EQ(rng.uniform(), fresh.uniform());
+}
+
+TEST(CtrlDispatch, RoundRobinSkipsMissingCandidates)
+{
+    Rng rng(1);
+    // Replica 1 dropped out: the modulus runs over the surviving set, so
+    // every id still lands on a live replica.
+    const std::vector<int> candidates = {0, 2};
+    const std::vector<int> loads = {5, 5};
+    EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::RoundRobin, 0, candidates,
+                                loads, rng),
+              0);
+    EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::RoundRobin, 1, candidates,
+                                loads, rng),
+              2);
+    EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::RoundRobin, 2, candidates,
+                                loads, rng),
+              0);
+}
+
+TEST(CtrlDispatch, JsqPicksUniqueMinimumWithoutDrawing)
+{
+    Rng rng(7);
+    const std::vector<int> candidates = {0, 1, 2};
+    const std::vector<int> loads = {4, 1, 3};
+    EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::JoinShortestQueue, 0,
+                                candidates, loads, rng),
+              1);
+    Rng fresh(7);
+    EXPECT_EQ(rng.uniform(), fresh.uniform()); // no draw consumed
+}
+
+TEST(CtrlDispatch, JsqBreaksTiesWithExactlyOneDraw)
+{
+    const std::vector<int> candidates = {0, 1, 2};
+    const std::vector<int> loads = {2, 2, 5};
+    Rng rng(7);
+    const int pick = ctrl::pickReplica(DispatchPolicy::JoinShortestQueue,
+                                       0, candidates, loads, rng);
+    EXPECT_TRUE(pick == 0 || pick == 1); // never the loaded replica
+    // Exactly one uniformInt draw was consumed.
+    Rng fresh(7);
+    (void)fresh.uniformInt(2);
+    EXPECT_EQ(rng.uniform(), fresh.uniform());
+}
+
+TEST(CtrlDispatch, P2cProbesTwoDistinctReplicas)
+{
+    const std::vector<int> candidates = {0, 1, 2, 3};
+    // Replica 3 is drowning; a P2C probe pair never contains a duplicate,
+    // so across many draws the drowning replica only wins when both
+    // probes land on... nothing — it can never win a two-way comparison.
+    const std::vector<int> loads = {0, 0, 0, 100};
+    Rng rng(11);
+    for (int id = 0; id < 64; ++id) {
+        const int pick = ctrl::pickReplica(
+            DispatchPolicy::PowerOfTwoChoices, id, candidates, loads, rng);
+        EXPECT_NE(pick, 3);
+    }
+}
+
+TEST(CtrlDispatch, P2cSingleCandidateDrawsNothing)
+{
+    Rng rng(3);
+    const std::vector<int> candidates = {2};
+    const std::vector<int> loads = {7};
+    EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::PowerOfTwoChoices, 5,
+                                candidates, loads, rng),
+              2);
+    Rng fresh(3);
+    EXPECT_EQ(rng.uniform(), fresh.uniform());
+}
+
+TEST(CtrlDispatch, SameSeedSameSequence)
+{
+    const std::vector<int> candidates = {0, 1, 2};
+    const std::vector<int> loads = {1, 1, 1}; // all tied: every pick draws
+    Rng a(99), b(99);
+    for (int id = 0; id < 32; ++id)
+        EXPECT_EQ(ctrl::pickReplica(DispatchPolicy::PowerOfTwoChoices, id,
+                                    candidates, loads, a),
+                  ctrl::pickReplica(DispatchPolicy::PowerOfTwoChoices, id,
+                                    candidates, loads, b));
+}
+
+} // namespace
+} // namespace smartinf

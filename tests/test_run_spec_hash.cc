@@ -567,5 +567,178 @@ TEST(RunSpecHash, DescribeTagsFaultSpecs)
     EXPECT_NE(elabel.find("/stall45"), std::string::npos) << elabel;
 }
 
+TEST(RunSpecHash, CtrlKnobsAreInertWhileDisabled)
+{
+    // A disabled control plane is one cache entry no matter how the
+    // nested knobs sit (they are rejected when *armed* while disabled,
+    // but un-armed shape knobs like the policy or target must normalize
+    // out).
+    const RunSpec base = servingSpec();
+    RunSpec b = base;
+    b.serve.ctrl.policy = ctrl::DispatchPolicy::JoinShortestQueue;
+    b.serve.ctrl.slo.target_p99_s = 9.0;
+    b.serve.ctrl.autoscale.max_replicas = 7;
+    EXPECT_EQ(base.hash(), b.hash());
+    // Flipping the master switch splits the entry.
+    RunSpec on = base;
+    on.serve.ctrl.enabled = true;
+    EXPECT_NE(base.hash(), on.hash());
+}
+
+TEST(RunSpecHash, EveryArmedCtrlKnobChangesTheHash)
+{
+    RunSpec base = servingSpec();
+    base.serve.ctrl.enabled = true;
+    base.serve.ctrl.slo.admission = ctrl::AdmissionMode::Defer;
+    base.serve.ctrl.slo.target_p99_s = 2.0;
+    base.serve.ctrl.autoscale.enabled = true;
+    base.serve.ctrl.autoscale.max_replicas = 3;
+    base.serve.ctrl.priority.high_fraction = 0.25;
+
+    struct Mutation {
+        const char *field;
+        std::function<void(RunSpec &)> apply;
+    };
+    const std::vector<Mutation> mutations = {
+        {"ctrl.policy",
+         [](RunSpec &s) {
+             s.serve.ctrl.policy = ctrl::DispatchPolicy::PowerOfTwoChoices;
+         }},
+        {"ctrl.slo.admission",
+         [](RunSpec &s) {
+             s.serve.ctrl.slo.admission = ctrl::AdmissionMode::Reject;
+         }},
+        {"ctrl.slo.target_p99_s",
+         [](RunSpec &s) { s.serve.ctrl.slo.target_p99_s = 4.0; }},
+        {"ctrl.slo.defer_delay_s",
+         [](RunSpec &s) { s.serve.ctrl.slo.defer_delay_s = 0.25; }},
+        {"ctrl.slo.max_defers",
+         [](RunSpec &s) { s.serve.ctrl.slo.max_defers += 1; }},
+        {"ctrl.autoscale.enabled",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.enabled = false; }},
+        {"ctrl.autoscale.min_replicas",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.min_replicas += 1; }},
+        {"ctrl.autoscale.max_replicas",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.max_replicas += 1; }},
+        {"ctrl.autoscale.window_s",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.window_s *= 2.0; }},
+        {"ctrl.autoscale.cooldown_s",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.cooldown_s *= 2.0; }},
+        {"ctrl.autoscale.scale_up_depth",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.scale_up_depth += 1.0; }},
+        {"ctrl.autoscale.scale_down_depth",
+         [](RunSpec &s) {
+             s.serve.ctrl.autoscale.scale_down_depth += 0.25;
+         }},
+        {"ctrl.autoscale.min_attainment",
+         [](RunSpec &s) { s.serve.ctrl.autoscale.min_attainment = 0.9; }},
+        {"ctrl.priority.high_fraction",
+         [](RunSpec &s) { s.serve.ctrl.priority.high_fraction = 0.5; }},
+        {"ctrl.priority.preempt",
+         [](RunSpec &s) { s.serve.ctrl.priority.preempt = true; }},
+    };
+    std::set<std::uint64_t> hashes{base.hash()};
+    for (const Mutation &m : mutations) {
+        RunSpec mutated = base;
+        m.apply(mutated);
+        const auto [_, inserted] = hashes.insert(mutated.hash());
+        EXPECT_TRUE(inserted) << "hash alias on field " << m.field;
+    }
+    EXPECT_EQ(hashes.size(), mutations.size() + 1);
+}
+
+TEST(RunSpecHash, CtrlNormalizesUnarmedFeatureShapes)
+{
+    // Enabled plane, round-robin, everything off: the SLO/defer/autoscale
+    // shape knobs cannot affect the result and must normalize out.
+    RunSpec base = servingSpec();
+    base.serve.ctrl.enabled = true;
+    RunSpec b = base;
+    b.serve.ctrl.slo.target_p99_s = 9.0; // admission Off: target inert
+    b.serve.ctrl.slo.defer_delay_s = 0.125;
+    b.serve.ctrl.slo.max_defers = 7;
+    b.serve.ctrl.autoscale.min_replicas = 1; // autoscale off: shape inert
+    b.serve.ctrl.autoscale.window_s = 99.0;
+    EXPECT_EQ(base.hash(), b.hash());
+
+    // Defer shape keys only under Defer (Reject never re-judges).
+    RunSpec reject = base;
+    reject.serve.ctrl.slo.admission = ctrl::AdmissionMode::Reject;
+    reject.serve.ctrl.slo.target_p99_s = 2.0;
+    RunSpec reject2 = reject;
+    reject2.serve.ctrl.slo.defer_delay_s = 0.125;
+    reject2.serve.ctrl.slo.max_defers = 7;
+    EXPECT_EQ(reject.hash(), reject2.hash());
+
+    // The p99 target revives under admission Off when autoscaling keys
+    // attainment on it (the min_attainment > 0 coupling).
+    RunSpec att = base;
+    att.serve.ctrl.autoscale.enabled = true;
+    att.serve.ctrl.autoscale.max_replicas = 3;
+    att.serve.ctrl.autoscale.min_attainment = 0.9;
+    att.serve.ctrl.slo.target_p99_s = 2.0;
+    RunSpec att2 = att;
+    att2.serve.ctrl.slo.target_p99_s = 4.0;
+    EXPECT_NE(att.hash(), att2.hash());
+}
+
+TEST(RunSpecHash, CtrlRandomnessRevivesTheSeedLikeSampledLengths)
+{
+    // Closed loop + Fixed lengths: the seed is normally dead. Enabled
+    // round-robin with no priorities draws nothing — still dead. A
+    // tie-breaking policy or a priority mix consumes the ctrl stream, so
+    // the seed must revive.
+    RunSpec dead = servingSpec();
+    dead.serve.client_mode = serve::ClientMode::ClosedLoop;
+    dead.serve.ctrl.enabled = true;
+    RunSpec dead2 = dead;
+    dead2.serve.seed += 1;
+    EXPECT_EQ(dead.hash(), dead2.hash());
+
+    RunSpec jsq = dead;
+    jsq.serve.ctrl.policy = ctrl::DispatchPolicy::JoinShortestQueue;
+    RunSpec jsq2 = jsq;
+    jsq2.serve.seed += 1;
+    EXPECT_NE(jsq.hash(), jsq2.hash());
+
+    RunSpec prio = dead;
+    prio.serve.ctrl.priority.high_fraction = 0.5;
+    RunSpec prio2 = prio;
+    prio2.serve.seed += 1;
+    EXPECT_NE(prio.hash(), prio2.hash());
+}
+
+TEST(RunSpecHash, DescribeTagsCtrlSpecs)
+{
+    RunSpec plain = servingSpec();
+    EXPECT_EQ(plain.describe().find("/ctrl"), std::string::npos)
+        << plain.describe();
+
+    RunSpec full = servingSpec();
+    full.serve.ctrl.enabled = true;
+    full.serve.ctrl.policy = ctrl::DispatchPolicy::JoinShortestQueue;
+    full.serve.ctrl.slo.admission = ctrl::AdmissionMode::Reject;
+    full.serve.ctrl.slo.target_p99_s = 2.0;
+    full.serve.ctrl.autoscale.enabled = true;
+    full.serve.ctrl.autoscale.min_replicas = 1;
+    full.serve.ctrl.autoscale.max_replicas = 3;
+    full.serve.ctrl.priority.high_fraction = 0.25;
+    full.serve.ctrl.priority.preempt = true;
+    const std::string label = full.describe();
+    EXPECT_NE(label.find("/ctrl-jsq"), std::string::npos) << label;
+    EXPECT_NE(label.find("/slo-reject2"), std::string::npos) << label;
+    EXPECT_NE(label.find("/as1-3"), std::string::npos) << label;
+    EXPECT_NE(label.find("/prio0.25p"), std::string::npos) << label;
+
+    RunSpec bare = servingSpec();
+    bare.serve.ctrl.enabled = true;
+    const std::string blabel = bare.describe();
+    EXPECT_NE(blabel.find("/ctrl-round-robin"), std::string::npos)
+        << blabel;
+    EXPECT_EQ(blabel.find("/slo-"), std::string::npos) << blabel;
+    EXPECT_EQ(blabel.find("/as"), std::string::npos) << blabel;
+    EXPECT_EQ(blabel.find("/prio"), std::string::npos) << blabel;
+}
+
 } // namespace
 } // namespace smartinf::exp
