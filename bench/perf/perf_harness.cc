@@ -264,6 +264,38 @@ autoscaleCase(const std::string &name, int num_requests)
     });
 }
 
+/** Time one streaming serving run (PR 10): 10^5 requests drawn lazily
+ *  from the RequestSource with record_cap armed — per-request records
+ *  fold into the streaming sketch past the cap and the task graph trims
+ *  its completed prefix. The case tracks two things at once: the lazy
+ *  generation hot path's events/sec, and (via rss_delta_kb) that peak
+ *  memory stays O(in-flight), independent of the stream length. */
+PerfSample
+streamCase(const std::string &name, int num_requests)
+{
+    return timedCase(name, /*wall_only=*/false, [num_requests] {
+        const auto model = train::ModelSpec::gpt2(0.5);
+        train::SystemConfig system;
+        system.strategy = train::Strategy::SmartUpdateOptComp;
+        system.num_devices = 4;
+
+        serve::ServeConfig config;
+        config.scheduler = serve::SchedulerPolicy::Continuous;
+        config.num_requests = num_requests;
+        config.arrival_rate = 8.0;
+        config.prompt_tokens = 64;
+        config.output_tokens = 4;
+        config.max_batch = 8;
+        config.record_cap = 4096;
+        config.stream_window_s = 60.0;
+
+        auto engine = train::makeEngine(model, {}, system);
+        serve::InferenceWorkload workload(model, config);
+        const train::WorkloadResult result = engine->run(workload);
+        return CaseStats{result.events_executed, result.iteration_time, 1};
+    });
+}
+
 } // namespace
 
 std::vector<PerfSample>
@@ -285,6 +317,7 @@ runPerfCases()
                                 /*paged=*/true));
     samples.push_back(failoverCase("serve_failover_24req", 24));
     samples.push_back(autoscaleCase("serve_autoscale_24req", 24));
+    samples.push_back(streamCase("serve_stream_100k", 100000));
     return samples;
 }
 

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming order statistics with a fixed memory bound: a geometric-bin
+ * histogram plus an exact buffer for small populations. Below the exact
+ * cap, percentiles are nearest-rank on the recorded samples — identical
+ * to serve::summarizeLatencies. Above it the exact buffer is dropped and
+ * percentiles come from the histogram: the estimate for a value in
+ * [kMinValue, kMaxValue) is the geometric midpoint of its bin, so the
+ * relative error is at most sqrt(kGrowth) - 1 (< 2%), and values below
+ * kMinValue report 0 with absolute error < kMinValue (one microsecond
+ * for latency populations). Count, sum (hence mean), min, and max stay
+ * exact at every size.
+ *
+ * merge() is a commutative, associative fold (bins add; exactness is a
+ * function of the combined count only), the same semigroup contract as
+ * obs::CounterSampler — per-shard percentile sketches can combine without
+ * a global record vector. Deterministic: no randomness, no wall clock.
+ */
+#ifndef SMARTINF_COMMON_STREAMING_PERCENTILES_H
+#define SMARTINF_COMMON_STREAMING_PERCENTILES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace smartinf {
+
+/** Bounded-memory percentile sketch (see file comment). */
+class StreamingPercentiles
+{
+  public:
+    /** Smallest distinguishable value; anything below (incl. <= 0) lands
+     *  in the underflow bin and reports 0. */
+    static constexpr double kMinValue = 1e-6;
+    /** Largest distinguishable value; anything at or above lands in the
+     *  overflow bin and reports kMaxValue. */
+    static constexpr double kMaxValue = 1e6;
+    /** Geometric bin width: each bin spans [lo, lo * kGrowth). */
+    static constexpr double kGrowth = 1.04;
+
+    /** Worst-case relative error of a histogram-mode percentile for
+     *  values inside [kMinValue, kMaxValue): sqrt(kGrowth) - 1. */
+    static double maxRelativeError();
+
+    /** @param exact_cap population size up to which percentiles are
+     *  exact (the record-cap knob); must be >= 0. */
+    explicit StreamingPercentiles(int exact_cap = 4096);
+
+    /** Fold one sample in. */
+    void record(double value);
+
+    /** Fold @p other in (commutative, associative; both sides must share
+     *  the same exact_cap). */
+    void merge(const StreamingPercentiles &other);
+
+    /** True while percentile() is nearest-rank on the full population. */
+    bool exact() const { return exact_; }
+
+    std::int64_t count() const { return count_; }
+    /** Exact at every population size (0 when empty). */
+    double mean() const;
+    double minValue() const { return count_ > 0 ? min_ : 0.0; }
+    double maxValue() const { return count_ > 0 ? max_ : 0.0; }
+
+    /**
+     * Nearest-rank percentile (@p pct in [0, 100]; empty population =>
+     * 0.0, matching summarizeLatencies). Exact below the cap; the binned
+     * estimate of the nearest-rank sample above it.
+     */
+    double percentile(double pct) const;
+
+  private:
+    static int binIndex(double value);
+    static double binEstimate(int bin);
+
+    int exact_cap_;
+    bool exact_ = true;
+    std::int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> samples_;     ///< dropped once count_ > exact_cap_
+    std::vector<std::int64_t> bins_;  ///< lazily sized on first record()
+};
+
+} // namespace smartinf
+
+#endif // SMARTINF_COMMON_STREAMING_PERCENTILES_H

@@ -1,11 +1,13 @@
 #include "exp/result_io.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
+#include "common/streaming_percentiles.h"
 #include "serve/metrics.h"
 
 namespace smartinf::exp {
@@ -149,8 +151,47 @@ writeServeConfigJson(std::ostream &os, const serve::ServeConfig &c)
            << ",\"preempt\":" << (c.ctrl.priority.preempt ? "true" : "false")
            << "}";
     }
-    os << "},\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
+    os << "},\"modulation\":{\"enabled\":"
+       << (c.modulation.enabled ? "true" : "false");
+    if (c.modulation.enabled) {
+        os << ",\"diurnal_amplitude\":"
+           << jsonNumber(c.modulation.diurnal_amplitude);
+        if (c.modulation.diurnal())
+            os << ",\"diurnal_period_s\":"
+               << jsonNumber(c.modulation.diurnal_period_s)
+               << ",\"diurnal_phase\":"
+               << jsonNumber(c.modulation.diurnal_phase);
+        os << ",\"burst_rate_multiplier\":"
+           << jsonNumber(c.modulation.burst_rate_multiplier);
+        if (c.modulation.bursts())
+            os << ",\"burst_mean_gap_s\":"
+               << jsonNumber(c.modulation.burst_mean_gap_s)
+               << ",\"burst_mean_duration_s\":"
+               << jsonNumber(c.modulation.burst_mean_duration_s)
+               << ",\"burst_first_gap_s\":"
+               << jsonNumber(c.modulation.burst_first_gap_s);
+    }
+    os << "}";
+    if (c.record_cap > 0)
+        os << ",\"record_cap\":" << c.record_cap
+           << ",\"stream_window_s\":" << jsonNumber(c.stream_window_s);
+    os << ",\"trace_driven\":" << (c.trace.empty() ? "false" : "true")
        << "}";
+}
+
+/** Peak per-second rate over one windowed counter series (0 when the
+ *  series is absent or the window width is degenerate). */
+double
+peakWindowRate(const obs::CounterSampler &windows, const char *name)
+{
+    const obs::CounterSampler::Series *series = windows.find(name);
+    if (series == nullptr || windows.windowSeconds() <= 0.0)
+        return 0.0;
+    double peak = 0.0;
+    for (const obs::CounterSampler::Window &w : series->windows)
+        peak = std::max(peak, static_cast<double>(w.count) /
+                                  windows.windowSeconds());
+    return peak;
 }
 
 void
@@ -315,7 +356,30 @@ writeRecordJson(std::ostream &os, const RunRecord &record)
                << ",\"deferrals\":" << r.deferrals
                << ",\"priority\":" << r.priority << "}";
         }
-        os << "]}";
+        os << "]";
+        // Streaming summary (record_cap runs only): the record array
+        // above is a truncated prefix, so the whole-stream aggregates
+        // and their provenance ride along. Uncapped records keep their
+        // exact historic shape.
+        const train::StreamingServeStats &ss = record.result.streaming;
+        if (ss.enabled) {
+            os << ",\"streaming\":{\"record_cap\":"
+               << record.spec.serve.record_cap
+               << ",\"records_retained\":" << ss.records_retained
+               << ",\"percentiles_exact\":"
+               << (ss.percentilesExact() ? "true" : "false")
+               << ",\"percentile_max_rel_error\":"
+               << jsonNumber(ss.percentilesExact()
+                                 ? 0.0
+                                 : StreamingPercentiles::maxRelativeError())
+               << ",\"window_s\":" << jsonNumber(ss.windows.windowSeconds())
+               << ",\"peak_arrivals_per_s\":"
+               << jsonNumber(peakWindowRate(ss.windows, "arrivals"))
+               << ",\"peak_retirements_per_s\":"
+               << jsonNumber(peakWindowRate(ss.windows, "retirements"))
+               << "}";
+        }
+        os << "}";
     }
     os << "}}";
 }

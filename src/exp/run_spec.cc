@@ -190,6 +190,26 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
     } else if (c.trace.empty()) {
         hs << c.num_requests << c.arrival_rate
            << static_cast<std::int64_t>(c.seed);
+        // Arrival modulation reshapes only open-loop generated arrivals
+        // (validate() rejects it anywhere else), so it is hashed only
+        // here. Within it the usual normalization recurses: diurnal
+        // shape only when the sinusoid is armed, burst shape only when
+        // the multiplier exceeds 1, and every negative first-gap means
+        // the same thing (draw it) so they normalize to -1.
+        hs << c.modulation.enabled;
+        if (c.modulation.enabled) {
+            hs << c.modulation.diurnal_amplitude;
+            if (c.modulation.diurnal())
+                hs << c.modulation.diurnal_period_s
+                   << c.modulation.diurnal_phase;
+            hs << c.modulation.burst_rate_multiplier;
+            if (c.modulation.bursts())
+                hs << c.modulation.burst_mean_gap_s
+                   << c.modulation.burst_mean_duration_s
+                   << (c.modulation.burst_first_gap_s < 0.0
+                         ? -1.0
+                         : c.modulation.burst_first_gap_s);
+        }
     } else {
         // A trace fully determines the arrivals; the open-loop knobs are
         // ignored by generation and stay out of the hash — but the seed
@@ -200,6 +220,14 @@ hashAppend(HashStream &hs, const serve::ServeConfig &c,
         if (seed_shapes_requests)
             hs << static_cast<std::int64_t>(c.seed);
     }
+    // Record retention: cap off (0) is byte-identical to the uncapped
+    // run — one cache entry no matter how stream_window_s is set; a
+    // positive cap truncates the record vector and switches summaries to
+    // the streaming aggregates, whose windowed series stream_window_s
+    // shapes.
+    hs << (c.record_cap > 0);
+    if (c.record_cap > 0)
+        hs << c.record_cap << c.stream_window_s;
 }
 
 void
@@ -334,10 +362,18 @@ RunSpec::describe() const
             << "/b" << serve.max_batch << "/q" << serve.streamSize();
         if (serve.client_mode == serve::ClientMode::ClosedLoop)
             oss << "/cl" << serve.concurrency;
-        else if (serve.trace.empty())
+        else if (serve.trace.empty()) {
             oss << "/r" << serve.arrival_rate;
-        else
+            // Modulation tags mirror the hash normalization: only armed
+            // components appear.
+            if (serve.modulation.diurnal())
+                oss << "/diurnal" << serve.modulation.diurnal_amplitude;
+            if (serve.modulation.bursts())
+                oss << "/burst" << serve.modulation.burst_rate_multiplier;
+        } else
             oss << "/trace";
+        if (serve.record_cap > 0)
+            oss << "/cap" << serve.record_cap;
         if (serve.prompt_lengths.kind != serve::LengthDistKind::Fixed)
             oss << "/p-"
                 << serve::lengthDistKindName(serve.prompt_lengths.kind);

@@ -28,6 +28,7 @@ registerBuiltinScenarios()
         scenarios::registerServePagedScenarios();
         scenarios::registerFaultScenarios();
         scenarios::registerCtrlScenarios();
+        scenarios::registerServeStreamScenarios();
         return true;
     }();
     (void)registered;

@@ -34,6 +34,7 @@ void registerServeKvScenarios();
 void registerServePagedScenarios();
 void registerFaultScenarios();
 void registerCtrlScenarios();
+void registerServeStreamScenarios();
 
 } // namespace smartinf::exp::scenarios
 

@@ -280,7 +280,9 @@ BatchScheduler::onStepDone()
         record.retries = a.spec.attempt;
         record.priority = a.spec.priority;
         record.deferrals = a.spec.deferrals;
-        records_.push_back(record);
+        ++retired_;
+        if (!record_gate_ || record_gate_())
+            records_.push_back(record);
         if (ctx_.obs)
             ctx_.obs->requestRetired(node_, record.id, record.arrival,
                                      record.finish, now);
@@ -289,7 +291,7 @@ BatchScheduler::onStepDone()
         if (kv_)
             kv_->retire(a.spec.id);
         if (retire_hook_)
-            retire_hook_(records_.back());
+            retire_hook_(record);
     }
     running_.erase(std::remove_if(running_.begin(), running_.end(), finished),
                    running_.end());

@@ -57,6 +57,10 @@ class BatchScheduler
      *  (no queue, no running batch) — the control plane's
      *  drain-before-retire signal (autoscaling). */
     using IdleHook = std::function<void(int node)>;
+    /** Decides whether a retirement's record is *stored* (record_cap
+     *  runs share one cluster-wide gate). Storage only: the record is
+     *  built, counted, and fed to the retire hook either way. */
+    using RecordGate = std::function<bool()>;
 
     /** @p node is this replica's index (stamped into the records). */
     BatchScheduler(train::SimContext &ctx, InferenceBuilder &builder,
@@ -81,14 +85,22 @@ class BatchScheduler
     /** Install the drained hook (control-plane autoscaling only). */
     void setIdleHook(IdleHook hook) { idle_hook_ = std::move(hook); }
 
+    /** Install the record-storage gate (record_cap runs only; unset keeps
+     *  every record — today's exact behavior). */
+    void setRecordGate(RecordGate gate) { record_gate_ = std::move(gate); }
+
     /** Close the queue-depth integral at the workload's end time. */
     void finalize(Seconds end_time);
 
-    /** One record per retired request, in retirement order. */
+    /** One record per *stored* retired request, in retirement order (every
+     *  retired request without a record gate). */
     const std::vector<train::RequestRecord> &records() const
     {
         return records_;
     }
+
+    /** Requests retired on this node (counted past any record gate). */
+    std::int64_t retiredCount() const { return retired_; }
 
     /** Integral of the waiting-queue depth over time (see finalize). */
     double queueDepthIntegral() const { return queue_depth_integral_; }
@@ -208,7 +220,9 @@ class BatchScheduler
     RetireHook retire_hook_;
     StepTimeHook step_time_hook_;
     IdleHook idle_hook_;
+    RecordGate record_gate_;
     std::vector<train::RequestRecord> records_;
+    std::int64_t retired_ = 0;
     double queue_depth_integral_ = 0.0;
     Seconds last_depth_change_ = 0.0;
     int peak_queue_depth_ = 0;

@@ -25,19 +25,20 @@ ClusterController::ClusterController(
 }
 
 void
-ClusterController::start(std::vector<RequestSpec> &stream, int expected)
+ClusterController::start(int expected)
 {
     expected_ = expected;
     stats_.enabled = true;
 
-    // Priority classes: the first ctrl-stream draws, one uniform per
-    // request in id order — *before* any dispatch-time draw, so the
-    // pre-sim and in-sim consumers of the fifth stream never interleave
-    // non-deterministically.
+    // Priority classes are the first ctrl-stream draws — one uniform per
+    // request in id order, consumed at *generation* time (see
+    // generateRequestStream pass 4 / RequestSource) so the lazy and
+    // materialized paths stamp identical classes. Burn those draws here
+    // so every dispatch-time draw continues from the position it has
+    // always had.
     if (config_.ctrl.priority.enabled())
-        for (RequestSpec &r : stream)
-            r.priority =
-                rng_.uniform() < config_.ctrl.priority.high_fraction ? 1 : 0;
+        for (int i = 0; i < expected; ++i)
+            rng_.uniform();
 
     const int nodes = static_cast<int>(schedulers_.size());
     const ctrl::AutoscaleConfig &as = config_.ctrl.autoscale;

@@ -39,14 +39,16 @@ class ClusterController
 
     /**
      * Pre-sim setup, called from InferenceWorkload::build() after the
-     * stream is generated and the schedulers exist: assigns priority
-     * classes into @p stream (the first ctrl-stream draws, one uniform
-     * per request in id order), activates the initial replica set,
-     * installs the step-time / idle hooks, and arms the first autoscale
-     * tick. @p expected is the total number of requests the run will
-     * dispose (ticks stop re-arming once all are accounted for).
+     * schedulers exist: burns the priority draws (the first ctrl-stream
+     * draws — one uniform per request, consumed at generation time by
+     * generateRequestStream()/RequestSource, so the dispatch draws below
+     * continue from the same stream position), activates the initial
+     * replica set, installs the step-time / idle hooks, and arms the
+     * first autoscale tick. @p expected is the total number of requests
+     * the run will dispose (ticks stop re-arming once all are accounted
+     * for).
      */
-    void start(std::vector<RequestSpec> &stream, int expected);
+    void start(int expected);
 
     /**
      * Pick a replica for @p request among the active, live replicas

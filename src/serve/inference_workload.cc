@@ -1,6 +1,7 @@
 #include "serve/inference_workload.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -8,6 +9,25 @@
 #include "train/system_builder.h"
 
 namespace smartinf::serve {
+
+namespace {
+
+bool g_force_materialized = false;
+
+bool
+materializedGenerationForced()
+{
+    return g_force_materialized ||
+           std::getenv("SMARTINF_MATERIALIZED_STREAM") != nullptr;
+}
+
+} // namespace
+
+void
+InferenceWorkload::forceMaterializedGeneration(bool on)
+{
+    g_force_materialized = on;
+}
 
 InferenceWorkload::InferenceWorkload(const train::ModelSpec &model,
                                      ServeConfig config)
@@ -19,13 +39,12 @@ InferenceWorkload::InferenceWorkload(const train::ModelSpec &model,
 }
 
 void
-InferenceWorkload::issueAt(train::SimContext &ctx, std::size_t index,
-                           Seconds at)
+InferenceWorkload::issueSpec(train::SimContext &ctx, RequestSpec request,
+                             Seconds at)
 {
     // Stamp the actual issue time (for closed loop it is reactive) so the
     // record's queueDelay/latency measure from submission.
-    stream_[index].arrival = at;
-    const RequestSpec request = stream_[index];
+    request.arrival = at;
     if (config_.fault.enabled || ctrl_) {
         // Failover / control-plane front door: the replica choice must see
         // the fleet's state *at submission time* (a pre-bound scheduler
@@ -40,6 +59,47 @@ InferenceWorkload::issueAt(train::SimContext &ctx, std::size_t index,
 }
 
 void
+InferenceWorkload::scheduleNextArrival(train::SimContext &ctx)
+{
+    if (source_->done())
+        return;
+    const RequestSpec request = source_->next();
+    // One timed event per arrival, exactly like the materialized
+    // pre-scheduled loop — the callback chains the next arrival before
+    // delivering this one, so at most one undelivered spec exists at any
+    // simulated moment.
+    ctx.sim.at(request.arrival, [this, &ctx, request]() {
+        scheduleNextArrival(ctx);
+        if (config_.fault.enabled || ctrl_) {
+            dispatch(ctx, request);
+        } else {
+            schedulers_[static_cast<std::size_t>(request.id) %
+                        schedulers_.size()]
+                ->submit(request);
+        }
+    });
+}
+
+RequestSpec
+InferenceWorkload::takeSpec(int id)
+{
+    const auto it = pending_.find(id);
+    if (it != pending_.end()) {
+        RequestSpec request = it->second;
+        pending_.erase(it);
+        return request;
+    }
+    while (!source_->done()) {
+        RequestSpec request = source_->next();
+        if (request.id == id)
+            return request;
+        pending_.emplace(request.id, request);
+    }
+    SI_ASSERT(false, "takeSpec past the end of the request stream");
+    return {};
+}
+
+void
 InferenceWorkload::onRetire(train::SimContext &ctx,
                             const train::RequestRecord &record)
 {
@@ -47,10 +107,24 @@ InferenceWorkload::onRetire(train::SimContext &ctx,
     const std::size_t client =
         static_cast<std::size_t>(record.id) % clients;
     const std::size_t next = client_next_[client];
-    if (next >= stream_.size())
+    if (next >= static_cast<std::size_t>(stream_total_))
         return; // this client's slice is exhausted
     client_next_[client] = next + clients;
-    issueAt(ctx, next, record.finish + config_.think_time);
+    const Seconds at = record.finish + config_.think_time;
+    issueSpec(ctx,
+              streaming_ ? takeSpec(static_cast<int>(next)) : stream_[next],
+              at);
+}
+
+bool
+InferenceWorkload::keepRecord()
+{
+    if (!cap_records_)
+        return true;
+    if (retained_records_ >= config_.record_cap)
+        return false;
+    ++retained_records_;
+    return true;
 }
 
 net::Link &
@@ -101,7 +175,11 @@ InferenceWorkload::shed(train::SimContext &ctx, const RequestSpec &request)
     record.priority = request.priority;
     record.deferrals = request.deferrals;
     record.shed = true;
-    shed_.push_back(record);
+    ++shed_count_;
+    if (cap_records_)
+        streaming_stats_.note(record);
+    if (keepRecord())
+        shed_.push_back(record);
     if (ctrl_)
         ctrl_->noteShed();
     if (ctx.obs)
@@ -131,7 +209,11 @@ InferenceWorkload::reject(train::SimContext &ctx,
     record.priority = request.priority;
     record.deferrals = request.deferrals;
     record.rejected = true;
-    rejected_.push_back(record);
+    ++rejected_count_;
+    if (cap_records_)
+        streaming_stats_.note(record);
+    if (keepRecord())
+        rejected_.push_back(record);
     ctrl_->noteRejected(request, now);
     // Like shedding, a rejection releases the closed-loop client — the
     // population must not deadlock on a turned-away request.
@@ -307,7 +389,15 @@ InferenceWorkload::build(train::SimContext &ctx)
 {
     SI_ASSERT(builders_.empty(), "InferenceWorkload::build called twice");
     const int nodes = ctx.system.num_nodes;
-    stream_ = generateRequestStream(config_);
+    stream_total_ = config_.streamSize();
+    // Streaming by default; trace mode keeps the materialized path (the
+    // arrival vector already exists in the config, and pre-scheduling
+    // preserves the insertion order of any exactly-tied trace arrivals).
+    streaming_ = config_.trace.empty() && !materializedGenerationForced();
+    if (streaming_)
+        source_ = std::make_unique<RequestSource>(config_);
+    else
+        stream_ = generateRequestStream(config_);
 
     for (int i = 0; i < nodes; ++i) {
         const std::string prefix = nodes > 1 ? train::nodePrefix(i) : "";
@@ -333,7 +423,7 @@ InferenceWorkload::build(train::SimContext &ctx)
 
     // Control plane: built after the schedulers exist, started before any
     // request is issued (priority classes are the first fifth-stream
-    // draws, assigned pre-sim in id order).
+    // draws, consumed at generation time; start() burns them).
     if (config_.ctrl.enabled) {
         ctrl_ = std::make_unique<ClusterController>(ctx, config_, builders_,
                                                     schedulers_);
@@ -342,18 +432,40 @@ InferenceWorkload::build(train::SimContext &ctx)
         // cancellers is result-inert (pinned by the fault tests).
         if (config_.ctrl.priority.preempt)
             ctx.faults_armed = true;
-        ctrl_->start(stream_, static_cast<int>(stream_.size()));
+        ctrl_->start(stream_total_);
+    }
+
+    // Record cap: bound the retained records (one cluster-wide gate over
+    // every scheduler plus the shed/reject paths), fold every disposition
+    // into the streaming aggregates instead, and let the task graph trim
+    // its completed prefix — the three O(total-requests) memory walls.
+    if (config_.record_cap > 0) {
+        cap_records_ = true;
+        streaming_stats_.enabled = true;
+        const int cap = config_.record_cap;
+        streaming_stats_.latency = StreamingPercentiles(cap);
+        streaming_stats_.ttft = StreamingPercentiles(cap);
+        streaming_stats_.queue_delay = StreamingPercentiles(cap);
+        streaming_stats_.shed_wait = StreamingPercentiles(cap);
+        streaming_stats_.reject_wait = StreamingPercentiles(cap);
+        streaming_stats_.windows =
+            obs::CounterSampler(config_.stream_window_s);
+        for (auto &scheduler : schedulers_)
+            scheduler->setRecordGate([this]() { return keepRecord(); });
+        ctx.graph.enableTrim();
     }
 
     // Retirement feeds: the control plane's SLO-attainment / drain
-    // tracking, and the closed loop's next-issue chaining. Both fire
-    // inside the deterministic retirement event.
+    // tracking, the closed loop's next-issue chaining, and the streaming
+    // aggregates. All fire inside the deterministic retirement event.
     const bool closed_loop = config_.client_mode == ClientMode::ClosedLoop;
-    if (ctrl_ || closed_loop)
+    if (ctrl_ || closed_loop || cap_records_)
         for (auto &scheduler : schedulers_)
             scheduler->setRetireHook(
                 [this, &ctx,
                  closed_loop](const train::RequestRecord &record) {
+                    if (cap_records_)
+                        streaming_stats_.note(record);
                     if (ctrl_)
                         ctrl_->noteRetired(record, ctx.sim.now());
                     if (closed_loop)
@@ -368,17 +480,23 @@ InferenceWorkload::build(train::SimContext &ctx)
         // think_time after the previous finished (via the retire hook,
         // which fires inside the deterministic retirement event).
         const std::size_t clients = static_cast<std::size_t>(
-            std::min<int>(config_.concurrency,
-                          static_cast<int>(stream_.size())));
+            std::min<int>(config_.concurrency, stream_total_));
         client_next_.assign(clients, 0);
         for (std::size_t c = 0; c < clients; ++c) {
             client_next_[c] = c + clients;
-            issueAt(ctx, c, 0.0);
+            issueSpec(ctx,
+                      streaming_ ? takeSpec(static_cast<int>(c))
+                                 : stream_[c],
+                      0.0);
         }
+    } else if (streaming_) {
+        // Open loop, streaming: chain arrivals one ahead — the arrival
+        // event for request i schedules request i+1's before submitting.
+        scheduleNextArrival(ctx);
     } else {
-        // Open loop / trace: arrivals are pre-computed timed events.
+        // Open loop / trace, materialized: pre-scheduled timed events.
         for (std::size_t i = 0; i < stream_.size(); ++i)
-            issueAt(ctx, i, stream_[i].arrival);
+            issueSpec(ctx, stream_[i], stream_[i].arrival);
     }
 }
 
@@ -389,8 +507,10 @@ InferenceWorkload::collect(const train::SimContext &ctx,
     const Seconds end = ctx.graph.taskCount() > 0 ? ctx.graph.makespan() : 0.0;
     out.iteration_time = end;
 
+    std::int64_t retired_total = 0;
     for (const auto &scheduler : schedulers_) {
         scheduler->finalize(end);
+        retired_total += scheduler->retiredCount();
         const auto &records = scheduler->records();
         out.requests.insert(out.requests.end(), records.begin(),
                             records.end());
@@ -422,9 +542,19 @@ InferenceWorkload::collect(const train::SimContext &ctx,
     std::sort(out.requests.begin(), out.requests.end(),
               [](const train::RequestRecord &a,
                  const train::RequestRecord &b) { return a.id < b.id; });
-    SI_ASSERT(static_cast<int>(out.requests.size()) ==
-                  static_cast<int>(stream_.size()),
+    // Disposition accounting is count-based: with a record cap the stored
+    // records are a prefix of the dispositions, but every request must
+    // still have been served, shed, or rejected exactly once.
+    SI_ASSERT(retired_total + shed_count_ + rejected_count_ ==
+                  static_cast<std::int64_t>(stream_total_),
               "not every request was served, shed, or rejected");
+    SI_ASSERT(cap_records_ ||
+                  static_cast<int>(out.requests.size()) == stream_total_,
+              "uncapped run lost request records");
+    if (cap_records_) {
+        streaming_stats_.records_retained = retained_records_;
+        out.streaming = std::move(streaming_stats_);
+    }
     out.fault = fault_stats_;
     if (ctrl_) {
         out.ctrl = ctrl_->stats();

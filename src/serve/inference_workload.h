@@ -9,10 +9,18 @@
  * contention is still modeled. Runs on any engine via Engine::run() —
  * makeEngine's num_nodes dispatch works unchanged.
  *
+ * Request generation is *streaming* by default: specs are drawn lazily
+ * from the RequestSource (bit-identical to generateRequestStream by the
+ * oracle tests), so memory is O(in-flight) rather than O(stream) — the
+ * 10^5–10^6-request scenarios depend on this. Trace mode (the arrivals
+ * already exist as a vector) and the SMARTINF_MATERIALIZED_STREAM /
+ * forceMaterializedGeneration() overrides keep the materialized path,
+ * which CI byte-compares against the streaming one.
+ *
  * Client modes:
- *  - OpenLoop: every request's arrival is pre-computed by
- *    generateRequestStream (seeded Poisson or trace); arrivals are timed
- *    events that submit into the schedulers regardless of server state.
+ *  - OpenLoop: arrivals are timed events that submit into the schedulers
+ *    regardless of server state (pre-scheduled when materialized; chained
+ *    one-ahead when streaming — one timed event per arrival either way).
  *  - ClosedLoop: a fixed population of config.concurrency clients, each
  *    owning the requests whose id ≡ client (mod concurrency), issues one
  *    request at a time: the scheduler's retire hook (which fires inside
@@ -31,6 +39,7 @@
 #include "fault/fault_schedule.h"
 #include "serve/batch_scheduler.h"
 #include "serve/cluster_controller.h"
+#include "serve/request_source.h"
 #include "train/workload.h"
 
 namespace smartinf::serve {
@@ -53,15 +62,36 @@ class InferenceWorkload final : public train::Workload
 
     const ServeConfig &config() const { return config_; }
 
+    /**
+     * Test/CI hook: force the next builds to pre-materialize the request
+     * stream (generateRequestStream) instead of drawing lazily from the
+     * RequestSource. Result-inert by the oracle contract — both paths are
+     * bit-identical — so it never joins the RunSpec hash; the
+     * SMARTINF_MATERIALIZED_STREAM environment variable has the same
+     * effect (CI byte-compares the two). Process-global; tests restore it.
+     */
+    static void forceMaterializedGeneration(bool on);
+
   private:
-    /** Issue stream_[index] at simulated time @p at (stamps the record's
+    /** Issue @p request at simulated time @p at (stamps the record's
      *  arrival and routes to the round-robin replica, or — with the
      *  control plane or faults enabled — through dispatch()). */
-    void issueAt(train::SimContext &ctx, std::size_t index, Seconds at);
+    void issueSpec(train::SimContext &ctx, RequestSpec request, Seconds at);
+    /** Streaming open loop: draw the next request and arm its arrival
+     *  event, which first chains the one after it (one timed event per
+     *  arrival, exactly like the materialized pre-scheduled loop). */
+    void scheduleNextArrival(train::SimContext &ctx);
+    /** Streaming closed loop: the spec with @p id, drawing the source
+     *  forward (parking other clients' specs in pending_) as needed. */
+    RequestSpec takeSpec(int id);
     /** Closed-loop retirement: schedule the owning client's next request
      *  think_time after @p record.finish. */
     void onRetire(train::SimContext &ctx,
                   const train::RequestRecord &record);
+    /** Record-cap gate, shared by every scheduler and the shed/reject
+     *  paths: true while the cluster-wide retained count is below
+     *  config.record_cap (always true when the cap is 0/off). */
+    bool keepRecord();
 
     /** @name Control plane (config.ctrl.enabled only). @{ */
     /** SLO admission rejected @p request: a first-class rejection record
@@ -103,19 +133,38 @@ class InferenceWorkload final : public train::Workload
 
     train::ModelSpec model_;
     ServeConfig config_;
+    /** Materialized request list (trace mode and the materialized
+     *  override only; empty in streaming runs). */
     std::vector<RequestSpec> stream_;
+    /** Lazy generator (streaming runs only; null when materialized). */
+    std::unique_ptr<RequestSource> source_;
+    /** Total requests this run disposes (== ServeConfig::streamSize()). */
+    int stream_total_ = 0;
+    bool streaming_ = false;
+    /** Streaming closed loop: specs drawn past a slow client's cursor,
+     *  parked until that client asks for them (bounded by the spread
+     *  between the fastest and slowest client, not the stream). */
+    std::map<int, RequestSpec> pending_;
     std::vector<std::unique_ptr<InferenceBuilder>> builders_;
     std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
     /** The cluster control plane (null unless config.ctrl.enabled). */
     std::unique_ptr<ClusterController> ctrl_;
     /** Requests SLO admission rejected (first-class records). */
     std::vector<train::RequestRecord> rejected_;
+    std::int64_t rejected_count_ = 0;
     /** Closed loop: per-client cursor into its id-strided request slice. */
     std::vector<std::size_t> client_next_;
+
+    /** @name Record-cap state (record_cap > 0 runs only). @{ */
+    bool cap_records_ = false;
+    int retained_records_ = 0;
+    train::StreamingServeStats streaming_stats_;
+    /** @} */
 
     /** @name Failover state (empty/zero in fault-free runs). @{ */
     std::vector<fault::FaultEvent> fault_events_;
     std::vector<train::RequestRecord> shed_;
+    std::int64_t shed_count_ = 0;
     train::FaultStats fault_stats_;
     /** Active capacity multipliers per degraded link (an episode pushes
      *  its factor, the matching restore removes it; the link's factor is

@@ -91,6 +91,18 @@ struct ServingMetrics {
      *  one replica took everything (0 with no served requests). */
     double load_imbalance = 0.0;
     /** @} */
+
+    /** @name Streaming provenance (record_cap runs only). @{ */
+    /** True when these metrics came from the streaming aggregates (the
+     *  record vector was capped) rather than the full record vector. */
+    bool streaming = false;
+    /** True when every percentile above is still nearest-rank exact
+     *  (always true for non-streaming metrics; for streaming metrics,
+     *  true while each population fit its exact buffer — above that the
+     *  histogram estimates carry <2% relative error, see
+     *  StreamingPercentiles). */
+    bool percentiles_exact = true;
+    /** @} */
 };
 
 /**

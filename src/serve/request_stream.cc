@@ -25,6 +25,95 @@ prefixSeed(std::uint64_t seed)
     return seed ^ 0x7c159e3779b94a7full;
 }
 
+std::uint64_t
+burstSeed(std::uint64_t seed)
+{
+    // Sixth derived stream (after arrivals, lengths, prefixes, faults,
+    // ctrl); rotated golden-ratio bytes, distinct from every other
+    // perturbation constant in the family.
+    return seed ^ 0x159e3779b97f4a7cull;
+}
+
+ArrivalProcess::ArrivalProcess(const ServeConfig &config)
+    : modulation_(config.modulation), base_rate_(config.arrival_rate),
+      rng_(config.seed), burst_rng_(burstSeed(config.seed))
+{
+    const double burst_ceiling =
+        std::max(1.0, modulation_.burst_rate_multiplier);
+    envelope_rate_ =
+        base_rate_ * (1.0 + modulation_.diurnal_amplitude) * burst_ceiling;
+    if (modulation_.bursts() && modulation_.burst_first_gap_s >= 0.0) {
+        // Deterministic first episode start; 0 means a burst is already in
+        // progress at t=0 (the edge the stress tests pin).
+        burst_started_ = true;
+        if (modulation_.burst_first_gap_s == 0.0) {
+            in_burst_ = true;
+            next_toggle_ = burstExponential(modulation_.burst_mean_duration_s);
+        } else {
+            next_toggle_ = modulation_.burst_first_gap_s;
+        }
+    }
+}
+
+Seconds
+ArrivalProcess::burstExponential(Seconds mean)
+{
+    return -std::log(1.0 - burst_rng_.uniform()) * mean;
+}
+
+void
+ArrivalProcess::advanceBurst(Seconds t)
+{
+    if (!modulation_.bursts())
+        return;
+    if (!burst_started_) {
+        burst_started_ = true;
+        next_toggle_ = burstExponential(modulation_.burst_mean_gap_s);
+    }
+    while (next_toggle_ <= t) {
+        in_burst_ = !in_burst_;
+        next_toggle_ += burstExponential(
+            in_burst_ ? modulation_.burst_mean_duration_s
+                      : modulation_.burst_mean_gap_s);
+    }
+}
+
+double
+ArrivalProcess::rateAt(Seconds t)
+{
+    double rate = base_rate_;
+    if (modulation_.diurnal())
+        rate *= 1.0 +
+                modulation_.diurnal_amplitude *
+                    std::sin(2.0 * M_PI * t / modulation_.diurnal_period_s +
+                             modulation_.diurnal_phase);
+    advanceBurst(t);
+    if (in_burst_)
+        rate *= modulation_.burst_rate_multiplier;
+    return rate;
+}
+
+Seconds
+ArrivalProcess::next()
+{
+    if (!modulation_.enabled) {
+        // Exponential interarrival; 1 - uniform() is in (0, 1] so the log
+        // is finite. Exactly one uniform per arrival — byte-identical to
+        // every pre-modulation stream.
+        t_ += -std::log(1.0 - rng_.uniform()) / base_rate_;
+        return t_;
+    }
+    // Thinning (Lewis-Shedler): candidate gaps at the constant envelope
+    // rate, accepted with probability rate(t)/envelope. The candidate and
+    // accept draws both come from the arrival stream, in a fixed order,
+    // so the modulated process is as deterministic as the plain one.
+    for (;;) {
+        t_ += -std::log(1.0 - rng_.uniform()) / envelope_rate_;
+        if (rng_.uniform() * envelope_rate_ < rateAt(t_))
+            return t_;
+    }
+}
+
 int
 sampleLength(Rng &rng, const LengthDistribution &dist, int fixed_tokens)
 {
@@ -70,15 +159,10 @@ generateRequestStream(const ServeConfig &config)
             stream.push_back({i, config.trace[i], config.prompt_tokens,
                               config.output_tokens});
     } else {
-        Rng rng(config.seed);
-        Seconds t = 0.0;
-        for (int i = 0; i < n; ++i) {
-            // Exponential interarrival; 1 - uniform() is in (0, 1] so the
-            // log is finite.
-            t += -std::log(1.0 - rng.uniform()) / config.arrival_rate;
-            stream.push_back({i, t, config.prompt_tokens,
+        ArrivalProcess arrivals(config);
+        for (int i = 0; i < n; ++i)
+            stream.push_back({i, arrivals.next(), config.prompt_tokens,
                               config.output_tokens});
-        }
     }
 
     // Lengths second, from the independent length stream; Fixed configs
@@ -111,6 +195,19 @@ generateRequestStream(const ServeConfig &config)
             request.prefix_tokens =
                 std::min(prefix.prefix_tokens, request.prompt_tokens);
         }
+    }
+
+    // Priority classes fourth, from the ctrl stream: one uniform per
+    // request in id order, before any dispatch draw (the controller's
+    // dispatch randomness continues from the same Rng after exactly
+    // streamSize() priority draws — see ClusterController::start()).
+    // Stamping at generation keeps the lazy source's per-request state
+    // self-contained: a RequestSpec is complete the moment it is drawn.
+    if (config.ctrl.enabled && config.ctrl.priority.enabled()) {
+        Rng rng(ctrl::ctrlSeed(config.seed));
+        for (RequestSpec &request : stream)
+            request.priority =
+                rng.uniform() < config.ctrl.priority.high_fraction ? 1 : 0;
     }
     return stream;
 }

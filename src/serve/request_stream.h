@@ -20,11 +20,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/random.h"
 #include "serve/serve_config.h"
-
-namespace smartinf {
-class Rng;
-}
 
 namespace smartinf::serve {
 
@@ -64,6 +61,53 @@ std::uint64_t lengthSeed(std::uint64_t seed);
  *  lengths). */
 std::uint64_t prefixSeed(std::uint64_t seed);
 
+/** The burst-episode seed derived from @p seed (sixth independent stream,
+ *  after arrivals, lengths, prefixes, faults, and ctrl: burst boundaries
+ *  never consume accept/reject draws from the arrival stream). */
+std::uint64_t burstSeed(std::uint64_t seed);
+
+/**
+ * The open-loop arrival process: successive arrival times from the
+ * arrival stream Rng(config.seed). Unmodulated configs draw exactly one
+ * uniform per arrival (`t += -log(1-u)/rate` — bit-identical to the
+ * legacy generator); modulated configs draw by thinning at the envelope
+ * rate `arrival_rate * (1+amplitude) * max(1, burst_multiplier)` — one
+ * uniform for each candidate gap, one for the accept test — with burst
+ * episode boundaries drawn lazily from the independent burst stream.
+ *
+ * Both generateRequestStream() and the lazy RequestSource drive their
+ * arrivals through this one class, which is what makes the two paths
+ * bit-identical by construction rather than by parallel maintenance.
+ */
+class ArrivalProcess
+{
+  public:
+    explicit ArrivalProcess(const ServeConfig &config);
+
+    /** The next arrival time (non-decreasing across calls). */
+    Seconds next();
+
+    /** Instantaneous arrival rate at simulated time @p t, advancing the
+     *  lazy burst-episode alternation (monotone @p t across calls). */
+    double rateAt(Seconds t);
+
+  private:
+    /** Advance burst alternation so in_burst_ reflects time @p t. */
+    void advanceBurst(Seconds t);
+    /** One exponential draw with the given mean, from the burst stream. */
+    Seconds burstExponential(Seconds mean);
+
+    ArrivalModulationConfig modulation_;
+    double base_rate_ = 0.0;
+    double envelope_rate_ = 0.0; ///< thinning ceiling (modulated only)
+    Rng rng_;                    ///< the arrival stream
+    Rng burst_rng_;              ///< the burst stream (modulated only)
+    Seconds t_ = 0.0;
+    bool in_burst_ = false;
+    Seconds next_toggle_ = 0.0;
+    bool burst_started_ = false; ///< first toggle not yet drawn
+};
+
 /**
  * One sample from @p dist: the @p fixed_tokens scalar for Fixed (drawing
  * nothing from @p rng), otherwise an integer in
@@ -74,12 +118,15 @@ int sampleLength(Rng &rng, const LengthDistribution &dist, int fixed_tokens);
 
 /**
  * Expand @p config into its request list. Arrivals: trace verbatim;
- * open-loop: num_requests exponential interarrivals at arrival_rate from
- * Rng(config.seed); closed-loop: all zero (the workload issues reactively,
- * see ClientMode::ClosedLoop). Lengths: per-request samples from the
+ * open-loop: num_requests interarrivals from the ArrivalProcess (plain
+ * exponential at arrival_rate, or thinned when modulation is enabled);
+ * closed-loop: all zero (the workload issues reactively, see
+ * ClientMode::ClosedLoop). Lengths: per-request samples from the
  * prompt/output distributions (prompt drawn before output for each id, in
- * id order, from Rng(lengthSeed(config.seed))). Arrivals are
- * non-decreasing; ids are stream positions.
+ * id order, from Rng(lengthSeed(config.seed))). Prefix participation from
+ * the prefix stream; priority classes (when the control plane runs a
+ * priority mix) from the ctrl stream, one uniform per request in id
+ * order. Arrivals are non-decreasing; ids are stream positions.
  */
 std::vector<RequestSpec> generateRequestStream(const ServeConfig &config);
 

@@ -216,6 +216,59 @@ ServeConfig::validate() const
         errors.push_back(std::move(e));
     for (auto &e : output_lengths.validate("output"))
         errors.push_back(std::move(e));
+    if (modulation.enabled) {
+        requireField(errors, client_mode == ClientMode::OpenLoop,
+                     "modulation requires open-loop arrivals (closed-loop "
+                     "issue times are reactive, there is no arrival rate "
+                     "to modulate)",
+                     clientModeName(client_mode));
+        requireField(errors, trace.empty(),
+                     "modulation cannot apply to an explicit trace (the "
+                     "trace already is the arrival process); clear trace "
+                     "or drop modulation",
+                     trace.size());
+        requireField(errors,
+                     modulation.diurnal_amplitude > 0.0 ||
+                         modulation.burst_rate_multiplier > 1.0,
+                     "modulation.enabled with neither a diurnal amplitude "
+                     "nor a burst multiplier is a contradiction, not a "
+                     "no-op (thinning changes the draw sequence); disable "
+                     "modulation or arm a component",
+                     modulation.diurnal_amplitude);
+        requireField(errors,
+                     modulation.diurnal_amplitude >= 0.0 &&
+                         modulation.diurnal_amplitude < 1.0,
+                     "modulation.diurnal_amplitude must be in [0, 1) (the "
+                     "instantaneous rate must stay positive)",
+                     modulation.diurnal_amplitude);
+        if (modulation.diurnal_amplitude > 0.0)
+            requireField(errors, modulation.diurnal_period_s > 0.0,
+                         "modulation.diurnal_period_s must be positive "
+                         "when the diurnal component is armed",
+                         modulation.diurnal_period_s);
+        requireField(errors, modulation.burst_rate_multiplier >= 1.0,
+                     "modulation.burst_rate_multiplier must be >= 1 "
+                     "(bursts raise the rate; 1 disables them)",
+                     modulation.burst_rate_multiplier);
+        if (modulation.burst_rate_multiplier > 1.0) {
+            requireField(errors, modulation.burst_mean_gap_s > 0.0,
+                         "modulation.burst_mean_gap_s must be positive "
+                         "when bursts are armed",
+                         modulation.burst_mean_gap_s);
+            requireField(errors, modulation.burst_mean_duration_s > 0.0,
+                         "modulation.burst_mean_duration_s must be "
+                         "positive when bursts are armed",
+                         modulation.burst_mean_duration_s);
+        }
+    }
+    requireField(errors, record_cap >= 0,
+                 "record_cap must be >= 0 (0 keeps every record)",
+                 record_cap);
+    if (record_cap > 0)
+        requireField(errors, stream_window_s > 0.0,
+                     "stream_window_s must be positive when record_cap "
+                     "bounds the retained records",
+                     stream_window_s);
     requireField(errors, max_batch >= 1, "max_batch must be >= 1",
                  max_batch);
     requireField(errors,

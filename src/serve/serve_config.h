@@ -237,6 +237,54 @@ struct KvCacheConfig {
     std::vector<std::string> validate() const;
 };
 
+/**
+ * Non-homogeneous arrival-rate modulation for open-loop generated streams:
+ * a sinusoidal diurnal component on the base rate plus seeded burst
+ * episodes that multiply it. Arrivals are drawn by thinning (accept/reject
+ * at the envelope rate), so the modulated stream still comes from the
+ * arrival stream alone — but it consumes *two* uniforms per candidate
+ * instead of one, which is why `enabled` gates the whole struct: disabled
+ * configs draw exactly the legacy single-uniform sequence and stay
+ * byte-identical to every pre-modulation run. Burst episode boundaries
+ * come from a sixth derived stream (burstSeed), so toggling bursts never
+ * perturbs the accept/reject draws' positions within the arrival stream.
+ */
+struct ArrivalModulationConfig {
+    /** Master switch. When false every other field is inert (and the
+     *  RunSpec hash normalizes them out). Requires at least one component
+     *  armed (diurnal amplitude or burst multiplier) — an enabled no-op
+     *  would still switch the generator to two-uniform thinning, changing
+     *  results without changing any effective rate, and validate()
+     *  rejects that contradiction. */
+    bool enabled = false;
+    /** Relative swing of the sinusoidal component: the instantaneous base
+     *  rate is arrival_rate * (1 + amplitude * sin(2*pi*t/period + phase)).
+     *  Must be in [0, 1) so the rate stays positive; 0 disables the
+     *  diurnal component. */
+    double diurnal_amplitude = 0.0;
+    /** Period of the sinusoid in simulated seconds (an hour-long "day"
+     *  by default — scenario time, not wall time). */
+    Seconds diurnal_period_s = 3600.0;
+    /** Phase offset in radians (0 starts at the mean rate, rising). */
+    double diurnal_phase = 0.0;
+    /** Rate multiplier during a burst episode (1 disables bursts). */
+    double burst_rate_multiplier = 1.0;
+    /** Mean gap between burst episodes (exponentially distributed, drawn
+     *  from the burst stream). */
+    Seconds burst_mean_gap_s = 600.0;
+    /** Mean burst episode duration (exponentially distributed). */
+    Seconds burst_mean_duration_s = 60.0;
+    /** First gap override: >= 0 pins the first episode start
+     *  deterministically (0 = burst in progress at t=0); negative (the
+     *  default) draws it like every later gap. */
+    Seconds burst_first_gap_s = -1.0;
+
+    /** True when the sinusoidal component actually modulates. */
+    bool diurnal() const { return enabled && diurnal_amplitude > 0.0; }
+    /** True when burst episodes actually modulate. */
+    bool bursts() const { return enabled && burst_rate_multiplier > 1.0; }
+};
+
 /** Full configuration of one serving experiment. */
 struct ServeConfig {
     SchedulerPolicy scheduler = SchedulerPolicy::Continuous;
@@ -293,6 +341,29 @@ struct ServeConfig {
      * enabling it never perturbs arrivals, lengths, prefixes, or faults.
      */
     ctrl::CtrlConfig ctrl;
+    /**
+     * Diurnal/bursty arrival-rate modulation (open-loop generated streams
+     * only; disabled by default and byte-inert when disabled).
+     */
+    ArrivalModulationConfig modulation;
+    /**
+     * Most per-request latency records retained across the whole run.
+     * 0 (the default) keeps every record — today's exact behavior. A
+     * positive cap bounds result memory independent of stream length:
+     * the first record_cap retirement records are kept verbatim (the
+     * JSON "requests" array truncates with them) and summary metrics come
+     * from the streaming aggregates (exact counts/means; percentiles
+     * exact while the population fits the histogram's exact buffer,
+     * bounded-relative-error above it). Changes the result, so it joins
+     * the RunSpec hash when set.
+     */
+    int record_cap = 0;
+    /**
+     * Window width of the streaming metric time-series (CounterSampler
+     * windows for windowed arrival/retirement rates; capped runs only,
+     * inert — and normalized out of the hash — when record_cap == 0).
+     */
+    Seconds stream_window_s = 60.0;
     /**
      * Explicit arrival times (simulated seconds, non-decreasing). When
      * non-empty this trace *is* the request stream (num_requests,

@@ -24,6 +24,22 @@ TaskLabel::str() const
     return out;
 }
 
+TaskGraph::Task &
+TaskGraph::task(TaskId id)
+{
+    SI_ASSERT(id >= base_, "task ", id, " was trimmed");
+    SI_ASSERT(id < total_added_, "bad task id");
+    return tasks_[id - base_];
+}
+
+const TaskGraph::Task &
+TaskGraph::task(TaskId id) const
+{
+    SI_ASSERT(id >= base_, "task ", id, " was trimmed");
+    SI_ASSERT(id < total_added_, "bad task id");
+    return tasks_[id - base_];
+}
+
 TaskGraph::TaskId
 TaskGraph::add(Action action, TaskLabel label)
 {
@@ -31,7 +47,7 @@ TaskGraph::add(Action action, TaskLabel label)
     // caller wires their dependencies and calls release().
     tasks_.push_back(Task{std::move(action), label, {}, 0, false, false,
                           false, false, current_domain_, -1.0, -1.0});
-    return tasks_.size() - 1;
+    return total_added_++;
 }
 
 TaskGraph::TaskId
@@ -64,30 +80,36 @@ TaskGraph::delay(Seconds duration, TaskLabel label)
 std::string
 TaskGraph::labelString(TaskId id) const
 {
-    SI_ASSERT(id < tasks_.size(), "bad task id");
-    return tasks_[id].label.str();
+    return task(id).label.str();
 }
 
 void
-TaskGraph::dependsOn(TaskId task, TaskId dep)
+TaskGraph::dependsOn(TaskId task_id, TaskId dep)
 {
-    SI_ASSERT(task < tasks_.size() && dep < tasks_.size(), "bad task id");
-    SI_ASSERT(task != dep, "task cannot depend on itself");
-    SI_ASSERT(!tasks_[task].launched,
+    SI_ASSERT(task_id < total_added_ && dep < total_added_, "bad task id");
+    SI_ASSERT(task_id != dep, "task cannot depend on itself");
+    SI_ASSERT(!task(task_id).launched,
               "cannot add a dependency to a launched task");
-    if (tasks_[dep].completed) {
+    // A trimmed dependency was completed (or abandoned with its whole
+    // closed sub-graph) long ago — satisfied, exactly like the completed
+    // branch below.
+    if (dep < base_) {
+        SI_ASSERT(started_, "completed dependency before start()");
+        return;
+    }
+    if (task(dep).completed) {
         SI_ASSERT(started_, "completed dependency before start()");
         return; // already satisfied
     }
-    tasks_[dep].dependents.push_back(task);
-    ++tasks_[task].pending_deps;
+    task(dep).dependents.push_back(task_id);
+    ++task(task_id).pending_deps;
 }
 
 void
-TaskGraph::dependsOn(TaskId task, const std::vector<TaskId> &deps)
+TaskGraph::dependsOn(TaskId task_id, const std::vector<TaskId> &deps)
 {
     for (TaskId dep : deps)
-        dependsOn(task, dep);
+        dependsOn(task_id, dep);
 }
 
 void
@@ -98,10 +120,10 @@ TaskGraph::start()
     // Launching a static task may already grow the graph (its action can
     // add + release dynamic tasks); those manage their own release, so
     // only the pre-start prefix is released here.
-    const TaskId static_tasks = tasks_.size();
+    const TaskId static_tasks = total_added_;
     for (TaskId id = 0; id < static_tasks; ++id) {
-        tasks_[id].released = true;
-        if (tasks_[id].pending_deps == 0)
+        task(id).released = true;
+        if (task(id).pending_deps == 0)
             launch(id);
     }
 }
@@ -110,78 +132,102 @@ void
 TaskGraph::release(TaskId id)
 {
     SI_REQUIRE(started_, "release() before start() (start releases all)");
-    SI_ASSERT(id < tasks_.size(), "bad task id");
-    SI_ASSERT(!tasks_[id].released, "task ", id, " released twice");
-    tasks_[id].released = true;
-    if (tasks_[id].pending_deps == 0)
+    SI_ASSERT(!task(id).released, "task ", id, " released twice");
+    task(id).released = true;
+    if (task(id).pending_deps == 0)
         launch(id);
 }
 
 void
 TaskGraph::releaseRange(TaskId first, TaskId end)
 {
-    SI_ASSERT(end <= tasks_.size(), "bad release range");
+    SI_ASSERT(end <= total_added_, "bad release range");
     for (TaskId id = first; id < end; ++id)
-        if (!tasks_[id].released)
+        if (!task(id).released)
             release(id);
 }
 
 void
 TaskGraph::launch(TaskId id)
 {
-    SI_ASSERT(!tasks_[id].launched, "task ", id, " launched twice");
-    SI_ASSERT(!tasks_[id].abandoned, "launching revoked task ", id);
-    tasks_[id].launched = true;
-    tasks_[id].start_time = sim_.now();
+    SI_ASSERT(!task(id).launched, "task ", id, " launched twice");
+    SI_ASSERT(!task(id).abandoned, "launching revoked task ", id);
+    task(id).launched = true;
+    task(id).start_time = sim_.now();
     obs::Profiler::instance().countTaskLaunch();
     if (SimObserver *observer = sim_.observer())
-        observer->taskStarted(id, tasks_[id].label, sim_.now());
-    if (!tasks_[id].action) {
+        observer->taskStarted(id, task(id).label, sim_.now());
+    if (!task(id).action) {
         complete(id);
         return;
     }
     // Move the action out before invoking it: a dynamic-mode action may
     // add tasks and reallocate tasks_, which would otherwise move the
     // std::function out from under its own call frame.
-    Action action = std::move(tasks_[id].action);
+    Action action = std::move(task(id).action);
     const TaskId prev_launching = launching_;
     launching_ = id;
+    ++callback_depth_;
     action([this, id]() { complete(id); });
+    --callback_depth_;
     launching_ = prev_launching;
 }
 
 void
 TaskGraph::complete(TaskId id)
 {
-    if (tasks_[id].abandoned)
+    if (task(id).abandoned)
         return; // A revoked task's work drains as a discarded no-op.
-    SI_ASSERT(!tasks_[id].completed, "task ", id, " completed twice");
+    SI_ASSERT(!task(id).completed, "task ", id, " completed twice");
     const obs::Profiler::Scoped probe(obs::Section::TaskComplete);
-    tasks_[id].completed = true;
-    tasks_[id].finish_time = sim_.now();
+    ++callback_depth_;
+    task(id).completed = true;
+    task(id).finish_time = sim_.now();
+    max_finish_ = std::max(max_finish_, task(id).finish_time);
     if (!cancellers_.empty())
         cancellers_.erase(id);
     if (SimObserver *observer = sim_.observer())
-        observer->taskFinished(id, tasks_[id].label, sim_.now());
+        observer->taskFinished(id, task(id).label, sim_.now());
     ++completed_;
     // A completed task's dependent list is frozen (dependsOn on a
     // completed dep is a no-op), but launching a dependent may append
     // tasks and reallocate tasks_ — re-index on every access.
-    const std::size_t n = tasks_[id].dependents.size();
+    const std::size_t n = task(id).dependents.size();
     for (std::size_t i = 0; i < n; ++i) {
-        const TaskId dep_id = tasks_[id].dependents[i];
-        SI_ASSERT(tasks_[dep_id].pending_deps > 0, "dependency underflow");
-        if (--tasks_[dep_id].pending_deps == 0 && tasks_[dep_id].released &&
-            !tasks_[dep_id].abandoned)
+        const TaskId dep_id = task(id).dependents[i];
+        SI_ASSERT(task(dep_id).pending_deps > 0, "dependency underflow");
+        if (--task(dep_id).pending_deps == 0 && task(dep_id).released &&
+            !task(dep_id).abandoned)
             launch(dep_id);
     }
+    --callback_depth_;
+    // Trim only at the outermost frame: a nested trim would shift the
+    // storage an outer complete()'s dependent loop is still indexing.
+    if (trim_enabled_ && callback_depth_ == 0 &&
+        completed_ - trim_checkpoint_ >= kTrimChunk)
+        maybeTrim();
+}
+
+void
+TaskGraph::maybeTrim()
+{
+    trim_checkpoint_ = completed_;
+    std::size_t front = 0;
+    const std::size_t stored = tasks_.size();
+    while (front < stored &&
+           (tasks_[front].completed || tasks_[front].abandoned))
+        ++front;
+    if (front < kTrimChunk)
+        return; // Not worth an erase yet; re-scan after the next chunk.
+    tasks_.erase(tasks_.begin(),
+                 tasks_.begin() + static_cast<std::ptrdiff_t>(front));
+    base_ += front;
 }
 
 void
 TaskGraph::setCanceller(TaskId id, std::function<void()> cancel)
 {
-    SI_ASSERT(id < tasks_.size(), "bad task id");
-    SI_ASSERT(!tasks_[id].completed && !tasks_[id].abandoned,
+    SI_ASSERT(!task(id).completed && !task(id).abandoned,
               "canceller on a finished task");
     cancellers_[id] = std::move(cancel);
 }
@@ -189,8 +235,7 @@ TaskGraph::setCanceller(TaskId id, std::function<void()> cancel)
 bool
 TaskGraph::abandoned(TaskId id) const
 {
-    SI_ASSERT(id < tasks_.size(), "bad task id");
-    return tasks_[id].abandoned;
+    return task(id).abandoned;
 }
 
 std::size_t
@@ -200,34 +245,37 @@ TaskGraph::revokeDomain(Domain d)
     const Seconds now = sim_.now();
     std::size_t revoked = 0;
     // Ascending id order is the determinism contract: cancellers (flow
-    // revocations) fire in the order the tasks were created.
-    for (TaskId id = 0; id < tasks_.size(); ++id) {
-        if (tasks_[id].domain != d || tasks_[id].completed ||
-            tasks_[id].abandoned)
+    // revocations) fire in the order the tasks were created. Trimmed
+    // tasks are completed/abandoned already, so starting at base_ scans
+    // exactly the candidates.
+    for (TaskId id = base_; id < total_added_; ++id) {
+        if (task(id).domain != d || task(id).completed ||
+            task(id).abandoned)
             continue;
-        tasks_[id].abandoned = true;
-        tasks_[id].finish_time = now; // For makespan(); never "finished".
+        task(id).abandoned = true;
+        task(id).finish_time = now; // For makespan(); never "finished".
+        max_finish_ = std::max(max_finish_, now);
         ++completed_;
         ++revoked;
         const auto it = cancellers_.find(id);
         if (it != cancellers_.end()) {
             std::function<void()> cancel = std::move(it->second);
             cancellers_.erase(it);
-            if (tasks_[id].launched && cancel)
+            if (task(id).launched && cancel)
                 cancel();
         }
         if (SimObserver *observer = sim_.observer()) {
-            if (tasks_[id].launched)
-                observer->taskAbandoned(id, tasks_[id].label, now);
+            if (task(id).launched)
+                observer->taskAbandoned(id, task(id).label, now);
         }
     }
     // A revocable unit must be a closed sub-graph: anything downstream of an
     // abandoned task has to be gone too, or it would wait forever.
-    for (TaskId id = 0; id < tasks_.size(); ++id) {
-        if (tasks_[id].domain != d || !tasks_[id].abandoned)
+    for (TaskId id = base_; id < total_added_; ++id) {
+        if (task(id).domain != d || !task(id).abandoned)
             continue;
-        for (TaskId dep_id : tasks_[id].dependents)
-            SI_ASSERT(tasks_[dep_id].abandoned || tasks_[dep_id].completed,
+        for (TaskId dep_id : task(id).dependents)
+            SI_ASSERT(task(dep_id).abandoned || task(dep_id).completed,
                       "revoked domain leaves dangling dependent ", dep_id);
     }
     return revoked;
@@ -236,27 +284,22 @@ TaskGraph::revokeDomain(Domain d)
 Seconds
 TaskGraph::finishTime(TaskId id) const
 {
-    SI_ASSERT(id < tasks_.size() && tasks_[id].completed,
-              "finishTime() on incomplete task");
-    return tasks_[id].finish_time;
+    SI_ASSERT(task(id).completed, "finishTime() on incomplete task");
+    return task(id).finish_time;
 }
 
 Seconds
 TaskGraph::startTime(TaskId id) const
 {
-    SI_ASSERT(id < tasks_.size() && tasks_[id].launched,
-              "startTime() on unlaunched task");
-    return tasks_[id].start_time;
+    SI_ASSERT(task(id).launched, "startTime() on unlaunched task");
+    return task(id).start_time;
 }
 
 Seconds
 TaskGraph::makespan() const
 {
     SI_ASSERT(done(), "makespan() before completion");
-    Seconds latest = 0.0;
-    for (const auto &task : tasks_)
-        latest = std::max(latest, task.finish_time);
-    return latest;
+    return max_finish_;
 }
 
 } // namespace smartinf::sim

@@ -107,7 +107,21 @@ class TaskGraph
     void start();
 
     /** True once every task has completed (revoked tasks count as done). */
-    bool done() const { return completed_ == tasks_.size() && started_; }
+    bool done() const { return completed_ == total_added_ && started_; }
+
+    /**
+     * Opt into prefix trimming: once enabled, the storage of a completed
+     * (or abandoned) prefix of tasks is periodically reclaimed, so a
+     * dynamic workload that appends tasks forever — the streaming serving
+     * scenarios run millions — holds O(live tasks) memory instead of
+     * O(total tasks). Task ids stay global and stable; only storage moves.
+     * The trade: finishTime()/startTime()/labelString()/abandoned() must
+     * not be asked about trimmed ids (they assert), and dependsOn() on a
+     * trimmed dependency counts as already satisfied. Must be enabled
+     * before tasks complete; training engines (which read per-task finish
+     * times after the run) simply never enable it.
+     */
+    void enableTrim() { trim_enabled_ = true; }
 
     /**
      * @name Revocation domains (fault injection).
@@ -162,7 +176,8 @@ class TaskGraph
     /** Completion time of the latest-finishing task. @pre done(). */
     Seconds makespan() const;
 
-    std::size_t taskCount() const { return tasks_.size(); }
+    /** Total tasks ever added (ids are global: trim never shrinks this). */
+    std::size_t taskCount() const { return total_added_; }
 
     /** Materialised label of a task (debugging/tracing). */
     std::string labelString(TaskId id) const;
@@ -186,11 +201,32 @@ class TaskGraph
 
     void launch(TaskId id);
     void complete(TaskId id);
+    /** Storage slot for global id @p id (trim shifts storage by base_). */
+    Task &task(TaskId id);
+    const Task &task(TaskId id) const;
+    /** Reclaim the completed/abandoned prefix. Only called from the
+     *  outermost complete() frame (callback_depth_ == 1): a nested trim
+     *  would shift storage out from under an outer frame's dependent
+     *  loop. Amortized O(1): scans only once per kTrimChunk completions
+     *  and erases in chunks. */
+    void maybeTrim();
 
     Simulator &sim_;
-    std::vector<Task> tasks_;
+    std::vector<Task> tasks_; ///< storage for ids [base_, total_added_)
     std::size_t completed_ = 0;
+    std::size_t total_added_ = 0; ///< size of the global id space
     bool started_ = false;
+
+    /** @name Trim mode (enableTrim()); all zero-cost when disabled. @{ */
+    static constexpr std::size_t kTrimChunk = 1024;
+    bool trim_enabled_ = false;
+    std::size_t base_ = 0; ///< first untrimmed id; 0 unless trimming
+    std::size_t trim_checkpoint_ = 0; ///< completed_ at the last scan
+    int callback_depth_ = 0; ///< launch/complete nesting depth
+    /** @} */
+    /** Latest finish_time seen so far; == makespan() once done(). Kept
+     *  incrementally because trim mode discards per-task times. */
+    Seconds max_finish_ = 0.0;
     Domain current_domain_ = kNoDomain;
     Domain last_domain_ = kNoDomain;
     TaskId launching_ = kInvalidTask;

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "common/streaming_percentiles.h"
 #include "common/units.h"
+#include "obs/counter_sampler.h"
 #include "train/traffic_ledger.h"
 
 namespace smartinf::train {
@@ -164,6 +166,57 @@ struct KvCacheStats {
 };
 
 /**
+ * Streaming serving aggregates, populated only when ServeConfig::record_cap
+ * bounds the retained per-request records (enabled=false — and every field
+ * zero — otherwise). Mirrors exactly what serve::summarize derives from the
+ * full record vector, but folds each record in at retirement time through
+ * bounded-memory primitives: StreamingPercentiles sketches for the latency
+ * populations (exact below the cap, <2% relative error above) and an
+ * obs::CounterSampler for windowed arrival/retirement time-series — so a
+ * 10^6-request run reports p50/p95/p99 without ever holding 10^6 records.
+ */
+struct StreamingServeStats {
+    bool enabled = false;
+    /** Records kept verbatim in WorkloadResult::requests (== min(cap,
+     *  disposed)); every count below covers the *whole* stream. */
+    int records_retained = 0;
+    std::int64_t total_requests = 0; ///< served + shed + rejected
+    std::int64_t num_served = 0;
+    std::int64_t num_shed = 0;
+    std::int64_t num_rejected = 0;
+    std::int64_t num_retried = 0;
+    std::int64_t total_retries = 0;
+    std::int64_t num_deferred = 0;
+    std::int64_t total_deferrals = 0;
+    double output_tokens = 0.0;
+    /** @name Latency populations (successful records only, like
+     *  serve::summarize; shed/reject waits cover their dispositions). @{ */
+    StreamingPercentiles latency;
+    StreamingPercentiles ttft;
+    StreamingPercentiles queue_delay;
+    StreamingPercentiles shed_wait;
+    StreamingPercentiles reject_wait;
+    /** @} */
+    /** Served requests per replica (node-indexed, like the metrics). */
+    std::vector<int> replica_requests;
+    /** Windowed time-series: "arrivals" and "retirements" (one unit
+     *  sample each) plus "latency_s" (sampled at finish) — peak-window
+     *  rates derive from these. */
+    obs::CounterSampler windows{60.0};
+
+    /** Fold one disposed record in (the retire/shed/reject feeds call
+     *  this once per request, in disposition order). */
+    void note(const RequestRecord &record);
+
+    /** True when every percentile population is still exact. */
+    bool percentilesExact() const
+    {
+        return latency.exact() && ttft.exact() && queue_delay.exact() &&
+               shed_wait.exact() && reject_wait.exact();
+    }
+};
+
+/**
  * Result of simulating one workload. Training populates phases; serving
  * populates the per-request records and queue statistics. iteration_time
  * keeps its historic name and always holds the workload makespan.
@@ -191,6 +244,10 @@ struct WorkloadResult {
     /** Control-plane statistics (enabled=false and all-zero unless the
      *  run enabled the control plane). */
     CtrlStats ctrl;
+    /** Streaming aggregates (enabled only when record_cap > 0 bounded the
+     *  retained records; requests then holds the first record_cap records
+     *  and these carry the whole-stream summary). */
+    StreamingServeStats streaming;
     /** @} */
 
     /** Fault/recovery statistics (enabled=false and all-zero unless the

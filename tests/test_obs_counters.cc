@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/counter_sampler.h"
 
@@ -141,6 +142,44 @@ TEST(CounterSampler, CsvShapeIsStable)
 TEST(CounterSampler, RejectsNonPositiveWindow)
 {
     EXPECT_THROW(CounterSampler(0.0), std::runtime_error);
+}
+
+/** The semigroup contract at streaming scale: 10^6 samples split over
+ *  shards must merge — in any association order — to exactly the
+ *  sampler that saw every sample directly. */
+TEST(CounterSampler, MergeIsAssociativeAtAMillionSamples)
+{
+    constexpr int kSamples = 1000000;
+    constexpr int kShards = 4;
+    CounterSampler direct(2.0);
+    std::vector<CounterSampler> shards(kShards, CounterSampler(2.0));
+    // Deterministic pseudo-stream: two counters, times spanning many
+    // windows, values exercising min/max/sum paths.
+    for (int i = 0; i < kSamples; ++i) {
+        const double t = 0.001 * i;
+        const double v = static_cast<double>((i * 2654435761u) % 1000);
+        const char *name = (i % 3 == 0) ? "arrivals" : "latency_s";
+        direct.record(name, t, v);
+        shards[static_cast<std::size_t>(i % kShards)].record(name, t, v);
+    }
+    // Left fold: ((s0 + s1) + s2) + s3.
+    CounterSampler left(shards[0]);
+    for (int s = 1; s < kShards; ++s)
+        left.merge(shards[static_cast<std::size_t>(s)]);
+    // Right-leaning, reordered fold: s3 + (s1 + (s2 + s0)).
+    CounterSampler inner(shards[2]);
+    inner.merge(shards[0]);
+    CounterSampler mid(shards[1]);
+    mid.merge(inner);
+    CounterSampler right(shards[3]);
+    right.merge(mid);
+
+    std::ostringstream l, r, d;
+    left.writeCsv(l);
+    right.writeCsv(r);
+    direct.writeCsv(d);
+    EXPECT_EQ(l.str(), d.str());
+    EXPECT_EQ(r.str(), d.str());
 }
 
 } // namespace

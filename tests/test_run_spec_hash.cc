@@ -740,5 +740,144 @@ TEST(RunSpecHash, DescribeTagsCtrlSpecs)
     EXPECT_EQ(blabel.find("/prio"), std::string::npos) << blabel;
 }
 
+TEST(RunSpecHash, ModulationKnobsAreInertWhileDisabled)
+{
+    // The no-new-knob alias: a default (disabled) modulation block is
+    // the same cache entry as a pre-modulation spec no matter how its
+    // shape knobs are set — generation never consults them.
+    RunSpec base = servingSpec();
+    RunSpec shaped = base;
+    shaped.serve.modulation.diurnal_amplitude = 0.9;
+    shaped.serve.modulation.diurnal_period_s = 60.0;
+    shaped.serve.modulation.burst_rate_multiplier = 8.0;
+    shaped.serve.modulation.burst_mean_gap_s = 1.0;
+    EXPECT_EQ(base.hash(), shaped.hash());
+    EXPECT_EQ(base.describe(), shaped.describe());
+}
+
+TEST(RunSpecHash, EveryArmedModulationKnobChangesTheHash)
+{
+    RunSpec base = servingSpec();
+    base.serve.modulation.enabled = true;
+    base.serve.modulation.diurnal_amplitude = 0.5;
+    base.serve.modulation.diurnal_period_s = 120.0;
+    base.serve.modulation.burst_rate_multiplier = 3.0;
+    base.serve.modulation.burst_mean_gap_s = 30.0;
+    base.serve.modulation.burst_mean_duration_s = 5.0;
+
+    struct Mutation {
+        const char *field;
+        std::function<void(RunSpec &)> apply;
+    };
+    const std::vector<Mutation> mutations = {
+        {"enabled", [](RunSpec &s) { s.serve.modulation.enabled = false; }},
+        {"diurnal_amplitude",
+         [](RunSpec &s) { s.serve.modulation.diurnal_amplitude = 0.25; }},
+        {"diurnal_period_s",
+         [](RunSpec &s) { s.serve.modulation.diurnal_period_s = 60.0; }},
+        {"diurnal_phase",
+         [](RunSpec &s) { s.serve.modulation.diurnal_phase = 1.0; }},
+        {"burst_rate_multiplier",
+         [](RunSpec &s) {
+             s.serve.modulation.burst_rate_multiplier = 2.0;
+         }},
+        {"burst_mean_gap_s",
+         [](RunSpec &s) { s.serve.modulation.burst_mean_gap_s = 15.0; }},
+        {"burst_mean_duration_s",
+         [](RunSpec &s) {
+             s.serve.modulation.burst_mean_duration_s = 2.0;
+         }},
+        {"burst_first_gap_s",
+         [](RunSpec &s) { s.serve.modulation.burst_first_gap_s = 0.0; }},
+    };
+    std::set<std::uint64_t> hashes = {base.hash()};
+    for (const Mutation &m : mutations) {
+        RunSpec mutated = base;
+        m.apply(mutated);
+        EXPECT_TRUE(hashes.insert(mutated.hash()).second)
+            << m.field << " did not change the hash";
+    }
+}
+
+TEST(RunSpecHash, ModulationNormalizesUnarmedComponentShapes)
+{
+    // Bursts armed, sinusoid flat: the diurnal shape knobs are inert.
+    RunSpec bursts = servingSpec();
+    bursts.serve.modulation.enabled = true;
+    bursts.serve.modulation.burst_rate_multiplier = 3.0;
+    RunSpec bursts2 = bursts;
+    bursts2.serve.modulation.diurnal_period_s = 7.0;
+    bursts2.serve.modulation.diurnal_phase = 2.0;
+    EXPECT_EQ(bursts.hash(), bursts2.hash());
+
+    // Sinusoid armed, multiplier 1: the burst shape knobs are inert,
+    // and every negative first-gap means the same thing (draw it).
+    RunSpec diurnal = servingSpec();
+    diurnal.serve.modulation.enabled = true;
+    diurnal.serve.modulation.diurnal_amplitude = 0.5;
+    RunSpec diurnal2 = diurnal;
+    diurnal2.serve.modulation.burst_mean_gap_s = 1.0;
+    diurnal2.serve.modulation.burst_mean_duration_s = 99.0;
+    diurnal2.serve.modulation.burst_first_gap_s = 5.0;
+    EXPECT_EQ(diurnal.hash(), diurnal2.hash());
+
+    RunSpec draw_a = bursts;
+    draw_a.serve.modulation.burst_first_gap_s = -1.0;
+    RunSpec draw_b = bursts;
+    draw_b.serve.modulation.burst_first_gap_s = -123.0;
+    EXPECT_EQ(draw_a.hash(), draw_b.hash());
+
+    // Modulation shapes only generated open-loop arrivals: under a
+    // trace or closed loop the whole block is normalized out (validate
+    // rejects those combinations; the hash must agree they alias).
+    RunSpec traced = servingSpec();
+    traced.serve.trace = {0.0, 1.0};
+    RunSpec traced2 = traced;
+    traced2.serve.modulation.enabled = true;
+    traced2.serve.modulation.diurnal_amplitude = 0.5;
+    EXPECT_EQ(traced.hash(), traced2.hash());
+    RunSpec closed = servingSpec();
+    closed.serve.client_mode = serve::ClientMode::ClosedLoop;
+    RunSpec closed2 = closed;
+    closed2.serve.modulation.enabled = true;
+    closed2.serve.modulation.diurnal_amplitude = 0.5;
+    EXPECT_EQ(closed.hash(), closed2.hash());
+}
+
+TEST(RunSpecHash, RecordCapZeroAliasesTheDefault)
+{
+    // cap 0 keeps today's exact behavior: one cache entry no matter how
+    // stream_window_s is set. A positive cap truncates retention and
+    // must key the hash — and then the window width keys too.
+    RunSpec base = servingSpec();
+    RunSpec windowed = base;
+    windowed.serve.stream_window_s = 5.0; // inert while cap is off
+    EXPECT_EQ(base.hash(), windowed.hash());
+    EXPECT_EQ(base.describe(), windowed.describe());
+
+    RunSpec capped = base;
+    capped.serve.record_cap = 1024;
+    EXPECT_NE(base.hash(), capped.hash());
+    RunSpec capped2 = capped;
+    capped2.serve.record_cap = 2048;
+    EXPECT_NE(capped.hash(), capped2.hash());
+    RunSpec capped_window = capped;
+    capped_window.serve.stream_window_s = 5.0;
+    EXPECT_NE(capped.hash(), capped_window.hash());
+}
+
+TEST(RunSpecHash, DescribeTagsStreamingSpecs)
+{
+    RunSpec spec = servingSpec();
+    spec.serve.record_cap = 4096;
+    spec.serve.modulation.enabled = true;
+    spec.serve.modulation.diurnal_amplitude = 0.6;
+    spec.serve.modulation.burst_rate_multiplier = 4.0;
+    const std::string label = spec.describe();
+    EXPECT_NE(label.find("/cap4096"), std::string::npos) << label;
+    EXPECT_NE(label.find("/diurnal0.6"), std::string::npos) << label;
+    EXPECT_NE(label.find("/burst4"), std::string::npos) << label;
+}
+
 } // namespace
 } // namespace smartinf::exp

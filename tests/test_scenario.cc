@@ -17,7 +17,7 @@ TEST(ScenarioRegistry, BuiltinsRegisterOnceAndIdempotently)
     // 17 migrated bench binaries + the 3 serving studies + the 3
     // KV/mix/closed-loop serving-fidelity studies + the 2 paged-KV
     // studies + the 2 fault/recovery studies.
-    EXPECT_EQ(all.size(), 30u);
+    EXPECT_EQ(all.size(), 32u);
 
     // Sorted by name, every paper artifact present.
     for (std::size_t i = 1; i < all.size(); ++i)

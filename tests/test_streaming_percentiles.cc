@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Property and stress tests of the bounded-memory percentile sketch:
+ * exact-mode equivalence with the nearest-rank reference, the histogram
+ * mode's asserted relative-error bound across heavy-tailed populations,
+ * and the merge semigroup (commutative, associative, shard-invariant).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/streaming_percentiles.h"
+
+namespace smartinf {
+namespace {
+
+/** Nearest-rank reference, the serve::summarizeLatencies definition. */
+double
+nearestRank(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double raw =
+        std::ceil(pct / 100.0 * static_cast<double>(values.size()));
+    const std::size_t rank = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::max(raw, 1.0)), 1, values.size());
+    return values[rank - 1];
+}
+
+const std::vector<double> kPcts = {0.0, 1.0, 25.0, 50.0, 90.0,
+                                   95.0, 99.0, 99.9, 100.0};
+
+TEST(StreamingPercentiles, EmptyPopulationReportsZeros)
+{
+    const StreamingPercentiles p;
+    EXPECT_TRUE(p.exact());
+    EXPECT_EQ(p.count(), 0);
+    EXPECT_EQ(p.mean(), 0.0);
+    EXPECT_EQ(p.minValue(), 0.0);
+    EXPECT_EQ(p.maxValue(), 0.0);
+    for (const double pct : kPcts)
+        EXPECT_EQ(p.percentile(pct), 0.0);
+}
+
+TEST(StreamingPercentiles, ExactModeMatchesNearestRankBitForBit)
+{
+    Rng rng(7);
+    std::vector<double> values;
+    StreamingPercentiles p(512);
+    for (int i = 0; i < 512; ++i) {
+        // Heavy-tailed: exercise several decades.
+        const double v = std::exp(rng.normal(0.0, 2.0));
+        values.push_back(v);
+        p.record(v);
+    }
+    ASSERT_TRUE(p.exact());
+    for (const double pct : kPcts)
+        EXPECT_EQ(p.percentile(pct), nearestRank(values, pct));
+}
+
+TEST(StreamingPercentiles, SingleSamplePopulation)
+{
+    StreamingPercentiles p;
+    p.record(0.125);
+    for (const double pct : kPcts)
+        EXPECT_EQ(p.percentile(pct), 0.125);
+    EXPECT_EQ(p.mean(), 0.125);
+    EXPECT_EQ(p.minValue(), 0.125);
+    EXPECT_EQ(p.maxValue(), 0.125);
+}
+
+TEST(StreamingPercentiles, HistogramModeHonorsTheRelativeErrorBound)
+{
+    // Past the cap the sketch must stay within maxRelativeError() of the
+    // exact nearest-rank answer, across distributions spanning decades.
+    const double bound = StreamingPercentiles::maxRelativeError();
+    EXPECT_LT(bound, 0.02); // the documented <2% guarantee
+
+    struct Case {
+        const char *name;
+        double (*draw)(Rng &);
+    };
+    const Case cases[] = {
+        {"lognormal", [](Rng &r) { return std::exp(r.normal(0.0, 2.0)); }},
+        {"exponential",
+         [](Rng &r) { return -std::log(1.0 - r.uniform()) * 0.3; }},
+        {"uniform-wide", [](Rng &r) { return 1e-4 + r.uniform() * 1e3; }},
+    };
+    for (const Case &c : cases) {
+        Rng rng(11);
+        std::vector<double> values;
+        StreamingPercentiles p(64); // tiny cap: histogram mode quickly
+        for (int i = 0; i < 20000; ++i) {
+            const double v = c.draw(rng);
+            values.push_back(v);
+            p.record(v);
+        }
+        ASSERT_FALSE(p.exact());
+        for (const double pct : kPcts) {
+            const double exact = nearestRank(values, pct);
+            const double est = p.percentile(pct);
+            if (exact < StreamingPercentiles::kMinValue) {
+                EXPECT_LT(est, StreamingPercentiles::kMinValue) << c.name;
+                continue;
+            }
+            EXPECT_NEAR(est, exact, exact * bound)
+                << c.name << " p" << pct;
+        }
+        // Scalar aggregates stay exact in histogram mode.
+        double sum = 0.0;
+        for (const double v : values)
+            sum += v;
+        EXPECT_DOUBLE_EQ(p.mean(), sum / values.size());
+        EXPECT_EQ(p.maxValue(),
+                  *std::max_element(values.begin(), values.end()));
+        EXPECT_EQ(p.minValue(),
+                  *std::min_element(values.begin(), values.end()));
+    }
+}
+
+TEST(StreamingPercentiles, OutOfRangeValuesClampInsteadOfMisbinning)
+{
+    StreamingPercentiles p(2);
+    p.record(0.0);              // below kMinValue: underflow bin
+    p.record(-5.0);             // negative: underflow bin
+    p.record(1e9);              // above kMaxValue: overflow bin
+    p.record(1e12);             // ditto
+    ASSERT_FALSE(p.exact());
+    EXPECT_EQ(p.percentile(1.0), 0.0);
+    EXPECT_EQ(p.percentile(100.0), StreamingPercentiles::kMaxValue);
+    EXPECT_EQ(p.minValue(), -5.0); // scalar min/max stay exact
+    EXPECT_EQ(p.maxValue(), 1e12);
+}
+
+TEST(StreamingPercentiles, MergeIsCommutativeAndAssociative)
+{
+    Rng rng(23);
+    std::vector<double> all;
+    std::vector<std::vector<double>> shards(3);
+    for (int s = 0; s < 3; ++s)
+        for (int i = 0; i < 900; ++i) {
+            const double v = std::exp(rng.normal(-1.0, 1.5));
+            shards[s].push_back(v);
+            all.push_back(v);
+        }
+    const auto sketch = [](const std::vector<double> &vs) {
+        StreamingPercentiles p(64);
+        for (const double v : vs)
+            p.record(v);
+        return p;
+    };
+    StreamingPercentiles whole = sketch(all);
+    // (a + b) + c
+    StreamingPercentiles left = sketch(shards[0]);
+    left.merge(sketch(shards[1]));
+    left.merge(sketch(shards[2]));
+    // a + (c + b)
+    StreamingPercentiles right = sketch(shards[2]);
+    right.merge(sketch(shards[1]));
+    right.merge(sketch(shards[0]));
+    for (const double pct : kPcts) {
+        EXPECT_EQ(left.percentile(pct), right.percentile(pct));
+        EXPECT_EQ(left.percentile(pct), whole.percentile(pct));
+    }
+    EXPECT_EQ(left.count(), whole.count());
+    // Bin counts merge exactly; the sum is float addition, so the mean
+    // agrees to rounding only.
+    EXPECT_NEAR(left.mean(), whole.mean(), whole.mean() * 1e-12);
+    EXPECT_EQ(left.minValue(), whole.minValue());
+    EXPECT_EQ(left.maxValue(), whole.maxValue());
+}
+
+TEST(StreamingPercentiles, MergeExactnessIsOrderIndependent)
+{
+    // Two exact sketches whose combined population exceeds the cap must
+    // report !exact() regardless of merge direction, and agree with the
+    // sketch that saw every sample directly.
+    const auto sketch = [](int lo, int hi) {
+        StreamingPercentiles p(100);
+        for (int i = lo; i < hi; ++i)
+            p.record(0.001 * (i + 1));
+        return p;
+    };
+    StreamingPercentiles a = sketch(0, 80);
+    StreamingPercentiles b = sketch(80, 160);
+    ASSERT_TRUE(a.exact());
+    ASSERT_TRUE(b.exact());
+    StreamingPercentiles ab = a;
+    ab.merge(b);
+    StreamingPercentiles ba = b;
+    ba.merge(a);
+    const StreamingPercentiles direct = sketch(0, 160);
+    EXPECT_FALSE(ab.exact());
+    EXPECT_FALSE(ba.exact());
+    EXPECT_FALSE(direct.exact());
+    for (const double pct : kPcts) {
+        EXPECT_EQ(ab.percentile(pct), ba.percentile(pct));
+        EXPECT_EQ(ab.percentile(pct), direct.percentile(pct));
+    }
+}
+
+TEST(StreamingPercentiles, MillionSampleStressStaysBounded)
+{
+    // 10^6 samples through a 4096-cap sketch: the documented error bound
+    // must hold at the tracked percentiles, with memory fixed at the bin
+    // array (no per-sample state after the exact buffer drops).
+    Rng rng(41);
+    StreamingPercentiles p(4096);
+    std::vector<double> values;
+    values.reserve(1000000);
+    for (int i = 0; i < 1000000; ++i) {
+        const double v = -std::log(1.0 - rng.uniform()) * 0.25;
+        values.push_back(v);
+        p.record(v);
+    }
+    ASSERT_FALSE(p.exact());
+    EXPECT_EQ(p.count(), 1000000);
+    const double bound = StreamingPercentiles::maxRelativeError();
+    for (const double pct : {50.0, 95.0, 99.0, 99.9}) {
+        const double exact = nearestRank(values, pct);
+        EXPECT_NEAR(p.percentile(pct), exact, exact * bound) << pct;
+    }
+}
+
+} // namespace
+} // namespace smartinf
